@@ -1,0 +1,67 @@
+//! Criterion micro-benchmark: pending-event-set implementations.
+//!
+//! §II names "event queue management" among the major components of the
+//! simulation loop; this bench compares the binary heap against the
+//! calendar queue on a hold-model workload (the standard queue benchmark:
+//! steady-state pop-one-push-one).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parsim_event::{BinaryHeapQueue, CalendarQueue, Event, EventQueue, PairingHeapQueue, VirtualTime};
+use parsim_logic::Bit;
+use parsim_netlist::GateId;
+use std::hint::black_box;
+
+fn hold_model<Q: EventQueue<Bit>>(queue: &mut Q, population: usize, holds: usize) {
+    let mut x: u64 = 0x9E3779B9;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    for _ in 0..population {
+        queue.push(Event::new(VirtualTime::new(next() % 10_000), GateId::new(0), Bit::One));
+    }
+    for _ in 0..holds {
+        let e = queue.pop().expect("population maintained");
+        let t = e.time + parsim_netlist::Delay::new(next() % 100 + 1);
+        queue.push(Event::new(t, e.net, e.value));
+    }
+    black_box(queue.len());
+    queue.clear();
+}
+
+fn bench_queues(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue_hold");
+    group.sample_size(10);
+    for &population in &[64usize, 1024, 16384] {
+        group.bench_with_input(
+            BenchmarkId::new("binary_heap", population),
+            &population,
+            |b, &n| {
+                let mut q = BinaryHeapQueue::new();
+                b.iter(|| hold_model(&mut q, n, 4 * n));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("calendar", population),
+            &population,
+            |b, &n| {
+                let mut q = CalendarQueue::new();
+                b.iter(|| hold_model(&mut q, n, 4 * n));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pairing", population),
+            &population,
+            |b, &n| {
+                let mut q = PairingHeapQueue::new();
+                b.iter(|| hold_model(&mut q, n, 4 * n));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queues);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion micro-benchmark: gate evaluation throughput per logic family.
+//!
+//! Quantifies the cost of richer value systems (§II: two-valued vs
+//! multi-valued logic): Bit vs Logic4 vs IEEE 1164 Std9, across a gate mix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parsim_logic::{eval_combinational, Bit, GateKind, Logic4, LogicValue, Std9};
+use std::hint::black_box;
+
+fn eval_mix<V: LogicValue>(inputs: &[V; 4]) -> u64 {
+    let mut acc = 0u64;
+    for kind in [GateKind::And, GateKind::Nand, GateKind::Or, GateKind::Nor, GateKind::Xor] {
+        let out = eval_combinational(kind, black_box(&inputs[..]));
+        acc = acc.wrapping_add(out.to_char() as u64);
+    }
+    acc
+}
+
+fn bench_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gate_eval_mix");
+    group.sample_size(20);
+    group.bench_function("bit", |b| {
+        let inputs = [Bit::One, Bit::Zero, Bit::One, Bit::One];
+        b.iter(|| eval_mix(&inputs));
+    });
+    group.bench_function("logic4", |b| {
+        let inputs = [Logic4::One, Logic4::X, Logic4::Zero, Logic4::Z];
+        b.iter(|| eval_mix(&inputs));
+    });
+    group.bench_function("std9", |b| {
+        let inputs = [Std9::One, Std9::W, Std9::L, Std9::H];
+        b.iter(|| eval_mix(&inputs));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_families);
+criterion_main!(benches);

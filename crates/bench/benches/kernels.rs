@@ -1,0 +1,81 @@
+//! Criterion macro-benchmark: whole-kernel event throughput.
+//!
+//! Wall-clock events/second of the sequential reference (both queue
+//! variants), the oblivious kernel and the three modeled parallel kernels
+//! on a mid-size circuit. On a single-core host the parallel kernels are
+//! expected to be *slower* in wall-clock terms — they do the same logical
+//! work plus protocol bookkeeping; their value is the modeled speedup,
+//! which this bench does not measure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parsim_core::{Observe, ObliviousSimulator, SequentialSimulator, Simulator, Stimulus};
+use parsim_event::VirtualTime;
+use parsim_logic::Bit;
+use parsim_machine::MachineConfig;
+use parsim_netlist::{generate, DelayModel};
+use parsim_partition::{ConePartitioner, GateWeights, Partitioner};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let circuit = generate::array_multiplier(12, DelayModel::Unit);
+    let stimulus = Stimulus::random(1, 30);
+    let until = VirtualTime::new(600);
+    let partition =
+        ConePartitioner.partition(&circuit, 8, &GateWeights::uniform(circuit.len()));
+    let machine = MachineConfig::shared_memory(8);
+
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(10);
+
+    let kernels: Vec<(&str, Box<dyn Simulator<Bit>>)> = vec![
+        ("sequential_heap", Box::new(SequentialSimulator::new().with_observe(Observe::Nothing))),
+        (
+            "sequential_calendar",
+            Box::new(
+                SequentialSimulator::new()
+                    .with_observe(Observe::Nothing)
+                    .with_calendar_queue(),
+            ),
+        ),
+        (
+            "sequential_pairing",
+            Box::new(
+                SequentialSimulator::new()
+                    .with_observe(Observe::Nothing)
+                    .with_queue(parsim_core::QueueKind::PairingHeap),
+            ),
+        ),
+        ("oblivious", Box::new(ObliviousSimulator::new().with_observe(Observe::Nothing))),
+        (
+            "sync_modeled",
+            Box::new(
+                parsim_sync::SyncSimulator::new(partition.clone(), machine)
+                    .with_observe(Observe::Nothing),
+            ),
+        ),
+        (
+            "conservative_modeled",
+            Box::new(
+                parsim_conservative::ConservativeSimulator::new(partition.clone(), machine)
+                    .with_observe(Observe::Nothing),
+            ),
+        ),
+        (
+            "timewarp_modeled",
+            Box::new(
+                parsim_optimistic::TimeWarpSimulator::new(partition.clone(), machine)
+                    .with_observe(Observe::Nothing),
+            ),
+        ),
+    ];
+
+    for (name, kernel) in &kernels {
+        group.bench_function(*name, |b| {
+            b.iter(|| black_box(kernel.run(&circuit, &stimulus, until)).stats.events_processed)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

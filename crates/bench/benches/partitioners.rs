@@ -1,0 +1,27 @@
+//! Criterion micro-benchmark: partitioner runtime.
+//!
+//! §III notes simulated annealing's "prohibitively long" execution time;
+//! this bench quantifies the runtime ladder across all algorithms on one
+//! mid-size circuit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parsim_netlist::generate::{self, RandomDagConfig};
+use parsim_partition::{all_partitioners, GateWeights};
+use std::hint::black_box;
+
+fn bench_partitioners(c: &mut Criterion) {
+    let circuit = generate::random_dag(&RandomDagConfig { gates: 2000, ..Default::default() });
+    let weights = GateWeights::uniform(circuit.len());
+
+    let mut group = c.benchmark_group("partitioners");
+    group.sample_size(10);
+    for p in all_partitioners(1) {
+        group.bench_function(p.name(), |b| {
+            b.iter(|| black_box(p.partition(&circuit, 8, &weights)).cut_edges(&circuit))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! **E9 — synchronous barrier-cost scaling** (§V): "They have difficulty
+//! scaling to large numbers of processors since the time required to
+//! perform the barrier synchronization grows with processor population."
+//!
+//! ```sh
+//! cargo run --release -p parsim-bench --bin exp_barrier
+//! ```
+//!
+//! The same circuit is run at P = 1..64 on two machine models (cheap
+//! shared-memory barriers vs expensive LAN barriers); the barrier share of
+//! the makespan and the resulting speedup saturation are reported.
+
+use parsim_bench::{default_partition, f2, Table};
+use parsim_core::{Observe, Simulator, Stimulus};
+use parsim_event::VirtualTime;
+use parsim_logic::Bit;
+use parsim_machine::MachineConfig;
+use parsim_netlist::{generate, DelayModel};
+use parsim_sync::SyncSimulator;
+
+fn main() {
+    let circuit = generate::random_dag(&generate::RandomDagConfig {
+        gates: 6000,
+        inputs: 96,
+        seq_fraction: 0.1,
+        delays: DelayModel::Unit,
+        seed: 0xE9,
+        ..Default::default()
+    });
+    let stimulus = Stimulus::random(0xE9, 20).with_clock(10);
+    let until = VirtualTime::new(500);
+
+    println!("E9: synchronous speedup vs processor count ({} gates)\n", circuit.len());
+    let mut table = Table::new(&[
+        "P",
+        "shared-mem speedup",
+        "barrier share",
+        "cluster speedup",
+        "cluster barrier share",
+    ]);
+
+    for p in [1usize, 2, 4, 8, 16, 32, 64] {
+        let partition = default_partition(&circuit, p);
+        let mut cells = vec![p.to_string()];
+        for machine in [MachineConfig::shared_memory(p), MachineConfig::workstation_cluster(p)] {
+            let out = SyncSimulator::<Bit>::new(partition.clone(), machine)
+                .with_observe(Observe::Nothing)
+                .run(&circuit, &stimulus, until);
+            let barrier_time = out.stats.barriers * machine.barrier_cost();
+            let share = barrier_time as f64 / out.stats.modeled_makespan.max(1) as f64;
+            cells.push(f2(out.stats.modeled_speedup().unwrap_or(0.0)));
+            cells.push(f2(share * 100.0) + "%");
+        }
+        table.row(&cells);
+    }
+    table.finish("exp_barrier");
+    println!(
+        "\nexpected shape: speedup saturates (then declines) as P grows and the barrier\n\
+         share of execution time rises; the effect is far harsher on the LAN machine."
+    );
+}

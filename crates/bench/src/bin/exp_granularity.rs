@@ -1,0 +1,95 @@
+//! **E3 — timing granularity** (§V/§VI): "for coarse timing granularity a
+//! synchronous algorithm is sufficient and for fine timing granularity an
+//! optimistic asynchronous algorithm is needed."
+//!
+//! ```sh
+//! cargo run --release -p parsim-bench --bin exp_granularity
+//! ```
+//!
+//! The same topology is instantiated with increasingly heterogeneous delay
+//! spreads. Coarse granularity maximizes event simultaneity — the barrier
+//! is amortized over many events per step, so synchronous shines. Fine
+//! granularity scatters events over distinct timestamps: synchronous pays
+//! one barrier per (nearly empty) timestamp while the asynchronous kernels
+//! keep working. The effect is shown on both machine models; on the
+//! workstation cluster (expensive barriers) the synchronous collapse is
+//! dramatic.
+
+use parsim_bench::{f2, measure, Discipline, Table};
+use parsim_core::Stimulus;
+use parsim_event::VirtualTime;
+use parsim_machine::MachineConfig;
+use parsim_netlist::{generate, DelayModel};
+use parsim_partition::{ConePartitioner, GateWeights, Partitioner};
+
+fn main() {
+    let processors = 8;
+    let gates = 2000;
+
+    println!("E3: timing granularity (delay spread) vs discipline, P={processors}\n");
+    let mut table = Table::new(&[
+        "delay spread",
+        "distinct times",
+        "sm sync",
+        "sm cons",
+        "sm opt",
+        "lan sync",
+        "lan opt",
+    ]);
+
+    for (label, delays) in [
+        ("unit (coarse)", DelayModel::Unit),
+        ("1-4x", DelayModel::Uniform { min: 1, max: 4, seed: 3 }),
+        ("1-20x", DelayModel::Uniform { min: 1, max: 20, seed: 3 }),
+        ("1-100x (fine)", DelayModel::Uniform { min: 1, max: 100, seed: 3 }),
+    ] {
+        let circuit = generate::random_dag(&generate::RandomDagConfig {
+            gates,
+            inputs: 64,
+            seq_fraction: 0.1,
+            delays,
+            seed: 0xE3,
+            ..Default::default()
+        });
+        let partition =
+            ConePartitioner.partition(&circuit, processors, &GateWeights::uniform(circuit.len()));
+        // Scale the horizon with the mean delay so each run carries a
+        // comparable number of logic waves; keep input activity sparse so
+        // per-timestamp event counts reflect the delay spread.
+        let until = VirtualTime::new(match delays {
+            DelayModel::Uniform { max, .. } => 600 * (1 + max) / 2,
+            _ => 600,
+        });
+        let stimulus = Stimulus::random_with_toggle(0xE3, until.ticks() / 30, 0.4)
+            .with_clock(until.ticks() / 60);
+
+        let mut cells = vec![label.to_string()];
+        let mut first = true;
+        for machine in [
+            MachineConfig::shared_memory(processors),
+            MachineConfig::workstation_cluster(processors),
+        ] {
+            for d in Discipline::all() {
+                if machine.msg_latency > 100 && d == Discipline::Conservative {
+                    continue; // keep the table narrow: cons shown for SM only
+                }
+                let kernel = d.kernel(partition.clone(), machine);
+                let m = measure(kernel.as_ref(), &circuit, &stimulus, until);
+                if first {
+                    // Distinct event times ≈ barriers of the synchronous kernel.
+                    cells.push(m.outcome.stats.barriers.to_string());
+                    first = false;
+                }
+                cells.push(f2(m.speedup));
+            }
+        }
+        table.row(&cells);
+    }
+    table.finish("exp_granularity");
+    println!(
+        "\nexpected shape: synchronous leads at unit delay; its advantage erodes as the\n\
+         delay spread (and hence the number of sparsely-populated barrier steps) grows,\n\
+         while optimistic holds — on the cluster machine the synchronous collapse is\n\
+         dramatic and optimistic overtakes it (the §VI claim)."
+    );
+}

@@ -1,0 +1,73 @@
+//! **E10 — null-message overhead vs. lookahead** (§IV): null messages are
+//! the price of conservative deadlock avoidance; the smaller the lookahead
+//! (minimum boundary gate delay), the more of them the protocol needs.
+//!
+//! ```sh
+//! cargo run --release -p parsim-bench --bin exp_nullmsg
+//! ```
+//!
+//! A ring of flip-flops split across processors is the classic worst case
+//! (every LP cyclically waits on its neighbour). Lookahead is varied by
+//! scaling all gate delays; the null ratio and speedup are reported, plus
+//! the deadlock-recovery variant for contrast.
+
+use parsim_bench::{f2, Table};
+use parsim_conservative::{ConservativeSimulator, DeadlockStrategy};
+use parsim_core::{Observe, Simulator, Stimulus};
+use parsim_event::VirtualTime;
+use parsim_logic::Bit;
+use parsim_machine::MachineConfig;
+use parsim_netlist::{generate, Delay, DelayModel};
+use parsim_partition::{ContiguousPartitioner, GateWeights, Partitioner};
+
+fn main() {
+    let processors = 8;
+    let machine = MachineConfig::shared_memory(processors);
+
+    println!("E10: null-message overhead vs lookahead (ring circuit, P={processors})\n");
+    let mut table = Table::new(&[
+        "lookahead",
+        "strategy",
+        "nulls",
+        "events",
+        "null ratio",
+        "speedup",
+    ]);
+
+    for lookahead in [1u64, 2, 5, 10, 25] {
+        // The gate delay *is* the lookahead. Event spacing (clock period,
+        // vector cadence, horizon) stays fixed, so small lookahead means
+        // many null-message hops per unit of real progress.
+        let circuit = generate::ring(64, DelayModel::Fixed(Delay::new(lookahead)));
+        let partition =
+            ContiguousPartitioner.partition(&circuit, processors, &GateWeights::uniform(circuit.len()));
+        let stimulus = Stimulus::random(0xEA, 200).with_clock(100);
+        let until = VirtualTime::new(50_000);
+
+        for strategy in [DeadlockStrategy::NullMessages, DeadlockStrategy::DetectAndRecover] {
+            let out = ConservativeSimulator::<Bit>::new(partition.clone(), machine)
+                .with_strategy(strategy)
+                .with_observe(Observe::Nothing)
+                .run(&circuit, &stimulus, until);
+            let total = out.stats.null_messages + out.stats.messages_sent;
+            let label = match strategy {
+                DeadlockStrategy::NullMessages => "null-msg",
+                DeadlockStrategy::DetectAndRecover => format!("recovery({})", out.stats.gvt_rounds).leak(),
+            };
+            table.row(&[
+                lookahead.to_string(),
+                label.to_string(),
+                out.stats.null_messages.to_string(),
+                out.stats.messages_sent.to_string(),
+                f2(out.stats.null_messages as f64 / total.max(1) as f64 * 100.0) + "%",
+                f2(out.stats.modeled_speedup().unwrap_or(0.0)),
+            ]);
+        }
+    }
+    table.finish("exp_nullmsg");
+    println!(
+        "\nexpected shape: the null ratio dominates at small lookahead (the §V reason\n\
+         conservative implementations 'reported no good performance') and falls as\n\
+         lookahead grows; deadlock recovery trades nulls for global stalls."
+    );
+}

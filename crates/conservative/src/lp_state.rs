@@ -1,0 +1,270 @@
+//! The per-LP state machine shared by the modeled and threaded drivers.
+
+use std::collections::BTreeMap;
+
+use parsim_core::{evaluate_gate, GateRuntime, Waveform};
+use parsim_event::{BinaryHeapQueue, Event, EventQueue, VirtualTime};
+use parsim_logic::LogicValue;
+use parsim_netlist::{Circuit, GateId};
+use parsim_core::LpTopology;
+
+/// A protocol action emitted by an LP activation, for the driver to route.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Outgoing<V> {
+    /// Deliver an event message to another LP.
+    Event {
+        /// Destination LP.
+        dst: usize,
+        /// The event.
+        event: Event<V>,
+    },
+    /// Deliver a null message (channel-clock promise) to another LP.
+    Null {
+        /// Destination LP.
+        dst: usize,
+        /// Promise: no future event message on this channel earlier than
+        /// this.
+        time: VirtualTime,
+    },
+}
+
+/// Counters an activation reports back to the driver for cost charging.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ActivationWork {
+    pub events_popped: u64,
+    pub evaluations: u64,
+    pub events_scheduled: u64,
+}
+
+/// The state of one conservative logical process.
+#[derive(Debug)]
+pub(crate) struct LpState<V> {
+    pub(crate) index: usize,
+    /// Local copies of every net value this LP reads or drives.
+    values: Vec<V>,
+    runtime: BTreeMap<GateId, GateRuntime<V>>,
+    queue: BinaryHeapQueue<V>,
+    /// Channel clocks: `in_clock[src]` is the promise from LP `src`.
+    in_clock: BTreeMap<usize, VirtualTime>,
+    /// Last null-message value sent per outgoing channel (to avoid resends).
+    last_null: BTreeMap<usize, VirtualTime>,
+    /// Timestamp frontier: all timestamps `< frontier` are fully processed.
+    frontier: VirtualTime,
+    did_initial: bool,
+    /// Waveforms of observed nets owned by this LP.
+    pub(crate) waveforms: BTreeMap<GateId, Waveform<V>>,
+    // scratch for once-per-timestamp dirty marking
+    dirty: Vec<GateId>,
+    stamp: Vec<u64>,
+    stamp_counter: u64,
+}
+
+impl<V: LogicValue> LpState<V> {
+    pub(crate) fn new(
+        circuit: &Circuit,
+        topo: &LpTopology,
+        index: usize,
+        observed: impl Iterator<Item = GateId>,
+    ) -> Self {
+        let spec = &topo.lps()[index];
+        LpState {
+            index,
+            values: vec![V::ZERO; circuit.len()],
+            runtime: spec.gates.iter().map(|&g| (g, GateRuntime::default())).collect(),
+            queue: BinaryHeapQueue::new(),
+            in_clock: spec.in_channels.iter().map(|&s| (s, VirtualTime::ZERO)).collect(),
+            last_null: spec.out_channels.iter().map(|&d| (d, VirtualTime::ZERO)).collect(),
+            frontier: VirtualTime::ZERO,
+            did_initial: false,
+            waveforms: observed.map(|id| (id, Waveform::new(V::ZERO))).collect(),
+            dirty: Vec::new(),
+            stamp: vec![u64::MAX; circuit.len()],
+            stamp_counter: 0,
+        }
+    }
+
+    /// Preloads an event known in advance (stimulus, constants).
+    pub(crate) fn preload(&mut self, event: Event<V>) {
+        self.queue.push(event);
+    }
+
+    /// Handles an incoming event message.
+    pub(crate) fn receive_event(&mut self, event: Event<V>) {
+        debug_assert!(
+            event.time >= self.frontier,
+            "conservative violation: straggler at {} with frontier {}",
+            event.time,
+            self.frontier
+        );
+        self.queue.push(event);
+    }
+
+    /// Handles an incoming null message from `src`.
+    pub(crate) fn receive_null(&mut self, src: usize, time: VirtualTime) {
+        let clock = self.in_clock.get_mut(&src).expect("null from a known channel");
+        *clock = (*clock).max(time);
+    }
+
+    /// Recovery: advances every channel clock to at least `time`.
+    pub(crate) fn recover_to(&mut self, time: VirtualTime) {
+        for clock in self.in_clock.values_mut() {
+            *clock = (*clock).max(time);
+        }
+    }
+
+    /// The input-waiting-rule bound: events strictly earlier than this are
+    /// safe to process.
+    pub(crate) fn safe_time(&self) -> VirtualTime {
+        self.in_clock.values().copied().min().unwrap_or(VirtualTime::INFINITY)
+    }
+
+    /// Timestamp of the earliest unprocessed local event.
+    pub(crate) fn head_time(&self) -> Option<VirtualTime> {
+        if self.did_initial {
+            self.queue.peek_time()
+        } else {
+            // The t = 0 initial evaluation is always pending work.
+            Some(VirtualTime::ZERO)
+        }
+    }
+
+    /// Runs the LP: processes every safe timestamp (`< safe_time`, `≤
+    /// until`), emitting outgoing messages through `out`. Returns the work
+    /// performed (for cost accounting).
+    pub(crate) fn activate(
+        &mut self,
+        circuit: &Circuit,
+        topo: &LpTopology,
+        until: VirtualTime,
+        send_nulls: bool,
+        out: &mut impl FnMut(Outgoing<V>),
+    ) -> ActivationWork {
+        let mut work = ActivationWork::default();
+        let safe = self.safe_time();
+
+        // Initial evaluation at t = 0 (requires safe > 0 like any other
+        // timestamp-0 work; no cross-LP message ever carries timestamp 0,
+        // because gate delays are ≥ 1 and stimulus is preloaded).
+        loop {
+            let now = match self.head_time() {
+                Some(t) if t < safe && t <= until => t,
+                _ => break,
+            };
+            let initial = !self.did_initial;
+            self.did_initial = true;
+            self.step(circuit, topo, now, initial, &mut work, out);
+        }
+        self.frontier = safe.min(until + parsim_netlist::Delay::UNIT);
+
+        if send_nulls {
+            let spec = &topo.lps()[self.index];
+            if !spec.out_channels.is_empty() {
+                // Promise: future sends come from evaluations no earlier
+                // than min(next local event, input safe time), each passing
+                // a boundary gate of delay ≥ lookahead.
+                let horizon = self
+                    .queue
+                    .peek_time()
+                    .unwrap_or(VirtualTime::INFINITY)
+                    .min(safe);
+                let bound = (horizon + spec.lookahead).min(until + parsim_netlist::Delay::UNIT);
+                for &dst in &spec.out_channels {
+                    let last = self.last_null.get_mut(&dst).expect("known channel");
+                    if bound > *last {
+                        *last = bound;
+                        out(Outgoing::Null { dst, time: bound });
+                    }
+                }
+            }
+        }
+        work
+    }
+
+    /// Processes one timestamp batch.
+    fn step(
+        &mut self,
+        circuit: &Circuit,
+        topo: &LpTopology,
+        now: VirtualTime,
+        initial: bool,
+        work: &mut ActivationWork,
+        out: &mut impl FnMut(Outgoing<V>),
+    ) {
+        self.dirty.clear();
+        self.stamp_counter += 1;
+        let my_index = self.index;
+        let stamp_counter = self.stamp_counter;
+
+        // Phase 1: apply all events at `now`.
+        while self.queue.peek_time() == Some(now) {
+            let e = self.queue.pop().expect("peeked");
+            work.events_popped += 1;
+            if self.values[e.net.index()] == e.value {
+                continue;
+            }
+            self.values[e.net.index()] = e.value;
+            if let Some(w) = self.waveforms.get_mut(&e.net) {
+                w.record(now, e.value);
+            }
+            for entry in circuit.fanout(e.net) {
+                if topo.lp_of(entry.gate) == my_index
+                    && self.stamp[entry.gate.index()] != stamp_counter
+                {
+                    self.stamp[entry.gate.index()] = stamp_counter;
+                    self.dirty.push(entry.gate);
+                }
+            }
+        }
+        if initial {
+            for &id in &topo.lps()[self.index].gates {
+                if !circuit.kind(id).is_source() && self.stamp[id.index()] != stamp_counter {
+                    self.stamp[id.index()] = stamp_counter;
+                    self.dirty.push(id);
+                }
+            }
+        }
+
+        // Phase 2: evaluate once each, in id order; transmit boundary
+        // events at scheduling time.
+        self.dirty.sort_unstable();
+        let dirty = std::mem::take(&mut self.dirty);
+        for &id in &dirty {
+            work.evaluations += 1;
+            let rt = self.runtime.get_mut(&id).expect("dirty gate is owned");
+            let values = &self.values;
+            let out_value = evaluate_gate(circuit, id, &mut |f| values[f.index()], rt);
+            if let Some(v) = out_value {
+                let e = Event::new(now + circuit.delay(id), id, v);
+                work.events_scheduled += 1;
+                for &dst in topo.destinations(id) {
+                    if dst == self.index {
+                        self.queue.push(e);
+                    } else {
+                        out(Outgoing::Event { dst, event: e });
+                    }
+                }
+                // A driver whose own LP is not among the destinations (no
+                // local fanout) still tracks its output value locally for
+                // final-value reporting.
+                if !topo.destinations(id).contains(&self.index) {
+                    self.queue.push(e);
+                }
+            }
+        }
+        self.dirty = dirty;
+    }
+
+    /// True once every local event up to `until` has been processed.
+    pub(crate) fn done(&self, until: VirtualTime) -> bool {
+        self.did_initial && self.queue.peek_time().is_none_or(|t| t > until)
+    }
+
+    /// Final values of the nets driven by this LP's gates.
+    pub(crate) fn owned_values(&self, topo: &LpTopology) -> Vec<(GateId, V)> {
+        topo.lps()[self.index]
+            .gates
+            .iter()
+            .map(|&g| (g, self.values[g.index()]))
+            .collect()
+    }
+}

@@ -1,0 +1,446 @@
+//! The modeled conservative kernel.
+
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+
+use parsim_core::{LpTopology, Observe, SimOutcome, SimStats, Simulator, Stimulus, Waveform};
+use parsim_event::{Event, VirtualTime};
+use parsim_logic::{GateKind, LogicValue};
+use parsim_machine::{MachineConfig, VirtualMachine};
+use parsim_netlist::{Circuit, Delay, GateId};
+use parsim_partition::Partition;
+
+use crate::lp_state::{LpState, Outgoing};
+use crate::DeadlockStrategy;
+
+/// A message in flight between LPs.
+#[derive(Debug, Clone, Copy)]
+enum Delivery<V> {
+    Event(Event<V>),
+    Null(VirtualTime),
+}
+
+/// The Chandy–Misra–Bryant kernel on the virtual multiprocessor.
+///
+/// LPs are partition blocks, optionally subdivided with
+/// [`with_granularity`](Self::with_granularity) (experiment E7). Activations
+/// proceed in deterministic rounds; every protocol action — event and null
+/// message sends/receives, evaluations, queue operations, deadlock-recovery
+/// markers — is charged to the owning processor's clock.
+///
+/// # Examples
+///
+/// ```
+/// use parsim_conservative::ConservativeSimulator;
+/// use parsim_core::{SequentialSimulator, Simulator, Stimulus};
+/// use parsim_event::VirtualTime;
+/// use parsim_logic::Bit;
+/// use parsim_machine::MachineConfig;
+/// use parsim_netlist::{generate, DelayModel};
+/// use parsim_partition::{ConePartitioner, GateWeights, Partitioner};
+///
+/// let c = generate::ripple_adder(8, DelayModel::Unit);
+/// let part = ConePartitioner.partition(&c, 4, &GateWeights::uniform(c.len()));
+/// let sim = ConservativeSimulator::<Bit>::new(part, MachineConfig::shared_memory(4));
+/// let stim = Stimulus::random(9, 15);
+/// let out = sim.run(&c, &stim, VirtualTime::new(300));
+/// let oracle = SequentialSimulator::<Bit>::new().run(&c, &stim, VirtualTime::new(300));
+/// assert_eq!(out.divergence_from(&oracle), None);
+/// assert!(out.stats.null_messages > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConservativeSimulator<V> {
+    partition: Partition,
+    machine: MachineConfig,
+    strategy: DeadlockStrategy,
+    granularity: usize,
+    observe: Observe,
+    _values: PhantomData<V>,
+}
+
+impl<V: LogicValue> ConservativeSimulator<V> {
+    /// Creates the kernel with one LP per partition block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition's block count differs from the machine's
+    /// processor count.
+    pub fn new(partition: Partition, machine: MachineConfig) -> Self {
+        assert_eq!(
+            partition.blocks(),
+            machine.processors,
+            "conservative kernel needs one partition block per processor"
+        );
+        ConservativeSimulator {
+            partition,
+            machine,
+            strategy: DeadlockStrategy::NullMessages,
+            granularity: 1,
+            observe: Observe::Outputs,
+            _values: PhantomData,
+        }
+    }
+
+    /// Selects the deadlock discipline.
+    pub fn with_strategy(mut self, strategy: DeadlockStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Splits every block into `factor` LPs (experiment E7: LP granularity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn with_granularity(mut self, factor: usize) -> Self {
+        assert!(factor >= 1, "granularity factor must be at least 1");
+        self.granularity = factor;
+        self
+    }
+
+    /// Selects which nets to record waveforms for.
+    pub fn with_observe(mut self, observe: Observe) -> Self {
+        self.observe = observe;
+        self
+    }
+
+    fn topology(&self, circuit: &Circuit) -> LpTopology {
+        let coarse: Vec<usize> =
+            circuit.ids().map(|id| self.partition.block_of(id)).collect();
+        LpTopology::with_granularity(circuit, &coarse, self.partition.blocks(), self.granularity)
+    }
+}
+
+impl<V: LogicValue> Simulator<V> for ConservativeSimulator<V> {
+    fn name(&self) -> String {
+        let strategy = match self.strategy {
+            DeadlockStrategy::NullMessages => "null-msg",
+            DeadlockStrategy::DetectAndRecover => "deadlock-recovery",
+        };
+        format!("conservative-{strategy}(P={})", self.machine.processors)
+    }
+
+    fn run(&self, circuit: &Circuit, stimulus: &Stimulus, until: VirtualTime) -> SimOutcome<V> {
+        assert_eq!(self.partition.len(), circuit.len(), "partition does not match circuit");
+        assert!(
+            circuit.min_gate_delay().ticks() >= 1,
+            "simulation kernels require nonzero gate delays"
+        );
+        let topo = self.topology(circuit);
+        let n_lps = topo.lps().len();
+        let proc_of = |lp: usize| lp / self.granularity;
+        let mut vm = VirtualMachine::new(self.machine);
+        let mut stats = SimStats::default();
+        let send_nulls = self.strategy == DeadlockStrategy::NullMessages;
+
+        let mut lps: Vec<LpState<V>> = (0..n_lps)
+            .map(|i| {
+                let owned = topo.lps()[i].gates.clone();
+                LpState::new(
+                    circuit,
+                    &topo,
+                    i,
+                    owned.into_iter().filter(|&id| self.observe.wants(circuit, id)),
+                )
+            })
+            .collect();
+
+        // Preload stimulus and constants into every LP that reads the net,
+        // plus the owner (for value reporting). Known in advance: no
+        // messages needed.
+        let mut logical_events = 0u64;
+        let mut preload = |lps: &mut Vec<LpState<V>>, e: Event<V>| {
+            logical_events += 1;
+            let owner = topo.lp_of(e.net);
+            let mut sent_to_owner = false;
+            for &dst in topo.destinations(e.net) {
+                lps[dst].preload(e);
+                sent_to_owner |= dst == owner;
+            }
+            if !sent_to_owner {
+                lps[owner].preload(e);
+            }
+        };
+        for e in stimulus.events::<V>(circuit, until) {
+            preload(&mut lps, e);
+        }
+        for (id, g) in circuit.iter() {
+            if g.kind() == GateKind::Const1 {
+                preload(&mut lps, Event::new(VirtualTime::ZERO, id, V::ONE));
+            }
+        }
+
+        let mut inbox: Vec<Vec<(u64, Delivery<V>, usize)>> = vec![Vec::new(); n_lps];
+        let mut evals = 0u64;
+
+        loop {
+            let mut outbox: Vec<Vec<(u64, Delivery<V>, usize)>> = vec![Vec::new(); n_lps];
+            let mut any_work = false;
+            let mut any_sent = false;
+
+            for (lp_idx, lp) in lps.iter_mut().enumerate() {
+                let p = proc_of(lp_idx);
+                // Consume messages delivered last round.
+                for (ready, delivery, src) in inbox[lp_idx].drain(..) {
+                    vm.receive(p, ready);
+                    match delivery {
+                        Delivery::Event(e) => lp.receive_event(e),
+                        Delivery::Null(t) => lp.receive_null(src, t),
+                    }
+                }
+                // Run the LP.
+                let work = lp.activate(circuit, &topo, until, send_nulls, &mut |out| {
+                    match out {
+                        Outgoing::Event { dst, event } => {
+                            let ready = vm.send(p, proc_of(dst));
+                            stats.messages_sent += 1;
+                            outbox[dst].push((ready, Delivery::Event(event), lp_idx));
+                        }
+                        Outgoing::Null { dst, time } => {
+                            let ready = vm.send(p, proc_of(dst));
+                            stats.null_messages += 1;
+                            outbox[dst].push((ready, Delivery::Null(time), lp_idx));
+                        }
+                    }
+                    any_sent = true;
+                });
+                vm.charge(
+                    p,
+                    work.events_popped * self.machine.event_cost
+                        + work.evaluations * self.machine.eval_cost
+                        + work.events_scheduled * self.machine.event_cost,
+                );
+                stats.events_processed += work.events_popped;
+                stats.gate_evaluations += work.evaluations;
+                stats.events_scheduled += work.events_scheduled;
+                logical_events += work.events_scheduled;
+                evals += work.evaluations;
+                any_work |= work.evaluations > 0 || work.events_popped > 0;
+            }
+
+            let all_done = lps.iter().all(|lp| lp.done(until));
+            if all_done && !any_sent {
+                break;
+            }
+            if !any_work && !any_sent {
+                // Global block. Under null messages this means livelock,
+                // which the protocol excludes; under detect-and-recover it
+                // is the expected deadlock.
+                match self.strategy {
+                    DeadlockStrategy::NullMessages => {
+                        let mut dump = String::new();
+                        for (i, lp) in lps.iter().enumerate() {
+                            dump.push_str(&format!(
+                                "LP{i}: head={:?} safe={} done={} la={} out={:?}\n",
+                                lp.head_time(),
+                                lp.safe_time(),
+                                lp.done(until),
+                                topo.lps()[i].lookahead,
+                                topo.lps()[i].out_channels,
+                            ));
+                        }
+                        unreachable!(
+                            "null-message protocol cannot deadlock with lookahead ≥ 1\n{dump}"
+                        )
+                    }
+                    DeadlockStrategy::DetectAndRecover => {
+                        // Circulating marker: a serial hop across all
+                        // processors, then a broadcast of the recovery time.
+                        for p in 1..self.machine.processors {
+                            let ready = vm.send(p - 1, p);
+                            vm.receive(p, ready);
+                        }
+                        stats.gvt_rounds += 1;
+                        let m = lps.iter().filter_map(|lp| lp.head_time()).min();
+                        match m {
+                            Some(m) if m <= until => {
+                                for lp in lps.iter_mut() {
+                                    lp.recover_to(m + Delay::UNIT);
+                                }
+                                for p in 0..self.machine.processors {
+                                    vm.charge(p, self.machine.recv_cost);
+                                }
+                            }
+                            _ => break,
+                        }
+                    }
+                }
+            }
+            inbox = outbox;
+        }
+
+        // Assemble the outcome from per-LP state.
+        let mut final_values = vec![V::ZERO; circuit.len()];
+        let mut waveforms: BTreeMap<GateId, Waveform<V>> = BTreeMap::new();
+        for lp in &lps {
+            for (id, v) in lp.owned_values(&topo) {
+                final_values[id.index()] = v;
+            }
+        }
+        for lp in &mut lps {
+            waveforms.append(&mut lp.waveforms);
+        }
+
+        stats.modeled_makespan = vm.makespan();
+        stats.modeled_work =
+            evals * self.machine.eval_cost + 2 * logical_events * self.machine.event_cost;
+        SimOutcome { final_values, waveforms, end_time: until, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim_core::SequentialSimulator;
+    use parsim_logic::{Bit, Logic4};
+    use parsim_netlist::{bench, generate, DelayModel};
+    use parsim_partition::{FiducciaMattheyses, GateWeights, Partitioner};
+
+    fn partition(c: &Circuit, p: usize) -> Partition {
+        FiducciaMattheyses::default().partition(c, p, &GateWeights::uniform(c.len()))
+    }
+
+    fn check_equivalent<V: LogicValue>(
+        c: &Circuit,
+        stim: &Stimulus,
+        until: u64,
+        p: usize,
+        strategy: DeadlockStrategy,
+    ) {
+        let cons = ConservativeSimulator::<V>::new(partition(c, p), MachineConfig::shared_memory(p))
+            .with_strategy(strategy)
+            .with_observe(Observe::AllNets)
+            .run(c, stim, VirtualTime::new(until));
+        let seq = SequentialSimulator::<V>::new()
+            .with_observe(Observe::AllNets)
+            .run(c, stim, VirtualTime::new(until));
+        if let Some(d) = cons.divergence_from(&seq) {
+            panic!("conservative kernel ({strategy:?}) diverged on {}: {d}", c.name());
+        }
+    }
+
+    #[test]
+    fn null_messages_match_sequential_on_combinational() {
+        check_equivalent::<Bit>(
+            &bench::c17(),
+            &Stimulus::random(3, 8),
+            200,
+            3,
+            DeadlockStrategy::NullMessages,
+        );
+        let c = generate::ripple_adder(10, DelayModel::PerKind);
+        check_equivalent::<Logic4>(
+            &c,
+            &Stimulus::counting(25),
+            500,
+            4,
+            DeadlockStrategy::NullMessages,
+        );
+    }
+
+    #[test]
+    fn null_messages_match_sequential_on_sequential_circuits() {
+        let c = generate::lfsr(9, DelayModel::Unit);
+        check_equivalent::<Bit>(
+            &c,
+            &Stimulus::quiet(1000).with_clock(5),
+            300,
+            4,
+            DeadlockStrategy::NullMessages,
+        );
+        // A ring of flip-flops split across LPs: the cyclic-waiting case
+        // null messages exist for.
+        let c = generate::ring(12, DelayModel::Unit);
+        check_equivalent::<Bit>(
+            &c,
+            &Stimulus::random(7, 16).with_clock(8),
+            400,
+            4,
+            DeadlockStrategy::NullMessages,
+        );
+    }
+
+    #[test]
+    fn deadlock_recovery_matches_sequential() {
+        check_equivalent::<Bit>(
+            &bench::c17(),
+            &Stimulus::random(4, 9),
+            200,
+            3,
+            DeadlockStrategy::DetectAndRecover,
+        );
+        let c = generate::ring(8, DelayModel::Unit);
+        check_equivalent::<Bit>(
+            &c,
+            &Stimulus::random(2, 12).with_clock(6),
+            300,
+            4,
+            DeadlockStrategy::DetectAndRecover,
+        );
+    }
+
+    #[test]
+    fn random_dags_with_heterogeneous_delays() {
+        for seed in 0..3 {
+            let c = generate::random_dag(&generate::RandomDagConfig {
+                gates: 200,
+                seq_fraction: 0.15,
+                delays: DelayModel::Uniform { min: 1, max: 11, seed },
+                seed,
+                ..Default::default()
+            });
+            let stim = Stimulus::random(seed, 13).with_clock(7);
+            check_equivalent::<Logic4>(&c, &stim, 250, 4, DeadlockStrategy::NullMessages);
+            check_equivalent::<Logic4>(&c, &stim, 250, 4, DeadlockStrategy::DetectAndRecover);
+        }
+    }
+
+    #[test]
+    fn granularity_sweep_preserves_results() {
+        let c = generate::mesh(10, 10, DelayModel::Unit);
+        let stim = Stimulus::random(5, 20);
+        let until = VirtualTime::new(300);
+        let base = SequentialSimulator::<Bit>::new()
+            .with_observe(Observe::AllNets)
+            .run(&c, &stim, until);
+        for factor in [1, 2, 8] {
+            let out = ConservativeSimulator::<Bit>::new(
+                partition(&c, 4),
+                MachineConfig::shared_memory(4),
+            )
+            .with_granularity(factor)
+            .with_observe(Observe::AllNets)
+            .run(&c, &stim, until);
+            assert_eq!(out.divergence_from(&base), None, "factor {factor} diverged");
+        }
+    }
+
+    #[test]
+    fn null_message_count_reported() {
+        // Contiguous split of a ring: every block borders the next, so the
+        // LP graph is itself a ring — the null-message showcase. (Cone
+        // partitioning would put the whole ring, a single output cone, on
+        // one block and need no messages at all.)
+        let c = generate::ring(16, DelayModel::Unit);
+        let out = ConservativeSimulator::<Bit>::new(
+            parsim_partition::ContiguousPartitioner.partition(&c, 4, &GateWeights::uniform(c.len())),
+            MachineConfig::shared_memory(4),
+        )
+        .run(&c, &Stimulus::random(1, 10).with_clock(5), VirtualTime::new(400));
+        assert!(out.stats.null_messages > 0, "ring across LPs must need null messages");
+        assert!(out.stats.modeled_speedup().is_some());
+    }
+
+    #[test]
+    fn deadlock_recovery_counts_recoveries() {
+        let c = generate::ring(8, DelayModel::Unit);
+        let out = ConservativeSimulator::<Bit>::new(
+            partition(&c, 4),
+            MachineConfig::shared_memory(4),
+        )
+        .with_strategy(DeadlockStrategy::DetectAndRecover)
+        .run(&c, &Stimulus::quiet(1000).with_clock(5), VirtualTime::new(200));
+        assert!(out.stats.gvt_rounds > 0, "expected at least one deadlock recovery");
+        assert_eq!(out.stats.null_messages, 0);
+    }
+}

@@ -1,0 +1,439 @@
+//! The threaded conservative kernel.
+
+#![allow(clippy::needless_range_loop)] // index-parallel arrays: indices are the clearer idiom here
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parsim_core::{LpTopology, Observe, SimOutcome, SimStats, Simulator, Stimulus, Waveform};
+use parsim_event::{Event, VirtualTime};
+use parsim_logic::{GateKind, LogicValue};
+use parsim_netlist::{Circuit, Delay, GateId};
+use parsim_partition::Partition;
+
+use crate::lp_state::{LpState, Outgoing};
+use crate::DeadlockStrategy;
+
+/// The Chandy–Misra–Bryant kernel on real threads.
+///
+/// One worker per partition block; each worker owns its LPs' full state and
+/// exchanges event/null messages over crossbeam channels. Worker activations
+/// run concurrently between rounds; a barrier-based round structure provides
+/// the global quiescence test (termination and, in
+/// [`DeadlockStrategy::DetectAndRecover`] mode, deadlock detection — the
+/// circulating-marker outcome computed centrally).
+///
+/// Logical results are bit-identical to the modeled kernel and the
+/// sequential reference.
+#[derive(Debug, Clone)]
+pub struct ThreadedConservativeSimulator<V> {
+    partition: Partition,
+    strategy: DeadlockStrategy,
+    granularity: usize,
+    observe: Observe,
+    _values: PhantomData<V>,
+}
+
+impl<V: LogicValue> ThreadedConservativeSimulator<V> {
+    /// Creates the kernel; one thread per partition block.
+    pub fn new(partition: Partition) -> Self {
+        ThreadedConservativeSimulator {
+            partition,
+            strategy: DeadlockStrategy::NullMessages,
+            granularity: 1,
+            observe: Observe::Outputs,
+            _values: PhantomData,
+        }
+    }
+
+    /// Selects the deadlock discipline.
+    pub fn with_strategy(mut self, strategy: DeadlockStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Splits every block into `factor` LPs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn with_granularity(mut self, factor: usize) -> Self {
+        assert!(factor >= 1, "granularity factor must be at least 1");
+        self.granularity = factor;
+        self
+    }
+
+    /// Selects which nets to record waveforms for.
+    pub fn with_observe(mut self, observe: Observe) -> Self {
+        self.observe = observe;
+        self
+    }
+}
+
+/// A routed message: destination LP, source LP, payload.
+enum Wire<V> {
+    Event(usize, Event<V>),
+    Null {
+        dst: usize,
+        src: usize,
+        time: VirtualTime,
+    },
+}
+
+const DECIDE_CONTINUE: u8 = 0;
+const DECIDE_STOP: u8 = 1;
+const DECIDE_RECOVER: u8 = 2;
+
+struct WorkerResult<V> {
+    owned_values: Vec<(GateId, V)>,
+    waveforms: BTreeMap<GateId, Waveform<V>>,
+    stats: SimStats,
+}
+
+impl<V: LogicValue> Simulator<V> for ThreadedConservativeSimulator<V> {
+    fn name(&self) -> String {
+        format!("threaded-conservative(P={})", self.partition.blocks())
+    }
+
+    fn run(&self, circuit: &Circuit, stimulus: &Stimulus, until: VirtualTime) -> SimOutcome<V> {
+        assert_eq!(self.partition.len(), circuit.len(), "partition does not match circuit");
+        assert!(
+            circuit.min_gate_delay().ticks() >= 1,
+            "simulation kernels require nonzero gate delays"
+        );
+        let p_count = self.partition.blocks();
+        let coarse: Vec<usize> = circuit.ids().map(|id| self.partition.block_of(id)).collect();
+        let topo = LpTopology::with_granularity(circuit, &coarse, p_count, self.granularity);
+        let n_lps = topo.lps().len();
+        let granularity = self.granularity;
+
+        // Stimulus / constant preloads, grouped per LP.
+        let mut preloads: Vec<Vec<Event<V>>> = vec![Vec::new(); n_lps];
+        let mut initial_events: Vec<Event<V>> = stimulus.events::<V>(circuit, until);
+        for (id, g) in circuit.iter() {
+            if g.kind() == GateKind::Const1 {
+                initial_events.push(Event::new(VirtualTime::ZERO, id, V::ONE));
+            }
+        }
+        for e in &initial_events {
+            let owner = topo.lp_of(e.net);
+            let mut to_owner = false;
+            for &dst in topo.destinations(e.net) {
+                preloads[dst].push(*e);
+                to_owner |= dst == owner;
+            }
+            if !to_owner {
+                preloads[owner].push(*e);
+            }
+        }
+
+        let barrier = Barrier::new(p_count);
+        let any_sent = AtomicBool::new(false);
+        let any_work = AtomicBool::new(false);
+        let all_done = Mutex::new(vec![false; p_count]);
+        let heads = Mutex::new(vec![None::<VirtualTime>; p_count]);
+        let decision = AtomicU8::new(DECIDE_CONTINUE);
+        let recover_time = Mutex::new(VirtualTime::ZERO);
+
+        let mut senders: Vec<Sender<Wire<V>>> = Vec::with_capacity(p_count);
+        let mut receivers: Vec<Option<Receiver<Wire<V>>>> = Vec::with_capacity(p_count);
+        for _ in 0..p_count {
+            let (s, r) = unbounded();
+            senders.push(s);
+            receivers.push(Some(r));
+        }
+
+        let send_nulls = self.strategy == DeadlockStrategy::NullMessages;
+        let strategy = self.strategy;
+        let observe = self.observe;
+
+        let results: Vec<WorkerResult<V>> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p_count);
+            for p in 0..p_count {
+                let my_lps: Vec<usize> =
+                    (0..n_lps).filter(|&lp| lp / granularity == p).collect();
+                let mut lps: Vec<LpState<V>> = my_lps
+                    .iter()
+                    .map(|&i| {
+                        let owned = topo.lps()[i].gates.clone();
+                        LpState::new(
+                            circuit,
+                            &topo,
+                            i,
+                            owned.into_iter().filter(|&id| observe.wants(circuit, id)),
+                        )
+                    })
+                    .collect();
+                for (slot, &lp_idx) in my_lps.iter().enumerate() {
+                    for e in preloads[lp_idx].drain(..) {
+                        lps[slot].preload(e);
+                    }
+                }
+                let rx = receivers[p].take().expect("receiver taken once");
+                let senders = senders.clone();
+                let (barrier, any_sent, any_work, all_done, heads, decision, recover_time) =
+                    (&barrier, &any_sent, &any_work, &all_done, &heads, &decision, &recover_time);
+                let topo = &topo;
+                handles.push(scope.spawn(move || {
+                    worker(
+                        p, circuit, topo, my_lps, lps, rx, senders, barrier, any_sent,
+                        any_work, all_done, heads, decision, recover_time, until, send_nulls,
+                        strategy, granularity,
+                    )
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+
+        let mut final_values = vec![V::ZERO; circuit.len()];
+        let mut waveforms = BTreeMap::new();
+        let mut stats = SimStats::default();
+        for r in results {
+            for (id, v) in r.owned_values {
+                final_values[id.index()] = v;
+            }
+            waveforms.extend(r.waveforms);
+            stats.events_processed += r.stats.events_processed;
+            stats.events_scheduled += r.stats.events_scheduled;
+            stats.gate_evaluations += r.stats.gate_evaluations;
+            stats.messages_sent += r.stats.messages_sent;
+            stats.null_messages += r.stats.null_messages;
+            stats.gvt_rounds = stats.gvt_rounds.max(r.stats.gvt_rounds);
+        }
+        SimOutcome { final_values, waveforms, end_time: until, stats }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker<V: LogicValue>(
+    p: usize,
+    circuit: &Circuit,
+    topo: &LpTopology,
+    my_lps: Vec<usize>,
+    mut lps: Vec<LpState<V>>,
+    rx: Receiver<Wire<V>>,
+    senders: Vec<Sender<Wire<V>>>,
+    barrier: &Barrier,
+    any_sent: &AtomicBool,
+    any_work: &AtomicBool,
+    all_done: &Mutex<Vec<bool>>,
+    heads: &Mutex<Vec<Option<VirtualTime>>>,
+    decision: &AtomicU8,
+    recover_time: &Mutex<VirtualTime>,
+    until: VirtualTime,
+    send_nulls: bool,
+    strategy: DeadlockStrategy,
+    granularity: usize,
+) -> WorkerResult<V> {
+    let slot_of = |lp: usize| -> usize { lp % granularity };
+    debug_assert!(my_lps.iter().all(|&lp| lp / granularity == p));
+    let mut stats = SimStats::default();
+
+    loop {
+        // Drain the inbox (messages sent in previous rounds).
+        for wire in rx.try_iter() {
+            match wire {
+                Wire::Event(dst, e) => lps[slot_of(dst)].receive_event(e),
+                Wire::Null { dst, src, time } => lps[slot_of(dst)].receive_null(src, time),
+            }
+        }
+
+        // Activate every owned LP.
+        let mut sent = false;
+        let mut worked = false;
+        for (slot, &lp_idx) in my_lps.iter().enumerate() {
+            let work = lps[slot].activate(circuit, topo, until, send_nulls, &mut |out| {
+                sent = true;
+                match out {
+                    Outgoing::Event { dst, event } => {
+                        stats.messages_sent += 1;
+                        senders[dst / granularity]
+                            .send(Wire::Event(dst, event))
+                            .expect("peer alive until all workers exit");
+                    }
+                    Outgoing::Null { dst, time } => {
+                        stats.null_messages += 1;
+                        senders[dst / granularity]
+                            .send(Wire::Null { dst, src: lp_idx, time })
+                            .expect("peer alive until all workers exit");
+                    }
+                }
+            });
+            stats.events_processed += work.events_popped;
+            stats.gate_evaluations += work.evaluations;
+            stats.events_scheduled += work.events_scheduled;
+            worked |= work.evaluations > 0 || work.events_popped > 0;
+        }
+
+        // Publish round flags.
+        if sent {
+            any_sent.store(true, Ordering::SeqCst);
+        }
+        if worked {
+            any_work.store(true, Ordering::SeqCst);
+        }
+        {
+            let mut done = all_done.lock().expect("done lock");
+            done[p] = lps.iter().all(|lp| lp.done(until));
+        }
+        {
+            let mut h = heads.lock().expect("heads lock");
+            h[p] = lps.iter().filter_map(|lp| lp.head_time()).min();
+        }
+        barrier.wait();
+
+        // Worker 0 decides; everyone else waits for the verdict.
+        if p == 0 {
+            let sent_any = any_sent.load(Ordering::SeqCst);
+            let worked_any = any_work.load(Ordering::SeqCst);
+            let done = all_done.lock().expect("done lock").iter().all(|&d| d);
+            let verdict = if done && !sent_any {
+                DECIDE_STOP
+            } else if !worked_any && !sent_any {
+                match strategy {
+                    DeadlockStrategy::NullMessages => {
+                        // The null-message protocol cannot deadlock with
+                        // lookahead ≥ 1; if we ever get here it is a bug.
+                        // Release the peers with STOP before panicking so
+                        // the test fails instead of hanging at the barrier.
+                        decision.store(DECIDE_STOP, Ordering::SeqCst);
+                        barrier.wait();
+                        panic!("null-message protocol cannot deadlock with lookahead ≥ 1");
+                    }
+                    DeadlockStrategy::DetectAndRecover => {
+                        let m = heads.lock().expect("heads lock").iter().flatten().min().copied();
+                        match m {
+                            Some(m) if m <= until => {
+                                *recover_time.lock().expect("recover lock") = m + Delay::UNIT;
+                                DECIDE_RECOVER
+                            }
+                            _ => DECIDE_STOP,
+                        }
+                    }
+                }
+            } else {
+                DECIDE_CONTINUE
+            };
+            decision.store(verdict, Ordering::SeqCst);
+            any_sent.store(false, Ordering::SeqCst);
+            any_work.store(false, Ordering::SeqCst);
+        }
+        barrier.wait();
+        match decision.load(Ordering::SeqCst) {
+            DECIDE_STOP => break,
+            DECIDE_RECOVER => {
+                let t = *recover_time.lock().expect("recover lock");
+                for lp in &mut lps {
+                    lp.recover_to(t);
+                }
+                stats.gvt_rounds += 1;
+            }
+            _ => {}
+        }
+    }
+
+    let mut owned_values = Vec::new();
+    let mut waveforms = BTreeMap::new();
+    for lp in &mut lps {
+        owned_values.extend(lp.owned_values(topo));
+        waveforms.append(&mut lp.waveforms);
+    }
+    WorkerResult { owned_values, waveforms, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim_core::SequentialSimulator;
+    use parsim_logic::{Bit, Logic4};
+    use parsim_netlist::{bench, generate, DelayModel};
+    use parsim_partition::{FiducciaMattheyses, GateWeights, Partitioner};
+
+    fn check_equivalent<V: LogicValue>(
+        c: &Circuit,
+        stim: &Stimulus,
+        until: u64,
+        p: usize,
+        strategy: DeadlockStrategy,
+    ) {
+        let part = FiducciaMattheyses::default().partition(c, p, &GateWeights::uniform(c.len()));
+        let threaded = ThreadedConservativeSimulator::<V>::new(part)
+            .with_strategy(strategy)
+            .with_observe(Observe::AllNets)
+            .run(c, stim, VirtualTime::new(until));
+        let seq = SequentialSimulator::<V>::new()
+            .with_observe(Observe::AllNets)
+            .run(c, stim, VirtualTime::new(until));
+        if let Some(d) = threaded.divergence_from(&seq) {
+            panic!("threaded conservative ({strategy:?}) diverged on {}: {d}", c.name());
+        }
+    }
+
+    #[test]
+    fn null_messages_match_sequential() {
+        check_equivalent::<Bit>(
+            &bench::c17(),
+            &Stimulus::random(6, 8),
+            200,
+            3,
+            DeadlockStrategy::NullMessages,
+        );
+        let c = generate::ring(10, DelayModel::Unit);
+        check_equivalent::<Bit>(
+            &c,
+            &Stimulus::random(4, 14).with_clock(7),
+            300,
+            4,
+            DeadlockStrategy::NullMessages,
+        );
+    }
+
+    #[test]
+    fn deadlock_recovery_matches_sequential() {
+        let c = generate::lfsr(8, DelayModel::Unit);
+        check_equivalent::<Bit>(
+            &c,
+            &Stimulus::quiet(1000).with_clock(5),
+            250,
+            4,
+            DeadlockStrategy::DetectAndRecover,
+        );
+    }
+
+    #[test]
+    fn random_dags_match_sequential() {
+        for seed in 0..3 {
+            let c = generate::random_dag(&generate::RandomDagConfig {
+                gates: 180,
+                seq_fraction: 0.1,
+                delays: DelayModel::Uniform { min: 1, max: 7, seed },
+                seed,
+                ..Default::default()
+            });
+            check_equivalent::<Logic4>(
+                &c,
+                &Stimulus::random(seed, 10).with_clock(6),
+                250,
+                4,
+                DeadlockStrategy::NullMessages,
+            );
+        }
+    }
+
+    #[test]
+    fn granularity_preserves_results() {
+        let c = generate::mesh(8, 8, DelayModel::Unit);
+        let stim = Stimulus::random(9, 18);
+        let part = FiducciaMattheyses::default().partition(&c, 4, &GateWeights::uniform(c.len()));
+        let base = SequentialSimulator::<Bit>::new()
+            .with_observe(Observe::AllNets)
+            .run(&c, &stim, VirtualTime::new(250));
+        let out = ThreadedConservativeSimulator::<Bit>::new(part)
+            .with_granularity(4)
+            .with_observe(Observe::AllNets)
+            .run(&c, &stim, VirtualTime::new(250));
+        assert_eq!(out.divergence_from(&base), None);
+    }
+}

@@ -1,0 +1,67 @@
+//! Core simulation semantics, reference kernels, stimulus and results.
+//!
+//! This crate defines everything the parallel kernels
+//! (`parsim-sync`, `parsim-conservative`, `parsim-optimistic`) have in
+//! common, plus the two §IV algorithms that need no synchronization at all:
+//!
+//! * [`evaluate_gate`] / [`GateRuntime`] — the *exact* gate evaluation
+//!   semantics (apply all input changes at a timestamp, evaluate each
+//!   affected gate once, schedule an output event only when the driven value
+//!   changes). Every kernel routes through this one function, which is why
+//!   differential testing across kernels is exact, not approximate.
+//! * [`SequentialSimulator`] — the classic single-event-queue reference
+//!   kernel; the oracle for all correctness tests, and the engine behind
+//!   [`pre_simulate`] (§III pre-simulation load profiling).
+//! * [`ObliviousSimulator`] — the §IV "oblivious" algorithm: no event queue,
+//!   every gate evaluated at every tick.
+//! * [`CycleSimulator`] — zero-delay, rank-ordered cycle-based simulation
+//!   (the compiled-mode style used when per-gate timing is irrelevant).
+//! * [`Stimulus`] — deterministic test-vector sources (random, counting,
+//!   explicit, with square-wave clocks for sequential circuits).
+//! * [`SimOutcome`] / [`SimStats`] / [`Waveform`] — results, protocol
+//!   statistics and signal traces.
+//! * [`Simulator`] — the object-safe trait the experiment harness sweeps
+//!   over.
+//!
+//! # Examples
+//!
+//! ```
+//! use parsim_core::{SequentialSimulator, Simulator, Stimulus};
+//! use parsim_event::VirtualTime;
+//! use parsim_logic::Logic4;
+//! use parsim_netlist::bench;
+//!
+//! let c = bench::c17();
+//! let stim = Stimulus::random(42, 10);
+//! let sim = SequentialSimulator::<Logic4>::new();
+//! let out = sim.run(&c, &stim, VirtualTime::new(200));
+//! assert!(out.stats.events_processed > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cycle;
+mod eval;
+pub mod fault;
+mod lp;
+mod oblivious;
+mod outcome;
+mod profile;
+mod sequential;
+mod simulator;
+mod stimulus;
+mod vcd;
+mod waveform;
+
+pub use cycle::CycleSimulator;
+pub use eval::{evaluate_gate, GateRuntime};
+pub use lp::{LpSpec, LpTopology};
+pub use oblivious::ObliviousSimulator;
+pub use outcome::{SimOutcome, SimStats};
+pub use profile::{pre_simulate, pre_simulate_fraction, ActivityProfile};
+pub use sequential::{QueueKind, SequentialSimulator};
+pub use simulator::{Observe, Simulator};
+pub use stimulus::Stimulus;
+pub use vcd::{parse_vcd_changes, write_vcd};
+pub use waveform::Waveform;

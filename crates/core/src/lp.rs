@@ -1,0 +1,236 @@
+//! Logical-process topology shared by the asynchronous parallel kernels.
+
+use parsim_netlist::{Circuit, Delay, GateId};
+
+/// One logical process: a cluster of gates simulated as a unit.
+///
+/// "The system components ... are considered to be atomic elements that are
+/// each encapsulated into a logical process (LP). Many implementations
+/// combine more than one component into a single LP" (§II). The
+/// conservative and optimistic kernels both run over this topology; the
+/// *LP granularity* (gates per LP) is the tuning knob of experiment E7.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LpSpec {
+    /// Gates evaluated by this LP, in ascending id order.
+    pub gates: Vec<GateId>,
+    /// LPs this one sends event messages to (sorted, deduplicated, never
+    /// contains the LP itself).
+    pub out_channels: Vec<usize>,
+    /// LPs this one receives event messages from (sorted, deduplicated).
+    pub in_channels: Vec<usize>,
+    /// Conservative lookahead: the smallest delay of any *evaluating* gate
+    /// in this LP that drives a net read by another LP (source gates never
+    /// send runtime messages — their events are preloaded). An event
+    /// entering the LP cannot produce an outgoing message sooner than this.
+    /// [`Delay::ZERO`] only if the LP has no outgoing channels.
+    pub lookahead: Delay,
+}
+
+/// The complete LP decomposition of a circuit.
+///
+/// Built from a per-gate block assignment (usually a
+/// `parsim_partition::Partition`, possibly refined to more LPs than
+/// processors for granularity studies).
+///
+/// # Examples
+///
+/// ```
+/// use parsim_core::LpTopology;
+/// use parsim_netlist::bench;
+///
+/// let c = bench::c17();
+/// // Gates 0..5 on LP 0, rest on LP 1.
+/// let assignment: Vec<usize> = (0..c.len()).map(|i| usize::from(i >= 6)).collect();
+/// let topo = LpTopology::new(&c, assignment, 2);
+/// assert_eq!(topo.lps().len(), 2);
+/// assert_eq!(topo.lp_of(parsim_netlist::GateId::new(0)), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LpTopology {
+    lp_of_gate: Vec<usize>,
+    lps: Vec<LpSpec>,
+    /// dest_lps[gate] = LPs owning at least one fanout gate of `gate`,
+    /// sorted and deduplicated (may include the gate's own LP).
+    dest_lps: Vec<Vec<usize>>,
+}
+
+impl LpTopology {
+    /// Builds the topology from a per-gate LP assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lp_of_gate` does not cover every gate or assigns a gate to
+    /// an LP index `≥ n_lps`.
+    pub fn new(circuit: &Circuit, lp_of_gate: Vec<usize>, n_lps: usize) -> Self {
+        assert_eq!(lp_of_gate.len(), circuit.len(), "assignment must cover every gate");
+        assert!(lp_of_gate.iter().all(|&l| l < n_lps), "LP index out of range");
+
+        let mut gates: Vec<Vec<GateId>> = vec![Vec::new(); n_lps];
+        for (i, &lp) in lp_of_gate.iter().enumerate() {
+            gates[lp].push(GateId::new(i));
+        }
+
+        let mut dest_lps: Vec<Vec<usize>> = Vec::with_capacity(circuit.len());
+        for id in circuit.ids() {
+            let mut dests: Vec<usize> =
+                circuit.fanout(id).iter().map(|e| lp_of_gate[e.gate.index()]).collect();
+            dests.sort_unstable();
+            dests.dedup();
+            dest_lps.push(dests);
+        }
+
+        let mut out_channels: Vec<Vec<usize>> = vec![Vec::new(); n_lps];
+        let mut in_channels: Vec<Vec<usize>> = vec![Vec::new(); n_lps];
+        let mut lookahead: Vec<Option<Delay>> = vec![None; n_lps];
+        for id in circuit.ids() {
+            // Source gates (primary inputs, constants) never *evaluate*, so
+            // they never send runtime messages: their events are known in
+            // advance and preloaded at every reader. They therefore create
+            // no channels and do not constrain lookahead.
+            if circuit.kind(id).is_source() {
+                continue;
+            }
+            let src = lp_of_gate[id.index()];
+            for &dst in &dest_lps[id.index()] {
+                if dst != src {
+                    out_channels[src].push(dst);
+                    in_channels[dst].push(src);
+                    let d = circuit.delay(id);
+                    lookahead[src] =
+                        Some(lookahead[src].map_or(d, |cur: Delay| cur.min(d)));
+                }
+            }
+        }
+        for list in out_channels.iter_mut().chain(in_channels.iter_mut()) {
+            list.sort_unstable();
+            list.dedup();
+        }
+
+        let lps = gates
+            .into_iter()
+            .zip(out_channels)
+            .zip(in_channels)
+            .zip(lookahead)
+            .map(|(((gates, out_channels), in_channels), lookahead)| LpSpec {
+                gates,
+                out_channels,
+                in_channels,
+                lookahead: lookahead.unwrap_or(Delay::ZERO),
+            })
+            .collect();
+
+        LpTopology { lp_of_gate, lps, dest_lps }
+    }
+
+    /// The LP a gate belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn lp_of(&self, id: GateId) -> usize {
+        self.lp_of_gate[id.index()]
+    }
+
+    /// All LPs.
+    pub fn lps(&self) -> &[LpSpec] {
+        &self.lps
+    }
+
+    /// The LPs that must receive an event on the net driven by `id`
+    /// (owners of its fanout gates; may include the driver's own LP).
+    pub fn destinations(&self, id: GateId) -> &[usize] {
+        &self.dest_lps[id.index()]
+    }
+
+    /// Splits each block of a coarse assignment into `factor` sub-LPs
+    /// (round-robin within the block), producing `blocks × factor` LPs
+    /// mapped `lp → lp / factor` onto processors (see
+    /// [`Self::processor_of`]). The granularity knob of experiment E7.
+    pub fn with_granularity(circuit: &Circuit, coarse: &[usize], blocks: usize, factor: usize) -> Self {
+        assert!(factor >= 1, "granularity factor must be at least 1");
+        let mut counter = vec![0usize; blocks];
+        let fine: Vec<usize> = coarse
+            .iter()
+            .map(|&b| {
+                let sub = counter[b] % factor;
+                counter[b] += 1;
+                b * factor + sub
+            })
+            .collect();
+        Self::new(circuit, fine, blocks * factor)
+    }
+
+    /// The processor a given LP runs on when LPs outnumber processors
+    /// (blocked mapping consistent with [`Self::with_granularity`]).
+    pub fn processor_of(lp: usize, factor: usize) -> usize {
+        lp / factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim_logic::GateKind;
+    use parsim_netlist::{CircuitBuilder, DelayModel};
+
+    /// in(0) -> a(1) -> b(2) -> out, split a|b across LPs.
+    fn two_lp_chain() -> (Circuit, LpTopology) {
+        let mut b = CircuitBuilder::new("chain");
+        let i = b.input("in");
+        let a = b.named_gate("a", GateKind::Not, [i], Delay::new(3));
+        let o = b.named_gate("b", GateKind::Not, [a], Delay::new(5));
+        b.output("o", o);
+        let c = b.finish().unwrap();
+        let topo = LpTopology::new(&c, vec![0, 0, 1], 2);
+        (c, topo)
+    }
+
+    #[test]
+    fn channels_follow_cut_edges() {
+        let (_, topo) = two_lp_chain();
+        assert_eq!(topo.lps()[0].out_channels, vec![1]);
+        assert_eq!(topo.lps()[0].in_channels, Vec::<usize>::new());
+        assert_eq!(topo.lps()[1].in_channels, vec![0]);
+        assert_eq!(topo.lps()[1].out_channels, Vec::<usize>::new());
+    }
+
+    #[test]
+    fn lookahead_is_min_boundary_delay() {
+        let (_, topo) = two_lp_chain();
+        // LP 0's only boundary-driving gate is `a` with delay 3.
+        assert_eq!(topo.lps()[0].lookahead, Delay::new(3));
+        // LP 1 sends nothing.
+        assert_eq!(topo.lps()[1].lookahead, Delay::ZERO);
+    }
+
+    #[test]
+    fn destinations_dedup_lps() {
+        let c = parsim_netlist::generate::random_dag(&parsim_netlist::generate::RandomDagConfig {
+            gates: 100,
+            ..Default::default()
+        });
+        let assignment: Vec<usize> = (0..c.len()).map(|i| i % 4).collect();
+        let topo = LpTopology::new(&c, assignment, 4);
+        for id in c.ids() {
+            let d = topo.destinations(id);
+            let mut sorted = d.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(d, &sorted[..], "destinations must be sorted+deduped");
+        }
+    }
+
+    #[test]
+    fn granularity_splits_blocks() {
+        let c = parsim_netlist::generate::mesh(6, 6, DelayModel::Unit);
+        let coarse: Vec<usize> = (0..c.len()).map(|i| i % 2).collect();
+        let topo = LpTopology::with_granularity(&c, &coarse, 2, 4);
+        assert_eq!(topo.lps().len(), 8);
+        // All gates of fine LP l came from coarse block l / 4.
+        for id in c.ids() {
+            assert_eq!(topo.lp_of(id) / 4, coarse[id.index()]);
+        }
+        let total: usize = topo.lps().iter().map(|l| l.gates.len()).sum();
+        assert_eq!(total, c.len());
+    }
+}

@@ -1,0 +1,225 @@
+//! Simulation results and protocol statistics.
+
+use std::collections::BTreeMap;
+use std::fmt::{self, Display};
+
+use parsim_event::VirtualTime;
+use parsim_logic::LogicValue;
+use parsim_netlist::{Circuit, GateId};
+
+use crate::Waveform;
+
+/// Counters describing how a kernel executed.
+///
+/// Every kernel fills the counters that apply to it and leaves the rest at
+/// zero; the experiment harness prints them side by side. The modeled-time
+/// fields are produced by kernels running on the virtual multiprocessor
+/// (`parsim-machine`) and are the basis of every speedup figure.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[non_exhaustive]
+pub struct SimStats {
+    /// Events removed from queues and applied to nets (committed events for
+    /// Time Warp).
+    pub events_processed: u64,
+    /// Events inserted into queues (including ones later cancelled).
+    pub events_scheduled: u64,
+    /// Gate evaluations performed (the §III "evaluation frequency" measure;
+    /// far larger than `events_processed` for the oblivious kernel).
+    pub gate_evaluations: u64,
+    /// Inter-processor messages carrying real events.
+    pub messages_sent: u64,
+    /// Null messages sent (conservative kernels only).
+    pub null_messages: u64,
+    /// Barrier synchronizations executed (synchronous kernel only).
+    pub barriers: u64,
+    /// Rollbacks executed (optimistic kernels only).
+    pub rollbacks: u64,
+    /// Events undone by rollbacks (optimistic kernels only).
+    pub events_rolled_back: u64,
+    /// Anti-messages sent (optimistic kernels only).
+    pub anti_messages: u64,
+    /// State snapshots taken (optimistic kernels only).
+    pub state_saves: u64,
+    /// Bytes of state captured by snapshots (copy vs incremental saving).
+    pub state_bytes_saved: u64,
+    /// GVT computations performed (optimistic kernels only).
+    pub gvt_rounds: u64,
+    /// Modeled parallel makespan in cost units (virtual-machine kernels).
+    pub modeled_makespan: u64,
+    /// Modeled single-processor work in cost units; `modeled_work /
+    /// modeled_makespan` is the modeled speedup.
+    pub modeled_work: u64,
+}
+
+impl SimStats {
+    /// The modeled speedup (`modeled_work / modeled_makespan`), or `None`
+    /// for kernels that did not run on the virtual machine.
+    pub fn modeled_speedup(&self) -> Option<f64> {
+        if self.modeled_makespan == 0 || self.modeled_work == 0 {
+            None
+        } else {
+            Some(self.modeled_work as f64 / self.modeled_makespan as f64)
+        }
+    }
+
+    /// Fraction of processed events that survived (were not rolled back);
+    /// 1.0 for non-optimistic kernels.
+    pub fn efficiency(&self) -> f64 {
+        let executed = self.events_processed + self.events_rolled_back;
+        if executed == 0 {
+            1.0
+        } else {
+            self.events_processed as f64 / executed as f64
+        }
+    }
+}
+
+impl Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} events, {} evals",
+            self.events_processed, self.gate_evaluations
+        )?;
+        if self.null_messages > 0 {
+            write!(f, ", {} nulls", self.null_messages)?;
+        }
+        if self.barriers > 0 {
+            write!(f, ", {} barriers", self.barriers)?;
+        }
+        if self.rollbacks > 0 {
+            write!(
+                f,
+                ", {} rollbacks ({} undone, eff {:.2})",
+                self.rollbacks,
+                self.events_rolled_back,
+                self.efficiency()
+            )?;
+        }
+        if let Some(s) = self.modeled_speedup() {
+            write!(f, ", modeled speedup {s:.2}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The complete result of one simulation run.
+///
+/// Contains the final value of every net, the waveforms of the observed
+/// nets, and execution statistics. Logical results (`final_values`,
+/// `waveforms`, `end_time`) must be identical across kernels for the same
+/// circuit and stimulus; `stats` of course differ — that is the point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutcome<V> {
+    /// Final value of every net, indexed by gate id.
+    pub final_values: Vec<V>,
+    /// Waveforms of the observed nets.
+    pub waveforms: BTreeMap<GateId, Waveform<V>>,
+    /// The time the simulation ran to.
+    pub end_time: VirtualTime,
+    /// Execution statistics.
+    pub stats: SimStats,
+}
+
+impl<V: LogicValue> SimOutcome<V> {
+    /// The final value of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn value(&self, id: GateId) -> V {
+        self.final_values[id.index()]
+    }
+
+    /// The final value of a named net, if it exists.
+    pub fn value_by_name(&self, circuit: &Circuit, name: &str) -> Option<V> {
+        circuit.find(name).map(|id| self.value(id))
+    }
+
+    /// The final primary-output values, in declaration order.
+    pub fn output_values(&self, circuit: &Circuit) -> Vec<V> {
+        circuit.outputs().iter().map(|&po| self.value(po)).collect()
+    }
+
+    /// Returns the first divergence between the *logical* results of two
+    /// runs, or `None` if they agree exactly.
+    ///
+    /// Used by every differential test: kernels are interchangeable iff this
+    /// returns `None` for all circuits and stimuli.
+    pub fn divergence_from(&self, other: &SimOutcome<V>) -> Option<String> {
+        if self.end_time != other.end_time {
+            return Some(format!("end times differ: {} vs {}", self.end_time, other.end_time));
+        }
+        if self.final_values.len() != other.final_values.len() {
+            return Some("net counts differ".to_owned());
+        }
+        for (i, (a, b)) in self.final_values.iter().zip(&other.final_values).enumerate() {
+            if a != b {
+                return Some(format!("final value of g{i}: {a} vs {b}"));
+            }
+        }
+        for (id, wa) in &self.waveforms {
+            match other.waveforms.get(id) {
+                None => return Some(format!("waveform for {id} missing in other run")),
+                Some(wb) if wa != wb => {
+                    return Some(format!(
+                        "waveform of {id} differs:\n  a: {}\n  b: {}",
+                        wa.to_trace_string(),
+                        wb.to_trace_string()
+                    ));
+                }
+                _ => {}
+            }
+        }
+        if self.waveforms.len() != other.waveforms.len() {
+            return Some("observed net sets differ".to_owned());
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim_logic::Bit;
+
+    fn outcome(vals: Vec<Bit>) -> SimOutcome<Bit> {
+        SimOutcome {
+            final_values: vals,
+            waveforms: BTreeMap::new(),
+            end_time: VirtualTime::new(10),
+            stats: SimStats::default(),
+        }
+    }
+
+    #[test]
+    fn divergence_detects_value_mismatch() {
+        let a = outcome(vec![Bit::Zero, Bit::One]);
+        let b = outcome(vec![Bit::Zero, Bit::Zero]);
+        assert!(a.divergence_from(&b).unwrap().contains("g1"));
+        assert_eq!(a.divergence_from(&a.clone()), None);
+    }
+
+    #[test]
+    fn divergence_detects_waveform_mismatch() {
+        let mut a = outcome(vec![Bit::Zero]);
+        let mut b = outcome(vec![Bit::Zero]);
+        let mut w = Waveform::new(Bit::Zero);
+        w.record(VirtualTime::new(3), Bit::One);
+        a.waveforms.insert(GateId::new(0), w);
+        b.waveforms.insert(GateId::new(0), Waveform::new(Bit::Zero));
+        assert!(a.divergence_from(&b).unwrap().contains("waveform"));
+    }
+
+    #[test]
+    fn efficiency_and_speedup() {
+        let mut s = SimStats { events_processed: 80, events_rolled_back: 20, ..Default::default() };
+        assert_eq!(s.efficiency(), 0.8);
+        assert_eq!(s.modeled_speedup(), None);
+        s.modeled_work = 1000;
+        s.modeled_makespan = 250;
+        assert_eq!(s.modeled_speedup(), Some(4.0));
+        let shown = s.to_string();
+        assert!(shown.contains("speedup 4.00"));
+    }
+}

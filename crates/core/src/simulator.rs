@@ -1,0 +1,47 @@
+//! The kernel abstraction.
+
+use parsim_event::VirtualTime;
+use parsim_logic::LogicValue;
+use parsim_netlist::Circuit;
+
+use crate::{SimOutcome, Stimulus};
+
+/// Which nets to record waveforms for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Observe {
+    /// Record the primary outputs (the default).
+    #[default]
+    Outputs,
+    /// Record every net — expensive, but what the exhaustive differential
+    /// tests use.
+    AllNets,
+    /// Record nothing; only final values and statistics are produced.
+    Nothing,
+}
+
+impl Observe {
+    /// Returns `true` if the net driven by gate `id` should be recorded.
+    pub fn wants(self, circuit: &Circuit, id: parsim_netlist::GateId) -> bool {
+        match self {
+            Observe::Outputs => circuit.outputs().contains(&id),
+            Observe::AllNets => true,
+            Observe::Nothing => false,
+        }
+    }
+}
+
+/// A simulation kernel: anything that can run a circuit against a stimulus
+/// up to an end time.
+///
+/// Implementations in this workspace: the sequential reference, the
+/// oblivious compiled-mode kernel, and the synchronous / conservative /
+/// optimistic parallel kernels. All are interchangeable — logical results
+/// are identical; only [`SimStats`](crate::SimStats) differ.
+pub trait Simulator<V: LogicValue> {
+    /// A short, stable kernel name for experiment tables.
+    fn name(&self) -> String;
+
+    /// Runs the circuit against the stimulus until `until` (inclusive of
+    /// events stamped exactly `until`).
+    fn run(&self, circuit: &Circuit, stimulus: &Stimulus, until: VirtualTime) -> SimOutcome<V>;
+}

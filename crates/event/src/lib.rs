@@ -1,0 +1,52 @@
+//! Simulation events, virtual time and event-queue implementations.
+//!
+//! Discrete-event logic simulation revolves around *time-stamped messages*:
+//! "a change in the output of an LP ... is communicated to the fanout LPs by
+//! delivering a time stamped message" (Chamberlain, DAC '95 §II). This crate
+//! defines:
+//!
+//! * [`VirtualTime`] — the simulated-time axis, a totally ordered tick
+//!   counter with an *infinity* sentinel used by null-message and GVT
+//!   computations,
+//! * [`Event`] — a net-value change at a point in simulated time,
+//! * [`Message`] — the inter-LP protocol envelope (event, anti-event for
+//!   Time Warp cancellation, or null message for conservative deadlock
+//!   avoidance),
+//! * [`EventQueue`] — the pending-event-set abstraction with two
+//!   implementations: a [`BinaryHeapQueue`], a Brown [`CalendarQueue`] and
+//!   a [`PairingHeapQueue`] (the paper's §II notes "event queue management"
+//!   as a major component of simulation cost; the queue benchmark compares
+//!   all three).
+//!
+//! All queues order events deterministically by `(time, net, insertion
+//! sequence)`, which makes every simulation kernel in the workspace
+//! bit-reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use parsim_event::{BinaryHeapQueue, Event, EventQueue, VirtualTime};
+//! use parsim_logic::Bit;
+//! use parsim_netlist::GateId;
+//!
+//! let mut q = BinaryHeapQueue::new();
+//! q.push(Event::new(VirtualTime::new(5), GateId::new(0), Bit::One));
+//! q.push(Event::new(VirtualTime::new(2), GateId::new(1), Bit::Zero));
+//! assert_eq!(q.peek_time(), Some(VirtualTime::new(2)));
+//! assert_eq!(q.pop().unwrap().time, VirtualTime::new(2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod calendar;
+mod event;
+mod pairing;
+mod queue;
+mod time;
+
+pub use calendar::CalendarQueue;
+pub use event::{Event, Message};
+pub use pairing::PairingHeapQueue;
+pub use queue::{BinaryHeapQueue, EventQueue};
+pub use time::VirtualTime;

@@ -1,0 +1,129 @@
+//! The simulated-time axis.
+
+use std::fmt::{self, Display};
+use std::ops::Add;
+
+use parsim_netlist::Delay;
+
+/// A point in simulated time, measured in ticks.
+///
+/// `VirtualTime` is a total order with a greatest element,
+/// [`VirtualTime::INFINITY`], used as the timestamp of "no more events"
+/// in lower-bound computations (null messages, global virtual time).
+///
+/// Adding a [`Delay`] advances time; the addition saturates at infinity so
+/// lookahead arithmetic never wraps.
+///
+/// # Examples
+///
+/// ```
+/// use parsim_event::VirtualTime;
+/// use parsim_netlist::Delay;
+///
+/// let t = VirtualTime::ZERO + Delay::new(10);
+/// assert_eq!(t, VirtualTime::new(10));
+/// assert!(t < VirtualTime::INFINITY);
+/// assert_eq!(VirtualTime::INFINITY + Delay::new(5), VirtualTime::INFINITY);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct VirtualTime(u64);
+
+impl VirtualTime {
+    /// The start of simulated time.
+    pub const ZERO: VirtualTime = VirtualTime(0);
+    /// The timestamp larger than every real event time.
+    pub const INFINITY: VirtualTime = VirtualTime(u64::MAX);
+
+    /// Creates a time at the given tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ticks` is `u64::MAX`, which is reserved for
+    /// [`VirtualTime::INFINITY`].
+    pub fn new(ticks: u64) -> Self {
+        assert!(ticks != u64::MAX, "u64::MAX is reserved for VirtualTime::INFINITY");
+        VirtualTime(ticks)
+    }
+
+    /// The tick count.
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` for the infinity sentinel.
+    pub fn is_infinite(self) -> bool {
+        self == VirtualTime::INFINITY
+    }
+
+    /// The smaller of two times.
+    pub fn min(self, other: VirtualTime) -> VirtualTime {
+        std::cmp::min(self, other)
+    }
+
+    /// The larger of two times.
+    pub fn max(self, other: VirtualTime) -> VirtualTime {
+        std::cmp::max(self, other)
+    }
+}
+
+impl Add<Delay> for VirtualTime {
+    type Output = VirtualTime;
+
+    fn add(self, d: Delay) -> VirtualTime {
+        if self.is_infinite() {
+            return self;
+        }
+        match self.0.checked_add(d.ticks()) {
+            Some(t) if t != u64::MAX => VirtualTime(t),
+            _ => VirtualTime::INFINITY,
+        }
+    }
+}
+
+impl Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            f.write_str("∞")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+impl From<u64> for VirtualTime {
+    fn from(ticks: u64) -> Self {
+        VirtualTime::new(ticks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering() {
+        assert!(VirtualTime::ZERO < VirtualTime::new(1));
+        assert!(VirtualTime::new(100) < VirtualTime::INFINITY);
+        assert_eq!(VirtualTime::new(3).min(VirtualTime::new(5)), VirtualTime::new(3));
+        assert_eq!(VirtualTime::new(3).max(VirtualTime::new(5)), VirtualTime::new(5));
+    }
+
+    #[test]
+    fn delay_addition_saturates() {
+        assert_eq!(VirtualTime::new(4) + Delay::new(3), VirtualTime::new(7));
+        assert_eq!(VirtualTime::INFINITY + Delay::new(3), VirtualTime::INFINITY);
+        assert_eq!(VirtualTime::new(u64::MAX - 1) + Delay::new(10), VirtualTime::INFINITY);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(VirtualTime::new(9).to_string(), "9");
+        assert_eq!(VirtualTime::INFINITY.to_string(), "∞");
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn cannot_construct_infinity_directly() {
+        VirtualTime::new(u64::MAX);
+    }
+}

@@ -1,0 +1,72 @@
+//! Differential property tests: the two pending-event-set implementations
+//! must behave identically on any workload.
+
+use parsim_event::{BinaryHeapQueue, CalendarQueue, Event, EventQueue, VirtualTime};
+use parsim_logic::{Logic4, LogicValue};
+use parsim_netlist::GateId;
+use proptest::prelude::*;
+
+/// A workload step: push an event, or pop one.
+#[derive(Debug, Clone)]
+enum Op {
+    Push { time: u64, net: usize, value: Logic4 },
+    Pop,
+}
+
+fn any_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u64..100_000, 0usize..64, prop::sample::select(Logic4::all().to_vec()))
+            .prop_map(|(time, net, value)| Op::Push { time, net, value }),
+        2 => Just(Op::Pop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Calendar queue and binary heap produce byte-identical pop sequences
+    /// for any interleaving of pushes and pops.
+    #[test]
+    fn calendar_matches_heap(ops in prop::collection::vec(any_op(), 1..400)) {
+        let mut cal: CalendarQueue<Logic4> = CalendarQueue::new();
+        let mut heap: BinaryHeapQueue<Logic4> = BinaryHeapQueue::new();
+        for op in ops {
+            match op {
+                Op::Push { time, net, value } => {
+                    let e = Event::new(VirtualTime::new(time), GateId::new(net), value);
+                    cal.push(e);
+                    heap.push(e);
+                }
+                Op::Pop => {
+                    prop_assert_eq!(cal.pop(), heap.pop());
+                }
+            }
+            prop_assert_eq!(cal.len(), heap.len());
+            prop_assert_eq!(cal.peek_time(), heap.peek_time());
+        }
+        // Drain the remainder.
+        loop {
+            let (c, h) = (cal.pop(), heap.pop());
+            prop_assert_eq!(c, h);
+            if h.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Pop sequences are non-decreasing in time as long as no push goes
+    /// backwards past the last pop (the monotone usage pattern of the
+    /// sequential kernel).
+    #[test]
+    fn monotone_workload_pops_sorted(times in prop::collection::vec(0u64..1_000_000, 1..500)) {
+        let mut q: CalendarQueue<Logic4> = CalendarQueue::new();
+        for &t in &times {
+            q.push(Event::new(VirtualTime::new(t), GateId::new(0), Logic4::One));
+        }
+        let mut last = VirtualTime::ZERO;
+        while let Some(e) = q.pop() {
+            prop_assert!(e.time >= last);
+            last = e.time;
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Two-valued Boolean logic.
+
+use std::fmt::{self, Display};
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+use crate::value::{LogicValue, ParseLogicError};
+
+/// A two-valued Boolean signal (`0` or `1`).
+///
+/// This is the value system of the "simplest two-valued logic simulations"
+/// described in the paper's §II. It has no unknown or high-impedance state:
+/// [`LogicValue::UNKNOWN`] and [`LogicValue::HIGH_Z`] collapse to
+/// [`Bit::Zero`], which matches the common practice of initializing
+/// two-valued simulations to logic low.
+///
+/// # Examples
+///
+/// ```
+/// use parsim_logic::{Bit, LogicValue};
+///
+/// let a = Bit::from_bool(true);
+/// assert_eq!(a & Bit::Zero, Bit::Zero);
+/// assert_eq!(!a, Bit::Zero);
+/// assert_eq!(a.to_char(), '1');
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Bit {
+    /// Logic low.
+    #[default]
+    Zero,
+    /// Logic high.
+    One,
+}
+
+impl Bit {
+    /// Returns the bit as a `bool`.
+    ///
+    /// ```
+    /// use parsim_logic::Bit;
+    /// assert!(Bit::One.as_bool());
+    /// ```
+    pub fn as_bool(self) -> bool {
+        self == Bit::One
+    }
+}
+
+impl LogicValue for Bit {
+    const SYSTEM_NAME: &'static str = "Bit";
+    const ZERO: Self = Bit::Zero;
+    const ONE: Self = Bit::One;
+    const UNKNOWN: Self = Bit::Zero;
+    const HIGH_Z: Self = Bit::Zero;
+
+    fn to_bool(self) -> Option<bool> {
+        Some(self == Bit::One)
+    }
+
+    fn and(self, other: Self) -> Self {
+        Bit::from_bool(self.as_bool() && other.as_bool())
+    }
+
+    fn or(self, other: Self) -> Self {
+        Bit::from_bool(self.as_bool() || other.as_bool())
+    }
+
+    fn not(self) -> Self {
+        Bit::from_bool(!self.as_bool())
+    }
+
+    fn xor(self, other: Self) -> Self {
+        Bit::from_bool(self.as_bool() != other.as_bool())
+    }
+
+    fn resolve(self, other: Self) -> Self {
+        // Two-valued logic cannot express driver conflicts; wired-OR is the
+        // conventional collapse.
+        self.or(other)
+    }
+
+    fn to_char(self) -> char {
+        match self {
+            Bit::Zero => '0',
+            Bit::One => '1',
+        }
+    }
+
+    fn from_char(ch: char) -> Result<Self, ParseLogicError> {
+        match ch {
+            '0' => Ok(Bit::Zero),
+            '1' => Ok(Bit::One),
+            _ => Err(ParseLogicError { ch, system: Self::SYSTEM_NAME }),
+        }
+    }
+
+    fn all() -> &'static [Self] {
+        &[Bit::Zero, Bit::One]
+    }
+}
+
+impl Display for Bit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+impl From<bool> for Bit {
+    fn from(b: bool) -> Self {
+        Bit::from_bool(b)
+    }
+}
+
+impl From<Bit> for bool {
+    fn from(b: Bit) -> Self {
+        b.as_bool()
+    }
+}
+
+impl BitAnd for Bit {
+    type Output = Bit;
+    fn bitand(self, rhs: Bit) -> Bit {
+        LogicValue::and(self, rhs)
+    }
+}
+
+impl BitOr for Bit {
+    type Output = Bit;
+    fn bitor(self, rhs: Bit) -> Bit {
+        LogicValue::or(self, rhs)
+    }
+}
+
+impl BitXor for Bit {
+    type Output = Bit;
+    fn bitxor(self, rhs: Bit) -> Bit {
+        LogicValue::xor(self, rhs)
+    }
+}
+
+impl Not for Bit {
+    type Output = Bit;
+    fn not(self) -> Bit {
+        LogicValue::not(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boolean_operations_match_bool_semantics() {
+        for &a in Bit::all() {
+            for &b in Bit::all() {
+                assert_eq!((a & b).as_bool(), a.as_bool() && b.as_bool());
+                assert_eq!((a | b).as_bool(), a.as_bool() || b.as_bool());
+                assert_eq!((a ^ b).as_bool(), a.as_bool() != b.as_bool());
+            }
+            assert_eq!((!a).as_bool(), !a.as_bool());
+        }
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Bit::default(), Bit::Zero);
+    }
+
+    #[test]
+    fn never_unknown() {
+        for &b in Bit::all() {
+            assert!(!b.is_unknown());
+        }
+    }
+
+    #[test]
+    fn char_round_trip() {
+        for &b in Bit::all() {
+            assert_eq!(Bit::from_char(b.to_char()).unwrap(), b);
+        }
+        assert!(Bit::from_char('X').is_err());
+        let err = Bit::from_char('q').unwrap_err();
+        assert_eq!(err.ch, 'q');
+        assert!(err.to_string().contains("Bit"));
+    }
+
+    #[test]
+    fn bool_conversions() {
+        assert_eq!(Bit::from(true), Bit::One);
+        assert!(bool::from(Bit::One));
+        assert_eq!(Bit::One.to_bool(), Some(true));
+    }
+}

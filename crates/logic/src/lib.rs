@@ -1,0 +1,52 @@
+//! Multi-valued logic systems and gate evaluation for VLSI logic simulation.
+//!
+//! Logic simulation (in the sense of Chamberlain, DAC '95 §II) is a
+//! discrete-event simulation whose state variables are signal levels on the
+//! wires of a circuit. The simplest simulators use two-valued Boolean signals;
+//! most practical simulators use multi-valued systems that add *unknown*,
+//! *high-impedance* and *drive-strength* information. This crate provides
+//! three such systems behind one trait, plus the gate models evaluated over
+//! them:
+//!
+//! * [`Bit`] — two-valued Boolean logic (`0`, `1`),
+//! * [`Logic4`] — four-valued logic (`0`, `1`, `X`, `Z`),
+//! * [`Std9`] — the IEEE 1164 nine-valued system used by VHDL simulators
+//!   (`U`, `X`, `0`, `1`, `Z`, `W`, `L`, `H`, `-`), including the standard
+//!   resolution function for multiply-driven nets.
+//!
+//! The [`LogicValue`] trait abstracts over the three so that every simulation
+//! kernel in the `parsim` workspace is generic in its value system, and
+//! [`GateKind`] enumerates the component models (combinational gates,
+//! tri-state buffers, multiplexers, flip-flops and latches) with evaluation
+//! functions that implement Kleene-style unknown propagation.
+//!
+//! # Examples
+//!
+//! ```
+//! use parsim_logic::{eval_combinational, GateKind, Logic4};
+//!
+//! let out = eval_combinational(GateKind::Nand, &[Logic4::One, Logic4::X]);
+//! // 1 NAND X is X: the unknown input could control the output.
+//! assert_eq!(out, Logic4::X);
+//!
+//! let out = eval_combinational(GateKind::Nand, &[Logic4::Zero, Logic4::X]);
+//! // 0 NAND anything is 1: the controlling value dominates the unknown.
+//! assert_eq!(out, Logic4::One);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bit;
+mod gate;
+mod logic4;
+mod std9;
+mod value;
+
+pub use bit::Bit;
+pub use gate::{
+    eval_combinational, eval_dff, eval_latch, GateKind, ParseGateKindError, SequentialUpdate,
+};
+pub use logic4::Logic4;
+pub use std9::Std9;
+pub use value::{LogicValue, ParseLogicError};

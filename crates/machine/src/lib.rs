@@ -1,0 +1,348 @@
+//! A deterministic virtual multiprocessor for parallel-simulation
+//! performance studies.
+//!
+//! The paper's Figure 1 compares speedups measured on 1990s multiprocessors
+//! (BBN GP1000, Intel iPSC, workstation networks). Those machines — and any
+//! physical parallelism at all — are unavailable here, so this crate
+//! substitutes a *cost model*: every parallel kernel charges its protocol
+//! actions (gate evaluations, event-queue operations, message sends and
+//! receives, barrier synchronizations, rollbacks, state saves, GVT rounds)
+//! to per-processor clocks, and the **modeled makespan** (the largest
+//! processor clock at the end) plays the role of parallel wall-clock time.
+//! Speedup = modeled one-processor work ÷ modeled makespan.
+//!
+//! Why this preserves the paper's phenomena: every §V effect it reports is a
+//! *protocol-level* property — null-message overhead is a message count,
+//! barrier cost growth is a function of processor population, rollback
+//! thrashing is wasted evaluations plus state-restore work, load imbalance
+//! is an uneven distribution of charged work. All of those arise here from
+//! the real event dynamics of the real circuit being simulated; only the
+//! per-action price list is synthetic. The default [`MachineConfig`] makes
+//! communication and synchronization expensive relative to a gate
+//! evaluation, which is exactly the regime the paper describes ("due to the
+//! fine grain nature of logic simulation, communications capability in the
+//! parallel system is often the discriminating property").
+//!
+//! # Examples
+//!
+//! ```
+//! use parsim_machine::{MachineConfig, VirtualMachine};
+//!
+//! let mut vm = VirtualMachine::new(MachineConfig::workstation_cluster(4));
+//! vm.charge(0, 100);           // processor 0 computes
+//! vm.charge(1, 40);
+//! let ready = vm.send(0, 1);   // processor 0 sends a message to 1
+//! vm.receive(1, ready);        // 1 waits for delivery, then pays recv cost
+//! vm.barrier();                // all processors synchronize
+//! assert!(vm.makespan() > 100);
+//! assert_eq!(vm.clock(0), vm.clock(1)); // barrier aligned them
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::{self, Display};
+
+/// The price list of the virtual multiprocessor, in abstract cost units
+/// (think nanoseconds on a 1995-era machine).
+///
+/// All parallel kernels take a `MachineConfig`; sweeping its fields is how
+/// the experiment harness studies sensitivity (e.g. barrier cost growth for
+/// E9, message latency for E10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Number of processors (P).
+    pub processors: usize,
+    /// Cost of one gate evaluation.
+    pub eval_cost: u64,
+    /// Cost of one event-queue operation (schedule or retrieve).
+    pub event_cost: u64,
+    /// Sender-side CPU cost of an inter-processor message.
+    pub send_cost: u64,
+    /// Receiver-side CPU cost of an inter-processor message.
+    pub recv_cost: u64,
+    /// Network latency between send completion and receivability (not CPU).
+    pub msg_latency: u64,
+    /// Fixed component of a barrier synchronization.
+    pub barrier_base: u64,
+    /// Per-processor component of a barrier ("the time required to perform
+    /// the barrier synchronization grows with processor population", §V).
+    pub barrier_per_proc: u64,
+    /// Fixed cost of initiating a rollback (coast-forward setup, queue
+    /// surgery).
+    pub rollback_cost: u64,
+    /// Per-gate cost of a full-copy state save.
+    pub copy_save_cost: u64,
+    /// Per-touched-gate cost of an incremental state save.
+    pub incremental_save_cost: u64,
+    /// Per-processor cost of participating in one GVT round.
+    pub gvt_cost: u64,
+}
+
+impl MachineConfig {
+    /// A tightly coupled shared-memory multiprocessor (BBN-class): cheap
+    /// messages, moderate barriers.
+    pub fn shared_memory(processors: usize) -> Self {
+        MachineConfig {
+            processors,
+            eval_cost: 8,
+            event_cost: 2,
+            send_cost: 4,
+            recv_cost: 3,
+            msg_latency: 6,
+            barrier_base: 16,
+            barrier_per_proc: 3,
+            rollback_cost: 24,
+            copy_save_cost: 1,
+            incremental_save_cost: 1,
+            gvt_cost: 12,
+        }
+    }
+
+    /// A workstation network (LAN-class): expensive messages and barriers —
+    /// the configuration whose communication bottleneck §II highlights.
+    pub fn workstation_cluster(processors: usize) -> Self {
+        MachineConfig {
+            processors,
+            eval_cost: 8,
+            event_cost: 2,
+            send_cost: 20,
+            recv_cost: 16,
+            msg_latency: 120,
+            barrier_base: 80,
+            barrier_per_proc: 12,
+            rollback_cost: 24,
+            copy_save_cost: 1,
+            incremental_save_cost: 4,
+            gvt_cost: 40,
+        }
+    }
+
+    /// The cost of one barrier at this processor count.
+    pub fn barrier_cost(&self) -> u64 {
+        self.barrier_base + self.barrier_per_proc * self.processors as u64
+    }
+}
+
+impl Default for MachineConfig {
+    /// Eight shared-memory processors — the configuration of Figure 1.
+    fn default() -> Self {
+        MachineConfig::shared_memory(8)
+    }
+}
+
+/// Aggregate counters of a virtual-machine run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub struct MachineStats {
+    /// Messages sent between processors.
+    pub messages: u64,
+    /// Barriers executed.
+    pub barriers: u64,
+    /// Total CPU cost charged across all processors (busy time).
+    pub busy: u64,
+    /// Total idle time accumulated waiting for messages or barriers.
+    pub idle: u64,
+}
+
+/// The virtual multiprocessor: per-processor clocks plus bookkeeping.
+///
+/// The machine is *passive*: kernels drive it by charging costs, sending
+/// messages and invoking barriers. It is entirely deterministic.
+#[derive(Debug, Clone)]
+pub struct VirtualMachine {
+    config: MachineConfig,
+    clocks: Vec<u64>,
+    stats: MachineStats,
+}
+
+impl VirtualMachine {
+    /// Creates a machine with all processor clocks at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero processors.
+    pub fn new(config: MachineConfig) -> Self {
+        assert!(config.processors > 0, "virtual machine needs at least one processor");
+        VirtualMachine { config, clocks: vec![0; config.processors], stats: MachineStats::default() }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Number of processors.
+    pub fn processors(&self) -> usize {
+        self.config.processors
+    }
+
+    /// The current clock of processor `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn clock(&self, p: usize) -> u64 {
+        self.clocks[p]
+    }
+
+    /// Charges `cost` units of CPU work to processor `p`.
+    pub fn charge(&mut self, p: usize, cost: u64) {
+        self.clocks[p] += cost;
+        self.stats.busy += cost;
+    }
+
+    /// Advances processor `p` to at least time `t` (idle waiting).
+    pub fn wait_until(&mut self, p: usize, t: u64) {
+        if t > self.clocks[p] {
+            self.stats.idle += t - self.clocks[p];
+            self.clocks[p] = t;
+        }
+    }
+
+    /// Sends a message from `from` to `to`: charges the sender and returns
+    /// the time at which the message becomes receivable at `to`.
+    ///
+    /// The receiver should later call [`receive`](Self::receive) with the
+    /// returned ready time.
+    pub fn send(&mut self, from: usize, _to: usize) -> u64 {
+        self.charge(from, self.config.send_cost);
+        self.stats.messages += 1;
+        self.clocks[from] + self.config.msg_latency
+    }
+
+    /// Receives a message that became ready at `ready`: waits if it has not
+    /// arrived yet, then charges the receive cost.
+    pub fn receive(&mut self, p: usize, ready: u64) {
+        self.wait_until(p, ready);
+        self.charge(p, self.config.recv_cost);
+    }
+
+    /// Executes a barrier: every clock jumps to the common release time
+    /// (the max clock plus the barrier cost).
+    pub fn barrier(&mut self) {
+        let release = self.makespan() + self.config.barrier_cost();
+        for p in 0..self.clocks.len() {
+            self.wait_until(p, release);
+        }
+        // The barrier cost itself is work, not idling; account it once.
+        self.stats.busy += self.config.barrier_cost();
+        self.stats.idle = self.stats.idle.saturating_sub(self.config.barrier_cost());
+        self.stats.barriers += 1;
+    }
+
+    /// The largest processor clock — the modeled parallel wall-clock time.
+    pub fn makespan(&self) -> u64 {
+        self.clocks.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> MachineStats {
+        self.stats
+    }
+
+    /// Utilization: busy time over `P × makespan`.
+    pub fn utilization(&self) -> f64 {
+        let denom = self.makespan() as f64 * self.processors() as f64;
+        if denom == 0.0 {
+            1.0
+        } else {
+            (self.stats.busy as f64 / denom).min(1.0)
+        }
+    }
+}
+
+impl Display for VirtualMachine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "P={} makespan={} util={:.2} msgs={} barriers={}",
+            self.processors(),
+            self.makespan(),
+            self.utilization(),
+            self.stats.messages,
+            self.stats.barriers
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charging_advances_one_clock() {
+        let mut vm = VirtualMachine::new(MachineConfig::shared_memory(2));
+        vm.charge(0, 50);
+        assert_eq!(vm.clock(0), 50);
+        assert_eq!(vm.clock(1), 0);
+        assert_eq!(vm.makespan(), 50);
+        assert_eq!(vm.stats().busy, 50);
+    }
+
+    #[test]
+    fn message_latency_delays_receiver() {
+        let cfg = MachineConfig::shared_memory(2);
+        let mut vm = VirtualMachine::new(cfg);
+        vm.charge(0, 100);
+        let ready = vm.send(0, 1);
+        assert_eq!(ready, 100 + cfg.send_cost + cfg.msg_latency);
+        vm.receive(1, ready);
+        assert_eq!(vm.clock(1), ready + cfg.recv_cost);
+        assert!(vm.stats().idle >= ready);
+    }
+
+    #[test]
+    fn receive_after_arrival_does_not_wait() {
+        let cfg = MachineConfig::shared_memory(2);
+        let mut vm = VirtualMachine::new(cfg);
+        let ready = vm.send(0, 1);
+        vm.charge(1, 10_000); // receiver is busy long past arrival
+        let before = vm.clock(1);
+        vm.receive(1, ready);
+        assert_eq!(vm.clock(1), before + cfg.recv_cost);
+    }
+
+    #[test]
+    fn barrier_aligns_all_clocks() {
+        let cfg = MachineConfig::shared_memory(4);
+        let mut vm = VirtualMachine::new(cfg);
+        vm.charge(0, 10);
+        vm.charge(3, 90);
+        vm.barrier();
+        let release = 90 + cfg.barrier_cost();
+        for p in 0..4 {
+            assert_eq!(vm.clock(p), release);
+        }
+        assert_eq!(vm.stats().barriers, 1);
+    }
+
+    #[test]
+    fn barrier_cost_grows_with_processors() {
+        let small = MachineConfig::shared_memory(4).barrier_cost();
+        let large = MachineConfig::shared_memory(64).barrier_cost();
+        assert!(large > small);
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let mut vm = VirtualMachine::new(MachineConfig::shared_memory(2));
+        vm.charge(0, 100);
+        // One of two processors busy: utilization 0.5.
+        assert!((vm.utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cluster_is_slower_to_communicate_than_shared_memory() {
+        let sm = MachineConfig::shared_memory(8);
+        let ws = MachineConfig::workstation_cluster(8);
+        assert!(ws.msg_latency > 5 * sm.msg_latency);
+        assert!(ws.barrier_cost() > sm.barrier_cost());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_rejected() {
+        VirtualMachine::new(MachineConfig { processors: 0, ..Default::default() });
+    }
+}

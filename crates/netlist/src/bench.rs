@@ -1,0 +1,443 @@
+//! ISCAS `.bench` netlist format.
+//!
+//! The ISCAS-85 combinational and ISCAS-89 sequential benchmark suites —
+//! which the paper's §V notes "have been pressed into service" as the de
+//! facto workload for parallel logic simulation studies — are distributed in
+//! a simple textual format:
+//!
+//! ```text
+//! # comment
+//! INPUT(G1)
+//! OUTPUT(G22)
+//! G10 = NAND(G1, G3)
+//! G22 = DFF(G10)          # ISCAS-89 flip-flop: implicit global clock
+//! ```
+//!
+//! [`parse`] reads this format (accepting both the ISCAS-89 single-input
+//! `DFF(d)` form, for which an implicit clock input named [`IMPLICIT_CLOCK`]
+//! is synthesized, and this crate's explicit two-input `DFF(clk, d)` form)
+//! and [`write`] emits it. The classic `c17` circuit ships embedded via
+//! [`c17`].
+
+use std::error::Error;
+use std::fmt::{self, Display, Write as _};
+
+use parsim_logic::GateKind;
+
+use crate::{Circuit, CircuitBuilder, DelayModel, GateId, NetlistError};
+
+/// Name of the clock input synthesized for ISCAS-89 style single-input
+/// `DFF(d)` gates.
+pub const IMPLICIT_CLOCK: &str = "__clk";
+
+/// Error produced while reading `.bench` text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BenchParseError {
+    /// A line could not be parsed at all.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// A gate function name is not recognized.
+    UnknownGate {
+        /// 1-based line number.
+        line: usize,
+        /// The unknown function name.
+        name: String,
+    },
+    /// The netlist parsed but is structurally invalid.
+    Invalid(NetlistError),
+}
+
+impl Display for BenchParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchParseError::Syntax { line, text } => {
+                write!(f, "line {line}: cannot parse {text:?}")
+            }
+            BenchParseError::UnknownGate { line, name } => {
+                write!(f, "line {line}: unknown gate function {name:?}")
+            }
+            BenchParseError::Invalid(e) => write!(f, "invalid netlist: {e}"),
+        }
+    }
+}
+
+impl Error for BenchParseError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BenchParseError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for BenchParseError {
+    fn from(e: NetlistError) -> Self {
+        BenchParseError::Invalid(e)
+    }
+}
+
+/// Parses `.bench` text into a circuit, assigning delays from `delays`.
+///
+/// # Errors
+///
+/// Returns [`BenchParseError`] on malformed lines, unknown gate functions,
+/// or a structurally invalid netlist (dangling nets, bad arity,
+/// combinational cycles).
+///
+/// # Examples
+///
+/// ```
+/// use parsim_netlist::{bench, DelayModel};
+///
+/// let src = "
+/// INPUT(a)
+/// INPUT(b)
+/// OUTPUT(y)
+/// y = NAND(a, b)
+/// ";
+/// let c = bench::parse("mini", src, DelayModel::Unit)?;
+/// assert_eq!(c.len(), 3);
+/// # Ok::<(), bench::BenchParseError>(())
+/// ```
+pub fn parse(name: &str, text: &str, delays: DelayModel) -> Result<Circuit, BenchParseError> {
+    let mut b = CircuitBuilder::new(name);
+    let mut ids: std::collections::HashMap<String, GateId> = std::collections::HashMap::new();
+    let mut outputs: Vec<(String, usize)> = Vec::new();
+    let mut implicit_clock: Option<GateId> = None;
+
+    // `declare` a net the first time we see its name, in whatever role.
+    fn lookup(
+        b: &mut CircuitBuilder,
+        ids: &mut std::collections::HashMap<String, GateId>,
+        name: &str,
+    ) -> GateId {
+        if let Some(&id) = ids.get(name) {
+            return id;
+        }
+        let id = b.declare(name);
+        ids.insert(name.to_owned(), id);
+        id
+    }
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let stripped = match raw.split_once('#') {
+            Some((head, _)) => head,
+            None => raw,
+        }
+        .trim();
+        if stripped.is_empty() {
+            continue;
+        }
+
+        let syntax = || BenchParseError::Syntax { line, text: raw.trim().to_owned() };
+
+        if let Some(arg) = strip_call(stripped, "INPUT") {
+            let id = lookup(&mut b, &mut ids, arg);
+            if b.is_defined(id) {
+                return Err(BenchParseError::Invalid(NetlistError::DuplicateName {
+                    name: arg.to_owned(),
+                }));
+            }
+            b.define(id, GateKind::Input, [], delays.delay_for(GateKind::Input, id.index()));
+            continue;
+        }
+        if let Some(arg) = strip_call(stripped, "OUTPUT") {
+            outputs.push((arg.to_owned(), line));
+            continue;
+        }
+
+        // "lhs = FUNC(arg, arg, ...)"
+        let (lhs, rhs) = stripped.split_once('=').ok_or_else(syntax)?;
+        let lhs = lhs.trim();
+        let rhs = rhs.trim();
+        let open = rhs.find('(').ok_or_else(syntax)?;
+        if !rhs.ends_with(')') {
+            return Err(syntax());
+        }
+        let func = rhs[..open].trim();
+        let args_text = &rhs[open + 1..rhs.len() - 1];
+        let kind: GateKind = func.parse().map_err(|_| BenchParseError::UnknownGate {
+            line,
+            name: func.to_owned(),
+        })?;
+        let mut fanin: Vec<GateId> = Vec::new();
+        for arg in args_text.split(',') {
+            let arg = arg.trim();
+            if arg.is_empty() {
+                return Err(syntax());
+            }
+            fanin.push(lookup(&mut b, &mut ids, arg));
+        }
+        // ISCAS-89 writes `DFF(d)`; synthesize the implicit clock pin.
+        if kind == GateKind::Dff && fanin.len() == 1 {
+            let clk = *implicit_clock.get_or_insert_with(|| {
+                let id = lookup(&mut b, &mut ids, IMPLICIT_CLOCK);
+                if !b.is_defined(id) {
+                    b.define(id, GateKind::Input, [], crate::Delay::ZERO);
+                }
+                id
+            });
+            fanin.insert(0, clk);
+        }
+        let id = lookup(&mut b, &mut ids, lhs);
+        if b.is_defined(id) {
+            return Err(BenchParseError::Invalid(NetlistError::DuplicateName {
+                name: lhs.to_owned(),
+            }));
+        }
+        b.define(id, kind, fanin, delays.delay_for(kind, id.index()));
+    }
+
+    for (name, line) in outputs {
+        let id = *ids
+            .get(&name)
+            .ok_or(BenchParseError::Syntax { line, text: format!("OUTPUT({name})") })?;
+        b.output(name, id);
+    }
+
+    Ok(b.finish()?)
+}
+
+fn strip_call<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let rest = line.strip_prefix(keyword)?.trim_start();
+    let inner = rest.strip_prefix('(')?.strip_suffix(')')?;
+    Some(inner.trim())
+}
+
+/// Writes a circuit as `.bench` text.
+///
+/// Unnamed gates are given synthetic `gN` names. Flip-flops whose clock pin
+/// is the [`IMPLICIT_CLOCK`] input are written in the single-input ISCAS-89
+/// form, so circuits parsed from ISCAS files round-trip.
+///
+/// # Examples
+///
+/// ```
+/// use parsim_netlist::{bench, DelayModel};
+///
+/// let c = bench::c17();
+/// let text = bench::write(&c);
+/// let reparsed = bench::parse("c17", &text, DelayModel::Unit)?;
+/// assert_eq!(reparsed.len(), c.len());
+/// # Ok::<(), bench::BenchParseError>(())
+/// ```
+pub fn write(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", circuit.name());
+    let name_of = |id: GateId| -> String {
+        match circuit.gate(id).name() {
+            Some(n) => n.to_owned(),
+            None => format!("g{}", id.index()),
+        }
+    };
+    let implicit_clk = circuit.find(IMPLICIT_CLOCK);
+    for &pi in circuit.inputs() {
+        let _ = writeln!(out, "INPUT({})", name_of(pi));
+    }
+    for &po in circuit.outputs() {
+        let _ = writeln!(out, "OUTPUT({})", name_of(po));
+    }
+    for (id, g) in circuit.iter() {
+        if g.kind().is_source() && g.kind() != GateKind::Const0 && g.kind() != GateKind::Const1 {
+            continue;
+        }
+        let mut fanin: Vec<GateId> = g.fanin().to_vec();
+        if g.kind() == GateKind::Dff && fanin.first().copied() == implicit_clk {
+            fanin.remove(0);
+        }
+        let args: Vec<String> = fanin.into_iter().map(name_of).collect();
+        let _ = writeln!(out, "{} = {}({})", name_of(id), g.kind(), args.join(", "));
+    }
+    out
+}
+
+/// The ISCAS-85 `c17` benchmark: five inputs, two outputs, six NAND gates.
+///
+/// The smallest ISCAS circuit, embedded for tests and examples.
+pub fn c17() -> Circuit {
+    parse("c17", C17_TEXT, DelayModel::Unit).expect("embedded c17 netlist is valid")
+}
+
+const C17_TEXT: &str = "
+# c17 (ISCAS-85)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+/// A small sequential benchmark in the spirit of ISCAS-89 `s27`: three
+/// flip-flops with an implicit clock, four inputs, one output.
+pub fn s27ish() -> Circuit {
+    parse("s27ish", S27ISH_TEXT, DelayModel::Unit).expect("embedded s27ish netlist is valid")
+}
+
+const S27ISH_TEXT: &str = "
+# small sequential benchmark (s27-like topology)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+G17 = NOT(G11)
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Delay;
+
+    #[test]
+    fn c17_structure() {
+        let c = c17();
+        assert_eq!(c.len(), 11);
+        assert_eq!(c.inputs().len(), 5);
+        assert_eq!(c.outputs().len(), 2);
+        assert_eq!(c.stats().gates_by_kind[&GateKind::Nand], 6);
+        assert_eq!(c.stats().depth, 3);
+    }
+
+    #[test]
+    fn s27ish_has_implicit_clock() {
+        let c = s27ish();
+        let clk = c.find(IMPLICIT_CLOCK).expect("implicit clock synthesized");
+        assert!(c.inputs().contains(&clk));
+        assert_eq!(c.sequential_elements().len(), 3);
+        for ff in c.sequential_elements() {
+            assert_eq!(c.fanin(ff)[0], clk, "all DFFs share the implicit clock");
+        }
+    }
+
+    #[test]
+    fn round_trip_combinational() {
+        let c = c17();
+        let text = write(&c);
+        let c2 = parse("c17", &text, DelayModel::Unit).unwrap();
+        assert_eq!(c2.len(), c.len());
+        assert_eq!(c2.inputs().len(), c.inputs().len());
+        assert_eq!(c2.outputs().len(), c.outputs().len());
+        // Same topology: every gate's named fanin set matches.
+        for (id, g) in c.iter() {
+            let name = g.name().unwrap();
+            let id2 = c2.find(name).unwrap();
+            let fanin: Vec<_> =
+                c.fanin(id).iter().map(|&f| c.gate(f).name().unwrap().to_owned()).collect();
+            let fanin2: Vec<_> =
+                c2.fanin(id2).iter().map(|&f| c2.gate(f).name().unwrap().to_owned()).collect();
+            assert_eq!(fanin, fanin2, "fanin of {name}");
+        }
+    }
+
+    #[test]
+    fn round_trip_sequential() {
+        let c = s27ish();
+        let text = write(&c);
+        let c2 = parse("s27ish", &text, DelayModel::Unit).unwrap();
+        assert_eq!(c2.len(), c.len());
+        assert_eq!(c2.sequential_elements().len(), 3);
+    }
+
+    #[test]
+    fn forward_references_parse() {
+        let src = "
+        INPUT(a)
+        OUTPUT(y)
+        y = AND(m, a)
+        m = NOT(a)
+        ";
+        let c = parse("fwd", src, DelayModel::Unit).unwrap();
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "
+        # header comment
+
+        INPUT(a)   # trailing comment
+        OUTPUT(y)
+        y = NOT(a)
+        ";
+        assert_eq!(parse("c", src, DelayModel::Unit).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn syntax_error_reports_line() {
+        let src = "INPUT(a)\nwhat is this";
+        match parse("bad", src, DelayModel::Unit).unwrap_err() {
+            BenchParseError::Syntax { line, .. } => assert_eq!(line, 2),
+            e => panic!("unexpected {e}"),
+        }
+    }
+
+    #[test]
+    fn unknown_gate_reported() {
+        let src = "INPUT(a)\ny = FROB(a)\nOUTPUT(y)";
+        match parse("bad", src, DelayModel::Unit).unwrap_err() {
+            BenchParseError::UnknownGate { name, .. } => assert_eq!(name, "FROB"),
+            e => panic!("unexpected {e}"),
+        }
+    }
+
+    #[test]
+    fn undefined_output_reported() {
+        let src = "INPUT(a)\nOUTPUT(nope)\nb = NOT(a)";
+        assert!(parse("bad", src, DelayModel::Unit).is_err());
+    }
+
+    #[test]
+    fn duplicate_definition_rejected() {
+        let src = "INPUT(a)\nb = NOT(a)\nb = NOT(a)\nOUTPUT(b)";
+        match parse("bad", src, DelayModel::Unit).unwrap_err() {
+            BenchParseError::Invalid(NetlistError::DuplicateName { name }) => {
+                assert_eq!(name, "b");
+            }
+            e => panic!("unexpected {e}"),
+        }
+    }
+
+    #[test]
+    fn delays_are_assigned_from_model() {
+        let c = parse("c17", C17_TEXT, DelayModel::Fixed(Delay::new(4))).unwrap();
+        let some_nand = c.find("10").unwrap();
+        assert_eq!(c.delay(some_nand), Delay::new(4));
+    }
+
+    #[test]
+    fn undefined_net_in_fanin_rejected() {
+        let src = "INPUT(a)\ny = AND(a, ghost)\nOUTPUT(y)";
+        match parse("bad", src, DelayModel::Unit).unwrap_err() {
+            BenchParseError::Invalid(NetlistError::UndefinedGate { name }) => {
+                assert_eq!(name, "ghost");
+            }
+            e => panic!("unexpected {e}"),
+        }
+    }
+}

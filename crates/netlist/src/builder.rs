@@ -1,0 +1,484 @@
+//! Validating circuit construction.
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt::{self, Display};
+
+use parsim_logic::GateKind;
+
+use crate::circuit::{Circuit, FanoutEntry, Gate};
+use crate::{Delay, GateId};
+
+/// Error produced when a circuit under construction is structurally invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A gate was declared (e.g. referenced by name in a `.bench` file or
+    /// created with [`CircuitBuilder::declare`]) but never defined.
+    UndefinedGate {
+        /// Name of the undefined gate, or its id rendering if unnamed.
+        name: String,
+    },
+    /// A gate has an illegal number of inputs for its kind.
+    BadArity {
+        /// The offending gate.
+        gate: String,
+        /// Its kind.
+        kind: GateKind,
+        /// The number of fanin nets it was given.
+        got: usize,
+    },
+    /// A gate name was used twice.
+    DuplicateName {
+        /// The reused name.
+        name: String,
+    },
+    /// The combinational part of the circuit contains a cycle (a feedback
+    /// loop not broken by a flip-flop or latch).
+    CombinationalCycle {
+        /// The gates on one such cycle, in order.
+        cycle: Vec<String>,
+    },
+    /// The circuit contains no gates.
+    Empty,
+}
+
+impl Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UndefinedGate { name } => {
+                write!(f, "gate {name:?} is referenced but never defined")
+            }
+            NetlistError::BadArity { gate, kind, got } => {
+                write!(f, "gate {gate:?} of kind {kind} cannot take {got} inputs")
+            }
+            NetlistError::DuplicateName { name } => {
+                write!(f, "gate name {name:?} is defined more than once")
+            }
+            NetlistError::CombinationalCycle { cycle } => {
+                write!(f, "combinational cycle through {}", cycle.join(" -> "))
+            }
+            NetlistError::Empty => write!(f, "circuit contains no gates"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[derive(Debug, Clone)]
+struct PendingGate {
+    kind: Option<GateKind>,
+    fanin: Vec<GateId>,
+    delay: Delay,
+    name: Option<Box<str>>,
+}
+
+/// Incremental, validating builder for [`Circuit`].
+///
+/// Supports forward references (needed both by `.bench` files, where a gate
+/// may use nets defined later, and by sequential feedback paths): call
+/// [`declare`](Self::declare) to obtain an id now and
+/// [`define`](Self::define) it later. [`finish`](Self::finish) validates the
+/// whole structure.
+///
+/// # Examples
+///
+/// A set–reset feedback loop must pass through a latch or flip-flop; a purely
+/// combinational loop is rejected:
+///
+/// ```
+/// use parsim_logic::GateKind;
+/// use parsim_netlist::{CircuitBuilder, Delay, NetlistError};
+///
+/// let mut b = CircuitBuilder::new("bad_loop");
+/// let a = b.declare("a");
+/// let c = b.gate(GateKind::Not, [a], Delay::UNIT);
+/// b.define(a, GateKind::Not, [c], Delay::UNIT);
+/// b.output("y", c);
+/// assert!(matches!(b.finish(), Err(NetlistError::CombinationalCycle { .. })));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircuitBuilder {
+    name: String,
+    gates: Vec<PendingGate>,
+    inputs: Vec<GateId>,
+    outputs: Vec<GateId>,
+    output_names: Vec<Box<str>>,
+}
+
+impl CircuitBuilder {
+    /// Starts building a circuit with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        CircuitBuilder {
+            name: name.into(),
+            gates: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            output_names: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, g: PendingGate) -> GateId {
+        let id = GateId::new(self.gates.len());
+        self.gates.push(g);
+        id
+    }
+
+    /// Adds a named primary input and returns its id.
+    pub fn input(&mut self, name: impl Into<String>) -> GateId {
+        let id = self.push(PendingGate {
+            kind: Some(GateKind::Input),
+            fanin: Vec::new(),
+            delay: Delay::ZERO,
+            name: Some(name.into().into_boxed_str()),
+        });
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds a constant driver.
+    pub fn constant(&mut self, value: bool) -> GateId {
+        let kind = if value { GateKind::Const1 } else { GateKind::Const0 };
+        self.push(PendingGate { kind: Some(kind), fanin: Vec::new(), delay: Delay::ZERO, name: None })
+    }
+
+    /// Adds an anonymous gate and returns its id.
+    pub fn gate(
+        &mut self,
+        kind: GateKind,
+        fanin: impl IntoIterator<Item = GateId>,
+        delay: Delay,
+    ) -> GateId {
+        self.push(PendingGate {
+            kind: Some(kind),
+            fanin: fanin.into_iter().collect(),
+            delay,
+            name: None,
+        })
+    }
+
+    /// Adds a named gate and returns its id.
+    pub fn named_gate(
+        &mut self,
+        name: impl Into<String>,
+        kind: GateKind,
+        fanin: impl IntoIterator<Item = GateId>,
+        delay: Delay,
+    ) -> GateId {
+        let id = self.gate(kind, fanin, delay);
+        self.gates[id.index()].name = Some(name.into().into_boxed_str());
+        id
+    }
+
+    /// Forward-declares a named gate, to be [`define`](Self::define)d later.
+    ///
+    /// Needed for feedback paths and for file formats that reference nets
+    /// before defining them.
+    pub fn declare(&mut self, name: impl Into<String>) -> GateId {
+        self.push(PendingGate {
+            kind: None,
+            fanin: Vec::new(),
+            delay: Delay::ZERO,
+            name: Some(name.into().into_boxed_str()),
+        })
+    }
+
+    /// Fills in a gate previously created with [`declare`](Self::declare).
+    ///
+    /// If the gate is defined as a primary input, it is appended to the
+    /// input list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was already defined (that is a bug in the calling
+    /// code, not a data error).
+    pub fn define(
+        &mut self,
+        id: GateId,
+        kind: GateKind,
+        fanin: impl IntoIterator<Item = GateId>,
+        delay: Delay,
+    ) {
+        let slot = &mut self.gates[id.index()];
+        assert!(slot.kind.is_none(), "gate {id} defined twice");
+        slot.kind = Some(kind);
+        slot.fanin = fanin.into_iter().collect();
+        slot.delay = delay;
+        if kind == GateKind::Input {
+            self.inputs.push(id);
+        }
+    }
+
+    /// Returns `true` if `id` has been defined (not just declared).
+    pub fn is_defined(&self, id: GateId) -> bool {
+        self.gates[id.index()].kind.is_some()
+    }
+
+    /// Marks a net as a primary output under the given name.
+    ///
+    /// If the driving gate is unnamed, the output name is attached to it, so
+    /// the net can later be found with [`Circuit::find`](crate::Circuit::find).
+    pub fn output(&mut self, name: impl Into<String>, id: GateId) {
+        let name = name.into().into_boxed_str();
+        if self.gates[id.index()].name.is_none() {
+            self.gates[id.index()].name = Some(name.clone());
+        }
+        self.outputs.push(id);
+        self.output_names.push(name);
+    }
+
+    /// Number of gates added so far.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Returns `true` if no gates have been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    fn display_name(&self, id: GateId) -> String {
+        match &self.gates[id.index()].name {
+            Some(n) => n.to_string(),
+            None => id.to_string(),
+        }
+    }
+
+    /// Validates the structure and produces the immutable [`Circuit`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NetlistError`] if the circuit is empty, a declared gate
+    /// was never defined, a gate has an illegal fanin count, a name is
+    /// duplicated, or the combinational part contains a cycle.
+    pub fn finish(self) -> Result<Circuit, NetlistError> {
+        if self.gates.is_empty() {
+            return Err(NetlistError::Empty);
+        }
+
+        // Every declared gate must be defined.
+        for (i, g) in self.gates.iter().enumerate() {
+            if g.kind.is_none() {
+                return Err(NetlistError::UndefinedGate {
+                    name: self.display_name(GateId::new(i)),
+                });
+            }
+        }
+
+        // Arity.
+        for (i, g) in self.gates.iter().enumerate() {
+            let kind = g.kind.expect("checked above");
+            if !kind.accepts_inputs(g.fanin.len()) {
+                return Err(NetlistError::BadArity {
+                    gate: self.display_name(GateId::new(i)),
+                    kind,
+                    got: g.fanin.len(),
+                });
+            }
+        }
+
+        // Unique names.
+        let mut seen = HashSet::new();
+        for g in &self.gates {
+            if let Some(name) = &g.name {
+                if !seen.insert(name.clone()) {
+                    return Err(NetlistError::DuplicateName { name: name.to_string() });
+                }
+            }
+        }
+
+        // Combinational cycle check: Kahn's algorithm over the edge set that
+        // excludes edges *into* sequential elements (a DFF/latch input is a
+        // legal feedback point).
+        let n = self.gates.len();
+        let mut indegree = vec![0usize; n];
+        for (i, g) in self.gates.iter().enumerate() {
+            if !g.kind.expect("defined").is_sequential() {
+                indegree[i] = g.fanin.len();
+            }
+        }
+        let mut ready: Vec<usize> =
+            (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut done = 0usize;
+        // fanout adjacency (also reused for the final circuit)
+        let mut fanout: Vec<Vec<FanoutEntry>> = vec![Vec::new(); n];
+        for (i, g) in self.gates.iter().enumerate() {
+            for (pin, &src) in g.fanin.iter().enumerate() {
+                fanout[src.index()].push(FanoutEntry { gate: GateId::new(i), pin });
+            }
+        }
+        while let Some(i) = ready.pop() {
+            done += 1;
+            for entry in &fanout[i] {
+                let j = entry.gate.index();
+                if self.gates[j].kind.expect("defined").is_sequential() {
+                    continue;
+                }
+                indegree[j] -= 1;
+                if indegree[j] == 0 {
+                    ready.push(j);
+                }
+            }
+        }
+        if done < n {
+            let cycle = self.extract_cycle(&indegree);
+            return Err(NetlistError::CombinationalCycle { cycle });
+        }
+
+        let gates = self
+            .gates
+            .into_iter()
+            .map(|g| Gate {
+                kind: g.kind.expect("defined"),
+                fanin: g.fanin,
+                delay: g.delay,
+                name: g.name,
+            })
+            .collect();
+
+        Ok(Circuit { name: self.name, gates, fanout, inputs: self.inputs, outputs: self.outputs })
+    }
+
+    /// Walks backwards from an unresolved gate to recover one cycle for the
+    /// error message.
+    fn extract_cycle(&self, indegree: &[usize]) -> Vec<String> {
+        let start = indegree
+            .iter()
+            .position(|&d| d > 0)
+            .expect("extract_cycle called with no unresolved gate");
+        let mut seen = vec![usize::MAX; self.gates.len()];
+        let mut path = Vec::new();
+        let mut cur = start;
+        loop {
+            if seen[cur] != usize::MAX {
+                let names = path[seen[cur]..]
+                    .iter()
+                    .map(|&i| self.display_name(GateId::new(i)))
+                    .collect();
+                return names;
+            }
+            seen[cur] = path.len();
+            path.push(cur);
+            // Follow any fanin that is itself still unresolved; one must
+            // exist on a cycle.
+            cur = self.gates[cur]
+                .fanin
+                .iter()
+                .map(|f| f.index())
+                .find(|&f| indegree[f] > 0)
+                .unwrap_or_else(|| self.gates[cur].fanin[0].index());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_valid_circuit() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        let c = b.constant(true);
+        let g = b.named_gate("g", GateKind::And, [a, c], Delay::UNIT);
+        b.output("o", g);
+        let circuit = b.finish().unwrap();
+        assert_eq!(circuit.len(), 3);
+        assert_eq!(circuit.kind(c), GateKind::Const1);
+        assert_eq!(circuit.find("g"), Some(g));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(CircuitBuilder::new("e").finish().unwrap_err(), NetlistError::Empty);
+    }
+
+    #[test]
+    fn rejects_undefined_declaration() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        let ghost = b.declare("ghost");
+        b.gate(GateKind::And, [a, ghost], Delay::UNIT);
+        match b.finish().unwrap_err() {
+            NetlistError::UndefinedGate { name } => assert_eq!(name, "ghost"),
+            e => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_arity() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        b.named_gate("m", GateKind::Mux2, [a, a], Delay::UNIT);
+        assert!(matches!(
+            b.finish().unwrap_err(),
+            NetlistError::BadArity { kind: GateKind::Mux2, got: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("x");
+        b.named_gate("x", GateKind::Buf, [a], Delay::UNIT);
+        assert!(matches!(b.finish().unwrap_err(), NetlistError::DuplicateName { .. }));
+    }
+
+    #[test]
+    fn rejects_combinational_cycle_and_names_it() {
+        let mut b = CircuitBuilder::new("t");
+        let x = b.declare("x");
+        let y = b.named_gate("y", GateKind::Not, [x], Delay::UNIT);
+        b.define(x, GateKind::Not, [y], Delay::UNIT);
+        match b.finish().unwrap_err() {
+            NetlistError::CombinationalCycle { cycle } => {
+                assert!(cycle.contains(&"x".to_string()) || cycle.contains(&"y".to_string()));
+            }
+            e => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn accepts_sequential_feedback() {
+        // A classic DFF self-loop (toggle flip-flop): q feeds an inverter
+        // that feeds back into the DFF's data pin.
+        let mut b = CircuitBuilder::new("toggle");
+        let clk = b.input("clk");
+        let q = b.declare("q");
+        let nq = b.named_gate("nq", GateKind::Not, [q], Delay::UNIT);
+        b.define(q, GateKind::Dff, [clk, nq], Delay::UNIT);
+        b.output("q", q);
+        let c = b.finish().unwrap();
+        assert_eq!(c.sequential_elements(), vec![q]);
+    }
+
+    #[test]
+    fn forward_declared_input_is_registered() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.declare("a");
+        assert!(!b.is_defined(a));
+        b.define(a, GateKind::Input, [], Delay::ZERO);
+        assert!(b.is_defined(a));
+        let g = b.gate(GateKind::Buf, [a], Delay::UNIT);
+        b.output("o", g);
+        let c = b.finish().unwrap();
+        assert_eq!(c.inputs(), &[a]);
+    }
+
+    #[test]
+    #[should_panic(expected = "defined twice")]
+    fn double_define_panics() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.declare("a");
+        b.define(a, GateKind::Input, [], Delay::ZERO);
+        b.define(a, GateKind::Input, [], Delay::ZERO);
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut b = CircuitBuilder::new("t");
+        let x = b.declare("x");
+        b.define(x, GateKind::Buf, [x], Delay::UNIT);
+        assert!(matches!(b.finish().unwrap_err(), NetlistError::CombinationalCycle { .. }));
+    }
+}

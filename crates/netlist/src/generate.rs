@@ -1,0 +1,718 @@
+//! Parameterized synthetic circuit generators.
+//!
+//! The paper's §V laments that the ISCAS benchmarks "are insufficient in
+//! size to satisfactorily evaluate performance on large circuits" and calls
+//! (§VI) for "a benchmark set ... with large circuits, at varying levels of
+//! abstraction, with varying timing granularity". These generators provide
+//! exactly that: structurally realistic circuits whose size, fanout locality,
+//! sequential fraction and delay model are all parameters, scaling from tens
+//! to hundreds of thousands of gates. Every generator is deterministic in
+//! its parameters (and seed), so experiments are reproducible.
+
+#![allow(clippy::needless_range_loop)] // index-parallel arrays: indices are the clearer idiom here
+use parsim_logic::GateKind;
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::{Circuit, CircuitBuilder, Delay, DelayModel, GateId};
+
+fn delay(b: &CircuitBuilder, delays: DelayModel, kind: GateKind) -> Delay {
+    delays.delay_for(kind, b.len())
+}
+
+/// A full adder built from 2-input gates; returns `(sum, carry_out)`.
+fn full_adder(
+    b: &mut CircuitBuilder,
+    delays: DelayModel,
+    a: GateId,
+    x: GateId,
+    cin: GateId,
+) -> (GateId, GateId) {
+    let axb = {
+        let d = delay(b, delays, GateKind::Xor);
+        b.gate(GateKind::Xor, [a, x], d)
+    };
+    let sum = {
+        let d = delay(b, delays, GateKind::Xor);
+        b.gate(GateKind::Xor, [axb, cin], d)
+    };
+    let g1 = {
+        let d = delay(b, delays, GateKind::And);
+        b.gate(GateKind::And, [a, x], d)
+    };
+    let g2 = {
+        let d = delay(b, delays, GateKind::And);
+        b.gate(GateKind::And, [axb, cin], d)
+    };
+    let cout = {
+        let d = delay(b, delays, GateKind::Or);
+        b.gate(GateKind::Or, [g1, g2], d)
+    };
+    (sum, cout)
+}
+
+/// An `bits`-bit ripple-carry adder: inputs `a0..`, `b0..`, `cin`; outputs
+/// `s0..` and `cout`.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use parsim_netlist::{generate, DelayModel};
+///
+/// let c = generate::ripple_adder(8, DelayModel::Unit);
+/// assert_eq!(c.inputs().len(), 17); // 8 + 8 + cin
+/// assert_eq!(c.outputs().len(), 9); // 8 sums + cout
+/// ```
+pub fn ripple_adder(bits: usize, delays: DelayModel) -> Circuit {
+    assert!(bits > 0, "adder needs at least one bit");
+    let mut b = CircuitBuilder::new(format!("ripple_adder_{bits}"));
+    let a: Vec<GateId> = (0..bits).map(|i| b.input(format!("a{i}"))).collect();
+    let x: Vec<GateId> = (0..bits).map(|i| b.input(format!("b{i}"))).collect();
+    let mut carry = b.input("cin");
+    for i in 0..bits {
+        let (sum, cout) = full_adder(&mut b, delays, a[i], x[i], carry);
+        b.output(format!("s{i}"), sum);
+        carry = cout;
+    }
+    b.output("cout", carry);
+    b.finish().expect("generated adder is structurally valid")
+}
+
+/// An `bits × bits` array multiplier (carry-save rows of full adders over
+/// AND partial products); roughly `6·bits²` gates.
+///
+/// Inputs `a0..`, `b0..`; outputs `p0..p(2·bits−1)`.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero.
+pub fn array_multiplier(bits: usize, delays: DelayModel) -> Circuit {
+    assert!(bits > 0, "multiplier needs at least one bit");
+    let mut b = CircuitBuilder::new(format!("array_multiplier_{bits}"));
+    let a: Vec<GateId> = (0..bits).map(|i| b.input(format!("a{i}"))).collect();
+    let x: Vec<GateId> = (0..bits).map(|i| b.input(format!("b{i}"))).collect();
+    let zero = b.constant(false);
+
+    // Partial product row i, shifted left by i.
+    let pp = |b: &mut CircuitBuilder, i: usize, j: usize| {
+        let d = delay(b, delays, GateKind::And);
+        b.gate(GateKind::And, [a[j], x[i]], d)
+    };
+
+    // Accumulate rows with ripple adders (simple, structurally realistic).
+    let mut acc: Vec<GateId> = (0..bits).map(|j| pp(&mut b, 0, j)).collect();
+    let mut product: Vec<GateId> = Vec::with_capacity(2 * bits);
+    for i in 1..bits {
+        product.push(acc[0]);
+        let row: Vec<GateId> = (0..bits).map(|j| pp(&mut b, i, j)).collect();
+        let mut next: Vec<GateId> = Vec::with_capacity(bits);
+        let mut carry = zero;
+        for j in 0..bits {
+            // The accumulator grows a top carry after the first row; it
+            // must feed the next row's most significant adder.
+            let addend = if j + 1 < acc.len() { acc[j + 1] } else { zero };
+            let (s, c) = full_adder(&mut b, delays, row[j], addend, carry);
+            next.push(s);
+            carry = c;
+        }
+        next.push(carry);
+        // `next` has bits+1 entries; keep low `bits` as the running
+        // accumulator and let the top carry ride along as the high bit.
+        acc = next;
+    }
+    product.extend(acc);
+    for (i, &p) in product.iter().enumerate() {
+        b.output(format!("p{i}"), p);
+    }
+    b.finish().expect("generated multiplier is structurally valid")
+}
+
+/// An `bits`-bit XNOR-feedback (all-zero-starting) Fibonacci LFSR.
+///
+/// Inputs: `clk`. Outputs: the register bits. Because the feedback is XNOR,
+/// the all-zero reset state is on the maximal cycle, so a freshly initialized
+/// simulation produces activity immediately.
+///
+/// # Panics
+///
+/// Panics if `bits < 2`.
+pub fn lfsr(bits: usize, delays: DelayModel) -> Circuit {
+    assert!(bits >= 2, "lfsr needs at least two bits");
+    let mut b = CircuitBuilder::new(format!("lfsr_{bits}"));
+    let clk = b.input("clk");
+    let q: Vec<GateId> = (0..bits).map(|i| b.declare(format!("q{i}"))).collect();
+    let fb = {
+        let d = delay(&b, delays, GateKind::Xnor);
+        b.gate(GateKind::Xnor, [q[bits - 1], q[bits / 2]], d)
+    };
+    for i in 0..bits {
+        let data = if i == 0 { fb } else { q[i - 1] };
+        let d = delays.delay_for(GateKind::Dff, q[i].index());
+        b.define(q[i], GateKind::Dff, [clk, data], d);
+        b.output(format!("out{i}"), q[i]);
+    }
+    b.finish().expect("generated lfsr is structurally valid")
+}
+
+/// An `bits`-stage shift register: inputs `clk`, `din`; output the last
+/// stage.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero.
+pub fn shift_register(bits: usize, delays: DelayModel) -> Circuit {
+    assert!(bits > 0, "shift register needs at least one stage");
+    let mut b = CircuitBuilder::new(format!("shift_register_{bits}"));
+    let clk = b.input("clk");
+    let mut data = b.input("din");
+    for i in 0..bits {
+        let d = delay(&b, delays, GateKind::Dff);
+        data = b.named_gate(format!("q{i}"), GateKind::Dff, [clk, data], d);
+    }
+    b.output("dout", data);
+    b.finish().expect("generated shift register is structurally valid")
+}
+
+/// An `bits`-bit synchronous binary counter: input `clk`; outputs the count
+/// bits. Bit `i` toggles when all lower bits are 1.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero.
+pub fn counter(bits: usize, delays: DelayModel) -> Circuit {
+    assert!(bits > 0, "counter needs at least one bit");
+    let mut b = CircuitBuilder::new(format!("counter_{bits}"));
+    let clk = b.input("clk");
+    let q: Vec<GateId> = (0..bits).map(|i| b.declare(format!("q{i}"))).collect();
+    let mut all_lower = b.constant(true);
+    for i in 0..bits {
+        let toggle = {
+            let d = delay(&b, delays, GateKind::Xor);
+            b.gate(GateKind::Xor, [q[i], all_lower], d)
+        };
+        let d = delays.delay_for(GateKind::Dff, q[i].index());
+        b.define(q[i], GateKind::Dff, [clk, toggle], d);
+        b.output(format!("count{i}"), q[i]);
+        if i + 1 < bits {
+            let d = delay(&b, delays, GateKind::And);
+            all_lower = b.gate(GateKind::And, [all_lower, q[i]], d);
+        }
+    }
+    b.finish().expect("generated counter is structurally valid")
+}
+
+/// A circular token ring: `bits` flip-flops in a cycle with an injection
+/// input XORed into stage 0. Used by the null-message experiments (E10):
+/// a ring is the classic worst case for deadlock avoidance.
+///
+/// # Panics
+///
+/// Panics if `bits < 2`.
+pub fn ring(bits: usize, delays: DelayModel) -> Circuit {
+    assert!(bits >= 2, "ring needs at least two stages");
+    let mut b = CircuitBuilder::new(format!("ring_{bits}"));
+    let clk = b.input("clk");
+    let inject = b.input("inject");
+    let q: Vec<GateId> = (0..bits).map(|i| b.declare(format!("q{i}"))).collect();
+    let entry = {
+        let d = delay(&b, delays, GateKind::Xor);
+        b.gate(GateKind::Xor, [q[bits - 1], inject], d)
+    };
+    for i in 0..bits {
+        let data = if i == 0 { entry } else { q[i - 1] };
+        let d = delays.delay_for(GateKind::Dff, q[i].index());
+        b.define(q[i], GateKind::Dff, [clk, data], d);
+    }
+    b.output("tap", q[bits - 1]);
+    b.finish().expect("generated ring is structurally valid")
+}
+
+/// A balanced binary reduction tree of `kind` gates over `leaves` inputs.
+///
+/// # Panics
+///
+/// Panics if `leaves < 2` or `kind` is not a 2-input-capable combinational
+/// gate.
+pub fn tree(kind: GateKind, leaves: usize, delays: DelayModel) -> Circuit {
+    assert!(leaves >= 2, "tree needs at least two leaves");
+    assert!(kind.accepts_inputs(2) && !kind.is_sequential(), "tree needs a 2-input gate kind");
+    let mut b = CircuitBuilder::new(format!("tree_{kind}_{leaves}"));
+    let mut layer: Vec<GateId> = (0..leaves).map(|i| b.input(format!("in{i}"))).collect();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            if let [a, x] = *pair {
+                let d = delay(&b, delays, kind);
+                next.push(b.gate(kind, [a, x], d));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+    }
+    b.output("root", layer[0]);
+    b.finish().expect("generated tree is structurally valid")
+}
+
+/// A `rows × cols` NAND mesh: cell `(r, c)` combines its north and west
+/// neighbours; border cells read primary inputs. Models circuits with 2-D
+/// locality (good partitioning exists).
+///
+/// # Panics
+///
+/// Panics if `rows` or `cols` is zero.
+pub fn mesh(rows: usize, cols: usize, delays: DelayModel) -> Circuit {
+    assert!(rows > 0 && cols > 0, "mesh needs positive dimensions");
+    let mut b = CircuitBuilder::new(format!("mesh_{rows}x{cols}"));
+    let north_in: Vec<GateId> = (0..cols).map(|c| b.input(format!("n{c}"))).collect();
+    let west_in: Vec<GateId> = (0..rows).map(|r| b.input(format!("w{r}"))).collect();
+    let mut cells: Vec<Vec<GateId>> = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let mut row = Vec::with_capacity(cols);
+        for c in 0..cols {
+            let north = if r == 0 { north_in[c] } else { cells[r - 1][c] };
+            let west = if c == 0 { west_in[r] } else { row[c - 1] };
+            let d = delay(&b, delays, GateKind::Nand);
+            row.push(b.gate(GateKind::Nand, [north, west], d));
+        }
+        cells.push(row);
+    }
+    for (c, &cell) in cells[rows - 1].iter().enumerate() {
+        b.output(format!("s{c}"), cell);
+    }
+    for (r, row) in cells.iter().enumerate().take(rows - 1) {
+        b.output(format!("e{r}"), row[cols - 1]);
+    }
+    b.finish().expect("generated mesh is structurally valid")
+}
+
+/// An `n`-to-`2ⁿ` decoder: inputs `a0..a(n−1)` and `en`; output `dK` is
+/// high iff the input encodes `K` and `en` is high. `2ⁿ` AND gates plus
+/// `n` inverters.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero or greater than 16.
+pub fn decoder(bits: usize, delays: DelayModel) -> Circuit {
+    assert!((1..=16).contains(&bits), "decoder supports 1..=16 select bits");
+    let mut b = CircuitBuilder::new(format!("decoder_{bits}"));
+    let a: Vec<GateId> = (0..bits).map(|i| b.input(format!("a{i}"))).collect();
+    let en = b.input("en");
+    let not_a: Vec<GateId> = a
+        .iter()
+        .map(|&ai| {
+            let d = delay(&b, delays, GateKind::Not);
+            b.gate(GateKind::Not, [ai], d)
+        })
+        .collect();
+    for k in 0..(1usize << bits) {
+        let mut fanin = vec![en];
+        for i in 0..bits {
+            fanin.push(if k >> i & 1 == 1 { a[i] } else { not_a[i] });
+        }
+        let d = delay(&b, delays, GateKind::And);
+        let g = b.gate(GateKind::And, fanin, d);
+        b.output(format!("d{k}"), g);
+    }
+    b.finish().expect("generated decoder is structurally valid")
+}
+
+/// An `n`-input priority encoder: output `yK` carries bit `K` of the index
+/// of the highest-priority (highest-numbered) asserted request line, plus a
+/// `valid` output.
+///
+/// # Panics
+///
+/// Panics if `requests < 2`.
+pub fn priority_encoder(requests: usize, delays: DelayModel) -> Circuit {
+    assert!(requests >= 2, "priority encoder needs at least two request lines");
+    let mut b = CircuitBuilder::new(format!("priority_encoder_{requests}"));
+    let req: Vec<GateId> = (0..requests).map(|i| b.input(format!("r{i}"))).collect();
+
+    // higher[i] = OR of requests strictly above i.
+    let mut higher: Vec<GateId> = vec![GateId::new(0); requests];
+    let mut acc = b.constant(false);
+    for i in (0..requests).rev() {
+        higher[i] = acc;
+        let d = delay(&b, delays, GateKind::Or);
+        acc = b.gate(GateKind::Or, [acc, req[i]], d);
+    }
+    b.output("valid", acc);
+
+    // grant[i] = req[i] AND NOT higher[i].
+    let grants: Vec<GateId> = (0..requests)
+        .map(|i| {
+            let dn = delay(&b, delays, GateKind::Not);
+            let n = b.gate(GateKind::Not, [higher[i]], dn);
+            let da = delay(&b, delays, GateKind::And);
+            b.gate(GateKind::And, [req[i], n], da)
+        })
+        .collect();
+
+    // Encode the grant index: yK = OR of grants whose index has bit K set.
+    let out_bits = usize::BITS as usize - (requests - 1).leading_zeros() as usize;
+    for k in 0..out_bits.max(1) {
+        let contributors: Vec<GateId> =
+            (0..requests).filter(|i| i >> k & 1 == 1).map(|i| grants[i]).collect();
+        let y = if contributors.is_empty() {
+            b.constant(false)
+        } else {
+            let d = delay(&b, delays, GateKind::Or);
+            b.gate(GateKind::Or, contributors, d)
+        };
+        b.output(format!("y{k}"), y);
+    }
+    b.finish().expect("generated priority encoder is structurally valid")
+}
+
+/// A carry-select adder: the upper half is computed twice (carry-in 0
+/// and 1) and multiplexed — wider and shallower than [`ripple_adder`],
+/// which gives partitioners genuinely independent blocks to find.
+///
+/// # Panics
+///
+/// Panics if `bits < 2`.
+pub fn carry_select_adder(bits: usize, delays: DelayModel) -> Circuit {
+    assert!(bits >= 2, "carry-select adder needs at least two bits");
+    let mut b = CircuitBuilder::new(format!("carry_select_adder_{bits}"));
+    let a: Vec<GateId> = (0..bits).map(|i| b.input(format!("a{i}"))).collect();
+    let x: Vec<GateId> = (0..bits).map(|i| b.input(format!("b{i}"))).collect();
+    let cin = b.input("cin");
+    let lo = bits / 2;
+
+    // Low half: plain ripple.
+    let mut carry = cin;
+    for i in 0..lo {
+        let (s, c) = full_adder(&mut b, delays, a[i], x[i], carry);
+        b.output(format!("s{i}"), s);
+        carry = c;
+    }
+    let select = carry;
+
+    // High half, twice.
+    let mut sums0 = Vec::new();
+    let mut sums1 = Vec::new();
+    let zero = b.constant(false);
+    let one = b.constant(true);
+    let (mut c0, mut c1) = (zero, one);
+    for i in lo..bits {
+        let (s0, n0) = full_adder(&mut b, delays, a[i], x[i], c0);
+        let (s1, n1) = full_adder(&mut b, delays, a[i], x[i], c1);
+        sums0.push(s0);
+        sums1.push(s1);
+        c0 = n0;
+        c1 = n1;
+    }
+    for (i, (s0, s1)) in sums0.iter().zip(&sums1).enumerate() {
+        let d = delay(&b, delays, GateKind::Mux2);
+        let m = b.gate(GateKind::Mux2, [select, *s0, *s1], d);
+        b.output(format!("s{}", lo + i), m);
+    }
+    let d = delay(&b, delays, GateKind::Mux2);
+    let cout = b.gate(GateKind::Mux2, [select, c0, c1], d);
+    b.output("cout", cout);
+    b.finish().expect("generated carry-select adder is structurally valid")
+}
+
+/// A shared tri-state bus: `drivers` tri-state buffers (each with its own
+/// enable and data inputs) resolved onto one bus net, plus a receiver
+/// inverter. The §II "drive strength and high impedance conditions"
+/// showcase: simulate it with [`Logic4`](parsim_logic::Logic4) or
+/// [`Std9`](parsim_logic::Std9) to see `Z` and conflict-`X` states.
+///
+/// # Panics
+///
+/// Panics if `drivers` is zero.
+pub fn tristate_bus(drivers: usize, delays: DelayModel) -> Circuit {
+    assert!(drivers > 0, "bus needs at least one driver");
+    let mut b = CircuitBuilder::new(format!("tristate_bus_{drivers}"));
+    let mut taps = Vec::with_capacity(drivers);
+    for i in 0..drivers {
+        let en = b.input(format!("en{i}"));
+        let data = b.input(format!("d{i}"));
+        let d = delay(&b, delays, GateKind::Tribuf);
+        taps.push(b.named_gate(format!("t{i}"), GateKind::Tribuf, [en, data], d));
+    }
+    let d = delay(&b, delays, GateKind::Bus);
+    let bus = b.named_gate("bus", GateKind::Bus, taps, d);
+    b.output("bus_value", bus);
+    let d = delay(&b, delays, GateKind::Not);
+    let recv = b.gate(GateKind::Not, [bus], d);
+    b.output("received", recv);
+    b.finish().expect("generated bus is structurally valid")
+}
+
+/// Configuration for [`random_dag`].
+///
+/// # Examples
+///
+/// ```
+/// use parsim_netlist::generate::{random_dag, RandomDagConfig};
+///
+/// let c = random_dag(&RandomDagConfig { gates: 500, ..Default::default() });
+/// assert!(c.len() >= 500);
+/// // Deterministic: same config, same circuit.
+/// assert_eq!(c, random_dag(&RandomDagConfig { gates: 500, ..Default::default() }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomDagConfig {
+    /// Number of evaluating gates to create (primary inputs not included).
+    pub gates: usize,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Largest fanin of any generated gate (≥ 1).
+    pub max_fanin: usize,
+    /// Probability that a fanin is drawn from the most recent gates rather
+    /// than uniformly from all earlier gates; models placement locality.
+    pub locality: f64,
+    /// Fraction of gates that are D flip-flops (with a shared clock input).
+    pub seq_fraction: f64,
+    /// Delay assignment.
+    pub delays: DelayModel,
+    /// RNG seed; the generator is a pure function of the whole config.
+    pub seed: u64,
+}
+
+impl Default for RandomDagConfig {
+    fn default() -> Self {
+        RandomDagConfig {
+            gates: 1000,
+            inputs: 32,
+            max_fanin: 4,
+            locality: 0.7,
+            seq_fraction: 0.1,
+            delays: DelayModel::Unit,
+            seed: 0xDA95,
+        }
+    }
+}
+
+/// Generates a random combinational/sequential DAG with controlled fanin,
+/// locality and sequential fraction.
+///
+/// Zero-fanout gates become primary outputs, so the circuit has no dead
+/// logic from the simulator's point of view.
+///
+/// # Panics
+///
+/// Panics if `gates` or `inputs` is zero, `max_fanin` is zero, or the
+/// fractions are outside `[0, 1]`.
+pub fn random_dag(cfg: &RandomDagConfig) -> Circuit {
+    assert!(cfg.gates > 0 && cfg.inputs > 0, "need at least one gate and one input");
+    assert!(cfg.max_fanin >= 1, "max_fanin must be at least 1");
+    assert!((0.0..=1.0).contains(&cfg.locality), "locality must be in [0,1]");
+    assert!((0.0..=1.0).contains(&cfg.seq_fraction), "seq_fraction must be in [0,1]");
+
+    const LOCALITY_WINDOW: usize = 32;
+    const KINDS: &[GateKind] = &[
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Nand, // NAND-rich mix, as in real gate libraries
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Not,
+    ];
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = CircuitBuilder::new(format!("random_dag_{}_{}", cfg.gates, cfg.seed));
+    let mut pool: Vec<GateId> = (0..cfg.inputs).map(|i| b.input(format!("in{i}"))).collect();
+    let clock =
+        if cfg.seq_fraction > 0.0 { Some(b.input("clk")) } else { None };
+    let mut fanout_count: std::collections::HashMap<GateId, usize> =
+        std::collections::HashMap::new();
+
+    let pick = |rng: &mut StdRng, pool: &[GateId]| -> GateId {
+        if pool.len() > LOCALITY_WINDOW && rng.random_bool(cfg.locality) {
+            *pool[pool.len() - LOCALITY_WINDOW..].choose(rng).expect("window nonempty")
+        } else {
+            *pool.choose(rng).expect("pool nonempty")
+        }
+    };
+
+    for _ in 0..cfg.gates {
+        let id = if cfg.seq_fraction > 0.0 && rng.random_bool(cfg.seq_fraction) {
+            let data = pick(&mut rng, &pool);
+            *fanout_count.entry(data).or_insert(0) += 1;
+            let clk = clock.expect("clock exists when seq_fraction > 0");
+            let d = delay(&b, cfg.delays, GateKind::Dff);
+            b.gate(GateKind::Dff, [clk, data], d)
+        } else {
+            let kind = *KINDS.choose(&mut rng).expect("kind table nonempty");
+            let fanin_n = if kind == GateKind::Not {
+                1
+            } else {
+                rng.random_range(2..=cfg.max_fanin.max(2))
+            };
+            let fanin: Vec<GateId> = (0..fanin_n).map(|_| pick(&mut rng, &pool)).collect();
+            for &f in &fanin {
+                *fanout_count.entry(f).or_insert(0) += 1;
+            }
+            let d = delay(&b, cfg.delays, kind);
+            b.gate(kind, fanin, d)
+        };
+        pool.push(id);
+    }
+
+    // Expose every sink as a primary output.
+    let mut out_idx = 0;
+    for &id in &pool[cfg.inputs..] {
+        if fanout_count.get(&id).copied().unwrap_or(0) == 0 {
+            b.output(format!("out{out_idx}"), id);
+            out_idx += 1;
+        }
+    }
+    b.finish().expect("generated dag is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Levelization;
+
+    #[test]
+    fn adder_structure() {
+        let c = ripple_adder(4, DelayModel::Unit);
+        assert_eq!(c.inputs().len(), 9);
+        assert_eq!(c.outputs().len(), 5);
+        assert_eq!(c.len(), 9 + 4 * 5);
+        assert!(Levelization::of(&c).depth() >= 4);
+    }
+
+    #[test]
+    fn multiplier_scales_quadratically() {
+        let c4 = array_multiplier(4, DelayModel::Unit);
+        let c8 = array_multiplier(8, DelayModel::Unit);
+        assert_eq!(c4.outputs().len(), 8);
+        assert_eq!(c8.outputs().len(), 16);
+        assert!(c8.len() > 3 * c4.len(), "{} vs {}", c8.len(), c4.len());
+    }
+
+    #[test]
+    fn lfsr_and_counter_are_sequential() {
+        let l = lfsr(8, DelayModel::Unit);
+        assert_eq!(l.sequential_elements().len(), 8);
+        let c = counter(5, DelayModel::Unit);
+        assert_eq!(c.sequential_elements().len(), 5);
+        assert_eq!(c.outputs().len(), 5);
+    }
+
+    #[test]
+    fn shift_register_depth() {
+        let c = shift_register(16, DelayModel::Unit);
+        assert_eq!(c.sequential_elements().len(), 16);
+        // All DFFs are level-0 sources; combinational depth is 0.
+        assert_eq!(Levelization::of(&c).depth(), 0);
+    }
+
+    #[test]
+    fn ring_closes_through_dffs() {
+        let c = ring(6, DelayModel::Unit);
+        assert_eq!(c.sequential_elements().len(), 6);
+    }
+
+    #[test]
+    fn tree_sizes() {
+        let c = tree(GateKind::Nand, 16, DelayModel::Unit);
+        assert_eq!(c.len(), 16 + 15);
+        assert_eq!(Levelization::of(&c).depth(), 4);
+        // Non-power-of-two leaf counts still reduce to one root.
+        let c = tree(GateKind::Xor, 13, DelayModel::Unit);
+        assert_eq!(c.outputs().len(), 1);
+    }
+
+    #[test]
+    fn mesh_dimensions() {
+        let c = mesh(4, 6, DelayModel::Unit);
+        assert_eq!(c.len(), 6 + 4 + 24);
+        assert_eq!(c.outputs().len(), 6 + 3);
+        assert_eq!(Levelization::of(&c).depth(), 4 + 6 - 1);
+    }
+
+    #[test]
+    fn decoder_structure() {
+        let c = decoder(3, DelayModel::Unit);
+        assert_eq!(c.inputs().len(), 4); // 3 selects + enable
+        assert_eq!(c.outputs().len(), 8);
+        // Each output AND takes enable + 3 (possibly inverted) selects.
+        for &po in c.outputs() {
+            assert_eq!(c.kind(po), GateKind::And);
+            assert_eq!(c.fanin(po).len(), 4);
+        }
+    }
+
+    #[test]
+    fn priority_encoder_structure() {
+        let c = priority_encoder(6, DelayModel::Unit);
+        // ceil(log2 6) = 3 index bits + valid.
+        assert_eq!(c.outputs().len(), 4);
+        assert!(c.find("valid").is_some());
+        assert!(c.find("y2").is_some());
+    }
+
+    #[test]
+    fn carry_select_structure() {
+        let c = carry_select_adder(8, DelayModel::Unit);
+        assert_eq!(c.inputs().len(), 17);
+        assert_eq!(c.outputs().len(), 9);
+        // Shallower than the equivalent ripple adder.
+        let ripple = ripple_adder(8, DelayModel::Unit);
+        assert!(
+            Levelization::of(&c).depth() < Levelization::of(&ripple).depth(),
+            "carry-select should cut the critical path"
+        );
+        assert!(c.stats().gates_by_kind[&GateKind::Mux2] >= 5);
+    }
+
+    #[test]
+    fn random_dag_deterministic_and_valid() {
+        let cfg = RandomDagConfig { gates: 300, seq_fraction: 0.2, ..Default::default() };
+        let a = random_dag(&cfg);
+        let b = random_dag(&cfg);
+        assert_eq!(a, b);
+        assert!(a.len() >= 300);
+        assert!(a.sequential_elements().len() > 20);
+        assert!(!a.outputs().is_empty());
+    }
+
+    #[test]
+    fn random_dag_respects_max_fanin() {
+        let cfg = RandomDagConfig { gates: 200, max_fanin: 3, ..Default::default() };
+        let c = random_dag(&cfg);
+        for (_, g) in c.iter() {
+            assert!(g.fanin().len() <= 3, "{:?} exceeds max fanin", g.kind());
+        }
+    }
+
+    #[test]
+    fn random_dag_different_seeds_differ() {
+        let a = random_dag(&RandomDagConfig { seed: 1, ..Default::default() });
+        let b = random_dag(&RandomDagConfig { seed: 2, ..Default::default() });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn combinational_random_dag_has_no_clock() {
+        let c = random_dag(&RandomDagConfig { seq_fraction: 0.0, ..Default::default() });
+        assert!(c.find("clk").is_none());
+        assert!(c.sequential_elements().is_empty());
+    }
+
+    #[test]
+    fn generators_respect_delay_model() {
+        let m = DelayModel::Uniform { min: 1, max: 20, seed: 3 };
+        let c = ripple_adder(4, m);
+        let distinct: std::collections::HashSet<_> = c
+            .iter()
+            .filter(|(_, g)| !g.kind().is_source())
+            .map(|(_, g)| g.delay())
+            .collect();
+        assert!(distinct.len() > 1, "uniform model should spread delays");
+    }
+}

@@ -1,0 +1,66 @@
+//! Arena identifiers.
+
+use std::fmt::{self, Display};
+
+/// Index of a gate in a [`Circuit`](crate::Circuit) arena.
+///
+/// Every gate drives exactly one net, so a `GateId` doubles as the identifier
+/// of the net driven by that gate.
+///
+/// # Examples
+///
+/// ```
+/// use parsim_netlist::GateId;
+///
+/// let id = GateId::new(3);
+/// assert_eq!(id.index(), 3);
+/// assert_eq!(id.to_string(), "g3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GateId(u32);
+
+impl GateId {
+    /// Creates an identifier from an arena index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX` (circuits are capped at 2³² − 1
+    /// gates).
+    pub fn new(index: usize) -> Self {
+        GateId(u32::try_from(index).expect("circuit too large for GateId"))
+    }
+
+    /// The arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+impl From<GateId> for usize {
+    fn from(id: GateId) -> usize {
+        id.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let id = GateId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(usize::from(id), 42);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(GateId::new(1) < GateId::new(2));
+    }
+}

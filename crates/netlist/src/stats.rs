@@ -1,0 +1,131 @@
+//! Structural circuit statistics.
+
+use std::collections::BTreeMap;
+use std::fmt::{self, Display};
+
+use parsim_logic::GateKind;
+
+use crate::{Circuit, Levelization};
+
+/// Structural statistics of a circuit.
+///
+/// The paper's §II lists *circuit structure* ("topology, component fanouts,
+/// etc.") among the five factors governing parallel simulator performance;
+/// these are the quantities the experiment harness reports alongside every
+/// measurement.
+///
+/// # Examples
+///
+/// ```
+/// use parsim_netlist::bench;
+///
+/// let s = bench::c17().stats();
+/// assert_eq!(s.gates, 11);
+/// assert_eq!(s.primary_inputs, 5);
+/// assert_eq!(s.depth, 3);
+/// assert!(s.avg_fanout > 0.9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitStats {
+    /// Total gate count, including primary inputs and constants.
+    pub gates: usize,
+    /// Count per gate kind.
+    pub gates_by_kind: BTreeMap<GateKind, usize>,
+    /// Number of primary inputs.
+    pub primary_inputs: usize,
+    /// Number of primary outputs.
+    pub primary_outputs: usize,
+    /// Number of sequential elements (flip-flops and latches).
+    pub sequential: usize,
+    /// Combinational depth in gate stages (max topological level).
+    pub depth: u32,
+    /// Mean fanout over all nets.
+    pub avg_fanout: f64,
+    /// Largest fanout of any net.
+    pub max_fanout: usize,
+    /// Mean fanin over all evaluating (non-source) gates.
+    pub avg_fanin: f64,
+}
+
+impl CircuitStats {
+    /// Computes statistics for a circuit.
+    pub fn of(circuit: &Circuit) -> Self {
+        let mut gates_by_kind = BTreeMap::new();
+        let mut sequential = 0;
+        let mut fanin_total = 0usize;
+        let mut fanin_gates = 0usize;
+        for (_, g) in circuit.iter() {
+            *gates_by_kind.entry(g.kind()).or_insert(0) += 1;
+            if g.kind().is_sequential() {
+                sequential += 1;
+            }
+            if !g.kind().is_source() {
+                fanin_total += g.fanin().len();
+                fanin_gates += 1;
+            }
+        }
+        let fanouts: Vec<usize> = circuit.ids().map(|id| circuit.fanout(id).len()).collect();
+        let fanout_total: usize = fanouts.iter().sum();
+        let n = circuit.len();
+        CircuitStats {
+            gates: n,
+            gates_by_kind,
+            primary_inputs: circuit.inputs().len(),
+            primary_outputs: circuit.outputs().len(),
+            sequential,
+            depth: Levelization::of(circuit).depth(),
+            avg_fanout: if n == 0 { 0.0 } else { fanout_total as f64 / n as f64 },
+            max_fanout: fanouts.into_iter().max().unwrap_or(0),
+            avg_fanin: if fanin_gates == 0 {
+                0.0
+            } else {
+                fanin_total as f64 / fanin_gates as f64
+            },
+        }
+    }
+}
+
+impl Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} gates ({} PI, {} PO, {} seq), depth {}, fanout avg {:.2} max {}",
+            self.gates,
+            self.primary_inputs,
+            self.primary_outputs,
+            self.sequential,
+            self.depth,
+            self.avg_fanout,
+            self.max_fanout
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CircuitBuilder, Delay};
+
+    #[test]
+    fn counts_are_consistent() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("b");
+        let clk = b.input("clk");
+        let x = b.gate(GateKind::Xor, [a, c], Delay::UNIT);
+        let q = b.gate(GateKind::Dff, [clk, x], Delay::UNIT);
+        b.output("q", q);
+        let s = b.finish().unwrap().stats();
+        assert_eq!(s.gates, 5);
+        assert_eq!(s.primary_inputs, 3);
+        assert_eq!(s.primary_outputs, 1);
+        assert_eq!(s.sequential, 1);
+        assert_eq!(s.gates_by_kind[&GateKind::Input], 3);
+        assert_eq!(s.gates_by_kind[&GateKind::Xor], 1);
+        assert_eq!(s.depth, 1); // DFF is a source; only the XOR is leveled
+        assert_eq!(s.avg_fanin, 2.0);
+        assert_eq!(s.max_fanout, 1);
+        let text = s.to_string();
+        assert!(text.contains("5 gates"));
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for circuit construction, generation and `.bench`
+//! round-tripping.
+
+use parsim_netlist::generate::{random_dag, RandomDagConfig};
+use parsim_netlist::{bench, DelayModel, Levelization};
+use proptest::prelude::*;
+
+fn any_config() -> impl Strategy<Value = RandomDagConfig> {
+    (
+        10usize..400,
+        1usize..16,
+        1usize..6,
+        0.0f64..=1.0,
+        0.0f64..=0.5,
+        any::<u64>(),
+    )
+        .prop_map(|(gates, inputs, max_fanin, locality, seq_fraction, seed)| RandomDagConfig {
+            gates,
+            inputs,
+            max_fanin,
+            locality,
+            seq_fraction,
+            delays: DelayModel::Unit,
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every randomly generated DAG is structurally valid (construction
+    /// succeeded) and levelizable, with gates above their fanins.
+    #[test]
+    fn random_dags_levelize(cfg in any_config()) {
+        let c = random_dag(&cfg);
+        let lv = Levelization::of(&c);
+        for id in c.ids() {
+            if c.kind(id).is_sequential() {
+                prop_assert_eq!(lv.level(id), 0);
+                continue;
+            }
+            for &f in c.fanin(id) {
+                prop_assert!(lv.level(f) < lv.level(id) || c.kind(id).is_source());
+            }
+        }
+    }
+
+    /// Fanout adjacency is exactly the inverse of fanin adjacency.
+    #[test]
+    fn fanout_inverts_fanin(cfg in any_config()) {
+        let c = random_dag(&cfg);
+        for id in c.ids() {
+            for (pin, &f) in c.fanin(id).iter().enumerate() {
+                prop_assert!(c
+                    .fanout(f)
+                    .iter()
+                    .any(|e| e.gate == id && e.pin == pin));
+            }
+            for e in c.fanout(id) {
+                prop_assert_eq!(c.fanin(e.gate)[e.pin], id);
+            }
+        }
+    }
+
+    /// Writing a generated circuit as `.bench` text and re-parsing it
+    /// reproduces the same topology (gate count, fanin multiset per gate,
+    /// I/O counts).
+    #[test]
+    fn bench_round_trip(cfg in any_config()) {
+        let c = random_dag(&cfg);
+        let text = bench::write(&c);
+        let c2 = bench::parse(c.name(), &text, DelayModel::Unit).unwrap();
+        prop_assert_eq!(c2.len(), c.len());
+        prop_assert_eq!(c2.inputs().len(), c.inputs().len());
+        prop_assert_eq!(c2.outputs().len(), c.outputs().len());
+        let s1 = c.stats();
+        let s2 = c2.stats();
+        prop_assert_eq!(&s1.gates_by_kind, &s2.gates_by_kind);
+        prop_assert_eq!(s1.depth, s2.depth);
+        prop_assert_eq!(s1.max_fanout, s2.max_fanout);
+    }
+}

@@ -1,0 +1,520 @@
+//! The Time Warp logical-process state machine, shared by the modeled and
+//! threaded drivers.
+
+use std::collections::BTreeMap;
+
+use parsim_core::{evaluate_gate, GateRuntime, LpTopology, Waveform};
+use parsim_event::{Event, VirtualTime};
+use parsim_logic::LogicValue;
+use parsim_netlist::{Circuit, GateId};
+
+use crate::{Cancellation, StateSaving};
+
+/// An incoming message, for batched delivery.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum TwIncoming<V> {
+    /// A simulation event.
+    Event(Event<V>),
+    /// An anti-message.
+    Anti(Event<V>),
+}
+
+/// A protocol action emitted by an LP, for the driver to route.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum TwOutgoing<V> {
+    /// Deliver an event message.
+    Event {
+        /// Destination LP.
+        dst: usize,
+        /// The event.
+        event: Event<V>,
+    },
+    /// Deliver an anti-message cancelling a previously sent event.
+    Anti {
+        /// Destination LP.
+        dst: usize,
+        /// The event to annihilate.
+        event: Event<V>,
+    },
+}
+
+/// Work performed by one action, for cost accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct TwWork {
+    pub events_processed: u64,
+    pub evaluations: u64,
+    pub events_scheduled: u64,
+    pub state_slots_saved: u64,
+    pub rollbacks: u64,
+    pub events_rolled_back: u64,
+    pub evaluations_rolled_back: u64,
+    pub anti_messages: u64,
+}
+
+/// Full-copy snapshot of LP state after a batch.
+#[derive(Debug, Clone)]
+struct Snapshot<V> {
+    values: Vec<V>,
+    runtimes: Vec<GateRuntime<V>>,
+}
+
+/// Incremental record: the state a batch overwrote.
+#[derive(Debug, Clone, Default)]
+struct Delta<V> {
+    values: Vec<(GateId, V)>,
+    runtimes: Vec<(GateId, GateRuntime<V>)>,
+}
+
+#[derive(Debug, Clone)]
+enum History<V> {
+    Copy(Vec<Snapshot<V>>),
+    Incremental(Vec<Delta<V>>),
+}
+
+/// One Time Warp logical process.
+#[derive(Debug)]
+pub(crate) struct TwLp<V> {
+    pub(crate) index: usize,
+    values: Vec<V>,
+    runtime: BTreeMap<GateId, GateRuntime<V>>,
+    /// All live events, processed (`time ≤ lvt`) and unprocessed alike.
+    events: BTreeMap<VirtualTime, Vec<Event<V>>>,
+    /// Local virtual time: the last processed batch, `None` before the
+    /// initial (t = 0) batch.
+    lvt: Option<VirtualTime>,
+    /// Times of processed batches, ascending; parallel to `history` and
+    /// `outputs`.
+    batches: Vec<VirtualTime>,
+    history: History<V>,
+    /// Messages sent by each processed batch.
+    outputs: Vec<Vec<(usize, Event<V>)>>,
+    /// Future events each batch scheduled into this LP's own event set
+    /// (must be withdrawn when the batch rolls back).
+    self_sends: Vec<Vec<Event<V>>>,
+    /// Gate evaluations per batch (for committed-work accounting).
+    batch_evals: Vec<u64>,
+    /// Lazy cancellation: rolled-back sends awaiting regeneration,
+    /// `(originating batch time, dst, event)`.
+    pending_cancel: Vec<(VirtualTime, usize, Event<V>)>,
+    cancellation: Cancellation,
+    saving: StateSaving,
+    /// Nets whose values participate in a copy snapshot.
+    relevant: Vec<GateId>,
+    pub(crate) waveforms: BTreeMap<GateId, Waveform<V>>,
+    // scratch for once-per-batch dirty marking
+    stamp: Vec<u64>,
+    stamp_counter: u64,
+}
+
+impl<V: LogicValue> TwLp<V> {
+    pub(crate) fn new(
+        circuit: &Circuit,
+        topo: &LpTopology,
+        index: usize,
+        saving: StateSaving,
+        cancellation: Cancellation,
+        observed: impl Iterator<Item = GateId>,
+    ) -> Self {
+        let spec = &topo.lps()[index];
+        let mut relevant: Vec<GateId> = spec.gates.clone();
+        for &g in &spec.gates {
+            relevant.extend(circuit.fanin(g).iter().copied());
+        }
+        relevant.sort_unstable();
+        relevant.dedup();
+        TwLp {
+            index,
+            values: vec![V::ZERO; circuit.len()],
+            runtime: spec.gates.iter().map(|&g| (g, GateRuntime::default())).collect(),
+            events: BTreeMap::new(),
+            lvt: None,
+            batches: Vec::new(),
+            history: match saving {
+                StateSaving::Copy => History::Copy(Vec::new()),
+                StateSaving::Incremental => History::Incremental(Vec::new()),
+            },
+            outputs: Vec::new(),
+            self_sends: Vec::new(),
+            batch_evals: Vec::new(),
+            pending_cancel: Vec::new(),
+            cancellation,
+            saving,
+            relevant,
+            waveforms: observed.map(|id| (id, Waveform::new(V::ZERO))).collect(),
+            stamp: vec![u64::MAX; circuit.len()],
+            stamp_counter: 0,
+        }
+    }
+
+    /// Preloads a stimulus/constant event (never triggers rollback: called
+    /// before the simulation starts).
+    pub(crate) fn preload(&mut self, event: Event<V>) {
+        self.events.entry(event.time).or_default().push(event);
+    }
+
+    /// The earliest unprocessed work: the initial batch at t = 0 before
+    /// anything else, then the earliest event beyond the LVT.
+    pub(crate) fn next_time(&self) -> Option<VirtualTime> {
+        match self.lvt {
+            None => Some(VirtualTime::ZERO),
+            Some(lvt) => self
+                .events
+                .range((std::ops::Bound::Excluded(lvt), std::ops::Bound::Unbounded))
+                .next()
+                .map(|(&t, _)| t),
+        }
+    }
+
+    /// True once all work up to `until` is processed.
+    pub(crate) fn done(&self, until: VirtualTime) -> bool {
+        self.next_time().is_none_or(|t| t > until) && self.pending_cancel.is_empty()
+    }
+
+    /// Handles a batch of incoming messages with a **single** rollback to
+    /// the batch's minimum timestamp.
+    ///
+    /// Processing messages one at a time would roll back once per message;
+    /// since aggressive cancellation delivers `anti(e)` immediately followed
+    /// by a regenerated `e`, per-message rollback doubles the rollback count
+    /// at every hop and the echo grows exponentially with circuit depth.
+    /// Batching is the standard Time Warp implementation remedy.
+    pub(crate) fn receive_batch(
+        &mut self,
+        messages: Vec<TwIncoming<V>>,
+        work: &mut TwWork,
+        out: &mut impl FnMut(TwOutgoing<V>),
+    ) {
+        let min_time = messages
+            .iter()
+            .map(|m| match m {
+                TwIncoming::Event(e) | TwIncoming::Anti(e) => e.time,
+            })
+            .min()
+            .expect("batch is nonempty");
+        if self.lvt.is_some_and(|lvt| min_time <= lvt) {
+            self.rollback_to_before(min_time, work, out);
+        }
+        for msg in messages {
+            match msg {
+                TwIncoming::Event(e) => {
+                    debug_assert!(self.lvt.is_none_or(|lvt| e.time > lvt));
+                    self.events.entry(e.time).or_default().push(e);
+                }
+                TwIncoming::Anti(e) => {
+                    debug_assert!(self.lvt.is_none_or(|lvt| e.time > lvt));
+                    let bucket = self
+                        .events
+                        .get_mut(&e.time)
+                        .expect("anti-message must chase a delivered event");
+                    let pos = bucket
+                        .iter()
+                        .position(|x| *x == e)
+                        .expect("anti-message must match a live event");
+                    bucket.remove(pos);
+                    if bucket.is_empty() {
+                        self.events.remove(&e.time);
+                    }
+                }
+            }
+        }
+        self.flush_lazy(work, out);
+    }
+
+    /// Handles an incoming event message; stragglers trigger rollback.
+    pub(crate) fn receive_event(
+        &mut self,
+        event: Event<V>,
+        work: &mut TwWork,
+        out: &mut impl FnMut(TwOutgoing<V>),
+    ) {
+        if self.lvt.is_some_and(|lvt| event.time <= lvt) {
+            self.rollback_to_before(event.time, work, out);
+        }
+        self.events.entry(event.time).or_default().push(event);
+        self.flush_lazy(work, out);
+    }
+
+    /// Optimistically processes the next batch (if any at `≤ limit`).
+    /// Returns `false` if there was nothing to do.
+    pub(crate) fn process_next(
+        &mut self,
+        circuit: &Circuit,
+        topo: &LpTopology,
+        limit: VirtualTime,
+        work: &mut TwWork,
+        out: &mut impl FnMut(TwOutgoing<V>),
+    ) -> bool {
+        let now = match self.next_time() {
+            Some(t) if t <= limit => t,
+            _ => return false,
+        };
+        let initial = self.lvt.is_none();
+
+        self.stamp_counter += 1;
+        let stamp_counter = self.stamp_counter;
+        let my_index = self.index;
+        let mut delta = Delta::default();
+        let mut dirty: Vec<GateId> = Vec::new();
+
+        // Phase 1: apply all events at `now`.
+        let batch: Vec<Event<V>> = self.events.get(&now).cloned().unwrap_or_default();
+        work.events_processed += batch.len() as u64;
+        for e in &batch {
+            if self.values[e.net.index()] == e.value {
+                continue;
+            }
+            if self.saving == StateSaving::Incremental {
+                delta.values.push((e.net, self.values[e.net.index()]));
+            }
+            self.values[e.net.index()] = e.value;
+            if let Some(w) = self.waveforms.get_mut(&e.net) {
+                w.record(now, e.value);
+            }
+            for entry in circuit.fanout(e.net) {
+                if topo.lp_of(entry.gate) == my_index
+                    && self.stamp[entry.gate.index()] != stamp_counter
+                {
+                    self.stamp[entry.gate.index()] = stamp_counter;
+                    dirty.push(entry.gate);
+                }
+            }
+        }
+        if initial {
+            for &id in &topo.lps()[self.index].gates {
+                if !circuit.kind(id).is_source() && self.stamp[id.index()] != stamp_counter {
+                    self.stamp[id.index()] = stamp_counter;
+                    dirty.push(id);
+                }
+            }
+        }
+
+        // Phase 2: evaluate each affected gate once, in id order.
+        dirty.sort_unstable();
+        let mut sent: Vec<(usize, Event<V>)> = Vec::new();
+        let mut scheduled: Vec<Event<V>> = Vec::new();
+        for &id in &dirty {
+            work.evaluations += 1;
+            let rt = self.runtime.get_mut(&id).expect("dirty gate is owned");
+            if self.saving == StateSaving::Incremental {
+                delta.runtimes.push((id, *rt));
+            }
+            let values = &self.values;
+            let out_value = evaluate_gate(circuit, id, &mut |f| values[f.index()], rt);
+            if let Some(v) = out_value {
+                let e = Event::new(now + circuit.delay(id), id, v);
+                work.events_scheduled += 1;
+                // Self-delivery into the local event set (also covers
+                // final-value tracking for nets with no local fanout).
+                self.events.entry(e.time).or_default().push(e);
+                scheduled.push(e);
+                for &dst in topo.destinations(id) {
+                    if dst == self.index {
+                        continue;
+                    }
+                    // Lazy cancellation: an identical rolled-back message is
+                    // still valid at the receiver — regenerate silently.
+                    if let Some(pos) = self
+                        .pending_cancel
+                        .iter()
+                        .position(|(_, d, pe)| *d == dst && *pe == e)
+                    {
+                        self.pending_cancel.remove(pos);
+                    } else {
+                        out(TwOutgoing::Event { dst, event: e });
+                    }
+                    sent.push((dst, e));
+                }
+            }
+        }
+
+        // Phase 3: record history.
+        match (&mut self.history, self.saving) {
+            (History::Incremental(deltas), StateSaving::Incremental) => {
+                work.state_slots_saved +=
+                    (delta.values.len() + delta.runtimes.len() * 3) as u64;
+                deltas.push(delta);
+            }
+            (History::Copy(snapshots), StateSaving::Copy) => {
+                let snap = Snapshot {
+                    values: self.relevant.iter().map(|&g| self.values[g.index()]).collect(),
+                    runtimes: self.runtime.values().copied().collect(),
+                };
+                work.state_slots_saved +=
+                    (snap.values.len() + snap.runtimes.len() * 3) as u64;
+                snapshots.push(snap);
+            }
+            _ => unreachable!("history representation matches the saving policy"),
+        }
+        self.batches.push(now);
+        self.outputs.push(sent);
+        self.self_sends.push(scheduled);
+        self.batch_evals.push(dirty.len() as u64);
+        self.lvt = Some(now);
+        self.flush_lazy(work, out);
+        true
+    }
+
+    /// Rolls back so that every batch with time `≥ target` is undone.
+    pub(crate) fn rollback_to_before(
+        &mut self,
+        target: VirtualTime,
+        work: &mut TwWork,
+        out: &mut impl FnMut(TwOutgoing<V>),
+    ) {
+        if self.batches.last().is_none_or(|&t| t < target) {
+            return;
+        }
+        work.rollbacks += 1;
+        while let Some(&t) = self.batches.last() {
+            if t < target {
+                break;
+            }
+            self.batches.pop();
+            work.events_rolled_back +=
+                self.events.get(&t).map_or(0, |b| b.len() as u64);
+            work.evaluations_rolled_back +=
+                self.batch_evals.pop().expect("eval count per batch");
+            // Undo the state.
+            match &mut self.history {
+                History::Incremental(deltas) => {
+                    let delta = deltas.pop().expect("delta per batch");
+                    // Reverse order restores first-overwritten values last.
+                    for &(g, rt) in delta.runtimes.iter().rev() {
+                        *self.runtime.get_mut(&g).expect("owned gate") = rt;
+                    }
+                    for &(net, v) in delta.values.iter().rev() {
+                        self.values[net.index()] = v;
+                    }
+                }
+                History::Copy(snapshots) => {
+                    snapshots.pop().expect("snapshot per batch");
+                    // State restored below, from the surviving snapshot.
+                }
+            }
+            // Withdraw the batch's self-scheduled future events.
+            for e in self.self_sends.pop().expect("self-sends per batch") {
+                let bucket = self.events.get_mut(&e.time).expect("self-send is live");
+                let pos = bucket.iter().position(|x| *x == e).expect("self-send is live");
+                bucket.remove(pos);
+                if bucket.is_empty() {
+                    self.events.remove(&e.time);
+                }
+            }
+            // Cancel the batch's sends.
+            for (dst, e) in self.outputs.pop().expect("outputs per batch") {
+                match self.cancellation {
+                    Cancellation::Aggressive => {
+                        work.anti_messages += 1;
+                        out(TwOutgoing::Anti { dst, event: e });
+                    }
+                    Cancellation::Lazy => self.pending_cancel.push((t, dst, e)),
+                }
+            }
+        }
+        if let History::Copy(snapshots) = &self.history {
+            match snapshots.last() {
+                Some(snap) => {
+                    for (&g, &v) in self.relevant.iter().zip(&snap.values) {
+                        self.values[g.index()] = v;
+                    }
+                    for (rt_slot, &rt) in self.runtime.values_mut().zip(&snap.runtimes) {
+                        *rt_slot = rt;
+                    }
+                }
+                None => {
+                    // Pre-initial state.
+                    for &g in &self.relevant {
+                        self.values[g.index()] = V::ZERO;
+                    }
+                    for rt in self.runtime.values_mut() {
+                        *rt = GateRuntime::default();
+                    }
+                }
+            }
+        }
+        for w in self.waveforms.values_mut() {
+            w.truncate_from(target);
+        }
+        self.lvt = self.batches.last().copied();
+    }
+
+    /// Lazy cancellation maintenance: once the frontier has moved past a
+    /// rolled-back send's originating batch without regenerating it, the
+    /// old message is known wrong and must be cancelled.
+    fn flush_lazy(&mut self, work: &mut TwWork, out: &mut impl FnMut(TwOutgoing<V>)) {
+        if self.pending_cancel.is_empty() {
+            return;
+        }
+        // A pending send originating from batch time `b` can only be
+        // regenerated by re-processing a batch at `b`; once the next
+        // unprocessed time has moved past `b`, that will never happen.
+        let frontier = self.next_time().unwrap_or(VirtualTime::INFINITY);
+        let mut i = 0;
+        while i < self.pending_cancel.len() {
+            let (batch, _, _) = self.pending_cancel[i];
+            if batch < frontier {
+                let (_, dst, e) = self.pending_cancel.remove(i);
+                work.anti_messages += 1;
+                out(TwOutgoing::Anti { dst, event: e });
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Global-virtual-time contribution: the earliest timestamp this LP
+    /// could still affect (its next unprocessed work).
+    pub(crate) fn gvt_component(&self) -> Option<VirtualTime> {
+        self.next_time()
+    }
+
+    /// Fossil collection: discards history strictly older than `gvt`.
+    /// Returns the number of events committed (irreversible) by this call.
+    pub(crate) fn fossil_collect(&mut self, gvt: VirtualTime) -> u64 {
+        // Batches with time < gvt can never be rolled back. Copy mode keeps
+        // the newest pre-GVT batch as the restoration base (its snapshot is
+        // what a rollback to exactly `gvt` restores); incremental mode needs
+        // no base because deltas unwind in place.
+        let keep_from = self.batches.partition_point(|&t| t < gvt);
+        let drop_to = match self.saving {
+            StateSaving::Copy => keep_from.saturating_sub(1),
+            StateSaving::Incremental => keep_from,
+        };
+        match &mut self.history {
+            History::Incremental(deltas) => {
+                deltas.drain(..drop_to);
+            }
+            History::Copy(snapshots) => {
+                snapshots.drain(..drop_to);
+            }
+        }
+        self.batches.drain(..drop_to);
+        self.outputs.drain(..drop_to);
+        self.self_sends.drain(..drop_to);
+        self.batch_evals.drain(..drop_to);
+
+        // Committed events can be dropped.
+        let mut committed = 0u64;
+        let dead: Vec<VirtualTime> = self
+            .events
+            .range(..gvt)
+            .map(|(&t, b)| {
+                committed += b.len() as u64;
+                t
+            })
+            .collect();
+        for t in dead {
+            self.events.remove(&t);
+        }
+        committed
+    }
+
+    /// Final values of the nets driven by this LP.
+    pub(crate) fn owned_values(&self, topo: &LpTopology) -> Vec<(GateId, V)> {
+        topo.lps()[self.index]
+            .gates
+            .iter()
+            .map(|&g| (g, self.values[g.index()]))
+            .collect()
+    }
+}

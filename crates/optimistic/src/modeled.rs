@@ -1,0 +1,568 @@
+//! The modeled Time Warp kernel.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::marker::PhantomData;
+
+use parsim_core::{LpTopology, Observe, SimOutcome, SimStats, Simulator, Stimulus, Waveform};
+use parsim_event::{Event, VirtualTime};
+use parsim_logic::{GateKind, LogicValue};
+use parsim_machine::{MachineConfig, VirtualMachine};
+use parsim_netlist::{Circuit, GateId};
+use parsim_partition::Partition;
+
+use crate::lp::{TwLp, TwOutgoing, TwWork};
+use crate::{Cancellation, StateSaving, Window};
+
+#[derive(Debug, Clone, Copy)]
+enum TwMsg<V> {
+    Event(Event<V>),
+    Anti(Event<V>),
+}
+
+impl<V> TwMsg<V> {
+    fn event_time(&self) -> VirtualTime {
+        match self {
+            TwMsg::Event(e) | TwMsg::Anti(e) => e.time,
+        }
+    }
+}
+
+/// Jefferson's Time Warp on the virtual multiprocessor.
+///
+/// A deterministic smallest-clock scheduler drives the processors: the
+/// processor with the lowest modeled clock takes the next action (deliver a
+/// pending message — possibly triggering a rollback — or optimistically
+/// process its lowest-timestamp LP batch). GVT is computed every
+/// [`with_gvt_interval`](Self::with_gvt_interval) batches and fossil
+/// collection reclaims state history behind it.
+///
+/// Configuration corners: [`StateSaving`] (copy vs incremental),
+/// [`Cancellation`] (aggressive vs lazy), and an optional optimism window.
+///
+/// # Examples
+///
+/// ```
+/// use parsim_core::{SequentialSimulator, Simulator, Stimulus};
+/// use parsim_event::VirtualTime;
+/// use parsim_logic::Bit;
+/// use parsim_machine::MachineConfig;
+/// use parsim_netlist::{generate, DelayModel};
+/// use parsim_optimistic::TimeWarpSimulator;
+/// use parsim_partition::{ConePartitioner, GateWeights, Partitioner};
+///
+/// let c = generate::ripple_adder(8, DelayModel::Unit);
+/// let part = ConePartitioner.partition(&c, 4, &GateWeights::uniform(c.len()));
+/// let sim = TimeWarpSimulator::<Bit>::new(part, MachineConfig::shared_memory(4));
+/// let stim = Stimulus::random(2, 12);
+/// let out = sim.run(&c, &stim, VirtualTime::new(300));
+/// let oracle = SequentialSimulator::<Bit>::new().run(&c, &stim, VirtualTime::new(300));
+/// assert_eq!(out.divergence_from(&oracle), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimeWarpSimulator<V> {
+    partition: Partition,
+    machine: MachineConfig,
+    saving: StateSaving,
+    cancellation: Cancellation,
+    gvt_interval: u64,
+    window: Window,
+    granularity: usize,
+    observe: Observe,
+    _values: PhantomData<V>,
+}
+
+impl<V: LogicValue> TimeWarpSimulator<V> {
+    /// Creates the kernel with one LP per partition block, incremental
+    /// state saving, lazy cancellation, GVT every 64 batches and the
+    /// automatic optimism window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition's block count differs from the machine's
+    /// processor count.
+    pub fn new(partition: Partition, machine: MachineConfig) -> Self {
+        assert_eq!(
+            partition.blocks(),
+            machine.processors,
+            "Time Warp kernel needs one partition block per processor"
+        );
+        TimeWarpSimulator {
+            partition,
+            machine,
+            saving: StateSaving::Incremental,
+            cancellation: Cancellation::Lazy,
+            gvt_interval: 64,
+            window: Window::Auto,
+            granularity: 1,
+            observe: Observe::Outputs,
+            _values: PhantomData,
+        }
+    }
+
+    /// Selects the state-saving discipline.
+    pub fn with_state_saving(mut self, saving: StateSaving) -> Self {
+        self.saving = saving;
+        self
+    }
+
+    /// Selects the cancellation discipline.
+    pub fn with_cancellation(mut self, cancellation: Cancellation) -> Self {
+        self.cancellation = cancellation;
+        self
+    }
+
+    /// Sets how many processed batches elapse between GVT computations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn with_gvt_interval(mut self, interval: u64) -> Self {
+        assert!(interval > 0, "GVT interval must be positive");
+        self.gvt_interval = interval;
+        self
+    }
+
+    /// Throttles optimism: LPs may only process events within `window`
+    /// ticks of the last GVT estimate.
+    pub fn with_window(mut self, window: u64) -> Self {
+        self.window = Window::Fixed(window);
+        self
+    }
+
+    /// Removes the optimism bound entirely (pure Jefferson Time Warp).
+    /// Expect the §V instability: on scattered partitions with spread-out
+    /// delays, rollback echo can blow the message population up.
+    pub fn with_unbounded_optimism(mut self) -> Self {
+        self.window = Window::Unbounded;
+        self
+    }
+
+    /// Splits every block into `factor` LPs (experiment E7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn with_granularity(mut self, factor: usize) -> Self {
+        assert!(factor >= 1, "granularity factor must be at least 1");
+        self.granularity = factor;
+        self
+    }
+
+    /// Selects which nets to record waveforms for.
+    pub fn with_observe(mut self, observe: Observe) -> Self {
+        self.observe = observe;
+        self
+    }
+}
+
+impl<V: LogicValue> Simulator<V> for TimeWarpSimulator<V> {
+    fn name(&self) -> String {
+        let s = match self.saving {
+            StateSaving::Copy => "copy",
+            StateSaving::Incremental => "incr",
+        };
+        let c = match self.cancellation {
+            Cancellation::Aggressive => "aggr",
+            Cancellation::Lazy => "lazy",
+        };
+        format!("time-warp-{s}-{c}(P={})", self.machine.processors)
+    }
+
+    fn run(&self, circuit: &Circuit, stimulus: &Stimulus, until: VirtualTime) -> SimOutcome<V> {
+        assert_eq!(self.partition.len(), circuit.len(), "partition does not match circuit");
+        assert!(
+            circuit.min_gate_delay().ticks() >= 1,
+            "simulation kernels require nonzero gate delays"
+        );
+        let coarse: Vec<usize> = circuit.ids().map(|id| self.partition.block_of(id)).collect();
+        let topo =
+            LpTopology::with_granularity(circuit, &coarse, self.partition.blocks(), self.granularity);
+        let n_lps = topo.lps().len();
+        let p_count = self.machine.processors;
+        let proc_of = |lp: usize| lp / self.granularity;
+        let mut vm = VirtualMachine::new(self.machine);
+        let mut stats = SimStats::default();
+
+        let mut lps: Vec<TwLp<V>> = (0..n_lps)
+            .map(|i| {
+                let owned = topo.lps()[i].gates.clone();
+                TwLp::new(
+                    circuit,
+                    &topo,
+                    i,
+                    self.saving,
+                    self.cancellation,
+                    owned.into_iter().filter(|&id| self.observe.wants(circuit, id)),
+                )
+            })
+            .collect();
+
+        // Preload stimulus and constants.
+        let preload = |lps: &mut Vec<TwLp<V>>, e: Event<V>| {
+            let owner = topo.lp_of(e.net);
+            let mut to_owner = false;
+            for &dst in topo.destinations(e.net) {
+                lps[dst].preload(e);
+                to_owner |= dst == owner;
+            }
+            if !to_owner {
+                lps[owner].preload(e);
+            }
+        };
+        for e in stimulus.events::<V>(circuit, until) {
+            preload(&mut lps, e);
+        }
+        for (id, g) in circuit.iter() {
+            if g.kind() == GateKind::Const1 {
+                preload(&mut lps, Event::new(VirtualTime::ZERO, id, V::ONE));
+            }
+        }
+
+        // Per-processor FIFO inboxes of (ready, dst LP, message).
+        let mut inboxes: Vec<VecDeque<(u64, usize, TwMsg<V>)>> =
+            (0..p_count).map(|_| VecDeque::new()).collect();
+        let mut in_flight = 0usize;
+
+        let mut total_work = TwWork::default();
+        let mut batches_since_gvt = 0u64;
+        let mut gvt_estimate = VirtualTime::ZERO;
+        let window_ticks: Option<u64> = match self.window {
+            Window::Auto => Some((2 * circuit.max_gate_delay().ticks()).max(16)),
+            Window::Fixed(w) => Some(w),
+            Window::Unbounded => None,
+        };
+
+        // Charges one LP action's work to processor `p` and routes its
+        // outgoing messages.
+        macro_rules! route {
+            ($p:expr, $work:expr, $sends:expr) => {{
+                let w: &TwWork = &$work;
+                vm.charge(
+                    $p,
+                    w.events_processed * self.machine.event_cost
+                        + w.evaluations * self.machine.eval_cost
+                        + w.events_scheduled * self.machine.event_cost
+                        + w.rollbacks * self.machine.rollback_cost
+                        + w.state_slots_saved
+                            * match self.saving {
+                                StateSaving::Copy => self.machine.copy_save_cost,
+                                StateSaving::Incremental => self.machine.incremental_save_cost,
+                            },
+                );
+                for (dst, msg) in $sends {
+                    let ready = vm.send($p, proc_of(dst));
+                    match msg {
+                        TwMsg::Event(_) => stats.messages_sent += 1,
+                        TwMsg::Anti(_) => {}
+                    }
+                    inboxes[proc_of(dst)].push_back((ready, dst, msg));
+                    in_flight += 1;
+                }
+            }};
+        }
+
+        loop {
+            // Scheduler: the lowest-clock processor with an immediate
+            // action (deliverable messages first, then a processable LP).
+            let limit = match window_ticks {
+                None => until,
+                Some(w) => until.min(gvt_estimate + parsim_netlist::Delay::new(w)),
+            };
+            let mut order: Vec<usize> = (0..p_count).collect();
+            order.sort_by_key(|&p| (vm.clock(p), p));
+
+            let mut acted = false;
+            for &p in &order {
+                // Deliver every message that has arrived, grouped per LP
+                // and applied with a single rollback per LP (see
+                // `TwLp::receive_batch` — per-message rollback lets the
+                // anti-message echo grow exponentially).
+                let mut groups: BTreeMap<usize, Vec<crate::lp::TwIncoming<V>>> = BTreeMap::new();
+                while let Some(&(ready, _, _)) = inboxes[p].front() {
+                    if ready > vm.clock(p) {
+                        break;
+                    }
+                    let (ready, dst, msg) = inboxes[p].pop_front().expect("peeked");
+                    in_flight -= 1;
+                    vm.receive(p, ready);
+                    groups.entry(dst).or_default().push(match msg {
+                        TwMsg::Event(e) => crate::lp::TwIncoming::Event(e),
+                        TwMsg::Anti(e) => crate::lp::TwIncoming::Anti(e),
+                    });
+                }
+                if !groups.is_empty() {
+                    for (dst, batch) in groups {
+                        let mut work = TwWork::default();
+                        let mut sends: Vec<(usize, TwMsg<V>)> = Vec::new();
+                        lps[dst].receive_batch(batch, &mut work, &mut |out| match out {
+                            TwOutgoing::Event { dst, event } => {
+                                sends.push((dst, TwMsg::Event(event)))
+                            }
+                            TwOutgoing::Anti { dst, event } => {
+                                sends.push((dst, TwMsg::Anti(event)))
+                            }
+                        });
+                        accumulate(&mut total_work, &work);
+                        route!(p, work, sends);
+                    }
+                    acted = true;
+                    break;
+                }
+                // Otherwise process the lowest-timestamp LP batch on p.
+                let candidate = (0..n_lps)
+                    .filter(|&lp| proc_of(lp) == p)
+                    .filter_map(|lp| lps[lp].next_time().map(|t| (t, lp)))
+                    .filter(|&(t, _)| t <= limit)
+                    .min();
+                if let Some((_, lp_idx)) = candidate {
+                    let mut work = TwWork::default();
+                    let mut sends: Vec<(usize, TwMsg<V>)> = Vec::new();
+                    {
+                        let collect = &mut |out: TwOutgoing<V>| match out {
+                            TwOutgoing::Event { dst, event } => {
+                                sends.push((dst, TwMsg::Event(event)))
+                            }
+                            TwOutgoing::Anti { dst, event } => {
+                                sends.push((dst, TwMsg::Anti(event)))
+                            }
+                        };
+                        let processed =
+                            lps[lp_idx].process_next(circuit, &topo, limit, &mut work, collect);
+                        debug_assert!(processed, "candidate had work");
+                    }
+                    batches_since_gvt += 1;
+                    accumulate(&mut total_work, &work);
+                    stats.state_saves += 1;
+                    route!(p, work, sends);
+                    acted = true;
+                    break;
+                }
+            }
+
+            // Periodic GVT + fossil collection.
+            let need_gvt = batches_since_gvt >= self.gvt_interval;
+            if need_gvt || !acted {
+                let gvt = lps
+                    .iter()
+                    .filter_map(TwLp::gvt_component)
+                    .chain(
+                        inboxes
+                            .iter()
+                            .flat_map(|q| q.iter().map(|(_, _, m)| m.event_time())),
+                    )
+                    .min();
+                stats.gvt_rounds += 1;
+                batches_since_gvt = 0;
+                for p in 0..p_count {
+                    vm.charge(p, self.machine.gvt_cost);
+                }
+                match gvt {
+                    Some(g) => {
+                        gvt_estimate = g;
+                        for lp in lps.iter_mut() {
+                            let _ = lp.fossil_collect(g);
+                        }
+                        if !acted && g > until && in_flight == 0 {
+                            break;
+                        }
+                    }
+                    None => {
+                        if in_flight == 0 {
+                            break;
+                        }
+                    }
+                }
+                if !acted && in_flight > 0 {
+                    // Nothing is immediately deliverable: advance the
+                    // earliest-delivery processor to its message.
+                    let (p, ready) = inboxes
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(p, q)| q.front().map(|&(r, _, _)| (p, r)))
+                        .min_by_key(|&(p, r)| (r, p))
+                        .expect("in_flight > 0");
+                    vm.wait_until(p, ready);
+                }
+            }
+        }
+
+        // Every LP has committed its full history; flush remaining lazy
+        // pendings is unnecessary (done() required them empty via quiesce).
+        debug_assert!(lps.iter().all(|lp| lp.done(until)));
+
+        let mut final_values = vec![V::ZERO; circuit.len()];
+        let mut waveforms: BTreeMap<GateId, Waveform<V>> = BTreeMap::new();
+        for lp in &lps {
+            for (id, v) in lp.owned_values(&topo) {
+                final_values[id.index()] = v;
+            }
+        }
+        for lp in &mut lps {
+            waveforms.append(&mut lp.waveforms);
+        }
+
+        let committed_events = total_work.events_processed - total_work.events_rolled_back;
+        let committed_evals = total_work.evaluations - total_work.evaluations_rolled_back;
+        stats.events_processed = committed_events;
+        stats.events_scheduled = total_work.events_scheduled;
+        stats.gate_evaluations = total_work.evaluations;
+        stats.rollbacks = total_work.rollbacks;
+        stats.events_rolled_back = total_work.events_rolled_back;
+        stats.anti_messages = total_work.anti_messages;
+        stats.state_bytes_saved = total_work.state_slots_saved;
+        stats.modeled_makespan = vm.makespan();
+        stats.modeled_work = committed_evals * self.machine.eval_cost
+            + 2 * committed_events * self.machine.event_cost;
+        SimOutcome { final_values, waveforms, end_time: until, stats }
+    }
+}
+
+fn accumulate(total: &mut TwWork, w: &TwWork) {
+    total.events_processed += w.events_processed;
+    total.evaluations += w.evaluations;
+    total.events_scheduled += w.events_scheduled;
+    total.state_slots_saved += w.state_slots_saved;
+    total.rollbacks += w.rollbacks;
+    total.events_rolled_back += w.events_rolled_back;
+    total.evaluations_rolled_back += w.evaluations_rolled_back;
+    total.anti_messages += w.anti_messages;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim_core::SequentialSimulator;
+    use parsim_logic::{Bit, Logic4};
+    use parsim_netlist::{bench, generate, DelayModel};
+    use parsim_partition::{FiducciaMattheyses, GateWeights, Partitioner};
+
+    fn partition(c: &Circuit, p: usize) -> Partition {
+        FiducciaMattheyses::default().partition(c, p, &GateWeights::uniform(c.len()))
+    }
+
+    fn check_equivalent<V: LogicValue>(
+        sim: &TimeWarpSimulator<V>,
+        c: &Circuit,
+        stim: &Stimulus,
+        until: u64,
+    ) {
+        let tw = sim.clone().with_observe(Observe::AllNets).run(c, stim, VirtualTime::new(until));
+        let seq = SequentialSimulator::<V>::new()
+            .with_observe(Observe::AllNets)
+            .run(c, stim, VirtualTime::new(until));
+        if let Some(d) = tw.divergence_from(&seq) {
+            panic!("{} diverged on {}: {d}", sim.name(), c.name());
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_combinational() {
+        let c = bench::c17();
+        let sim = TimeWarpSimulator::<Bit>::new(partition(&c, 3), MachineConfig::shared_memory(3));
+        check_equivalent(&sim, &c, &Stimulus::random(8, 7), 200);
+    }
+
+    #[test]
+    fn matches_sequential_on_sequential_circuits() {
+        let c = generate::lfsr(9, DelayModel::Unit);
+        let sim = TimeWarpSimulator::<Bit>::new(partition(&c, 4), MachineConfig::shared_memory(4));
+        check_equivalent(&sim, &c, &Stimulus::quiet(1000).with_clock(5), 300);
+        let c = generate::ring(10, DelayModel::Unit);
+        let sim = TimeWarpSimulator::<Bit>::new(partition(&c, 4), MachineConfig::shared_memory(4));
+        check_equivalent(&sim, &c, &Stimulus::random(3, 14).with_clock(7), 300);
+    }
+
+    #[test]
+    fn all_configuration_corners_match_sequential() {
+        let c = generate::random_dag(&generate::RandomDagConfig {
+            gates: 150,
+            seq_fraction: 0.15,
+            delays: DelayModel::Uniform { min: 1, max: 9, seed: 1 },
+            seed: 1,
+            ..Default::default()
+        });
+        let stim = Stimulus::random(1, 11).with_clock(6);
+        for saving in [StateSaving::Copy, StateSaving::Incremental] {
+            for cancellation in [Cancellation::Aggressive, Cancellation::Lazy] {
+                let sim = TimeWarpSimulator::<Logic4>::new(
+                    partition(&c, 4),
+                    MachineConfig::shared_memory(4),
+                )
+                .with_state_saving(saving)
+                .with_cancellation(cancellation)
+                .with_gvt_interval(16);
+                check_equivalent(&sim, &c, &stim, 250);
+            }
+        }
+    }
+
+    #[test]
+    fn window_throttle_preserves_results() {
+        let c = generate::mesh(8, 8, DelayModel::Unit);
+        let sim = TimeWarpSimulator::<Bit>::new(partition(&c, 4), MachineConfig::shared_memory(4))
+            .with_window(16)
+            .with_gvt_interval(8);
+        check_equivalent(&sim, &c, &Stimulus::random(5, 9), 250);
+    }
+
+    #[test]
+    fn granularity_preserves_results() {
+        let c = generate::mesh(8, 8, DelayModel::Unit);
+        let sim = TimeWarpSimulator::<Bit>::new(partition(&c, 4), MachineConfig::shared_memory(4))
+            .with_granularity(4);
+        check_equivalent(&sim, &c, &Stimulus::random(6, 13), 200);
+    }
+
+    #[test]
+    fn rollbacks_happen_and_efficiency_reported() {
+        // Heterogeneous delays + scattered partition provoke stragglers.
+        let c = generate::random_dag(&generate::RandomDagConfig {
+            gates: 300,
+            delays: DelayModel::Uniform { min: 1, max: 20, seed: 4 },
+            seed: 4,
+            ..Default::default()
+        });
+        let part = parsim_partition::RoundRobinPartitioner.partition(
+            &c,
+            8,
+            &GateWeights::uniform(c.len()),
+        );
+        let out = TimeWarpSimulator::<Bit>::new(part, MachineConfig::shared_memory(8))
+            .with_gvt_interval(32)
+            .run(&c, &Stimulus::random(4, 15), VirtualTime::new(600));
+        assert!(out.stats.rollbacks > 0, "expected optimism to misfire at least once");
+        assert!(out.stats.efficiency() <= 1.0);
+        assert!(out.stats.gvt_rounds > 0);
+        assert!(out.stats.modeled_speedup().is_some());
+    }
+
+    #[test]
+    fn lazy_cancellation_sends_no_more_antis_than_aggressive() {
+        let c = generate::random_dag(&generate::RandomDagConfig {
+            gates: 250,
+            delays: DelayModel::Uniform { min: 1, max: 16, seed: 9 },
+            seed: 9,
+            ..Default::default()
+        });
+        let part = parsim_partition::RoundRobinPartitioner.partition(
+            &c,
+            6,
+            &GateWeights::uniform(c.len()),
+        );
+        let stim = Stimulus::random(9, 12);
+        let until = VirtualTime::new(500);
+        let aggressive = TimeWarpSimulator::<Bit>::new(part.clone(), MachineConfig::shared_memory(6))
+            .with_cancellation(Cancellation::Aggressive)
+            .run(&c, &stim, until);
+        let lazy = TimeWarpSimulator::<Bit>::new(part, MachineConfig::shared_memory(6))
+            .with_cancellation(Cancellation::Lazy)
+            .run(&c, &stim, until);
+        assert_eq!(aggressive.divergence_from(&lazy), None);
+        assert!(
+            lazy.stats.anti_messages <= aggressive.stats.anti_messages,
+            "lazy ({}) should not exceed aggressive ({})",
+            lazy.stats.anti_messages,
+            aggressive.stats.anti_messages
+        );
+    }
+}

@@ -1,0 +1,459 @@
+//! The threaded Time Warp kernel.
+
+#![allow(clippy::needless_range_loop)] // index-parallel arrays: indices are the clearer idiom here
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parsim_core::{LpTopology, Observe, SimOutcome, SimStats, Simulator, Stimulus, Waveform};
+use parsim_event::{Event, VirtualTime};
+use parsim_logic::{GateKind, LogicValue};
+use parsim_netlist::{Circuit, GateId};
+use parsim_partition::Partition;
+
+use crate::lp::{TwLp, TwOutgoing, TwWork};
+use crate::{Cancellation, StateSaving};
+
+/// Batches each LP may process per round, bounding optimism drift between
+/// GVT computations.
+const BATCH_BUDGET: usize = 4;
+
+/// Time Warp on real threads.
+///
+/// One worker per partition block, each optimistically processing its LPs
+/// between rounds; messages crossing a round boundary arrive *after* the
+/// receiver has already speculated ahead, producing genuine stragglers and
+/// rollbacks. GVT is computed at the round barrier (where it is exact) and
+/// drives fossil collection and termination.
+///
+/// Committed results are identical to the sequential reference; statistics
+/// (rollback counts, anti-messages) vary run to run with thread timing —
+/// that nondeterminism is intrinsic to asynchronous optimism (§V notes the
+/// performance instability it causes).
+#[derive(Debug, Clone)]
+pub struct ThreadedTimeWarpSimulator<V> {
+    partition: Partition,
+    saving: StateSaving,
+    cancellation: Cancellation,
+    granularity: usize,
+    observe: Observe,
+    _values: PhantomData<V>,
+}
+
+impl<V: LogicValue> ThreadedTimeWarpSimulator<V> {
+    /// Creates the kernel; one thread per partition block.
+    pub fn new(partition: Partition) -> Self {
+        ThreadedTimeWarpSimulator {
+            partition,
+            saving: StateSaving::Incremental,
+            cancellation: Cancellation::Lazy,
+            granularity: 1,
+            observe: Observe::Outputs,
+            _values: PhantomData,
+        }
+    }
+
+    /// Selects the state-saving discipline.
+    pub fn with_state_saving(mut self, saving: StateSaving) -> Self {
+        self.saving = saving;
+        self
+    }
+
+    /// Selects the cancellation discipline.
+    pub fn with_cancellation(mut self, cancellation: Cancellation) -> Self {
+        self.cancellation = cancellation;
+        self
+    }
+
+    /// Splits every block into `factor` LPs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn with_granularity(mut self, factor: usize) -> Self {
+        assert!(factor >= 1, "granularity factor must be at least 1");
+        self.granularity = factor;
+        self
+    }
+
+    /// Selects which nets to record waveforms for.
+    pub fn with_observe(mut self, observe: Observe) -> Self {
+        self.observe = observe;
+        self
+    }
+}
+
+enum Wire<V> {
+    Event(usize, Event<V>),
+    Anti(usize, Event<V>),
+}
+
+const DECIDE_CONTINUE: u8 = 0;
+const DECIDE_STOP: u8 = 1;
+
+struct WorkerResult<V> {
+    owned_values: Vec<(GateId, V)>,
+    waveforms: BTreeMap<GateId, Waveform<V>>,
+    stats: SimStats,
+}
+
+impl<V: LogicValue> Simulator<V> for ThreadedTimeWarpSimulator<V> {
+    fn name(&self) -> String {
+        format!("threaded-time-warp(P={})", self.partition.blocks())
+    }
+
+    fn run(&self, circuit: &Circuit, stimulus: &Stimulus, until: VirtualTime) -> SimOutcome<V> {
+        assert_eq!(self.partition.len(), circuit.len(), "partition does not match circuit");
+        assert!(
+            circuit.min_gate_delay().ticks() >= 1,
+            "simulation kernels require nonzero gate delays"
+        );
+        let p_count = self.partition.blocks();
+        let coarse: Vec<usize> = circuit.ids().map(|id| self.partition.block_of(id)).collect();
+        let topo = LpTopology::with_granularity(circuit, &coarse, p_count, self.granularity);
+        let n_lps = topo.lps().len();
+        let granularity = self.granularity;
+
+        // Preloads per LP.
+        let mut preloads: Vec<Vec<Event<V>>> = vec![Vec::new(); n_lps];
+        let mut initial_events: Vec<Event<V>> = stimulus.events::<V>(circuit, until);
+        for (id, g) in circuit.iter() {
+            if g.kind() == GateKind::Const1 {
+                initial_events.push(Event::new(VirtualTime::ZERO, id, V::ONE));
+            }
+        }
+        for e in &initial_events {
+            let owner = topo.lp_of(e.net);
+            let mut to_owner = false;
+            for &dst in topo.destinations(e.net) {
+                preloads[dst].push(*e);
+                to_owner |= dst == owner;
+            }
+            if !to_owner {
+                preloads[owner].push(*e);
+            }
+        }
+
+        let barrier = Barrier::new(p_count);
+        let any_sent = AtomicBool::new(false);
+        let all_done = Mutex::new(vec![false; p_count]);
+        let gvt_inputs = Mutex::new(vec![None::<VirtualTime>; p_count]);
+        let gvt_cell = Mutex::new(VirtualTime::ZERO);
+        let decision = AtomicU8::new(DECIDE_CONTINUE);
+
+        let mut senders: Vec<Sender<Wire<V>>> = Vec::with_capacity(p_count);
+        let mut receivers: Vec<Option<Receiver<Wire<V>>>> = Vec::with_capacity(p_count);
+        for _ in 0..p_count {
+            let (s, r) = unbounded();
+            senders.push(s);
+            receivers.push(Some(r));
+        }
+
+        let (saving, cancellation, observe) = (self.saving, self.cancellation, self.observe);
+
+        let results: Vec<WorkerResult<V>> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p_count);
+            for p in 0..p_count {
+                let my_lps: Vec<usize> =
+                    (0..n_lps).filter(|&lp| lp / granularity == p).collect();
+                let mut lps: Vec<TwLp<V>> = my_lps
+                    .iter()
+                    .map(|&i| {
+                        let owned = topo.lps()[i].gates.clone();
+                        TwLp::new(
+                            circuit,
+                            &topo,
+                            i,
+                            saving,
+                            cancellation,
+                            owned.into_iter().filter(|&id| observe.wants(circuit, id)),
+                        )
+                    })
+                    .collect();
+                for (slot, &lp_idx) in my_lps.iter().enumerate() {
+                    for e in preloads[lp_idx].drain(..) {
+                        lps[slot].preload(e);
+                    }
+                }
+                let rx = receivers[p].take().expect("receiver taken once");
+                let senders = senders.clone();
+                let (barrier, any_sent, all_done, gvt_inputs, gvt_cell, decision) =
+                    (&barrier, &any_sent, &all_done, &gvt_inputs, &gvt_cell, &decision);
+                let topo = &topo;
+                handles.push(scope.spawn(move || {
+                    worker(
+                        p, circuit, topo, lps, rx, senders, barrier, any_sent, all_done,
+                        gvt_inputs, gvt_cell, decision, until, granularity,
+                    )
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+
+        let mut final_values = vec![V::ZERO; circuit.len()];
+        let mut waveforms = BTreeMap::new();
+        let mut stats = SimStats::default();
+        for r in results {
+            for (id, v) in r.owned_values {
+                final_values[id.index()] = v;
+            }
+            waveforms.extend(r.waveforms);
+            stats.events_processed += r.stats.events_processed;
+            stats.events_scheduled += r.stats.events_scheduled;
+            stats.gate_evaluations += r.stats.gate_evaluations;
+            stats.messages_sent += r.stats.messages_sent;
+            stats.rollbacks += r.stats.rollbacks;
+            stats.events_rolled_back += r.stats.events_rolled_back;
+            stats.anti_messages += r.stats.anti_messages;
+            stats.state_bytes_saved += r.stats.state_bytes_saved;
+            stats.gvt_rounds = stats.gvt_rounds.max(r.stats.gvt_rounds);
+        }
+        SimOutcome { final_values, waveforms, end_time: until, stats }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker<V: LogicValue>(
+    p: usize,
+    circuit: &Circuit,
+    topo: &LpTopology,
+    mut lps: Vec<TwLp<V>>,
+    rx: Receiver<Wire<V>>,
+    senders: Vec<Sender<Wire<V>>>,
+    barrier: &Barrier,
+    any_sent: &AtomicBool,
+    all_done: &Mutex<Vec<bool>>,
+    gvt_inputs: &Mutex<Vec<Option<VirtualTime>>>,
+    gvt_cell: &Mutex<VirtualTime>,
+    decision: &AtomicU8,
+    until: VirtualTime,
+    granularity: usize,
+) -> WorkerResult<V> {
+    let slot_of = |lp: usize| lp % granularity;
+    let mut total = TwWork::default();
+    let mut stats = SimStats::default();
+    let mut gvt_rounds = 0u64;
+
+    loop {
+        let mut sent = false;
+        let mut sent_min: Option<VirtualTime> = None;
+        // Routing closure shared by receive and process paths.
+        macro_rules! route {
+            ($out:expr) => {
+                match $out {
+                    TwOutgoing::Event { dst, event } => {
+                        stats.messages_sent += 1;
+                        sent = true;
+                        sent_min = Some(sent_min.map_or(event.time, |m| m.min(event.time)));
+                        senders[dst / granularity]
+                            .send(Wire::Event(dst, event))
+                            .expect("peer alive until all workers exit");
+                    }
+                    TwOutgoing::Anti { dst, event } => {
+                        sent = true;
+                        sent_min = Some(sent_min.map_or(event.time, |m| m.min(event.time)));
+                        senders[dst / granularity]
+                            .send(Wire::Anti(dst, event))
+                            .expect("peer alive until all workers exit");
+                    }
+                }
+            };
+        }
+
+        // Drain the inbox: stragglers and anti-messages trigger rollbacks.
+        // Messages are grouped per LP and applied with a single rollback
+        // (per-message rollback lets the anti-message echo grow
+        // exponentially — see `TwLp::receive_batch`).
+        let mut groups: BTreeMap<usize, Vec<crate::lp::TwIncoming<V>>> = BTreeMap::new();
+        for wire in rx.try_iter() {
+            match wire {
+                Wire::Event(dst, e) => {
+                    groups.entry(dst).or_default().push(crate::lp::TwIncoming::Event(e))
+                }
+                Wire::Anti(dst, e) => {
+                    groups.entry(dst).or_default().push(crate::lp::TwIncoming::Anti(e))
+                }
+            }
+        }
+        for (dst, batch) in groups {
+            let mut work = TwWork::default();
+            lps[slot_of(dst)].receive_batch(batch, &mut work, &mut |o| route!(o));
+            accumulate(&mut total, &work);
+        }
+
+        // Optimistically process a bounded number of batches per LP.
+        for lp in lps.iter_mut() {
+            for _ in 0..BATCH_BUDGET {
+                let mut work = TwWork::default();
+                let processed = lp.process_next(circuit, topo, until, &mut work, &mut |o| route!(o));
+                accumulate(&mut total, &work);
+                if !processed {
+                    break;
+                }
+            }
+        }
+
+        // Publish round state.
+        if sent {
+            any_sent.store(true, Ordering::SeqCst);
+        }
+        {
+            let mut done = all_done.lock().expect("done lock");
+            done[p] = lps.iter().all(|lp| lp.done(until)) && !sent;
+        }
+        {
+            let mut g = gvt_inputs.lock().expect("gvt lock");
+            let local = lps.iter().filter_map(TwLp::gvt_component).min();
+            g[p] = match (local, sent_min) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        barrier.wait();
+
+        if p == 0 {
+            let done = all_done.lock().expect("done lock").iter().all(|&d| d);
+            let sent_any = any_sent.load(Ordering::SeqCst);
+            let gvt = gvt_inputs.lock().expect("gvt lock").iter().flatten().min().copied();
+            let verdict = if done && !sent_any {
+                DECIDE_STOP
+            } else {
+                DECIDE_CONTINUE
+            };
+            *gvt_cell.lock().expect("gvt cell") = gvt.unwrap_or(VirtualTime::INFINITY);
+            decision.store(verdict, Ordering::SeqCst);
+            any_sent.store(false, Ordering::SeqCst);
+        }
+        barrier.wait();
+        gvt_rounds += 1;
+        if decision.load(Ordering::SeqCst) == DECIDE_STOP {
+            break;
+        }
+        // Fossil-collect behind the exact GVT computed at the barrier.
+        // Messages sent this round are accounted in `sent_min`, so the GVT
+        // lower-bounds everything still in flight.
+        let gvt = *gvt_cell.lock().expect("gvt cell");
+        if !gvt.is_infinite() {
+            for lp in lps.iter_mut() {
+                let _ = lp.fossil_collect(gvt);
+            }
+        }
+    }
+
+    let mut owned_values = Vec::new();
+    let mut waveforms = BTreeMap::new();
+    for lp in &mut lps {
+        owned_values.extend(lp.owned_values(topo));
+        waveforms.append(&mut lp.waveforms);
+    }
+    stats.events_processed = total.events_processed - total.events_rolled_back;
+    stats.events_scheduled = total.events_scheduled;
+    stats.gate_evaluations = total.evaluations;
+    stats.rollbacks = total.rollbacks;
+    stats.events_rolled_back = total.events_rolled_back;
+    stats.anti_messages = total.anti_messages;
+    stats.state_bytes_saved = total.state_slots_saved;
+    stats.gvt_rounds = gvt_rounds;
+    WorkerResult { owned_values, waveforms, stats }
+}
+
+fn accumulate(total: &mut TwWork, w: &TwWork) {
+    total.events_processed += w.events_processed;
+    total.evaluations += w.evaluations;
+    total.events_scheduled += w.events_scheduled;
+    total.state_slots_saved += w.state_slots_saved;
+    total.rollbacks += w.rollbacks;
+    total.events_rolled_back += w.events_rolled_back;
+    total.evaluations_rolled_back += w.evaluations_rolled_back;
+    total.anti_messages += w.anti_messages;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim_core::SequentialSimulator;
+    use parsim_logic::{Bit, Logic4};
+    use parsim_netlist::{bench, generate, DelayModel};
+    use parsim_partition::{FiducciaMattheyses, GateWeights, Partitioner, RoundRobinPartitioner};
+
+    fn check_equivalent<V: LogicValue>(
+        sim: &ThreadedTimeWarpSimulator<V>,
+        c: &Circuit,
+        stim: &Stimulus,
+        until: u64,
+    ) {
+        let tw = sim.clone().with_observe(Observe::AllNets).run(c, stim, VirtualTime::new(until));
+        let seq = SequentialSimulator::<V>::new()
+            .with_observe(Observe::AllNets)
+            .run(c, stim, VirtualTime::new(until));
+        if let Some(d) = tw.divergence_from(&seq) {
+            panic!("{} diverged on {}: {d}", sim.name(), c.name());
+        }
+    }
+
+    fn partition(c: &Circuit, p: usize) -> Partition {
+        FiducciaMattheyses::default().partition(c, p, &GateWeights::uniform(c.len()))
+    }
+
+    #[test]
+    fn matches_sequential_on_combinational() {
+        let c = bench::c17();
+        check_equivalent(
+            &ThreadedTimeWarpSimulator::<Bit>::new(partition(&c, 3)),
+            &c,
+            &Stimulus::random(2, 8),
+            200,
+        );
+    }
+
+    #[test]
+    fn matches_sequential_on_sequential_circuits() {
+        let c = generate::lfsr(8, DelayModel::Unit);
+        check_equivalent(
+            &ThreadedTimeWarpSimulator::<Bit>::new(partition(&c, 4)),
+            &c,
+            &Stimulus::quiet(1000).with_clock(5),
+            250,
+        );
+    }
+
+    #[test]
+    fn configuration_corners_match_sequential() {
+        let c = generate::random_dag(&generate::RandomDagConfig {
+            gates: 150,
+            seq_fraction: 0.1,
+            delays: DelayModel::Uniform { min: 1, max: 8, seed: 3 },
+            seed: 3,
+            ..Default::default()
+        });
+        let stim = Stimulus::random(3, 10).with_clock(6);
+        for saving in [StateSaving::Copy, StateSaving::Incremental] {
+            for cancellation in [Cancellation::Aggressive, Cancellation::Lazy] {
+                let sim = ThreadedTimeWarpSimulator::<Logic4>::new(partition(&c, 4))
+                    .with_state_saving(saving)
+                    .with_cancellation(cancellation);
+                check_equivalent(&sim, &c, &stim, 200);
+            }
+        }
+    }
+
+    #[test]
+    fn scattered_partition_still_correct() {
+        // Round-robin maximizes cross-thread traffic (and rollbacks).
+        let c = generate::random_dag(&generate::RandomDagConfig {
+            gates: 250,
+            delays: DelayModel::Uniform { min: 1, max: 15, seed: 7 },
+            seed: 7,
+            ..Default::default()
+        });
+        let part = RoundRobinPartitioner.partition(&c, 6, &GateWeights::uniform(c.len()));
+        check_equivalent(
+            &ThreadedTimeWarpSimulator::<Bit>::new(part),
+            &c,
+            &Stimulus::random(7, 12),
+            400,
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Shared recursive-bisection driver for the min-cut partitioners.
+//!
+//! Both Kernighan–Lin and Fiduccia–Mattheyses are 2-way algorithms; k-way
+//! partitions are produced by recursive bisection, splitting the block range
+//! (and the weight target) proportionally at each level — the standard
+//! construction the paper's §III alludes to with "min-cut algorithms ...
+//! used extensively for logic partitioning".
+
+use parsim_netlist::Circuit;
+
+use crate::GateWeights;
+
+/// A 2-way split of `cells` (indices into the circuit arena): `true` means
+/// "right side".
+pub(crate) type Sides = Vec<bool>;
+
+/// A bisection procedure: splits `cells` so that the left side carries
+/// roughly `target_left` of the total weight.
+pub(crate) trait Bisector {
+    fn bisect(
+        &self,
+        circuit: &Circuit,
+        weights: &GateWeights,
+        cells: &[usize],
+        target_left: f64,
+    ) -> Sides;
+}
+
+/// Splits `cells` by ascending id until the left side holds `target_left`
+/// of the weight — the standard seed partition both refiners start from.
+pub(crate) fn seed_split(
+    weights: &GateWeights,
+    cells: &[usize],
+    target_left: f64,
+) -> Sides {
+    let total: f64 = cells.iter().map(|&c| weights.weight(parsim_netlist::GateId::new(c))).sum();
+    let target = total * target_left;
+    let mut acc = 0.0;
+    let mut sides = Vec::with_capacity(cells.len());
+    for &c in cells {
+        sides.push(acc >= target);
+        acc += weights.weight(parsim_netlist::GateId::new(c));
+    }
+    sides
+}
+
+/// Runs recursive bisection over `blocks` blocks and returns the final
+/// per-gate block assignment.
+pub(crate) fn recursive(
+    circuit: &Circuit,
+    weights: &GateWeights,
+    blocks: usize,
+    bisector: &dyn Bisector,
+) -> Vec<usize> {
+    let mut assignment = vec![0usize; circuit.len()];
+    let all: Vec<usize> = (0..circuit.len()).collect();
+    split(circuit, weights, bisector, all, 0, blocks, &mut assignment);
+    assignment
+}
+
+fn split(
+    circuit: &Circuit,
+    weights: &GateWeights,
+    bisector: &dyn Bisector,
+    cells: Vec<usize>,
+    block_lo: usize,
+    nblocks: usize,
+    assignment: &mut [usize],
+) {
+    if nblocks == 1 || cells.is_empty() {
+        for &c in &cells {
+            assignment[c] = block_lo;
+        }
+        return;
+    }
+    let left_blocks = nblocks / 2;
+    let target_left = left_blocks as f64 / nblocks as f64;
+    let sides = bisector.bisect(circuit, weights, &cells, target_left);
+    debug_assert_eq!(sides.len(), cells.len());
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for (i, &c) in cells.iter().enumerate() {
+        if sides[i] {
+            right.push(c);
+        } else {
+            left.push(c);
+        }
+    }
+    split(circuit, weights, bisector, left, block_lo, left_blocks, assignment);
+    split(circuit, weights, bisector, right, block_lo + left_blocks, nblocks - left_blocks, assignment);
+}

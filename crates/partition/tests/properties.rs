@@ -1,0 +1,83 @@
+//! Property-based tests: every partitioner must produce a valid, total,
+//! reasonably balanced partition of any circuit.
+
+use parsim_netlist::generate::{random_dag, RandomDagConfig};
+use parsim_partition::{all_partitioners, GateWeights};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Invariants common to all partitioners: every gate assigned, block
+    /// count as requested, single-block runs have zero cut, and the cut
+    /// never exceeds the total edge count.
+    #[test]
+    fn partitions_are_total_and_sane(
+        gates in 20usize..300,
+        blocks in 1usize..9,
+        seq in 0.0f64..0.3,
+        seed in any::<u64>(),
+    ) {
+        let c = random_dag(&RandomDagConfig {
+            gates,
+            seq_fraction: seq,
+            seed,
+            ..Default::default()
+        });
+        let w = GateWeights::uniform(c.len());
+        let total_edges: usize = c.ids().map(|id| c.fanout(id).len()).sum();
+        for p in all_partitioners(seed) {
+            let part = p.partition(&c, blocks, &w);
+            prop_assert_eq!(part.len(), c.len(), "{} incomplete", p.name());
+            prop_assert_eq!(part.blocks(), blocks, "{} wrong block count", p.name());
+            let cut = part.cut_edges(&c);
+            prop_assert!(cut <= total_edges, "{} cut too large", p.name());
+            prop_assert!(part.cut_nets(&c) <= cut, "{} net cut > edge cut", p.name());
+            if blocks == 1 {
+                prop_assert_eq!(cut, 0, "{} nonzero cut at P=1", p.name());
+            }
+            // members() is the exact inverse of block_of().
+            for (b, members) in part.members().into_iter().enumerate() {
+                for id in members {
+                    prop_assert_eq!(part.block_of(id), b);
+                }
+            }
+        }
+    }
+
+    /// Partitioners are deterministic: repeating the call reproduces the
+    /// identical partition.
+    #[test]
+    fn partitioners_are_deterministic(seed in any::<u64>()) {
+        let c = random_dag(&RandomDagConfig { gates: 120, seed, ..Default::default() });
+        let w = GateWeights::uniform(c.len());
+        for p in all_partitioners(seed) {
+            let a = p.partition(&c, 4, &w);
+            let b = p.partition(&c, 4, &w);
+            prop_assert_eq!(a, b, "{} is not deterministic", p.name());
+        }
+    }
+
+    /// Weighted partitioning: when weights are heavily skewed, weight-aware
+    /// algorithms must not put the entire hot set on one block.
+    #[test]
+    fn weighted_balance_is_respected(seed in any::<u64>()) {
+        let c = random_dag(&RandomDagConfig { gates: 200, seed, ..Default::default() });
+        let v: Vec<f64> =
+            (0..c.len()).map(|i| if i % 10 == 0 { 50.0 } else { 1.0 }).collect();
+        let w = GateWeights::from_values(v);
+        for p in all_partitioners(seed) {
+            if p.name() == "round-robin" {
+                continue; // round-robin is weight-blind by definition
+            }
+            let part = p.partition(&c, 4, &w);
+            let q = part.quality(&c, &w);
+            prop_assert!(
+                q.max_load_ratio < 2.5,
+                "{} weighted balance {} too poor",
+                p.name(),
+                q.max_load_ratio
+            );
+        }
+    }
+}

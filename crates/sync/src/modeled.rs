@@ -1,0 +1,323 @@
+//! The modeled synchronous kernel.
+
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+
+use parsim_core::{evaluate_gate, GateRuntime, Observe, SimOutcome, SimStats, Simulator, Stimulus, Waveform};
+use parsim_event::{BinaryHeapQueue, Event, EventQueue, VirtualTime};
+use parsim_logic::{GateKind, LogicValue};
+use parsim_machine::{MachineConfig, VirtualMachine};
+use parsim_netlist::{Circuit, GateId};
+use parsim_partition::Partition;
+
+/// The synchronous global-clock kernel on the virtual multiprocessor.
+///
+/// Each superstep: every processor retrieves its events at the common
+/// simulated time, applies them, evaluates its affected gates, distributes
+/// output events (paying message costs for cross-block fanout), and then all
+/// processors barrier to agree on the next event time. Modeled time advances
+/// per the [`MachineConfig`] price list; logical results are bit-identical
+/// to the sequential reference.
+///
+/// See the crate docs for an example.
+#[derive(Debug, Clone)]
+pub struct SyncSimulator<V> {
+    partition: Partition,
+    machine: MachineConfig,
+    observe: Observe,
+    _values: PhantomData<V>,
+}
+
+impl<V: LogicValue> SyncSimulator<V> {
+    /// Creates the kernel over a partition, one block per processor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition's block count differs from the machine's
+    /// processor count.
+    pub fn new(partition: Partition, machine: MachineConfig) -> Self {
+        assert_eq!(
+            partition.blocks(),
+            machine.processors,
+            "synchronous kernel needs one partition block per processor"
+        );
+        SyncSimulator { partition, machine, observe: Observe::Outputs, _values: PhantomData }
+    }
+
+    /// Selects which nets to record waveforms for.
+    pub fn with_observe(mut self, observe: Observe) -> Self {
+        self.observe = observe;
+        self
+    }
+
+    /// The partition driving gate placement.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+}
+
+impl<V: LogicValue> Simulator<V> for SyncSimulator<V> {
+    fn name(&self) -> String {
+        format!("synchronous(P={})", self.machine.processors)
+    }
+
+    fn run(&self, circuit: &Circuit, stimulus: &Stimulus, until: VirtualTime) -> SimOutcome<V> {
+        assert_eq!(self.partition.len(), circuit.len(), "partition does not match circuit");
+        assert!(
+            circuit.min_gate_delay().ticks() >= 1,
+            "simulation kernels require nonzero gate delays"
+        );
+        let n = circuit.len();
+        let p_count = self.machine.processors;
+        let mut vm = VirtualMachine::new(self.machine);
+        let mut stats = SimStats::default();
+
+        let mut values = vec![V::ZERO; n];
+        let mut runtime = vec![GateRuntime::<V>::default(); n];
+        let mut waveforms: BTreeMap<GateId, Waveform<V>> = circuit
+            .ids()
+            .filter(|&id| self.observe.wants(circuit, id))
+            .map(|id| (id, Waveform::new(V::ZERO)))
+            .collect();
+
+        // Per-processor pending event queues. An event on net `g` is
+        // delivered to every processor owning a fanout gate of `g`, plus the
+        // owner of `g` itself (which maintains the authoritative net value).
+        let mut queues: Vec<BinaryHeapQueue<V>> =
+            (0..p_count).map(|_| BinaryHeapQueue::new()).collect();
+
+        let block_of = |id: GateId| self.partition.block_of(id);
+        let dests = |id: GateId| -> Vec<usize> {
+            let mut d: Vec<usize> =
+                circuit.fanout(id).iter().map(|e| block_of(e.gate)).collect();
+            d.push(block_of(id));
+            d.sort_unstable();
+            d.dedup();
+            d
+        };
+
+        // Logical (deduplicated) event production count, for the modeled
+        // sequential-work baseline.
+        let mut logical_events = 0u64;
+
+        // Initialization: stimulus and constants. Distribution costs are not
+        // charged — loading the testbench is setup, not simulation.
+        let mut initial: Vec<Event<V>> = stimulus.events::<V>(circuit, until);
+        for (id, g) in circuit.iter() {
+            if g.kind() == GateKind::Const1 {
+                initial.push(Event::new(VirtualTime::ZERO, id, V::ONE));
+            }
+        }
+        for e in &initial {
+            logical_events += 1;
+            stats.events_scheduled += 1;
+            for &q in &dests(e.net) {
+                queues[q].push(*e);
+            }
+        }
+
+        // Per-processor dirty sets (stamped).
+        let mut stamp = vec![u64::MAX; n];
+        let mut stamp_counter = 0u64;
+        // Deduplicated value application within a step.
+        let mut applied_stamp = vec![u64::MAX; n];
+
+        let mut evals = 0u64;
+        let mut first_step = true;
+
+        loop {
+            // The first step always runs at t = 0 (initial evaluation),
+            // even when the earliest queued event is later.
+            let now = if first_step {
+                VirtualTime::ZERO
+            } else {
+                match queues.iter().filter_map(|q| q.peek_time()).min() {
+                    Some(t) if t <= until => t,
+                    _ => break,
+                }
+            };
+            stamp_counter += 1;
+            let mut dirty: Vec<Vec<GateId>> = vec![Vec::new(); p_count];
+
+            // Phase 1: every processor retrieves and applies its events.
+            for (p, queue) in queues.iter_mut().enumerate() {
+                while queue.peek_time() == Some(now) {
+                    let e = queue.pop().expect("peeked");
+                    vm.charge(p, self.machine.event_cost);
+                    // The block owning the net applies it authoritatively
+                    // (counts once); readers apply to their local copy
+                    // (modeled by the shared array — no second write
+                    // needed, but the event cost above is still paid).
+                    if applied_stamp[e.net.index()] != stamp_counter {
+                        applied_stamp[e.net.index()] = stamp_counter;
+                        stats.events_processed += 1;
+                        if values[e.net.index()] == e.value {
+                            continue;
+                        }
+                        values[e.net.index()] = e.value;
+                        if let Some(w) = waveforms.get_mut(&e.net) {
+                            w.record(now, e.value);
+                        }
+                        for entry in circuit.fanout(e.net) {
+                            if stamp[entry.gate.index()] != stamp_counter {
+                                stamp[entry.gate.index()] = stamp_counter;
+                                dirty[block_of(entry.gate)].push(entry.gate);
+                            }
+                        }
+                    }
+                }
+            }
+            if first_step {
+                for (id, g) in circuit.iter() {
+                    if !g.kind().is_source() && stamp[id.index()] != stamp_counter {
+                        stamp[id.index()] = stamp_counter;
+                        dirty[block_of(id)].push(id);
+                    }
+                }
+                first_step = false;
+            }
+
+            // Phase 2: each processor evaluates its dirty gates and
+            // distributes the resulting events.
+            for (p, dirty_p) in dirty.iter_mut().enumerate() {
+                dirty_p.sort_unstable();
+                for &id in dirty_p.iter() {
+                    vm.charge(p, self.machine.eval_cost);
+                    evals += 1;
+                    stats.gate_evaluations += 1;
+                    let out = evaluate_gate(
+                        circuit,
+                        id,
+                        &mut |f| values[f.index()],
+                        &mut runtime[id.index()],
+                    );
+                    if let Some(v) = out {
+                        let e = Event::new(now + circuit.delay(id), id, v);
+                        logical_events += 1;
+                        stats.events_scheduled += 1;
+                        for &q in &dests(id) {
+                            queues[q].push(e);
+                            if q == p {
+                                vm.charge(p, self.machine.event_cost);
+                            } else {
+                                // Remote delivery: sender pays the send,
+                                // receiver pays the receive (the barrier
+                                // hides the latency).
+                                let _ready = vm.send(p, q);
+                                vm.charge(q, self.machine.recv_cost);
+                                stats.messages_sent += 1;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Phase 3: barrier to agree on the next simulated time.
+            vm.barrier();
+            stats.barriers += 1;
+        }
+
+        stats.modeled_makespan = vm.makespan();
+        stats.modeled_work = evals * self.machine.eval_cost
+            + 2 * logical_events * self.machine.event_cost;
+        SimOutcome { final_values: values, waveforms, end_time: until, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim_core::SequentialSimulator;
+    use parsim_logic::{Bit, Logic4};
+    use parsim_netlist::{bench, generate, DelayModel};
+    use parsim_partition::{ConePartitioner, GateWeights, Partitioner, RoundRobinPartitioner};
+
+    fn partition(c: &Circuit, p: usize) -> Partition {
+        ConePartitioner.partition(c, p, &GateWeights::uniform(c.len()))
+    }
+
+    fn check_equivalent<V: LogicValue>(c: &Circuit, stim: &Stimulus, until: u64, p: usize) {
+        let sync = SyncSimulator::<V>::new(partition(c, p), MachineConfig::shared_memory(p))
+            .with_observe(Observe::AllNets)
+            .run(c, stim, VirtualTime::new(until));
+        let seq = SequentialSimulator::<V>::new()
+            .with_observe(Observe::AllNets)
+            .run(c, stim, VirtualTime::new(until));
+        if let Some(d) = sync.divergence_from(&seq) {
+            panic!("synchronous kernel diverged on {}: {d}", c.name());
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_c17() {
+        check_equivalent::<Bit>(&bench::c17(), &Stimulus::random(5, 7), 200, 4);
+        check_equivalent::<Logic4>(&bench::c17(), &Stimulus::counting(9), 300, 3);
+    }
+
+    #[test]
+    fn matches_sequential_on_sequential_circuits() {
+        let c = generate::lfsr(10, DelayModel::Unit);
+        check_equivalent::<Bit>(&c, &Stimulus::quiet(1000).with_clock(4), 300, 4);
+        let c = generate::counter(6, DelayModel::PerKind);
+        check_equivalent::<Bit>(&c, &Stimulus::quiet(1000).with_clock(16), 600, 8);
+    }
+
+    #[test]
+    fn matches_sequential_on_random_dags_with_heterogeneous_delays() {
+        for seed in 0..4 {
+            let c = generate::random_dag(&generate::RandomDagConfig {
+                gates: 250,
+                seq_fraction: 0.15,
+                delays: DelayModel::Uniform { min: 1, max: 13, seed },
+                seed,
+                ..Default::default()
+            });
+            check_equivalent::<Logic4>(&c, &Stimulus::random(seed, 11).with_clock(6), 250, 8);
+        }
+    }
+
+    #[test]
+    fn modeled_speedup_above_one_on_wide_circuits() {
+        let c = generate::array_multiplier(12, DelayModel::Unit);
+        let p = 8;
+        let out = SyncSimulator::<Bit>::new(partition(&c, p), MachineConfig::shared_memory(p))
+            .run(&c, &Stimulus::random(3, 40), VirtualTime::new(800));
+        let speedup = out.stats.modeled_speedup().expect("modeled kernel reports speedup");
+        assert!(speedup > 1.5, "expected parallel benefit, got {speedup:.2}");
+        assert!(speedup <= p as f64 + 0.01, "speedup {speedup:.2} cannot beat P={p}");
+        assert!(out.stats.barriers > 0);
+    }
+
+    #[test]
+    fn bad_partition_hurts_modeled_performance() {
+        // Round-robin (max cut) must send more messages than cones.
+        let c = generate::mesh(16, 16, DelayModel::Unit);
+        let stim = Stimulus::random(2, 25);
+        let until = VirtualTime::new(500);
+        let w = GateWeights::uniform(c.len());
+        let good = SyncSimulator::<Bit>::new(
+            parsim_partition::FiducciaMattheyses::default().partition(&c, 8, &w),
+            MachineConfig::shared_memory(8),
+        )
+        .run(&c, &stim, until);
+        let bad = SyncSimulator::<Bit>::new(
+            RoundRobinPartitioner.partition(&c, 8, &w),
+            MachineConfig::shared_memory(8),
+        )
+        .run(&c, &stim, until);
+        assert!(
+            bad.stats.messages_sent > good.stats.messages_sent,
+            "round-robin should send more messages ({} vs {})",
+            bad.stats.messages_sent,
+            good.stats.messages_sent
+        );
+        assert_eq!(good.divergence_from(&bad), None, "partition must not affect results");
+    }
+
+    #[test]
+    #[should_panic(expected = "one partition block per processor")]
+    fn mismatched_partition_rejected() {
+        let c = bench::c17();
+        SyncSimulator::<Bit>::new(partition(&c, 4), MachineConfig::shared_memory(8));
+    }
+}

@@ -1,0 +1,323 @@
+//! The threaded synchronous kernel.
+
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+use std::sync::{Barrier, Mutex};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parsim_core::{evaluate_gate, GateRuntime, Observe, SimOutcome, SimStats, Simulator, Stimulus, Waveform};
+use parsim_event::{BinaryHeapQueue, Event, EventQueue, VirtualTime};
+use parsim_logic::{GateKind, LogicValue};
+use parsim_netlist::{Circuit, GateId};
+use parsim_partition::Partition;
+
+/// The synchronous kernel on real threads.
+///
+/// One worker thread per partition block; each superstep the workers agree
+/// on the next event time through a shared head-time table and a
+/// `std::sync::Barrier`, process their events on private state, and
+/// exchange boundary events over crossbeam channels. Logical results are
+/// bit-identical to [`SyncSimulator`](crate::SyncSimulator) and the
+/// sequential reference.
+///
+/// On a single-core host this kernel demonstrates correctness, not speedup;
+/// wall-clock numbers are only meaningful on real multiprocessors (the
+/// modeled kernel exists precisely because this host has one core).
+#[derive(Debug, Clone)]
+pub struct ThreadedSyncSimulator<V> {
+    partition: Partition,
+    observe: Observe,
+    _values: PhantomData<V>,
+}
+
+impl<V: LogicValue> ThreadedSyncSimulator<V> {
+    /// Creates the kernel; one thread per partition block.
+    pub fn new(partition: Partition) -> Self {
+        ThreadedSyncSimulator { partition, observe: Observe::Outputs, _values: PhantomData }
+    }
+
+    /// Selects which nets to record waveforms for.
+    pub fn with_observe(mut self, observe: Observe) -> Self {
+        self.observe = observe;
+        self
+    }
+}
+
+struct WorkerResult<V> {
+    owned_values: Vec<(GateId, V)>,
+    waveforms: BTreeMap<GateId, Waveform<V>>,
+    stats: SimStats,
+}
+
+impl<V: LogicValue> Simulator<V> for ThreadedSyncSimulator<V> {
+    fn name(&self) -> String {
+        format!("threaded-synchronous(P={})", self.partition.blocks())
+    }
+
+    fn run(&self, circuit: &Circuit, stimulus: &Stimulus, until: VirtualTime) -> SimOutcome<V> {
+        assert_eq!(self.partition.len(), circuit.len(), "partition does not match circuit");
+        assert!(
+            circuit.min_gate_delay().ticks() >= 1,
+            "simulation kernels require nonzero gate delays"
+        );
+        let p_count = self.partition.blocks();
+        let n = circuit.len();
+
+        // Pre-compute destination blocks per net.
+        let dests: Vec<Vec<usize>> = circuit
+            .ids()
+            .map(|id| {
+                let mut d: Vec<usize> =
+                    circuit.fanout(id).iter().map(|e| self.partition.block_of(e.gate)).collect();
+                d.push(self.partition.block_of(id));
+                d.sort_unstable();
+                d.dedup();
+                d
+            })
+            .collect();
+
+        // Initial events, distributed per destination block.
+        let mut initial: Vec<Vec<Event<V>>> = vec![Vec::new(); p_count];
+        let mut init_events: Vec<Event<V>> = stimulus.events::<V>(circuit, until);
+        for (id, g) in circuit.iter() {
+            if g.kind() == GateKind::Const1 {
+                init_events.push(Event::new(VirtualTime::ZERO, id, V::ONE));
+            }
+        }
+        for e in &init_events {
+            for &b in &dests[e.net.index()] {
+                initial[b].push(*e);
+            }
+        }
+
+        let barrier = Barrier::new(p_count);
+        let heads: Mutex<Vec<Option<VirtualTime>>> = Mutex::new(vec![None; p_count]);
+        let mut senders: Vec<Sender<Event<V>>> = Vec::with_capacity(p_count);
+        let mut receivers: Vec<Option<Receiver<Event<V>>>> = Vec::with_capacity(p_count);
+        for _ in 0..p_count {
+            let (s, r) = unbounded();
+            senders.push(s);
+            receivers.push(Some(r));
+        }
+
+        let owned: Vec<Vec<GateId>> = self.partition.members();
+
+        let results: Vec<WorkerResult<V>> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p_count);
+            for p in 0..p_count {
+                let my_initial = std::mem::take(&mut initial[p]);
+                let my_rx = receivers[p].take().expect("receiver taken once");
+                let senders = senders.clone();
+                let barrier = &barrier;
+                let heads = &heads;
+                let dests = &dests;
+                let owned = &owned[p];
+                let partition = &self.partition;
+                let observe = self.observe;
+                handles.push(scope.spawn(move || {
+                    run_worker(
+                        p, circuit, partition, observe, my_initial, my_rx, senders, barrier,
+                        heads, dests, owned, until,
+                    )
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+
+        // Merge worker results.
+        let mut final_values = vec![V::ZERO; n];
+        let mut waveforms = BTreeMap::new();
+        let mut stats = SimStats::default();
+        for r in results {
+            for (id, v) in r.owned_values {
+                final_values[id.index()] = v;
+            }
+            waveforms.extend(r.waveforms);
+            stats.events_processed += r.stats.events_processed;
+            stats.events_scheduled += r.stats.events_scheduled;
+            stats.gate_evaluations += r.stats.gate_evaluations;
+            stats.messages_sent += r.stats.messages_sent;
+            stats.barriers = stats.barriers.max(r.stats.barriers);
+        }
+        SimOutcome { final_values, waveforms, end_time: until, stats }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_worker<V: LogicValue>(
+    p: usize,
+    circuit: &Circuit,
+    partition: &Partition,
+    observe: Observe,
+    initial: Vec<Event<V>>,
+    rx: Receiver<Event<V>>,
+    senders: Vec<Sender<Event<V>>>,
+    barrier: &Barrier,
+    heads: &Mutex<Vec<Option<VirtualTime>>>,
+    dests: &[Vec<usize>],
+    owned: &[GateId],
+    until: VirtualTime,
+) -> WorkerResult<V> {
+    let n = circuit.len();
+    let mut values = vec![V::ZERO; n];
+    let mut runtime: BTreeMap<GateId, GateRuntime<V>> =
+        owned.iter().map(|&id| (id, GateRuntime::default())).collect();
+    let mut waveforms: BTreeMap<GateId, Waveform<V>> = owned
+        .iter()
+        .copied()
+        .filter(|&id| observe.wants(circuit, id))
+        .map(|id| (id, Waveform::new(V::ZERO)))
+        .collect();
+    let mut queue = BinaryHeapQueue::new();
+    for e in initial {
+        queue.push(e);
+    }
+    let mut stats = SimStats::default();
+    let mut stamp = vec![u64::MAX; n];
+    let mut stamp_counter = 0u64;
+    let mut first_step = true;
+
+    loop {
+        // Publish the local head time; the minimum is the global step time.
+        {
+            let mut h = heads.lock().expect("heads lock");
+            h[p] = queue.peek_time();
+        }
+        barrier.wait();
+        let now = {
+            let h = heads.lock().expect("heads lock");
+            h.iter().flatten().min().copied()
+        };
+        // All workers must pass this barrier before anyone rewrites heads.
+        barrier.wait();
+        // The first round always runs at t = 0 (initial evaluation), even
+        // when the earliest queued event is later; every worker takes this
+        // branch in the same round, keeping the barriers aligned.
+        let now = if first_step {
+            VirtualTime::ZERO
+        } else {
+            match now {
+                Some(t) if t <= until => t,
+                _ => break,
+            }
+        };
+
+        stamp_counter += 1;
+        let mut dirty: Vec<GateId> = Vec::new();
+
+        // Phase 1: apply local events at `now`.
+        while queue.peek_time() == Some(now) {
+            let e = queue.pop().expect("peeked");
+            stats.events_processed += 1;
+            if values[e.net.index()] == e.value {
+                continue;
+            }
+            values[e.net.index()] = e.value;
+            if let Some(w) = waveforms.get_mut(&e.net) {
+                w.record(now, e.value);
+            }
+            for entry in circuit.fanout(e.net) {
+                if partition.block_of(entry.gate) == p
+                    && stamp[entry.gate.index()] != stamp_counter
+                {
+                    stamp[entry.gate.index()] = stamp_counter;
+                    dirty.push(entry.gate);
+                }
+            }
+        }
+        if first_step {
+            for &id in owned {
+                if !circuit.kind(id).is_source() && stamp[id.index()] != stamp_counter {
+                    stamp[id.index()] = stamp_counter;
+                    dirty.push(id);
+                }
+            }
+            first_step = false;
+        }
+
+        // Phase 2: evaluate and distribute.
+        dirty.sort_unstable();
+        for &id in &dirty {
+            stats.gate_evaluations += 1;
+            let rt = runtime.get_mut(&id).expect("dirty gate is owned");
+            let out = evaluate_gate(circuit, id, &mut |f| values[f.index()], rt);
+            if let Some(v) = out {
+                let e = Event::new(now + circuit.delay(id), id, v);
+                stats.events_scheduled += 1;
+                for &b in &dests[id.index()] {
+                    if b == p {
+                        queue.push(e);
+                    } else {
+                        stats.messages_sent += 1;
+                        senders[b].send(e).expect("peer alive until all workers exit");
+                    }
+                }
+            }
+        }
+
+        // Phase 3: everyone has sent; drain the inbox.
+        barrier.wait();
+        stats.barriers += 1;
+        for e in rx.try_iter() {
+            queue.push(e);
+        }
+    }
+
+    let owned_values = owned.iter().map(|&id| (id, values[id.index()])).collect();
+    WorkerResult { owned_values, waveforms, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim_core::SequentialSimulator;
+    use parsim_logic::{Bit, Logic4};
+    use parsim_netlist::{bench, generate, DelayModel};
+    use parsim_partition::{FiducciaMattheyses, GateWeights, Partitioner};
+
+    fn check_equivalent<V: LogicValue>(c: &Circuit, stim: &Stimulus, until: u64, p: usize) {
+        let part = FiducciaMattheyses::default().partition(c, p, &GateWeights::uniform(c.len()));
+        let threaded = ThreadedSyncSimulator::<V>::new(part)
+            .with_observe(Observe::AllNets)
+            .run(c, stim, VirtualTime::new(until));
+        let seq = SequentialSimulator::<V>::new()
+            .with_observe(Observe::AllNets)
+            .run(c, stim, VirtualTime::new(until));
+        if let Some(d) = threaded.divergence_from(&seq) {
+            panic!("threaded synchronous kernel diverged on {}: {d}", c.name());
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_combinational() {
+        check_equivalent::<Bit>(&bench::c17(), &Stimulus::random(1, 8), 200, 3);
+        let c = generate::ripple_adder(12, DelayModel::PerKind);
+        check_equivalent::<Logic4>(&c, &Stimulus::counting(30), 600, 4);
+    }
+
+    #[test]
+    fn matches_sequential_on_sequential_circuits() {
+        let c = generate::lfsr(8, DelayModel::Unit);
+        check_equivalent::<Bit>(&c, &Stimulus::quiet(1000).with_clock(5), 400, 4);
+    }
+
+    #[test]
+    fn matches_sequential_on_random_dags() {
+        for seed in 0..3 {
+            let c = generate::random_dag(&generate::RandomDagConfig {
+                gates: 200,
+                seq_fraction: 0.1,
+                delays: DelayModel::Uniform { min: 1, max: 9, seed },
+                seed,
+                ..Default::default()
+            });
+            check_equivalent::<Bit>(&c, &Stimulus::random(seed, 12).with_clock(7), 300, 4);
+        }
+    }
+
+    #[test]
+    fn single_worker_degenerates_to_sequential() {
+        let c = bench::c17();
+        check_equivalent::<Bit>(&c, &Stimulus::random(2, 5), 150, 1);
+    }
+}

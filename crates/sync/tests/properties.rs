@@ -1,0 +1,92 @@
+//! Property-based tests for the synchronous kernels.
+
+use parsim_core::{Observe, SequentialSimulator, SimOutcome, Simulator, Stimulus};
+use parsim_event::VirtualTime;
+use parsim_logic::Logic4;
+use parsim_machine::MachineConfig;
+use parsim_netlist::generate::{random_dag, RandomDagConfig};
+use parsim_netlist::{Circuit, DelayModel};
+use parsim_partition::{ConePartitioner, GateWeights, Partition, Partitioner};
+use parsim_sync::{SyncSimulator, ThreadedSyncSimulator};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    circuit: Circuit,
+    stimulus: Stimulus,
+    until: VirtualTime,
+    processors: usize,
+}
+
+fn any_scenario() -> impl Strategy<Value = Scenario> {
+    (20usize..150, 1u64..10, any::<u64>(), 2usize..6, 40u64..200, 1u64..9).prop_map(
+        |(gates, max_delay, seed, processors, until, clock_half)| {
+            let circuit = random_dag(&RandomDagConfig {
+                gates,
+                inputs: 10,
+                seq_fraction: 0.15,
+                delays: if max_delay == 1 {
+                    DelayModel::Unit
+                } else {
+                    DelayModel::Uniform { min: 1, max: max_delay, seed }
+                },
+                seed,
+                ..Default::default()
+            });
+            let stimulus = Stimulus::random(seed, 9).with_clock(clock_half);
+            Scenario { circuit, stimulus, until: VirtualTime::new(until), processors }
+        },
+    )
+}
+
+fn oracle(s: &Scenario) -> SimOutcome<Logic4> {
+    SequentialSimulator::<Logic4>::new()
+        .with_observe(Observe::AllNets)
+        .run(&s.circuit, &s.stimulus, s.until)
+}
+
+fn partition(s: &Scenario) -> Partition {
+    ConePartitioner.partition(&s.circuit, s.processors, &GateWeights::uniform(s.circuit.len()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Modeled and threaded synchronous kernels both equal the oracle, and
+    /// their barrier counts agree (both execute one superstep per distinct
+    /// event time, plus the initial step).
+    #[test]
+    fn sync_kernels_match_oracle_and_each_other(s in any_scenario()) {
+        let reference = oracle(&s);
+        let part = partition(&s);
+        let modeled = SyncSimulator::<Logic4>::new(
+            part.clone(),
+            MachineConfig::shared_memory(s.processors),
+        )
+        .with_observe(Observe::AllNets)
+        .run(&s.circuit, &s.stimulus, s.until);
+        prop_assert_eq!(modeled.divergence_from(&reference), None);
+        let threaded = ThreadedSyncSimulator::<Logic4>::new(part)
+            .with_observe(Observe::AllNets)
+            .run(&s.circuit, &s.stimulus, s.until);
+        prop_assert_eq!(threaded.divergence_from(&reference), None);
+        prop_assert_eq!(modeled.stats.barriers, threaded.stats.barriers);
+    }
+
+    /// The modeled speedup never exceeds the processor count, and the
+    /// modeled makespan never beats the single-processor work.
+    #[test]
+    fn modeled_speedup_is_physical(s in any_scenario()) {
+        let out = SyncSimulator::<Logic4>::new(
+            partition(&s),
+            MachineConfig::shared_memory(s.processors),
+        )
+        .with_observe(Observe::Nothing)
+        .run(&s.circuit, &s.stimulus, s.until);
+        if let Some(speedup) = out.stats.modeled_speedup() {
+            prop_assert!(speedup <= s.processors as f64 + 1e-9,
+                "speedup {speedup} beats P={}", s.processors);
+            prop_assert!(speedup > 0.0);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: simulate a circuit with every kernel and compare notes.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a 16-bit array multiplier, partitions it eight ways, runs the
+//! sequential reference plus all three parallel disciplines (and the
+//! oblivious kernel), verifies they agree bit-for-bit, and prints each
+//! kernel's execution statistics.
+
+use parsim::prelude::*;
+
+fn main() {
+    // 1. A circuit: a 16-bit array multiplier (~1.6k gates), unit delays.
+    let circuit = generate::array_multiplier(16, DelayModel::Unit);
+    println!("circuit : {}", circuit);
+    println!("stats   : {}", circuit.stats());
+
+    // 2. A stimulus: a fresh random operand pair every 50 ticks.
+    let stimulus = Stimulus::random(0xBEEF, 50);
+    let until = VirtualTime::new(2_000);
+
+    // 3. A partition: fanin cones across 8 processors.
+    let weights = GateWeights::uniform(circuit.len());
+    let partition = ConePartitioner.partition(&circuit, 8, &weights);
+    println!("partition: {}", partition.quality(&circuit, &weights));
+
+    // 4. Kernels.
+    let machine = MachineConfig::shared_memory(8);
+    let reference = SequentialSimulator::<Logic4>::new();
+    let kernels: Vec<Box<dyn Simulator<Logic4>>> = vec![
+        Box::new(ObliviousSimulator::new()),
+        Box::new(SyncSimulator::new(partition.clone(), machine)),
+        Box::new(ConservativeSimulator::new(partition.clone(), machine)),
+        Box::new(
+            ConservativeSimulator::new(partition.clone(), machine)
+                .with_strategy(DeadlockStrategy::DetectAndRecover),
+        ),
+        Box::new(TimeWarpSimulator::new(partition.clone(), machine)),
+        Box::new(
+            TimeWarpSimulator::new(partition.clone(), machine)
+                .with_cancellation(Cancellation::Aggressive)
+                .with_state_saving(StateSaving::Copy),
+        ),
+        Box::new(BtbSimulator::new(partition.clone(), machine)),
+    ];
+
+    let baseline = reference.run(&circuit, &stimulus, until);
+    println!("\n{:<28} {}", reference.name(), baseline.stats);
+
+    for kernel in kernels {
+        let out = kernel.run(&circuit, &stimulus, until);
+        match out.divergence_from(&baseline) {
+            None => println!("{:<28} {}", kernel.name(), out.stats),
+            Some(d) => panic!("{} diverged from the reference: {d}", kernel.name()),
+        }
+    }
+
+    // 5. The answer itself: the final product bits.
+    let product: String = circuit
+        .outputs()
+        .iter()
+        .rev()
+        .map(|&po| baseline.value(po).to_string())
+        .collect();
+    println!("\nfinal product bits (p31..p0): {product}");
+    println!("all kernels agree ✓");
+}

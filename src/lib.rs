@@ -1,0 +1,86 @@
+//! `parsim` — parallel logic simulation of VLSI systems.
+//!
+//! A complete reproduction of the system family surveyed in *R. D.
+//! Chamberlain, "Parallel Logic Simulation of VLSI Systems", 32nd ACM/IEEE
+//! Design Automation Conference, 1995*: multi-valued gate-level logic
+//! simulation with every synchronization discipline the paper covers —
+//! oblivious, synchronous (global clock), conservative asynchronous
+//! (Chandy–Misra–Bryant with null messages or deadlock recovery) and
+//! optimistic asynchronous (Time Warp with rollback, anti-messages, lazy
+//! cancellation, incremental state saving, GVT and fossil collection) — plus
+//! the §III circuit-partitioning algorithms and a virtual-multiprocessor
+//! performance model that regenerates the paper's Figure 1.
+//!
+//! This crate is a facade: it re-exports the workspace crates under one
+//! name. See [`logic`], [`netlist`], [`event`], [`partition`], [`core`],
+//! [`machine`], [`sync`], [`conservative`] and [`optimistic`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use parsim::prelude::*;
+//!
+//! // Build a circuit, partition it, and run it on three kernels.
+//! let circuit = generate::ripple_adder(8, DelayModel::Unit);
+//! let weights = GateWeights::uniform(circuit.len());
+//! let partition = ConePartitioner.partition(&circuit, 4, &weights);
+//! let stimulus = Stimulus::random(42, 10);
+//! let until = VirtualTime::new(300);
+//!
+//! let reference = SequentialSimulator::<Logic4>::new().run(&circuit, &stimulus, until);
+//! let sync = SyncSimulator::<Logic4>::new(partition.clone(), MachineConfig::shared_memory(4))
+//!     .run(&circuit, &stimulus, until);
+//! let warp = TimeWarpSimulator::<Logic4>::new(partition, MachineConfig::shared_memory(4))
+//!     .run(&circuit, &stimulus, until);
+//!
+//! // All kernels commit the identical history.
+//! assert_eq!(sync.divergence_from(&reference), None);
+//! assert_eq!(warp.divergence_from(&reference), None);
+//! // ...and report how the parallel execution went.
+//! assert!(sync.stats.modeled_speedup().unwrap() > 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use parsim_conservative as conservative;
+pub use parsim_core as core;
+pub use parsim_event as event;
+pub use parsim_logic as logic;
+pub use parsim_machine as machine;
+pub use parsim_netlist as netlist;
+pub use parsim_optimistic as optimistic;
+pub use parsim_partition as partition;
+pub use parsim_sync as sync;
+
+/// Everything needed for typical use, importable in one line.
+pub mod prelude {
+    pub use parsim_conservative::{
+        ConservativeSimulator, DeadlockStrategy, ThreadedConservativeSimulator,
+    };
+    pub use parsim_core::{
+        evaluate_gate, fault, parse_vcd_changes, pre_simulate, write_vcd, ActivityProfile, CycleSimulator, GateRuntime, LpTopology,
+        Observe, ObliviousSimulator, QueueKind, SequentialSimulator, SimOutcome, SimStats, Simulator,
+        Stimulus, Waveform,
+    };
+    pub use parsim_event::{
+        BinaryHeapQueue, CalendarQueue, Event, EventQueue, Message, PairingHeapQueue,
+        VirtualTime,
+    };
+    pub use parsim_logic::{Bit, GateKind, Logic4, LogicValue, Std9};
+    pub use parsim_machine::{MachineConfig, VirtualMachine};
+    pub use parsim_netlist::{
+        bench, generate, Circuit, CircuitBuilder, CircuitStats, Delay, DelayModel, GateId,
+        Levelization, NetlistError,
+    };
+    pub use parsim_optimistic::{
+        BtbSimulator, Cancellation, StateSaving, ThreadedTimeWarpSimulator, TimeWarpSimulator,
+        Window,
+    };
+    pub use parsim_partition::{
+        all_partitioners, AnnealingPartitioner, ConePartitioner, ContiguousPartitioner,
+        FiducciaMattheyses, GateWeights, KernighanLin, LevelPartitioner, MultilevelPartitioner, Partition,
+        PartitionQuality, Partitioner, RandomPartitioner, RoundRobinPartitioner,
+        StringPartitioner,
+    };
+    pub use parsim_sync::{SyncSimulator, ThreadedSyncSimulator};
+}

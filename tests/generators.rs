@@ -1,0 +1,157 @@
+//! Functional verification of the circuit generators: each generated
+//! datapath block is simulated and checked against its arithmetic/logic
+//! specification, across kernels where interesting.
+
+use parsim::prelude::*;
+
+fn bits_to_u64(out: &SimOutcome<Bit>, c: &Circuit, prefix: &str, n: usize) -> u64 {
+    (0..n)
+        .map(|i| {
+            let v = out
+                .value_by_name(c, &format!("{prefix}{i}"))
+                .unwrap_or_else(|| panic!("output {prefix}{i} missing"));
+            ((v == Bit::One) as u64) << i
+        })
+        .sum()
+}
+
+fn input_vector(n_inputs: usize, assignments: &[(usize, bool)]) -> Vec<bool> {
+    let mut v = vec![false; n_inputs];
+    for &(i, val) in assignments {
+        v[i] = val;
+    }
+    v
+}
+
+fn run_once(c: &Circuit, vector: Vec<bool>, settle: u64) -> SimOutcome<Bit> {
+    let stim = Stimulus::vectors(settle, vec![vector]);
+    SequentialSimulator::<Bit>::new().run(c, &stim, VirtualTime::new(settle))
+}
+
+#[test]
+fn ripple_adder_adds_exhaustively_4bit() {
+    let c = generate::ripple_adder(4, DelayModel::Unit);
+    for a in 0u64..16 {
+        for b in 0u64..16 {
+            for cin in 0u64..2 {
+                let mut vector = Vec::new();
+                vector.extend((0..4).map(|i| a >> i & 1 == 1));
+                vector.extend((0..4).map(|i| b >> i & 1 == 1));
+                vector.push(cin == 1);
+                let out = run_once(&c, vector, 64);
+                let sum = bits_to_u64(&out, &c, "s", 4)
+                    + (((out.value_by_name(&c, "cout") == Some(Bit::One)) as u64) << 4);
+                assert_eq!(sum, a + b + cin, "{a} + {b} + {cin}");
+            }
+        }
+    }
+}
+
+#[test]
+fn carry_select_adder_matches_ripple() {
+    let csa = generate::carry_select_adder(10, DelayModel::Unit);
+    let rca = generate::ripple_adder(10, DelayModel::Unit);
+    let stim = Stimulus::random(0xADD, 64);
+    let until = VirtualTime::new(64 * 40);
+    let a = SequentialSimulator::<Bit>::new()
+        .with_observe(Observe::Outputs)
+        .run(&csa, &stim, until);
+    let b = SequentialSimulator::<Bit>::new()
+        .with_observe(Observe::Outputs)
+        .run(&rca, &stim, until);
+    for i in 0..10 {
+        let name = format!("s{i}");
+        assert_eq!(
+            a.value_by_name(&csa, &name),
+            b.value_by_name(&rca, &name),
+            "sum bit {i} differs"
+        );
+    }
+    assert_eq!(a.value_by_name(&csa, "cout"), b.value_by_name(&rca, "cout"));
+}
+
+#[test]
+fn array_multiplier_multiplies() {
+    let c = generate::array_multiplier(4, DelayModel::Unit);
+    for a in [0u64, 1, 3, 7, 9, 12, 15] {
+        for b in [0u64, 1, 2, 5, 11, 15] {
+            let mut vector = Vec::new();
+            vector.extend((0..4).map(|i| a >> i & 1 == 1));
+            vector.extend((0..4).map(|i| b >> i & 1 == 1));
+            let out = run_once(&c, vector, 128);
+            assert_eq!(bits_to_u64(&out, &c, "p", 8), a * b, "{a} × {b}");
+        }
+    }
+}
+
+#[test]
+fn decoder_decodes() {
+    let c = generate::decoder(3, DelayModel::Unit);
+    for k in 0usize..8 {
+        let mut assignments: Vec<(usize, bool)> =
+            (0..3).map(|i| (i, k >> i & 1 == 1)).collect();
+        assignments.push((3, true)); // enable
+        let out = run_once(&c, input_vector(4, &assignments), 32);
+        for d in 0..8 {
+            let expect = Bit::from_bool(d == k);
+            assert_eq!(
+                out.value_by_name(&c, &format!("d{d}")),
+                Some(expect),
+                "decoder({k}) line {d}"
+            );
+        }
+    }
+    // Disabled: all outputs low.
+    let out = run_once(&c, input_vector(4, &[(0, true), (1, true)]), 32);
+    for d in 0..8 {
+        assert_eq!(out.value_by_name(&c, &format!("d{d}")), Some(Bit::Zero));
+    }
+}
+
+#[test]
+fn priority_encoder_prioritizes() {
+    let c = generate::priority_encoder(6, DelayModel::Unit);
+    // Requests 1 and 4 asserted → index 4 wins (highest priority).
+    let out = run_once(&c, input_vector(6, &[(1, true), (4, true)]), 32);
+    assert_eq!(out.value_by_name(&c, "valid"), Some(Bit::One));
+    assert_eq!(bits_to_u64(&out, &c, "y", 3), 4);
+    // No requests → invalid.
+    let out = run_once(&c, input_vector(6, &[]), 32);
+    assert_eq!(out.value_by_name(&c, "valid"), Some(Bit::Zero));
+}
+
+#[test]
+fn lfsr_has_maximal_looking_period_prefix() {
+    // The 8-bit XNOR LFSR from the all-zero state must not revisit a state
+    // within the first 100 clocks (period 2^8 − 1 = 255 for good taps; we
+    // only require "long", not maximal).
+    let c = generate::lfsr(8, DelayModel::Unit);
+    let stim = Stimulus::quiet(1_000_000).with_clock(4);
+    let out = SequentialSimulator::<Bit>::new()
+        .with_observe(Observe::AllNets)
+        .run(&c, &stim, VirtualTime::new(8 * 2 * 100 + 2));
+    let qs: Vec<_> = (0..8).map(|i| c.find(&format!("q{i}")).unwrap()).collect();
+    let mut seen = std::collections::HashSet::new();
+    // Sample just after each rising edge (edges at 4 + 8k, settle +2).
+    for k in 0..100u64 {
+        let t = VirtualTime::new(4 + 8 * k + 2);
+        let state: Vec<Bit> = qs.iter().map(|&q| out.waveforms[&q].value_at(t)).collect();
+        assert!(seen.insert(state), "LFSR state repeated after {k} clocks");
+    }
+}
+
+#[test]
+fn decoder_cross_kernel() {
+    let c = generate::decoder(4, DelayModel::PerKind);
+    let stim = Stimulus::random(0xDEC, 30);
+    let until = VirtualTime::new(600);
+    let weights = GateWeights::uniform(c.len());
+    let partition = ConePartitioner.partition(&c, 4, &weights);
+    let seq = SequentialSimulator::<Logic4>::new()
+        .with_observe(Observe::AllNets)
+        .run(&c, &stim, until);
+    let btb = BtbSimulator::<Logic4>::new(partition, MachineConfig::shared_memory(4))
+        .with_observe(Observe::AllNets)
+        .run(&c, &stim, until);
+    assert_eq!(btb.divergence_from(&seq), None);
+}

@@ -1,0 +1,160 @@
+//! Integration tests for the tooling layer: VCD export and fault
+//! simulation, exercised through the public facade.
+
+use parsim::core::fault;
+use parsim::prelude::*;
+
+/// A minimal VCD reader: enough structure checking to catch a malformed
+/// dump (section order, declared variables, four-state value lines,
+/// monotone timestamps).
+fn check_vcd(text: &str) -> Result<usize, String> {
+    let mut vars = std::collections::HashSet::new();
+    let mut in_defs = true;
+    let mut last_time = -1i64;
+    let mut changes = 0usize;
+    for line in text.lines().map(str::trim).filter(|l| !l.is_empty()) {
+        if in_defs {
+            if line.starts_with("$var") {
+                let fields: Vec<&str> = line.split_whitespace().collect();
+                // $var wire 1 <id> <name> $end
+                if fields.len() != 6 || fields[1] != "wire" {
+                    return Err(format!("bad var decl: {line}"));
+                }
+                vars.insert(fields[3].to_string());
+            } else if line.starts_with("$enddefinitions") {
+                in_defs = false;
+            }
+            continue;
+        }
+        if let Some(ts) = line.strip_prefix('#') {
+            let t: i64 = ts.parse().map_err(|_| format!("bad timestamp {line}"))?;
+            if t < last_time {
+                return Err(format!("time went backwards at {line}"));
+            }
+            last_time = t;
+        } else {
+            let mut chars = line.chars();
+            let v = chars.next().ok_or("empty change line")?;
+            if !"01xz".contains(v) {
+                return Err(format!("bad value char in {line}"));
+            }
+            let id: String = chars.collect();
+            if !vars.contains(&id) {
+                return Err(format!("undeclared var {id:?} in {line}"));
+            }
+            changes += 1;
+        }
+    }
+    Ok(changes)
+}
+
+#[test]
+fn vcd_dump_is_well_formed() {
+    let c = generate::counter(5, DelayModel::Unit);
+    let out = SequentialSimulator::<Logic4>::new()
+        .with_observe(Observe::AllNets)
+        .run(&c, &Stimulus::quiet(100_000).with_clock(6), VirtualTime::new(400));
+    let vcd = write_vcd(&c, &out);
+    let changes = check_vcd(&vcd).expect("well-formed VCD");
+    assert!(changes > 50, "a counter should toggle a lot, got {changes} changes");
+}
+
+#[test]
+fn vcd_renders_high_impedance() {
+    // A disabled tri-state buffer drives Z.
+    let mut b = CircuitBuilder::new("tri");
+    let en = b.input("en");
+    let d = b.input("d");
+    let t = b.named_gate("t", GateKind::Tribuf, [en, d], Delay::UNIT);
+    b.output("y", t);
+    let c = b.finish().unwrap();
+    let stim = Stimulus::vectors(16, vec![vec![false, true]]);
+    let out = SequentialSimulator::<Logic4>::new()
+        .with_observe(Observe::AllNets)
+        .run(&c, &stim, VirtualTime::new(32));
+    assert_eq!(out.value_by_name(&c, "t"), Some(Logic4::Z));
+    let vcd = write_vcd(&c, &out);
+    check_vcd(&vcd).expect("well-formed VCD");
+    assert!(vcd.lines().any(|l| l.starts_with('z')), "Z state must appear in the dump");
+}
+
+#[test]
+fn fault_campaign_on_adder_detects_observable_faults() {
+    let c = generate::ripple_adder(4, DelayModel::Unit);
+    let faults = fault::enumerate_faults(&c);
+    // Exhaustive vectors: 9 inputs → 512 combinations is overkill; 64
+    // random vectors give high coverage on an adder (every net toggles).
+    let stimulus = Stimulus::random(0xF417, 32);
+    let report =
+        fault::simulate_faults::<Bit>(&c, &faults, &stimulus, VirtualTime::new(64 * 32));
+    assert!(
+        report.coverage() > 0.95,
+        "random vectors should catch nearly everything on an adder: {report}"
+    );
+}
+
+#[test]
+fn fault_detection_agrees_across_kernels() {
+    // A fault detected by the sequential campaign must show the same
+    // faulty behaviour under a parallel kernel.
+    let c = bench::c17();
+    let f = fault::StuckAtFault { net: c.find("16").unwrap(), value: true };
+    let faulty = fault::inject(&c, f);
+    let stim = Stimulus::counting(16);
+    let until = VirtualTime::new(512);
+    let weights = GateWeights::uniform(faulty.len());
+    let partition = StringPartitioner.partition(&faulty, 3, &weights);
+    let seq = SequentialSimulator::<Bit>::new()
+        .with_observe(Observe::AllNets)
+        .run(&faulty, &stim, until);
+    let par = ThreadedSyncSimulator::<Bit>::new(partition)
+        .with_observe(Observe::AllNets)
+        .run(&faulty, &stim, until);
+    assert_eq!(par.divergence_from(&seq), None);
+}
+
+#[test]
+fn tristate_bus_four_state_semantics() {
+    // Two drivers on one bus: Z when idle, driven when one enabled,
+    // X on conflict — identical across kernels.
+    let c = generate::tristate_bus(2, DelayModel::Unit);
+    // vectors: [en0, d0, en1, d1] per step
+    let vectors = vec![
+        vec![false, false, false, false], // nobody drives → Z
+        vec![true, true, false, false],   // driver 0 puts 1
+        vec![false, false, true, false],  // driver 1 puts 0
+        vec![true, true, true, false],    // conflict → X
+    ];
+    let stim = Stimulus::vectors(16, vectors);
+    let until = VirtualTime::new(64);
+    let out = SequentialSimulator::<Logic4>::new()
+        .with_observe(Observe::AllNets)
+        .run(&c, &stim, until);
+    let bus = c.find("bus").unwrap();
+    let w = &out.waveforms[&bus];
+    assert_eq!(w.value_at(VirtualTime::new(12)), Logic4::Z, "idle bus floats");
+    assert_eq!(w.value_at(VirtualTime::new(28)), Logic4::One, "driver 0 wins");
+    assert_eq!(w.value_at(VirtualTime::new(44)), Logic4::Zero, "driver 1 wins");
+    assert_eq!(w.value_at(VirtualTime::new(62)), Logic4::X, "conflict is X");
+
+    // Cross-kernel agreement with multi-valued states in play.
+    let weights = GateWeights::uniform(c.len());
+    let partition = RoundRobinPartitioner.partition(&c, 3, &weights);
+    let warp = TimeWarpSimulator::<Logic4>::new(partition, MachineConfig::shared_memory(3))
+        .with_observe(Observe::AllNets)
+        .run(&c, &stim, until);
+    assert_eq!(warp.divergence_from(&out), None);
+}
+
+#[test]
+fn tristate_bus_ieee1164_strengths() {
+    // With Std9, a weak pull-up (H through an enabled driver) loses to a
+    // forcing 0 from the other driver, instead of going X.
+    let c = generate::tristate_bus(2, DelayModel::Unit);
+    let stim = Stimulus::vectors(16, vec![vec![true, true, true, false]]);
+    let out = SequentialSimulator::<Std9>::new()
+        .with_observe(Observe::AllNets)
+        .run(&c, &stim, VirtualTime::new(32));
+    // Both forcing: conflict.
+    assert_eq!(out.value_by_name(&c, "bus"), Some(Std9::X));
+}
