@@ -6,7 +6,9 @@
 //! steady-state pop-one-push-one).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use parsim_event::{BinaryHeapQueue, CalendarQueue, Event, EventQueue, PairingHeapQueue, VirtualTime};
+use parsim_event::{
+    BinaryHeapQueue, CalendarQueue, Event, EventQueue, PairingHeapQueue, VirtualTime,
+};
 use parsim_logic::Bit;
 use parsim_netlist::GateId;
 use std::hint::black_box;
@@ -43,22 +45,14 @@ fn bench_queues(c: &mut Criterion) {
                 b.iter(|| hold_model(&mut q, n, 4 * n));
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("calendar", population),
-            &population,
-            |b, &n| {
-                let mut q = CalendarQueue::new();
-                b.iter(|| hold_model(&mut q, n, 4 * n));
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("pairing", population),
-            &population,
-            |b, &n| {
-                let mut q = PairingHeapQueue::new();
-                b.iter(|| hold_model(&mut q, n, 4 * n));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("calendar", population), &population, |b, &n| {
+            let mut q = CalendarQueue::new();
+            b.iter(|| hold_model(&mut q, n, 4 * n));
+        });
+        group.bench_with_input(BenchmarkId::new("pairing", population), &population, |b, &n| {
+            let mut q = PairingHeapQueue::new();
+            b.iter(|| hold_model(&mut q, n, 4 * n));
+        });
     }
     group.finish();
 }

@@ -8,7 +8,7 @@
 //! which this bench does not measure.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use parsim_core::{Observe, ObliviousSimulator, SequentialSimulator, Simulator, Stimulus};
+use parsim_core::{ObliviousSimulator, Observe, SequentialSimulator, Simulator, Stimulus};
 use parsim_event::VirtualTime;
 use parsim_logic::Bit;
 use parsim_machine::MachineConfig;
@@ -20,8 +20,7 @@ fn bench_kernels(c: &mut Criterion) {
     let circuit = generate::array_multiplier(12, DelayModel::Unit);
     let stimulus = Stimulus::random(1, 30);
     let until = VirtualTime::new(600);
-    let partition =
-        ConePartitioner.partition(&circuit, 8, &GateWeights::uniform(circuit.len()));
+    let partition = ConePartitioner.partition(&circuit, 8, &GateWeights::uniform(circuit.len()));
     let machine = MachineConfig::shared_memory(8);
 
     let mut group = c.benchmark_group("kernels");
@@ -32,9 +31,7 @@ fn bench_kernels(c: &mut Criterion) {
         (
             "sequential_calendar",
             Box::new(
-                SequentialSimulator::new()
-                    .with_observe(Observe::Nothing)
-                    .with_calendar_queue(),
+                SequentialSimulator::new().with_observe(Observe::Nothing).with_calendar_queue(),
             ),
         ),
         (
@@ -71,7 +68,7 @@ fn bench_kernels(c: &mut Criterion) {
 
     for (name, kernel) in &kernels {
         group.bench_function(*name, |b| {
-            b.iter(|| black_box(kernel.run(&circuit, &stimulus, until)).stats.events_processed)
+            b.iter(|| black_box(kernel.run(&circuit, &stimulus, until)).stats.events_processed);
         });
     }
     group.finish();

@@ -17,7 +17,7 @@ fn bench_partitioners(c: &mut Criterion) {
     group.sample_size(10);
     for p in all_partitioners(1) {
         group.bench_function(p.name(), |b| {
-            b.iter(|| black_box(p.partition(&circuit, 8, &weights)).cut_edges(&circuit))
+            b.iter(|| black_box(p.partition(&circuit, 8, &weights)).cut_edges(&circuit));
         });
     }
     group.finish();

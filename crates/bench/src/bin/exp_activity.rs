@@ -12,7 +12,7 @@
 //! event queue's true cost against the oblivious kernel's flat sweep.
 
 use parsim_bench::Table;
-use parsim_core::{Observe, ObliviousSimulator, SequentialSimulator, Simulator, Stimulus};
+use parsim_core::{ObliviousSimulator, Observe, SequentialSimulator, Simulator, Stimulus};
 use parsim_event::VirtualTime;
 use parsim_logic::Bit;
 use parsim_netlist::{generate, DelayModel};
@@ -58,11 +58,7 @@ fn main() {
         let stimulus = Stimulus::random_with_toggle(0xE6, 1, toggle);
         let evd = evd_sim.run(&circuit, &stimulus, until);
         let obl = obl_sim.run(&circuit, &stimulus, until);
-        assert_eq!(
-            evd.divergence_from(&obl),
-            None,
-            "kernels must agree regardless of activity"
-        );
+        assert_eq!(evd.divergence_from(&obl), None, "kernels must agree regardless of activity");
         let evd_time = median3(|| {
             let t = Instant::now();
             std::hint::black_box(evd_sim.run(&circuit, &stimulus, until));

@@ -26,14 +26,8 @@ fn main() {
     let until = VirtualTime::new(800);
 
     println!("E4: aggressive vs lazy cancellation (Time Warp), P={processors}\n");
-    let mut table = Table::new(&[
-        "circuit",
-        "policy",
-        "speedup",
-        "rollbacks",
-        "anti-msgs",
-        "efficiency",
-    ]);
+    let mut table =
+        Table::new(&["circuit", "policy", "speedup", "rollbacks", "anti-msgs", "efficiency"]);
 
     for (name, circuit) in [
         (
@@ -52,8 +46,11 @@ fn main() {
     ] {
         // Round-robin scatter maximizes cross-LP traffic → plenty of
         // stragglers for the policies to differ on.
-        let partition =
-            RoundRobinPartitioner.partition(&circuit, processors, &GateWeights::uniform(circuit.len()));
+        let partition = RoundRobinPartitioner.partition(
+            &circuit,
+            processors,
+            &GateWeights::uniform(circuit.len()),
+        );
         let stimulus = Stimulus::random(0xE4, 25);
         for policy in [Cancellation::Aggressive, Cancellation::Lazy] {
             // Both policies get the same moderate optimism window;

@@ -9,12 +9,12 @@
 //! ```
 
 use parsim_bench::{f2, Table};
+use parsim_conservative::ConservativeSimulator;
 use parsim_core::{Observe, Simulator, Stimulus};
 use parsim_event::VirtualTime;
 use parsim_logic::Bit;
 use parsim_machine::MachineConfig;
 use parsim_netlist::{generate, DelayModel};
-use parsim_conservative::ConservativeSimulator;
 use parsim_optimistic::TimeWarpSimulator;
 use parsim_partition::{ConePartitioner, GateWeights, Partitioner};
 
@@ -34,10 +34,7 @@ fn main() {
     let stimulus = Stimulus::random(0xE7, 25).with_clock(10);
     let until = VirtualTime::new(600);
 
-    println!(
-        "E7: LPs per processor vs performance ({} gates, P={processors})\n",
-        circuit.len()
-    );
+    println!("E7: LPs per processor vs performance ({} gates, P={processors})\n", circuit.len());
     let mut table = Table::new(&[
         "LPs/proc",
         "gates/LP",

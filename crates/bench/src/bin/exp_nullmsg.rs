@@ -25,22 +25,19 @@ fn main() {
     let machine = MachineConfig::shared_memory(processors);
 
     println!("E10: null-message overhead vs lookahead (ring circuit, P={processors})\n");
-    let mut table = Table::new(&[
-        "lookahead",
-        "strategy",
-        "nulls",
-        "events",
-        "null ratio",
-        "speedup",
-    ]);
+    let mut table =
+        Table::new(&["lookahead", "strategy", "nulls", "events", "null ratio", "speedup"]);
 
     for lookahead in [1u64, 2, 5, 10, 25] {
         // The gate delay *is* the lookahead. Event spacing (clock period,
         // vector cadence, horizon) stays fixed, so small lookahead means
         // many null-message hops per unit of real progress.
         let circuit = generate::ring(64, DelayModel::Fixed(Delay::new(lookahead)));
-        let partition =
-            ContiguousPartitioner.partition(&circuit, processors, &GateWeights::uniform(circuit.len()));
+        let partition = ContiguousPartitioner.partition(
+            &circuit,
+            processors,
+            &GateWeights::uniform(circuit.len()),
+        );
         let stimulus = Stimulus::random(0xEA, 200).with_clock(100);
         let until = VirtualTime::new(50_000);
 
@@ -52,7 +49,9 @@ fn main() {
             let total = out.stats.null_messages + out.stats.messages_sent;
             let label = match strategy {
                 DeadlockStrategy::NullMessages => "null-msg",
-                DeadlockStrategy::DetectAndRecover => format!("recovery({})", out.stats.gvt_rounds).leak(),
+                DeadlockStrategy::DetectAndRecover => {
+                    format!("recovery({})", out.stats.gvt_rounds).leak()
+                }
             };
             table.row(&[
                 lookahead.to_string(),

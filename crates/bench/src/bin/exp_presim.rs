@@ -47,7 +47,11 @@ fn skewed_circuit(bits: usize, decode: usize) -> parsim_netlist::Circuit {
     let mut layer = vec![b.gate(GateKind::And, [top, second], Delay::UNIT)];
     for i in 0..decode {
         let prev = layer[layer.len() - 1];
-        let g = b.gate(if i % 2 == 0 { GateKind::Nand } else { GateKind::Nor }, [prev, top], Delay::UNIT);
+        let g = b.gate(
+            if i % 2 == 0 { GateKind::Nand } else { GateKind::Nor },
+            [prev, top],
+            Delay::UNIT,
+        );
         layer.push(g);
     }
     b.output("decode", *layer.last().expect("nonempty"));
@@ -71,13 +75,8 @@ fn main() {
     let uniform = GateWeights::uniform(circuit.len());
     let presim = GateWeights::from_counts(profile.counts().to_vec());
 
-    let mut table = Table::new(&[
-        "partitioner",
-        "weights",
-        "static balance",
-        "dynamic balance",
-        "speedup",
-    ]);
+    let mut table =
+        Table::new(&["partitioner", "weights", "static balance", "dynamic balance", "speedup"]);
 
     let partitioners: Vec<Box<dyn Partitioner>> =
         vec![Box::new(ContiguousPartitioner), Box::new(FiducciaMattheyses::default())];

@@ -29,7 +29,8 @@ fn main() {
     let until = VirtualTime::new(600);
 
     println!("E1: speedup vs processor count on {} ({} gates)\n", circuit.name(), circuit.len());
-    let mut table = Table::new(&["P", "optimistic", "conservative", "synchronous", "opt rollbacks"]);
+    let mut table =
+        Table::new(&["P", "optimistic", "conservative", "synchronous", "opt rollbacks"]);
 
     for p in [1usize, 2, 4, 8, 16, 32] {
         let machine = MachineConfig::shared_memory(p);

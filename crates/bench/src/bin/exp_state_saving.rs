@@ -26,13 +26,7 @@ fn main() {
     let stimulus = Stimulus::random(0xE5, 30).with_clock(12);
 
     println!("E5: copy vs incremental state saving (Time Warp), P={machine_p}\n");
-    let mut table = Table::new(&[
-        "gates",
-        "policy",
-        "speedup",
-        "state slots saved",
-        "slots/batch",
-    ]);
+    let mut table = Table::new(&["gates", "policy", "speedup", "state slots saved", "slots/batch"]);
 
     for gates in [1000usize, 4000, 16000] {
         let circuit = generate::random_dag(&generate::RandomDagConfig {

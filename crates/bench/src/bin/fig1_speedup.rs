@@ -18,8 +18,7 @@ use parsim_event::VirtualTime;
 use parsim_machine::MachineConfig;
 
 fn main() {
-    let max_gates: usize =
-        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(16_384);
+    let max_gates: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(16_384);
     let processors = 8;
     let machine = MachineConfig::shared_memory(processors);
     let stimulus = Stimulus::random(0xF1, 20).with_clock(10);
@@ -46,8 +45,8 @@ fn main() {
             cells.push(f2(m.speedup));
             let s = &m.outcome.stats;
             if d == Discipline::Conservative {
-                null_ratio = s.null_messages as f64
-                    / (s.null_messages + s.messages_sent).max(1) as f64;
+                null_ratio =
+                    s.null_messages as f64 / (s.null_messages + s.messages_sent).max(1) as f64;
             }
             if d == Discipline::Optimistic {
                 efficiency = s.efficiency();

@@ -78,9 +78,9 @@ impl Discipline {
     ///   configuration).
     pub fn kernel(self, partition: Partition, machine: MachineConfig) -> Box<dyn Simulator<Bit>> {
         match self {
-            Discipline::Synchronous => {
-                Box::new(SyncSimulator::<Bit>::new(partition, machine).with_observe(Observe::Nothing))
-            }
+            Discipline::Synchronous => Box::new(
+                SyncSimulator::<Bit>::new(partition, machine).with_observe(Observe::Nothing),
+            ),
             Discipline::Conservative => Box::new(
                 ConservativeSimulator::<Bit>::new(partition, machine)
                     .with_granularity(8)
@@ -170,7 +170,7 @@ impl Table {
         println!("{header_line}");
         println!("{}", "-".repeat(header_line.len()));
         Table {
-            headers: headers.iter().map(|s| s.to_string()).collect(),
+            headers: headers.iter().map(ToString::to_string).collect(),
             widths,
             csv: format!("{}\n", headers.join(",")),
         }

@@ -2,11 +2,11 @@
 
 use std::collections::BTreeMap;
 
+use parsim_core::LpTopology;
 use parsim_core::{evaluate_gate, GateRuntime, Waveform};
 use parsim_event::{BinaryHeapQueue, Event, EventQueue, VirtualTime};
 use parsim_logic::LogicValue;
 use parsim_netlist::{Circuit, GateId};
-use parsim_core::LpTopology;
 
 /// A protocol action emitted by an LP activation, for the driver to route.
 #[derive(Debug, Clone, Copy)]
@@ -162,11 +162,7 @@ impl<V: LogicValue> LpState<V> {
                 // Promise: future sends come from evaluations no earlier
                 // than min(next local event, input safe time), each passing
                 // a boundary gate of delay ≥ lookahead.
-                let horizon = self
-                    .queue
-                    .peek_time()
-                    .unwrap_or(VirtualTime::INFINITY)
-                    .min(safe);
+                let horizon = self.queue.peek_time().unwrap_or(VirtualTime::INFINITY).min(safe);
                 let bound = (horizon + spec.lookahead).min(until + parsim_netlist::Delay::UNIT);
                 for &dst in &spec.out_channels {
                     let last = self.last_null.get_mut(&dst).expect("known channel");
@@ -261,10 +257,6 @@ impl<V: LogicValue> LpState<V> {
 
     /// Final values of the nets driven by this LP's gates.
     pub(crate) fn owned_values(&self, topo: &LpTopology) -> Vec<(GateId, V)> {
-        topo.lps()[self.index]
-            .gates
-            .iter()
-            .map(|&g| (g, self.values[g.index()]))
-            .collect()
+        topo.lps()[self.index].gates.iter().map(|&g| (g, self.values[g.index()])).collect()
     }
 }

@@ -105,8 +105,7 @@ impl<V: LogicValue> ConservativeSimulator<V> {
     }
 
     fn topology(&self, circuit: &Circuit) -> LpTopology {
-        let coarse: Vec<usize> =
-            circuit.ids().map(|id| self.partition.block_of(id)).collect();
+        let coarse: Vec<usize> = circuit.ids().map(|id| self.partition.block_of(id)).collect();
         LpTopology::with_granularity(circuit, &coarse, self.partition.blocks(), self.granularity)
     }
 }
@@ -251,7 +250,7 @@ impl<V: LogicValue> Simulator<V> for ConservativeSimulator<V> {
                             vm.receive(p, ready);
                         }
                         stats.gvt_rounds += 1;
-                        let m = lps.iter().filter_map(|lp| lp.head_time()).min();
+                        let m = lps.iter().filter_map(LpState::head_time).min();
                         match m {
                             Some(m) if m <= until => {
                                 for lp in lps.iter_mut() {
@@ -307,13 +306,16 @@ mod tests {
         p: usize,
         strategy: DeadlockStrategy,
     ) {
-        let cons = ConservativeSimulator::<V>::new(partition(c, p), MachineConfig::shared_memory(p))
-            .with_strategy(strategy)
-            .with_observe(Observe::AllNets)
-            .run(c, stim, VirtualTime::new(until));
-        let seq = SequentialSimulator::<V>::new()
-            .with_observe(Observe::AllNets)
-            .run(c, stim, VirtualTime::new(until));
+        let cons =
+            ConservativeSimulator::<V>::new(partition(c, p), MachineConfig::shared_memory(p))
+                .with_strategy(strategy)
+                .with_observe(Observe::AllNets)
+                .run(c, stim, VirtualTime::new(until));
+        let seq = SequentialSimulator::<V>::new().with_observe(Observe::AllNets).run(
+            c,
+            stim,
+            VirtualTime::new(until),
+        );
         if let Some(d) = cons.divergence_from(&seq) {
             panic!("conservative kernel ({strategy:?}) diverged on {}: {d}", c.name());
         }
@@ -400,9 +402,8 @@ mod tests {
         let c = generate::mesh(10, 10, DelayModel::Unit);
         let stim = Stimulus::random(5, 20);
         let until = VirtualTime::new(300);
-        let base = SequentialSimulator::<Bit>::new()
-            .with_observe(Observe::AllNets)
-            .run(&c, &stim, until);
+        let base =
+            SequentialSimulator::<Bit>::new().with_observe(Observe::AllNets).run(&c, &stim, until);
         for factor in [1, 2, 8] {
             let out = ConservativeSimulator::<Bit>::new(
                 partition(&c, 4),
@@ -423,7 +424,11 @@ mod tests {
         // one block and need no messages at all.)
         let c = generate::ring(16, DelayModel::Unit);
         let out = ConservativeSimulator::<Bit>::new(
-            parsim_partition::ContiguousPartitioner.partition(&c, 4, &GateWeights::uniform(c.len())),
+            parsim_partition::ContiguousPartitioner.partition(
+                &c,
+                4,
+                &GateWeights::uniform(c.len()),
+            ),
             MachineConfig::shared_memory(4),
         )
         .run(&c, &Stimulus::random(1, 10).with_clock(5), VirtualTime::new(400));
@@ -434,12 +439,10 @@ mod tests {
     #[test]
     fn deadlock_recovery_counts_recoveries() {
         let c = generate::ring(8, DelayModel::Unit);
-        let out = ConservativeSimulator::<Bit>::new(
-            partition(&c, 4),
-            MachineConfig::shared_memory(4),
-        )
-        .with_strategy(DeadlockStrategy::DetectAndRecover)
-        .run(&c, &Stimulus::quiet(1000).with_clock(5), VirtualTime::new(200));
+        let out =
+            ConservativeSimulator::<Bit>::new(partition(&c, 4), MachineConfig::shared_memory(4))
+                .with_strategy(DeadlockStrategy::DetectAndRecover)
+                .run(&c, &Stimulus::quiet(1000).with_clock(5), VirtualTime::new(200));
         assert!(out.stats.gvt_rounds > 0, "expected at least one deadlock recovery");
         assert_eq!(out.stats.null_messages, 0);
     }

@@ -75,11 +75,7 @@ impl<V: LogicValue> ThreadedConservativeSimulator<V> {
 /// A routed message: destination LP, source LP, payload.
 enum Wire<V> {
     Event(usize, Event<V>),
-    Null {
-        dst: usize,
-        src: usize,
-        time: VirtualTime,
-    },
+    Null { dst: usize, src: usize, time: VirtualTime },
 }
 
 const DECIDE_CONTINUE: u8 = 0;
@@ -152,8 +148,7 @@ impl<V: LogicValue> Simulator<V> for ThreadedConservativeSimulator<V> {
         let results: Vec<WorkerResult<V>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p_count);
             for p in 0..p_count {
-                let my_lps: Vec<usize> =
-                    (0..n_lps).filter(|&lp| lp / granularity == p).collect();
+                let my_lps: Vec<usize> = (0..n_lps).filter(|&lp| lp / granularity == p).collect();
                 let mut lps: Vec<LpState<V>> = my_lps
                     .iter()
                     .map(|&i| {
@@ -178,9 +173,24 @@ impl<V: LogicValue> Simulator<V> for ThreadedConservativeSimulator<V> {
                 let topo = &topo;
                 handles.push(scope.spawn(move || {
                     worker(
-                        p, circuit, topo, my_lps, lps, rx, senders, barrier, any_sent,
-                        any_work, all_done, heads, decision, recover_time, until, send_nulls,
-                        strategy, granularity,
+                        p,
+                        circuit,
+                        topo,
+                        my_lps,
+                        lps,
+                        rx,
+                        senders,
+                        barrier,
+                        any_sent,
+                        any_work,
+                        all_done,
+                        heads,
+                        decision,
+                        recover_time,
+                        until,
+                        send_nulls,
+                        strategy,
+                        granularity,
                     )
                 }));
             }
@@ -280,7 +290,7 @@ fn worker<V: LogicValue>(
         }
         {
             let mut h = heads.lock().expect("heads lock");
-            h[p] = lps.iter().filter_map(|lp| lp.head_time()).min();
+            h[p] = lps.iter().filter_map(LpState::head_time).min();
         }
         barrier.wait();
 
@@ -363,9 +373,11 @@ mod tests {
             .with_strategy(strategy)
             .with_observe(Observe::AllNets)
             .run(c, stim, VirtualTime::new(until));
-        let seq = SequentialSimulator::<V>::new()
-            .with_observe(Observe::AllNets)
-            .run(c, stim, VirtualTime::new(until));
+        let seq = SequentialSimulator::<V>::new().with_observe(Observe::AllNets).run(
+            c,
+            stim,
+            VirtualTime::new(until),
+        );
         if let Some(d) = threaded.divergence_from(&seq) {
             panic!("threaded conservative ({strategy:?}) diverged on {}: {d}", c.name());
         }
@@ -427,9 +439,11 @@ mod tests {
         let c = generate::mesh(8, 8, DelayModel::Unit);
         let stim = Stimulus::random(9, 18);
         let part = FiducciaMattheyses::default().partition(&c, 4, &GateWeights::uniform(c.len()));
-        let base = SequentialSimulator::<Bit>::new()
-            .with_observe(Observe::AllNets)
-            .run(&c, &stim, VirtualTime::new(250));
+        let base = SequentialSimulator::<Bit>::new().with_observe(Observe::AllNets).run(
+            &c,
+            &stim,
+            VirtualTime::new(250),
+        );
         let out = ThreadedConservativeSimulator::<Bit>::new(part)
             .with_granularity(4)
             .with_observe(Observe::AllNets)

@@ -44,9 +44,11 @@ fn any_scenario() -> impl Strategy<Value = Scenario> {
 }
 
 fn oracle(s: &Scenario) -> SimOutcome<Logic4> {
-    SequentialSimulator::<Logic4>::new()
-        .with_observe(Observe::AllNets)
-        .run(&s.circuit, &s.stimulus, s.until)
+    SequentialSimulator::<Logic4>::new().with_observe(Observe::AllNets).run(
+        &s.circuit,
+        &s.stimulus,
+        s.until,
+    )
 }
 
 fn partition(s: &Scenario) -> Partition {

@@ -99,8 +99,8 @@ impl<V: LogicValue> Simulator<V> for CycleSimulator<V> {
         // Rank-ordered combinational settle + one synchronized sequential
         // update per stimulus time.
         let settle = |values: &mut Vec<V>,
-                          prev_clk: &mut BTreeMap<GateId, V>,
-                          stats: &mut SimStats| {
+                      prev_clk: &mut BTreeMap<GateId, V>,
+                      stats: &mut SimStats| {
             // Sequential capture first: all flip-flops sample their inputs
             // (as settled at the previous time) simultaneously.
             let updates: Vec<(GateId, V)> = seq
@@ -131,8 +131,7 @@ impl<V: LogicValue> Simulator<V> for CycleSimulator<V> {
                 if kind.is_source() || kind.is_sequential() {
                     continue;
                 }
-                let inputs: Vec<V> =
-                    circuit.fanin(id).iter().map(|&f| values[f.index()]).collect();
+                let inputs: Vec<V> = circuit.fanin(id).iter().map(|&f| values[f.index()]).collect();
                 values[id.index()] = eval_combinational(kind, &inputs);
                 stats.gate_evaluations += 1;
             }
@@ -228,10 +227,12 @@ mod tests {
         // records only one transition per stimulus time.
         let c = generate::ripple_adder(6, DelayModel::Unit);
         let stim = Stimulus::random(9, 50);
-        let out = CycleSimulator::<Bit>::new()
-            .with_observe(Observe::AllNets)
-            .run(&c, &stim, VirtualTime::new(500));
-        for (_, w) in &out.waveforms {
+        let out = CycleSimulator::<Bit>::new().with_observe(Observe::AllNets).run(
+            &c,
+            &stim,
+            VirtualTime::new(500),
+        );
+        for w in out.waveforms.values() {
             let mut times: Vec<_> = w.transitions().iter().map(|&(t, _)| t.ticks()).collect();
             times.dedup();
             assert_eq!(times.len(), w.transitions().len(), "at most one transition per time");

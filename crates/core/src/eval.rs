@@ -134,8 +134,7 @@ mod tests {
         use parsim_logic::Logic4;
         let (c, clk, d, q) = dff_circuit();
         let mut rt = GateRuntime::default();
-        let mut vals =
-            std::collections::HashMap::from([(clk, Logic4::Zero), (d, Logic4::One)]);
+        let mut vals = std::collections::HashMap::from([(clk, Logic4::Zero), (d, Logic4::One)]);
 
         // Clock low: no capture, q stays 0 → no event.
         let mut read = |id: GateId| vals[&id];

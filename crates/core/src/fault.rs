@@ -98,7 +98,7 @@ pub fn inject(circuit: &Circuit, fault: StuckAtFault) -> Circuit {
     }
     for &po in circuit.outputs() {
         let target = if po == fault.net { stuck } else { ids[po.index()] };
-        let name = circuit.gate(po).name().map(str::to_owned).unwrap_or_else(|| po.to_string());
+        let name = circuit.gate(po).name().map_or_else(|| po.to_string(), str::to_owned);
         b.output(format!("{name}__po"), target);
     }
     b.finish().expect("fault injection preserves structural validity")
@@ -200,10 +200,7 @@ mod tests {
         // ...but its readers (gates 16 and 19) now read a constant 1.
         for reader in ["16", "19"] {
             let r = faulty.find(reader).unwrap();
-            let const_input = faulty
-                .fanin(r)
-                .iter()
-                .find(|&&f| faulty.kind(f) == GateKind::Const1);
+            let const_input = faulty.fanin(r).iter().find(|&&f| faulty.kind(f) == GateKind::Const1);
             assert!(const_input.is_some(), "{reader} not rewired");
         }
         assert_eq!(faulty.stats().gates_by_kind[&GateKind::Nand], 6);
@@ -218,8 +215,7 @@ mod tests {
             (0u32..32).map(|p| (0..5).map(|i| p >> i & 1 == 1).collect()).collect();
         let stimulus = Stimulus::vectors(16, vectors);
         let faults = enumerate_faults(&c);
-        let report =
-            simulate_faults::<Bit>(&c, &faults, &stimulus, VirtualTime::new(32 * 16));
+        let report = simulate_faults::<Bit>(&c, &faults, &stimulus, VirtualTime::new(32 * 16));
         assert_eq!(report.coverage(), 1.0, "undetected: {:?}", report.undetected());
     }
 

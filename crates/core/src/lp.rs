@@ -96,8 +96,7 @@ impl LpTopology {
                     out_channels[src].push(dst);
                     in_channels[dst].push(src);
                     let d = circuit.delay(id);
-                    lookahead[src] =
-                        Some(lookahead[src].map_or(d, |cur: Delay| cur.min(d)));
+                    lookahead[src] = Some(lookahead[src].map_or(d, |cur: Delay| cur.min(d)));
                 }
             }
         }
@@ -146,7 +145,12 @@ impl LpTopology {
     /// (round-robin within the block), producing `blocks × factor` LPs
     /// mapped `lp → lp / factor` onto processors (see
     /// [`Self::processor_of`]). The granularity knob of experiment E7.
-    pub fn with_granularity(circuit: &Circuit, coarse: &[usize], blocks: usize, factor: usize) -> Self {
+    pub fn with_granularity(
+        circuit: &Circuit,
+        coarse: &[usize],
+        blocks: usize,
+        factor: usize,
+    ) -> Self {
         assert!(factor >= 1, "granularity factor must be at least 1");
         let mut counter = vec![0usize; blocks];
         let fine: Vec<usize> = coarse

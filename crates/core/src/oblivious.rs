@@ -7,7 +7,9 @@ use parsim_event::VirtualTime;
 use parsim_logic::{GateKind, LogicValue};
 use parsim_netlist::Circuit;
 
-use crate::{evaluate_gate, GateRuntime, Observe, SimOutcome, SimStats, Simulator, Stimulus, Waveform};
+use crate::{
+    evaluate_gate, GateRuntime, Observe, SimOutcome, SimStats, Simulator, Stimulus, Waveform,
+};
 
 /// The §IV *oblivious* algorithm: no event queue at all.
 ///
@@ -167,12 +169,16 @@ mod tests {
     use parsim_netlist::{bench, generate, DelayModel};
 
     fn equivalent<V: LogicValue>(circuit: &Circuit, stim: &Stimulus, until: u64) {
-        let a = ObliviousSimulator::<V>::new()
-            .with_observe(Observe::AllNets)
-            .run(circuit, stim, VirtualTime::new(until));
-        let b = SequentialSimulator::<V>::new()
-            .with_observe(Observe::AllNets)
-            .run(circuit, stim, VirtualTime::new(until));
+        let a = ObliviousSimulator::<V>::new().with_observe(Observe::AllNets).run(
+            circuit,
+            stim,
+            VirtualTime::new(until),
+        );
+        let b = SequentialSimulator::<V>::new().with_observe(Observe::AllNets).run(
+            circuit,
+            stim,
+            VirtualTime::new(until),
+        );
         if let Some(d) = a.divergence_from(&b) {
             panic!("oblivious diverged from sequential on {}: {d}", circuit.name());
         }
@@ -195,7 +201,7 @@ mod tests {
     #[test]
     fn matches_event_driven_on_random_dags() {
         for seed in 0..5 {
-            let c = generate::random_dag(&parsim_netlist::generate::RandomDagConfig {
+            let c = generate::random_dag(&generate::RandomDagConfig {
                 gates: 150,
                 seq_fraction: 0.15,
                 seed,

@@ -76,11 +76,7 @@ impl SimStats {
 
 impl Display for SimStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} events, {} evals",
-            self.events_processed, self.gate_evaluations
-        )?;
+        write!(f, "{} events, {} evals", self.events_processed, self.gate_evaluations)?;
         if self.null_messages > 0 {
             write!(f, ", {} nulls", self.null_messages)?;
         }

@@ -66,8 +66,7 @@ impl ActivityProfile {
     /// Mean evaluations per gate per tick — the circuit's *activity level*
     /// (the knob experiment E6 studies).
     pub fn activity_level(&self, circuit: &Circuit) -> f64 {
-        let evaluating =
-            circuit.iter().filter(|(_, g)| !g.kind().is_source()).count() as f64;
+        let evaluating = circuit.iter().filter(|(_, g)| !g.kind().is_source()).count() as f64;
         let ticks = self.window.ticks().max(1) as f64;
         self.total() as f64 / (evaluating * ticks).max(1.0)
     }
@@ -78,7 +77,11 @@ impl ActivityProfile {
 ///
 /// Uses two-valued logic: the activity *pattern* is what matters, and the
 /// profile must be cheap relative to the main run.
-pub fn pre_simulate(circuit: &Circuit, stimulus: &Stimulus, window: VirtualTime) -> ActivityProfile {
+pub fn pre_simulate(
+    circuit: &Circuit,
+    stimulus: &Stimulus,
+    window: VirtualTime,
+) -> ActivityProfile {
     let sim = SequentialSimulator::<parsim_logic::Bit>::new().with_observe(Observe::Nothing);
     let (_, counts) = sim.run_with_activity(circuit, stimulus, window);
     ActivityProfile { counts, window }
@@ -126,10 +129,10 @@ mod tests {
     fn activity_level_scales_with_toggle_probability() {
         let c = generate::random_dag(&Default::default());
         let until = VirtualTime::new(2000);
-        let lazy = pre_simulate(&c, &Stimulus::random_with_toggle(1, 10, 0.05), until)
-            .activity_level(&c);
-        let busy = pre_simulate(&c, &Stimulus::random_with_toggle(1, 10, 0.95), until)
-            .activity_level(&c);
+        let lazy =
+            pre_simulate(&c, &Stimulus::random_with_toggle(1, 10, 0.05), until).activity_level(&c);
+        let busy =
+            pre_simulate(&c, &Stimulus::random_with_toggle(1, 10, 0.95), until).activity_level(&c);
         assert!(busy > 3.0 * lazy, "activity knob inert: {lazy} vs {busy}");
     }
 
@@ -137,12 +140,7 @@ mod tests {
     fn fraction_window_clamps() {
         let c = parsim_netlist::bench::c17();
         let stim = Stimulus::random(1, 50);
-        let p = pre_simulate_fraction::<parsim_logic::Bit>(
-            &c,
-            &stim,
-            VirtualTime::new(10),
-            0.01,
-        );
+        let p = pre_simulate_fraction::<parsim_logic::Bit>(&c, &stim, VirtualTime::new(10), 0.01);
         assert_eq!(p.window(), VirtualTime::new(50));
     }
 }

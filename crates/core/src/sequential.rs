@@ -3,11 +3,15 @@
 use std::collections::BTreeMap;
 use std::marker::PhantomData;
 
-use parsim_event::{BinaryHeapQueue, CalendarQueue, Event, EventQueue, PairingHeapQueue, VirtualTime};
+use parsim_event::{
+    BinaryHeapQueue, CalendarQueue, Event, EventQueue, PairingHeapQueue, VirtualTime,
+};
 use parsim_logic::{GateKind, LogicValue};
 use parsim_netlist::{Circuit, GateId};
 
-use crate::{evaluate_gate, GateRuntime, Observe, SimOutcome, SimStats, Simulator, Stimulus, Waveform};
+use crate::{
+    evaluate_gate, GateRuntime, Observe, SimOutcome, SimStats, Simulator, Stimulus, Waveform,
+};
 
 /// Which pending-event-set implementation the sequential kernel uses.
 ///
@@ -191,7 +195,15 @@ impl<V: LogicValue> SequentialSimulator<V> {
 
         // The t = 0 step always runs (initial evaluation), then the main
         // loop drains the queue in timestamp order.
-        step(VirtualTime::ZERO, true, &mut queue, &mut values, &mut runtime, &mut stats, &mut waveforms);
+        step(
+            VirtualTime::ZERO,
+            true,
+            &mut queue,
+            &mut values,
+            &mut runtime,
+            &mut stats,
+            &mut waveforms,
+        );
         loop {
             let now = match queue.peek_time() {
                 Some(t) if t <= until => t,
@@ -232,9 +244,11 @@ mod tests {
     use parsim_netlist::{bench, generate, CircuitBuilder, Delay, DelayModel};
 
     fn run_bits(circuit: &Circuit, stim: &Stimulus, until: u64) -> SimOutcome<Bit> {
-        SequentialSimulator::<Bit>::new()
-            .with_observe(Observe::AllNets)
-            .run(circuit, stim, VirtualTime::new(until))
+        SequentialSimulator::<Bit>::new().with_observe(Observe::AllNets).run(
+            circuit,
+            stim,
+            VirtualTime::new(until),
+        )
     }
 
     #[test]
@@ -292,7 +306,8 @@ mod tests {
         let value: u32 = (0..5)
             .map(|i| {
                 let q = c.find(&format!("q{i}")).unwrap();
-                (out.value(q) == Bit::One) as u32} )
+                (out.value(q) == Bit::One) as u32
+            })
             .enumerate()
             .map(|(i, b)| b << i)
             .sum();
@@ -303,9 +318,11 @@ mod tests {
     fn queue_variants_are_identical() {
         let c = generate::random_dag(&Default::default());
         let stim = Stimulus::random(9, 13);
-        let heap = SequentialSimulator::<Logic4>::new()
-            .with_observe(Observe::AllNets)
-            .run(&c, &stim, VirtualTime::new(400));
+        let heap = SequentialSimulator::<Logic4>::new().with_observe(Observe::AllNets).run(
+            &c,
+            &stim,
+            VirtualTime::new(400),
+        );
         for kind in [QueueKind::Calendar, QueueKind::PairingHeap] {
             let other = SequentialSimulator::<Logic4>::new()
                 .with_observe(Observe::AllNets)

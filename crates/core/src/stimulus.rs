@@ -12,10 +12,7 @@ enum Pattern {
     /// Every `interval` ticks, each input toggles with probability
     /// `toggle_prob` (the "random vectors" the paper notes ISCAS circuits
     /// are typically simulated with).
-    Random {
-        seed: u64,
-        toggle_prob: f64,
-    },
+    Random { seed: u64, toggle_prob: f64 },
     /// Inputs count in binary: input `i` carries bit `i` of the step number.
     Counting,
     /// Explicit vectors, one per step, cycled if the run is longer.
@@ -184,19 +181,13 @@ impl Stimulus {
                 .inputs()
                 .iter()
                 .copied()
-                .filter(|&pi| {
-                    circuit.gate(pi).name().is_some_and(|n| CLOCK_NAMES.contains(&n))
-                })
+                .filter(|&pi| circuit.gate(pi).name().is_some_and(|n| CLOCK_NAMES.contains(&n)))
                 .collect()
         } else {
             Vec::new()
         };
-        let data_inputs: Vec<GateId> = circuit
-            .inputs()
-            .iter()
-            .copied()
-            .filter(|pi| !clocks.contains(pi))
-            .collect();
+        let data_inputs: Vec<GateId> =
+            circuit.inputs().iter().copied().filter(|pi| !clocks.contains(pi)).collect();
 
         let mut events: Vec<Event<V>> = Vec::new();
 

@@ -71,18 +71,10 @@ pub fn write_vcd<V: LogicValue>(circuit: &Circuit, outcome: &SimOutcome<V>) -> S
     let _ = writeln!(out, "$timescale 1ns $end");
     let _ = writeln!(out, "$scope module {} $end", sanitize(circuit.name()));
 
-    let vars: Vec<(GateId, String)> = outcome
-        .waveforms
-        .keys()
-        .enumerate()
-        .map(|(i, &id)| (id, vcd_id(i)))
-        .collect();
+    let vars: Vec<(GateId, String)> =
+        outcome.waveforms.keys().enumerate().map(|(i, &id)| (id, vcd_id(i))).collect();
     for (id, code) in &vars {
-        let name = circuit
-            .gate(*id)
-            .name()
-            .map(sanitize)
-            .unwrap_or_else(|| format!("g{}", id.index()));
+        let name = circuit.gate(*id).name().map_or_else(|| format!("g{}", id.index()), sanitize);
         let _ = writeln!(out, "$var wire 1 {code} {name} $end");
     }
     let _ = writeln!(out, "$upscope $end");
@@ -210,9 +202,11 @@ mod tests {
     #[test]
     fn dump_structure() {
         let c = bench::c17();
-        let out = SequentialSimulator::<Logic4>::new()
-            .with_observe(Observe::Outputs)
-            .run(&c, &Stimulus::counting(10), parsim_event::VirtualTime::new(120));
+        let out = SequentialSimulator::<Logic4>::new().with_observe(Observe::Outputs).run(
+            &c,
+            &Stimulus::counting(10),
+            VirtualTime::new(120),
+        );
         let vcd = write_vcd(&c, &out);
         // Header pieces in order.
         let defs = vcd.find("$enddefinitions").expect("definitions section");

@@ -82,22 +82,13 @@ impl<V: LogicValue> Waveform<V> {
     /// kernels when rolling back tentatively recorded history). The initial
     /// entry is never removed.
     pub fn truncate_from(&mut self, time: VirtualTime) {
-        let keep = self
-            .transitions
-            .iter()
-            .take_while(|&&(t, _)| t < time)
-            .count()
-            .max(1);
+        let keep = self.transitions.iter().take_while(|&&(t, _)| t < time).count().max(1);
         self.transitions.truncate(keep);
     }
 
     /// Renders the waveform as a compact `t0:v0 t1:v1 ...` string.
     pub fn to_trace_string(&self) -> String {
-        self.transitions
-            .iter()
-            .map(|(t, v)| format!("{t}:{v}"))
-            .collect::<Vec<_>>()
-            .join(" ")
+        self.transitions.iter().map(|(t, v)| format!("{t}:{v}")).collect::<Vec<_>>().join(" ")
     }
 }
 

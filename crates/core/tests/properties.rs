@@ -2,7 +2,7 @@
 //! variants of the sequential kernel must agree exactly on arbitrary
 //! circuits and stimuli.
 
-use parsim_core::{Observe, ObliviousSimulator, SequentialSimulator, Simulator, Stimulus};
+use parsim_core::{ObliviousSimulator, Observe, SequentialSimulator, Simulator, Stimulus};
 use parsim_event::VirtualTime;
 use parsim_logic::{Bit, Logic4};
 use parsim_netlist::generate::{random_dag, RandomDagConfig};

@@ -89,11 +89,8 @@ impl<V: Copy + Debug> PairingHeapQueue<V> {
         if b == NONE {
             return a;
         }
-        let (parent, child) = if self.arena[a].item.key() <= self.arena[b].item.key() {
-            (a, b)
-        } else {
-            (b, a)
-        };
+        let (parent, child) =
+            if self.arena[a].item.key() <= self.arena[b].item.key() { (a, b) } else { (b, a) };
         self.arena[child].sibling = self.arena[parent].child;
         self.arena[parent].child = child;
         parent

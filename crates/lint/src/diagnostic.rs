@@ -1,0 +1,171 @@
+//! Diagnostic records: codes, severities and sites.
+
+use std::fmt::{self, Display};
+
+use parsim_netlist::GateId;
+
+/// How serious a diagnostic is.
+///
+/// Ordered from least to most severe, so `Severity::Error > Severity::Note`
+/// and reports can be sorted or filtered by threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// An observation or optimization opportunity; the circuit is correct.
+    Note,
+    /// Likely a mistake or a parallel-performance hazard.
+    Warning,
+    /// The circuit is structurally unusable.
+    Error,
+}
+
+impl Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// A stable, machine-readable diagnostic code.
+///
+/// Codes are kebab-case identifiers (`"dead-logic"`, `"fanout-hotspot"`)
+/// that stay fixed across releases so tooling can match on them. All codes
+/// emitted by this crate are associated constants on this type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Code(&'static str);
+
+impl Code {
+    /// The combinational network contains a cycle.
+    pub const COMBINATIONAL_CYCLE: Code = Code("combinational-cycle");
+    /// A gate was declared but never defined.
+    pub const UNDEFINED_GATE: Code = Code("undefined-gate");
+    /// A gate has an illegal number of inputs for its kind.
+    pub const BAD_ARITY: Code = Code("bad-arity");
+    /// A gate name is used more than once.
+    pub const DUPLICATE_NAME: Code = Code("duplicate-name");
+    /// The circuit contains no gates.
+    pub const EMPTY_CIRCUIT: Code = Code("empty-circuit");
+    /// A primary input drives nothing.
+    pub const UNUSED_INPUT: Code = Code("unused-input");
+    /// A gate has no path to any primary output.
+    pub const DEAD_LOGIC: Code = Code("dead-logic");
+    /// A cone of gates computes a compile-time constant.
+    pub const CONST_CONE: Code = Code("const-cone");
+    /// Two or more gates compute the identical function of identical nets.
+    pub const DUPLICATE_GATE: Code = Code("duplicate-gate");
+    /// A net fans out to an unusually large number of sinks.
+    pub const FANOUT_HOTSPOT: Code = Code("fanout-hotspot");
+    /// The circuit is much deeper than it is wide (little parallelism).
+    pub const SHAPE_IMBALANCE: Code = Code("shape-imbalance");
+    /// A feedback loop carries zero total propagation delay.
+    pub const ZERO_DELAY_LOOP: Code = Code("zero-delay-loop");
+    /// Partition block loads are badly imbalanced.
+    pub const LOAD_IMBALANCE: Code = Code("load-imbalance");
+    /// The partition cuts an excessive fraction of fanout edges.
+    pub const HIGH_CUT: Code = Code("high-cut");
+
+    /// The code as its stable string form.
+    pub fn as_str(self) -> &'static str {
+        self.0
+    }
+}
+
+impl Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+/// One finding: what is wrong, how bad it is, and where.
+///
+/// # Examples
+///
+/// ```
+/// use parsim_lint::{Code, Diagnostic, Severity};
+/// use parsim_netlist::GateId;
+///
+/// let d = Diagnostic::new(Code::DEAD_LOGIC, Severity::Warning, "gate \"g3\" is dead")
+///     .with_site(GateId::new(3))
+///     .with_help("remove it or connect it to an output");
+/// assert_eq!(d.code, Code::DEAD_LOGIC);
+/// assert_eq!(d.sites, vec![GateId::new(3)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable machine-readable code.
+    pub code: Code,
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// Human-readable, circuit-specific description.
+    pub message: String,
+    /// The gates involved, most relevant first.
+    pub sites: Vec<GateId>,
+    /// Optional advice on how to address the finding.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with no sites and no help text.
+    pub fn new(code: Code, severity: Severity, message: impl Into<String>) -> Self {
+        Diagnostic { code, severity, message: message.into(), sites: Vec::new(), help: None }
+    }
+
+    /// Appends one site.
+    #[must_use]
+    pub fn with_site(mut self, site: GateId) -> Self {
+        self.sites.push(site);
+        self
+    }
+
+    /// Appends several sites.
+    #[must_use]
+    pub fn with_sites(mut self, sites: impl IntoIterator<Item = GateId>) -> Self {
+        self.sites.extend(sites);
+        self
+    }
+
+    /// Attaches help text.
+    #[must_use]
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+}
+
+impl Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Note);
+        assert_eq!(Severity::Warning.to_string(), "warning");
+    }
+
+    #[test]
+    fn codes_are_stable_strings() {
+        assert_eq!(Code::DEAD_LOGIC.as_str(), "dead-logic");
+        assert_eq!(Code::FANOUT_HOTSPOT.to_string(), "fanout-hotspot");
+        assert_ne!(Code::CONST_CONE, Code::DUPLICATE_GATE);
+    }
+
+    #[test]
+    fn diagnostic_builders_accumulate() {
+        let d = Diagnostic::new(Code::UNUSED_INPUT, Severity::Warning, "input \"a\" unused")
+            .with_site(GateId::new(0))
+            .with_sites([GateId::new(1), GateId::new(2)])
+            .with_help("drop the input");
+        assert_eq!(d.sites.len(), 3);
+        assert_eq!(d.help.as_deref(), Some("drop the input"));
+        assert_eq!(d.to_string(), "warning[unused-input]: input \"a\" unused");
+    }
+}

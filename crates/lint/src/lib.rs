@@ -1,0 +1,29 @@
+//! Static analysis and diagnostics for parsim netlists.
+//!
+//! This crate turns a [`parsim_netlist::Circuit`] (and optionally a
+//! [`parsim_partition::Partition`]) into a set of [`Diagnostic`]s: structural
+//! errors such as combinational cycles, logic-quality warnings such as dead
+//! gates or constant cones, and performance advisories such as fanout
+//! hotspots or poorly balanced partitions.
+//!
+//! The entry point is [`Linter`], a registry of [`LintPass`]es. Each pass
+//! inspects the circuit through a shared [`LintContext`] and emits
+//! diagnostics tagged with a stable [`Code`], a [`Severity`], and the gate
+//! sites involved. Reports render either as human-readable text
+//! ([`LintReport::render_pretty`]) or as machine-readable single-line records
+//! ([`LintReport::render_machine`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod context;
+mod diagnostic;
+mod linter;
+pub mod passes;
+mod report;
+
+pub use context::LintContext;
+pub use diagnostic::{Code, Diagnostic, Severity};
+pub use linter::{LintPass, Linter};
+pub use passes::structural::{check_build, diagnose_build, diagnose_issue};
+pub use report::LintReport;

@@ -1,0 +1,374 @@
+//! Logic-quality passes: unused inputs, dead logic, constant cones and
+//! structurally duplicate gates.
+
+use std::collections::HashMap;
+
+use parsim_logic::{eval_combinational, GateKind, Logic4};
+use parsim_netlist::{Delay, GateId};
+
+use crate::context::LintContext;
+use crate::diagnostic::{Code, Diagnostic, Severity};
+use crate::linter::LintPass;
+
+/// Flags primary inputs that drive nothing.
+///
+/// An unused input usually means the netlist was truncated or an input list
+/// was copied from a larger design; at simulation time it silently wastes a
+/// stimulus channel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnusedInput;
+
+impl LintPass for UnusedInput {
+    fn name(&self) -> &'static str {
+        "unused-input"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Warning
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let c = ctx.circuit();
+        for &pi in c.inputs() {
+            if c.fanout(pi).is_empty() && !c.outputs().contains(&pi) {
+                out.push(
+                    Diagnostic::new(
+                        Code::UNUSED_INPUT,
+                        self.default_severity(),
+                        format!("primary input {} drives nothing", ctx.name_of(pi)),
+                    )
+                    .with_site(pi)
+                    .with_help("remove the input, or wire it into the logic"),
+                );
+            }
+        }
+    }
+}
+
+/// Flags gates with no forward path to any primary output.
+///
+/// Dead gates still evaluate and still generate events in the event-driven
+/// kernels, so beyond being suspicious they inflate every workload metric
+/// the partitioners balance against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeadLogic;
+
+impl LintPass for DeadLogic {
+    fn name(&self) -> &'static str {
+        "dead-logic"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Warning
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let c = ctx.circuit();
+        // Reverse reachability from the primary outputs across *all* edges,
+        // sequential ones included: a gate feeding only a DFF that feeds an
+        // output is live.
+        let mut live = vec![false; c.len()];
+        let mut stack: Vec<GateId> = c.outputs().to_vec();
+        for &o in c.outputs() {
+            live[o.index()] = true;
+        }
+        while let Some(id) = stack.pop() {
+            for &f in c.fanin(id) {
+                if !live[f.index()] {
+                    live[f.index()] = true;
+                    stack.push(f);
+                }
+            }
+        }
+        // Primary inputs are UnusedInput's concern; everything else that is
+        // unreachable is dead logic.
+        let dead: Vec<GateId> =
+            c.ids().filter(|&id| !live[id.index()] && c.kind(id) != GateKind::Input).collect();
+        if dead.is_empty() {
+            return;
+        }
+        let shown: Vec<String> = dead.iter().take(4).map(|&id| ctx.name_of(id)).collect();
+        let suffix = if dead.len() > shown.len() { ", ..." } else { "" };
+        out.push(
+            Diagnostic::new(
+                Code::DEAD_LOGIC,
+                self.default_severity(),
+                format!(
+                    "{} gate(s) have no path to any primary output: {}{suffix}",
+                    dead.len(),
+                    shown.join(", "),
+                ),
+            )
+            .with_sites(dead)
+            .with_help("remove the dead cone, or mark its sink as a primary output"),
+        );
+    }
+}
+
+/// Flags cones of gates that compute compile-time constants.
+///
+/// A gate whose fanins are all (transitively) constant can be folded into a
+/// `CONST0`/`CONST1` driver before simulation; left in place it wastes
+/// evaluations and skews activity-based gate weights.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConstCone;
+
+impl LintPass for ConstCone {
+    fn name(&self) -> &'static str {
+        "const-cone"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Note
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let c = ctx.circuit();
+        // Propagate constants in topological order. Sequential elements are
+        // never folded: their output depends on initialization and clocking,
+        // not only on their (possibly constant) data pin.
+        let mut value: Vec<Option<Logic4>> = vec![None; c.len()];
+        let mut foldable: Vec<GateId> = Vec::new();
+        for &id in ctx.levels().order() {
+            let kind = c.kind(id);
+            match kind {
+                GateKind::Const0 => value[id.index()] = Some(Logic4::Zero),
+                GateKind::Const1 => value[id.index()] = Some(Logic4::One),
+                GateKind::Input | GateKind::Dff | GateKind::Latch => {}
+                _ => {
+                    let inputs: Option<Vec<Logic4>> =
+                        c.fanin(id).iter().map(|&f| value[f.index()]).collect();
+                    if let Some(inputs) = inputs {
+                        value[id.index()] = Some(eval_combinational(kind, &inputs));
+                        foldable.push(id);
+                    }
+                }
+            }
+        }
+        if foldable.is_empty() {
+            return;
+        }
+        let shown: Vec<String> = foldable
+            .iter()
+            .take(4)
+            .map(|&id| format!("{} = {}", ctx.name_of(id), value[id.index()].expect("folded")))
+            .collect();
+        let suffix = if foldable.len() > shown.len() { ", ..." } else { "" };
+        out.push(
+            Diagnostic::new(
+                Code::CONST_CONE,
+                self.default_severity(),
+                format!(
+                    "{} gate(s) compute compile-time constants: {}{suffix}",
+                    foldable.len(),
+                    shown.join(", "),
+                ),
+            )
+            .with_sites(foldable)
+            .with_help("fold the cone into a CONST0/CONST1 driver"),
+        );
+    }
+}
+
+/// Flags structurally identical gates (common-subexpression opportunities).
+///
+/// Two gates are duplicates when they have the same kind, the same delay and
+/// the same fanin nets — with fanin order ignored for commutative functions.
+/// Merging them shrinks the event population without changing any waveform.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DuplicateGate;
+
+fn commutative(kind: GateKind) -> bool {
+    use GateKind::{And, Bus, Nand, Nor, Or, Xnor, Xor};
+    matches!(kind, And | Nand | Or | Nor | Xor | Xnor | Bus)
+}
+
+impl LintPass for DuplicateGate {
+    fn name(&self) -> &'static str {
+        "duplicate-gate"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Note
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let c = ctx.circuit();
+        let mut groups: HashMap<(GateKind, Delay, Vec<GateId>), Vec<GateId>> = HashMap::new();
+        for (id, g) in c.iter() {
+            // Primary inputs are all structurally identical but semantically
+            // distinct; constants are caught too cheaply to be interesting
+            // unless there are several, which the grouping handles naturally.
+            if g.kind() == GateKind::Input {
+                continue;
+            }
+            let mut fanin = g.fanin().to_vec();
+            if commutative(g.kind()) {
+                fanin.sort_unstable();
+            }
+            groups.entry((g.kind(), g.delay(), fanin)).or_default().push(id);
+        }
+        let mut dup_groups: Vec<Vec<GateId>> =
+            groups.into_values().filter(|members| members.len() > 1).collect();
+        dup_groups.sort_by_key(|members| members[0]);
+        for members in dup_groups {
+            let kind = c.kind(members[0]);
+            let names: Vec<String> = members.iter().map(|&id| ctx.name_of(id)).collect();
+            out.push(
+                Diagnostic::new(
+                    Code::DUPLICATE_GATE,
+                    self.default_severity(),
+                    format!(
+                        "{} {kind} gate(s) compute the same function of the same nets: {}",
+                        members.len(),
+                        names.join(", "),
+                    ),
+                )
+                .with_sites(members)
+                .with_help("merge the duplicates and reroute their fanout"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim_netlist::{bench, Circuit, CircuitBuilder};
+
+    fn run_pass(pass: &dyn LintPass, c: &Circuit) -> Vec<Diagnostic> {
+        let ctx = LintContext::new(c);
+        let mut out = Vec::new();
+        pass.run(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn c17_is_clean_under_all_logic_passes() {
+        let c = bench::c17();
+        for pass in [&UnusedInput as &dyn LintPass, &DeadLogic, &ConstCone, &DuplicateGate] {
+            assert!(run_pass(pass, &c).is_empty(), "pass {} fired on c17", pass.name());
+        }
+    }
+
+    #[test]
+    fn unused_input_flagged() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        let unused = b.input("spare");
+        let g = b.gate(GateKind::Not, [a], Delay::UNIT);
+        b.output("y", g);
+        let c = b.finish().unwrap();
+        let diags = run_pass(&UnusedInput, &c);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::UNUSED_INPUT);
+        assert_eq!(diags[0].sites, vec![unused]);
+        assert!(diags[0].message.contains("spare"));
+    }
+
+    #[test]
+    fn dead_cone_flagged_with_all_members() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        let live = b.gate(GateKind::Buf, [a], Delay::UNIT);
+        b.output("y", live);
+        let d1 = b.named_gate("d1", GateKind::Not, [a], Delay::UNIT);
+        let d2 = b.named_gate("d2", GateKind::Not, [d1], Delay::UNIT);
+        let c = b.finish().unwrap();
+        let diags = run_pass(&DeadLogic, &c);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Warning);
+        assert!(diags[0].sites.contains(&d1) && diags[0].sites.contains(&d2));
+        assert_eq!(diags[0].sites.len(), 2);
+    }
+
+    #[test]
+    fn gate_feeding_output_through_dff_is_live() {
+        let mut b = CircuitBuilder::new("t");
+        let clk = b.input("clk");
+        let a = b.input("a");
+        let inv = b.gate(GateKind::Not, [a], Delay::UNIT);
+        let q = b.gate(GateKind::Dff, [clk, inv], Delay::UNIT);
+        b.output("q", q);
+        let c = b.finish().unwrap();
+        assert!(run_pass(&DeadLogic, &c).is_empty());
+    }
+
+    #[test]
+    fn const_cone_folds_through_layers() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        let one = b.constant(true);
+        let zero = b.constant(false);
+        let and = b.named_gate("cand", GateKind::And, [one, zero], Delay::UNIT);
+        let or = b.named_gate("cor", GateKind::Or, [and, one], Delay::UNIT);
+        let live = b.gate(GateKind::And, [a, or], Delay::UNIT);
+        b.output("y", live);
+        let c = b.finish().unwrap();
+        let diags = run_pass(&ConstCone, &c);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::CONST_CONE);
+        // The two folded gates, but not the live AND (one non-const fanin).
+        assert!(diags[0].sites.contains(&and) && diags[0].sites.contains(&or));
+        assert!(!diags[0].sites.contains(&live));
+        assert!(diags[0].message.contains(r#""cand" = 0"#));
+        assert!(diags[0].message.contains(r#""cor" = 1"#));
+    }
+
+    #[test]
+    fn dff_breaks_const_propagation() {
+        let mut b = CircuitBuilder::new("t");
+        let clk = b.input("clk");
+        let one = b.constant(true);
+        let q = b.gate(GateKind::Dff, [clk, one], Delay::UNIT);
+        let g = b.gate(GateKind::Not, [q], Delay::UNIT);
+        b.output("y", g);
+        let c = b.finish().unwrap();
+        assert!(run_pass(&ConstCone, &c).is_empty());
+    }
+
+    #[test]
+    fn duplicates_detected_modulo_commutativity() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        let x = b.input("b");
+        let g1 = b.named_gate("g1", GateKind::And, [a, x], Delay::UNIT);
+        let g2 = b.named_gate("g2", GateKind::And, [x, a], Delay::UNIT); // same, reordered
+        let g3 = b.named_gate("g3", GateKind::Or, [a, x], Delay::UNIT); // different kind
+        let y = b.gate(GateKind::Xor, [g1, g2], Delay::UNIT);
+        let z = b.gate(GateKind::Xor, [g3, y], Delay::UNIT);
+        b.output("y", z);
+        let c = b.finish().unwrap();
+        let diags = run_pass(&DuplicateGate, &c);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].sites, vec![g1, g2]);
+        assert!(diags[0].message.contains("AND"));
+    }
+
+    #[test]
+    fn mux_operand_order_matters() {
+        let mut b = CircuitBuilder::new("t");
+        let s = b.input("s");
+        let a = b.input("a");
+        let x = b.input("b");
+        let m1 = b.gate(GateKind::Mux2, [s, a, x], Delay::UNIT);
+        let m2 = b.gate(GateKind::Mux2, [s, x, a], Delay::UNIT); // NOT a duplicate
+        let y = b.gate(GateKind::Xor, [m1, m2], Delay::UNIT);
+        b.output("y", y);
+        let c = b.finish().unwrap();
+        assert!(run_pass(&DuplicateGate, &c).is_empty());
+    }
+
+    #[test]
+    fn differing_delay_is_not_a_duplicate() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        let x = b.input("b");
+        let g1 = b.gate(GateKind::And, [a, x], Delay::new(1));
+        let g2 = b.gate(GateKind::And, [a, x], Delay::new(2));
+        let y = b.gate(GateKind::Xor, [g1, g2], Delay::UNIT);
+        b.output("y", y);
+        let c = b.finish().unwrap();
+        assert!(run_pass(&DuplicateGate, &c).is_empty());
+    }
+}

@@ -1,0 +1,198 @@
+//! Partition-quality passes: the two §III objectives as lints.
+//!
+//! Partitioning trades *load balance* (every processor equally busy) against
+//! *communication cut* (few cross-processor nets). These passes flag a
+//! partition that has drifted too far on either axis; both no-op when the
+//! [`LintContext`] carries no partition.
+
+use parsim_netlist::GateId;
+
+use crate::context::LintContext;
+use crate::diagnostic::{Code, Diagnostic, Severity};
+use crate::linter::LintPass;
+
+/// How many representative sites a partition diagnostic carries at most.
+const MAX_SITES: usize = 8;
+
+/// Flags a partition whose heaviest block exceeds the mean load by a factor.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadImbalance {
+    /// Fires when `max_load / mean_load` exceeds this.
+    pub max_ratio: f64,
+}
+
+impl Default for LoadImbalance {
+    fn default() -> Self {
+        LoadImbalance { max_ratio: 1.5 }
+    }
+}
+
+impl LintPass for LoadImbalance {
+    fn name(&self) -> &'static str {
+        "load-imbalance"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Warning
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let (Some(p), Some(w)) = (ctx.partition(), ctx.weights()) else { return };
+        let loads = p.loads(w);
+        let mean = loads.iter().sum::<f64>() / p.blocks() as f64;
+        if mean == 0.0 {
+            return;
+        }
+        let (heaviest, max) = loads
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("partition has at least one block");
+        let ratio = max / mean;
+        if ratio <= self.max_ratio {
+            return;
+        }
+        let sites: Vec<GateId> = p.members()[heaviest].iter().copied().take(MAX_SITES).collect();
+        out.push(
+            Diagnostic::new(
+                Code::LOAD_IMBALANCE,
+                self.default_severity(),
+                format!(
+                    "block {heaviest} carries {ratio:.2}x the mean load \
+                     ({max:.1} vs {mean:.1}; threshold {:.2}x)",
+                    self.max_ratio,
+                ),
+            )
+            .with_sites(sites)
+            .with_help(
+                "rebalance: the simulation advances at the pace of the most loaded processor",
+            ),
+        );
+    }
+}
+
+/// Flags a partition that cuts too large a fraction of fanout edges.
+#[derive(Debug, Clone, Copy)]
+pub struct HighCut {
+    /// Fires when `cut_edges / total_edges` exceeds this.
+    pub max_cut_fraction: f64,
+}
+
+impl Default for HighCut {
+    fn default() -> Self {
+        HighCut { max_cut_fraction: 0.5 }
+    }
+}
+
+impl LintPass for HighCut {
+    fn name(&self) -> &'static str {
+        "high-cut"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Warning
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let (Some(p), Some(w)) = (ctx.partition(), ctx.weights()) else { return };
+        if p.blocks() < 2 {
+            return; // a single block cannot cut anything
+        }
+        let c = ctx.circuit();
+        let quality = p.quality(c, w);
+        if quality.cut_fraction <= self.max_cut_fraction {
+            return;
+        }
+        // Representative sites: the first drivers of cut nets.
+        let sites: Vec<GateId> = c
+            .ids()
+            .filter(|&id| {
+                let b = p.block_of(id);
+                c.fanout(id).iter().any(|e| p.block_of(e.gate) != b)
+            })
+            .take(MAX_SITES)
+            .collect();
+        let total_edges: usize = c.ids().map(|id| c.fanout(id).len()).sum();
+        out.push(
+            Diagnostic::new(
+                Code::HIGH_CUT,
+                self.default_severity(),
+                format!(
+                    "partition cuts {} of {total_edges} fanout edges ({:.0}%; threshold {:.0}%)",
+                    quality.cut_edges,
+                    quality.cut_fraction * 100.0,
+                    self.max_cut_fraction * 100.0,
+                ),
+            )
+            .with_sites(sites)
+            .with_help(
+                "every cut edge is an inter-processor message per event; \
+                 try a locality-aware partitioner",
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim_netlist::bench;
+    use parsim_partition::{GateWeights, Partition};
+
+    #[test]
+    fn passes_skip_without_partition() {
+        let c = bench::c17();
+        let ctx = LintContext::new(&c);
+        let mut out = Vec::new();
+        LoadImbalance::default().run(&ctx, &mut out);
+        HighCut::default().run(&ctx, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_block_is_balanced_and_uncut() {
+        let c = bench::c17();
+        let p = Partition::single_block(c.len());
+        let w = GateWeights::uniform(c.len());
+        let ctx = LintContext::new(&c).with_partition(&p, &w);
+        let mut out = Vec::new();
+        LoadImbalance::default().run(&ctx, &mut out);
+        HighCut::default().run(&ctx, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn skewed_loads_flagged_with_heavy_block_sites() {
+        let c = bench::c17(); // 11 gates
+                              // 10 gates in block 0, 1 in block 1: ratio max/mean = 10/5.5 ≈ 1.82.
+        let mut assignment = vec![0usize; c.len()];
+        assignment[10] = 1;
+        let p = Partition::new(2, assignment).unwrap();
+        let w = GateWeights::uniform(c.len());
+        let ctx = LintContext::new(&c).with_partition(&p, &w);
+        let mut out = Vec::new();
+        LoadImbalance::default().run(&ctx, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, Code::LOAD_IMBALANCE);
+        // Sites come from the heaviest block (block 0).
+        assert!(out[0].sites.iter().all(|&g| p.block_of(g) == 0));
+        assert!(!out[0].sites.is_empty());
+    }
+
+    #[test]
+    fn alternating_partition_has_high_cut() {
+        let c = bench::c17();
+        let p = Partition::new(2, (0..c.len()).map(|i| i % 2).collect()).unwrap();
+        let w = GateWeights::uniform(c.len());
+        let ctx = LintContext::new(&c).with_partition(&p, &w);
+        let mut out = Vec::new();
+        HighCut { max_cut_fraction: 0.25 }.run(&ctx, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, Code::HIGH_CUT);
+        // Every site must actually drive a cut edge.
+        for &g in &out[0].sites {
+            let b = p.block_of(g);
+            assert!(c.fanout(g).iter().any(|e| p.block_of(e.gate) != b));
+        }
+    }
+}

@@ -71,8 +71,8 @@ impl GateKind {
     pub fn all() -> &'static [GateKind] {
         use GateKind::*;
         &[
-            Input, Const0, Const1, Buf, Not, And, Nand, Or, Nor, Xor, Xnor, Mux2, Tribuf, Bus,
-            Dff, Latch,
+            Input, Const0, Const1, Buf, Not, And, Nand, Or, Nor, Xor, Xnor, Mux2, Tribuf, Bus, Dff,
+            Latch,
         ]
     }
 
@@ -212,11 +212,7 @@ impl FromStr for GateKind {
 /// assert_eq!(sum, Bit::Zero);
 /// ```
 pub fn eval_combinational<V: LogicValue>(kind: GateKind, inputs: &[V]) -> V {
-    assert!(
-        kind.accepts_inputs(inputs.len()),
-        "{kind} gate cannot take {} inputs",
-        inputs.len()
-    );
+    assert!(kind.accepts_inputs(inputs.len()), "{kind} gate cannot take {} inputs", inputs.len());
     let reduce = |init: V, f: fn(V, V) -> V| inputs.iter().copied().fold(init, f);
     match kind {
         GateKind::Input => panic!("primary inputs are driven by the stimulus, not evaluated"),

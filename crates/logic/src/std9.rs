@@ -427,7 +427,7 @@ mod tests {
         use crate::Logic4;
         for &v in Logic4::all() {
             let s: Std9 = v.into();
-            assert_eq!(s.to_bool(), crate::LogicValue::to_bool(v));
+            assert_eq!(s.to_bool(), LogicValue::to_bool(v));
         }
     }
 

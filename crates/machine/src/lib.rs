@@ -164,7 +164,11 @@ impl VirtualMachine {
     /// Panics if the configuration has zero processors.
     pub fn new(config: MachineConfig) -> Self {
         assert!(config.processors > 0, "virtual machine needs at least one processor");
-        VirtualMachine { config, clocks: vec![0; config.processors], stats: MachineStats::default() }
+        VirtualMachine {
+            config,
+            clocks: vec![0; config.processors],
+            stats: MachineStats::default(),
+        }
     }
 
     /// The machine configuration.

@@ -31,6 +31,10 @@ use crate::{Circuit, CircuitBuilder, DelayModel, GateId, NetlistError};
 pub const IMPLICIT_CLOCK: &str = "__clk";
 
 /// Error produced while reading `.bench` text.
+///
+/// Every parse-time variant carries the 1-based line number and the exact
+/// offending token, so a bad line in a hundred-thousand-gate ISCAS file is
+/// a one-jump fix.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum BenchParseError {
@@ -38,7 +42,9 @@ pub enum BenchParseError {
     Syntax {
         /// 1-based line number.
         line: usize,
-        /// The offending text.
+        /// The specific token the parser choked on.
+        token: String,
+        /// The whole offending line, trimmed.
         text: String,
     },
     /// A gate function name is not recognized.
@@ -48,18 +54,65 @@ pub enum BenchParseError {
         /// The unknown function name.
         name: String,
     },
-    /// The netlist parsed but is structurally invalid.
+    /// A gate was given the wrong number of inputs.
+    BadArity {
+        /// 1-based line number.
+        line: usize,
+        /// The gate function name.
+        func: String,
+        /// How many arguments the line supplied.
+        got: usize,
+    },
+    /// A net was defined (or declared `INPUT`) twice.
+    DuplicateDefinition {
+        /// 1-based line number of the *second* definition.
+        line: usize,
+        /// The redefined net name.
+        name: String,
+    },
+    /// A net was referenced but never defined.
+    UndefinedNet {
+        /// 1-based line number of the first reference.
+        line: usize,
+        /// The undefined net name.
+        name: String,
+    },
+    /// The netlist parsed but is structurally invalid (e.g. a
+    /// combinational cycle spanning many lines).
     Invalid(NetlistError),
+}
+
+impl BenchParseError {
+    /// The 1-based source line the error points at, when it has one.
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            BenchParseError::Syntax { line, .. }
+            | BenchParseError::UnknownGate { line, .. }
+            | BenchParseError::BadArity { line, .. }
+            | BenchParseError::DuplicateDefinition { line, .. }
+            | BenchParseError::UndefinedNet { line, .. } => Some(*line),
+            BenchParseError::Invalid(_) => None,
+        }
+    }
 }
 
 impl Display for BenchParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BenchParseError::Syntax { line, text } => {
-                write!(f, "line {line}: cannot parse {text:?}")
+            BenchParseError::Syntax { line, token, text } => {
+                write!(f, "line {line}: unexpected {token:?} in {text:?}")
             }
             BenchParseError::UnknownGate { line, name } => {
                 write!(f, "line {line}: unknown gate function {name:?}")
+            }
+            BenchParseError::BadArity { line, func, got } => {
+                write!(f, "line {line}: wrong number of inputs ({got}) for {func}")
+            }
+            BenchParseError::DuplicateDefinition { line, name } => {
+                write!(f, "line {line}: net {name:?} is already defined")
+            }
+            BenchParseError::UndefinedNet { line, name } => {
+                write!(f, "line {line}: net {name:?} is never defined")
             }
             BenchParseError::Invalid(e) => write!(f, "invalid netlist: {e}"),
         }
@@ -107,6 +160,8 @@ impl From<NetlistError> for BenchParseError {
 pub fn parse(name: &str, text: &str, delays: DelayModel) -> Result<Circuit, BenchParseError> {
     let mut b = CircuitBuilder::new(name);
     let mut ids: std::collections::HashMap<String, GateId> = std::collections::HashMap::new();
+    // Line of each net's first appearance, for locating undefined nets.
+    let mut first_ref: std::collections::HashMap<GateId, usize> = std::collections::HashMap::new();
     let mut outputs: Vec<(String, usize)> = Vec::new();
     let mut implicit_clock: Option<GateId> = None;
 
@@ -114,13 +169,16 @@ pub fn parse(name: &str, text: &str, delays: DelayModel) -> Result<Circuit, Benc
     fn lookup(
         b: &mut CircuitBuilder,
         ids: &mut std::collections::HashMap<String, GateId>,
+        first_ref: &mut std::collections::HashMap<GateId, usize>,
         name: &str,
+        line: usize,
     ) -> GateId {
         if let Some(&id) = ids.get(name) {
             return id;
         }
         let id = b.declare(name);
         ids.insert(name.to_owned(), id);
+        first_ref.insert(id, line);
         id
     }
 
@@ -135,14 +193,16 @@ pub fn parse(name: &str, text: &str, delays: DelayModel) -> Result<Circuit, Benc
             continue;
         }
 
-        let syntax = || BenchParseError::Syntax { line, text: raw.trim().to_owned() };
+        let syntax = |token: &str| BenchParseError::Syntax {
+            line,
+            token: token.to_owned(),
+            text: raw.trim().to_owned(),
+        };
 
         if let Some(arg) = strip_call(stripped, "INPUT") {
-            let id = lookup(&mut b, &mut ids, arg);
+            let id = lookup(&mut b, &mut ids, &mut first_ref, arg, line);
             if b.is_defined(id) {
-                return Err(BenchParseError::Invalid(NetlistError::DuplicateName {
-                    name: arg.to_owned(),
-                }));
+                return Err(BenchParseError::DuplicateDefinition { line, name: arg.to_owned() });
             }
             b.define(id, GateKind::Input, [], delays.delay_for(GateKind::Input, id.index()));
             continue;
@@ -153,31 +213,35 @@ pub fn parse(name: &str, text: &str, delays: DelayModel) -> Result<Circuit, Benc
         }
 
         // "lhs = FUNC(arg, arg, ...)"
-        let (lhs, rhs) = stripped.split_once('=').ok_or_else(syntax)?;
+        let Some((lhs, rhs)) = stripped.split_once('=') else {
+            // No '=': the first word is where parsing derailed.
+            return Err(syntax(stripped.split_whitespace().next().unwrap_or(stripped)));
+        };
         let lhs = lhs.trim();
         let rhs = rhs.trim();
-        let open = rhs.find('(').ok_or_else(syntax)?;
+        let Some(open) = rhs.find('(') else {
+            return Err(syntax(rhs));
+        };
         if !rhs.ends_with(')') {
-            return Err(syntax());
+            return Err(syntax(rhs));
         }
         let func = rhs[..open].trim();
         let args_text = &rhs[open + 1..rhs.len() - 1];
-        let kind: GateKind = func.parse().map_err(|_| BenchParseError::UnknownGate {
-            line,
-            name: func.to_owned(),
-        })?;
+        let kind: GateKind = func
+            .parse()
+            .map_err(|_| BenchParseError::UnknownGate { line, name: func.to_owned() })?;
         let mut fanin: Vec<GateId> = Vec::new();
         for arg in args_text.split(',') {
             let arg = arg.trim();
             if arg.is_empty() {
-                return Err(syntax());
+                return Err(syntax(args_text.trim()));
             }
-            fanin.push(lookup(&mut b, &mut ids, arg));
+            fanin.push(lookup(&mut b, &mut ids, &mut first_ref, arg, line));
         }
         // ISCAS-89 writes `DFF(d)`; synthesize the implicit clock pin.
         if kind == GateKind::Dff && fanin.len() == 1 {
             let clk = *implicit_clock.get_or_insert_with(|| {
-                let id = lookup(&mut b, &mut ids, IMPLICIT_CLOCK);
+                let id = lookup(&mut b, &mut ids, &mut first_ref, IMPLICIT_CLOCK, line);
                 if !b.is_defined(id) {
                     b.define(id, GateKind::Input, [], crate::Delay::ZERO);
                 }
@@ -185,20 +249,32 @@ pub fn parse(name: &str, text: &str, delays: DelayModel) -> Result<Circuit, Benc
             });
             fanin.insert(0, clk);
         }
-        let id = lookup(&mut b, &mut ids, lhs);
+        if !kind.accepts_inputs(fanin.len()) {
+            return Err(BenchParseError::BadArity {
+                line,
+                func: func.to_owned(),
+                got: fanin.len(),
+            });
+        }
+        let id = lookup(&mut b, &mut ids, &mut first_ref, lhs, line);
         if b.is_defined(id) {
-            return Err(BenchParseError::Invalid(NetlistError::DuplicateName {
-                name: lhs.to_owned(),
-            }));
+            return Err(BenchParseError::DuplicateDefinition { line, name: lhs.to_owned() });
         }
         b.define(id, kind, fanin, delays.delay_for(kind, id.index()));
     }
 
     for (name, line) in outputs {
-        let id = *ids
-            .get(&name)
-            .ok_or(BenchParseError::Syntax { line, text: format!("OUTPUT({name})") })?;
+        let id =
+            *ids.get(&name).ok_or(BenchParseError::UndefinedNet { line, name: name.clone() })?;
         b.output(name, id);
+    }
+
+    // A net that was referenced but never given a definition: report it at
+    // the line of its first appearance (pick the earliest for determinism).
+    if let Some((name, &id)) =
+        ids.iter().filter(|&(_, &id)| !b.is_defined(id)).min_by_key(|&(_, &id)| first_ref[&id])
+    {
+        return Err(BenchParseError::UndefinedNet { line: first_ref[&id], name: name.clone() });
     }
 
     Ok(b.finish()?)
@@ -389,10 +465,26 @@ mod tests {
     }
 
     #[test]
-    fn syntax_error_reports_line() {
+    fn syntax_error_reports_line_and_token() {
         let src = "INPUT(a)\nwhat is this";
         match parse("bad", src, DelayModel::Unit).unwrap_err() {
-            BenchParseError::Syntax { line, .. } => assert_eq!(line, 2),
+            BenchParseError::Syntax { line, token, text } => {
+                assert_eq!(line, 2);
+                assert_eq!(token, "what");
+                assert_eq!(text, "what is this");
+            }
+            e => panic!("unexpected {e}"),
+        }
+    }
+
+    #[test]
+    fn missing_parenthesis_reports_rhs_token() {
+        let src = "INPUT(a)\ny = NOT a\nOUTPUT(y)";
+        match parse("bad", src, DelayModel::Unit).unwrap_err() {
+            BenchParseError::Syntax { line, token, .. } => {
+                assert_eq!(line, 2);
+                assert_eq!(token, "NOT a");
+            }
             e => panic!("unexpected {e}"),
         }
     }
@@ -401,7 +493,23 @@ mod tests {
     fn unknown_gate_reported() {
         let src = "INPUT(a)\ny = FROB(a)\nOUTPUT(y)";
         match parse("bad", src, DelayModel::Unit).unwrap_err() {
-            BenchParseError::UnknownGate { name, .. } => assert_eq!(name, "FROB"),
+            BenchParseError::UnknownGate { line, name } => {
+                assert_eq!(line, 2);
+                assert_eq!(name, "FROB");
+            }
+            e => panic!("unexpected {e}"),
+        }
+    }
+
+    #[test]
+    fn bad_arity_reported_with_line() {
+        let src = "INPUT(a)\nINPUT(b)\ny = NOT(a, b)\nOUTPUT(y)";
+        match parse("bad", src, DelayModel::Unit).unwrap_err() {
+            BenchParseError::BadArity { line, func, got } => {
+                assert_eq!(line, 3);
+                assert_eq!(func, "NOT");
+                assert_eq!(got, 2);
+            }
             e => panic!("unexpected {e}"),
         }
     }
@@ -409,14 +517,21 @@ mod tests {
     #[test]
     fn undefined_output_reported() {
         let src = "INPUT(a)\nOUTPUT(nope)\nb = NOT(a)";
-        assert!(parse("bad", src, DelayModel::Unit).is_err());
+        match parse("bad", src, DelayModel::Unit).unwrap_err() {
+            BenchParseError::UndefinedNet { line, name } => {
+                assert_eq!(line, 2);
+                assert_eq!(name, "nope");
+            }
+            e => panic!("unexpected {e}"),
+        }
     }
 
     #[test]
-    fn duplicate_definition_rejected() {
+    fn duplicate_definition_rejected_with_line() {
         let src = "INPUT(a)\nb = NOT(a)\nb = NOT(a)\nOUTPUT(b)";
         match parse("bad", src, DelayModel::Unit).unwrap_err() {
-            BenchParseError::Invalid(NetlistError::DuplicateName { name }) => {
+            BenchParseError::DuplicateDefinition { line, name } => {
+                assert_eq!(line, 3);
                 assert_eq!(name, "b");
             }
             e => panic!("unexpected {e}"),
@@ -431,13 +546,21 @@ mod tests {
     }
 
     #[test]
-    fn undefined_net_in_fanin_rejected() {
+    fn undefined_net_in_fanin_rejected_with_line() {
         let src = "INPUT(a)\ny = AND(a, ghost)\nOUTPUT(y)";
         match parse("bad", src, DelayModel::Unit).unwrap_err() {
-            BenchParseError::Invalid(NetlistError::UndefinedGate { name }) => {
+            BenchParseError::UndefinedNet { line, name } => {
+                assert_eq!(line, 2, "points at ghost's first reference");
                 assert_eq!(name, "ghost");
             }
             e => panic!("unexpected {e}"),
         }
+    }
+
+    #[test]
+    fn error_line_accessor() {
+        let err = parse("bad", "INPUT(a)\nbogus", DelayModel::Unit).unwrap_err();
+        assert_eq!(err.line(), Some(2));
+        assert!(err.to_string().contains("line 2"));
     }
 }

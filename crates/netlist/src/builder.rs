@@ -1,6 +1,6 @@
 //! Validating circuit construction.
 
-use std::collections::HashSet;
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt::{self, Display};
 
@@ -64,6 +64,126 @@ impl Display for NetlistError {
 }
 
 impl Error for NetlistError {}
+
+/// One structural problem found by [`CircuitBuilder::finish_with_diagnostics`].
+///
+/// Unlike [`NetlistError`], which reports only the first problem and names
+/// gates by string, a `StructuralIssue` carries the [`GateId`]s involved so
+/// downstream tooling (the `parsim-lint` crate, DOT highlighting) can point
+/// at the exact sites.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StructuralIssue {
+    /// The circuit contains no gates.
+    Empty,
+    /// A gate was declared but never defined.
+    UndefinedGate {
+        /// The undefined gate.
+        gate: GateId,
+        /// Its name, or its id rendering if unnamed.
+        name: String,
+    },
+    /// A gate has an illegal number of inputs for its kind.
+    BadArity {
+        /// The offending gate.
+        gate: GateId,
+        /// Its name, or its id rendering if unnamed.
+        name: String,
+        /// Its kind.
+        kind: GateKind,
+        /// The number of fanin nets it was given.
+        got: usize,
+    },
+    /// A gate name was used more than once.
+    DuplicateName {
+        /// The reused name.
+        name: String,
+        /// Every gate carrying that name, in id order.
+        gates: Vec<GateId>,
+    },
+    /// The combinational part of the circuit contains a cycle.
+    CombinationalCycle {
+        /// The gates on one such cycle, in order.
+        gates: Vec<GateId>,
+        /// Their names (or id renderings), parallel to `gates`.
+        names: Vec<String>,
+    },
+}
+
+impl Display for StructuralIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StructuralIssue::Empty => write!(f, "circuit contains no gates"),
+            StructuralIssue::UndefinedGate { name, .. } => {
+                write!(f, "gate {name:?} is referenced but never defined")
+            }
+            StructuralIssue::BadArity { name, kind, got, .. } => {
+                write!(f, "gate {name:?} of kind {kind} cannot take {got} inputs")
+            }
+            StructuralIssue::DuplicateName { name, gates } => {
+                write!(f, "gate name {name:?} is defined {} times", gates.len())
+            }
+            StructuralIssue::CombinationalCycle { names, .. } => {
+                write!(f, "combinational cycle through {}", names.join(" -> "))
+            }
+        }
+    }
+}
+
+/// Every structural problem in a circuit under construction, as returned by
+/// [`CircuitBuilder::finish_with_diagnostics`].
+///
+/// Where [`CircuitBuilder::finish`] stops at the first problem, this report
+/// collects all of them, so a user can fix a netlist in one round trip.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructuralReport {
+    issues: Vec<StructuralIssue>,
+}
+
+impl StructuralReport {
+    /// The issues found, grouped by category (emptiness, undefined gates,
+    /// arity, duplicate names, cycles) and by gate id within a category.
+    pub fn issues(&self) -> &[StructuralIssue] {
+        &self.issues
+    }
+
+    /// Number of issues.
+    pub fn len(&self) -> usize {
+        self.issues.len()
+    }
+
+    /// Returns `true` if the report contains no issues.
+    pub fn is_empty(&self) -> bool {
+        self.issues.is_empty()
+    }
+
+    /// Collapses the report into the legacy single-problem error (the first
+    /// issue, matching the order [`CircuitBuilder::finish`] checks in).
+    pub fn into_first_error(mut self) -> NetlistError {
+        match self.issues.swap_remove(0) {
+            StructuralIssue::Empty => NetlistError::Empty,
+            StructuralIssue::UndefinedGate { name, .. } => NetlistError::UndefinedGate { name },
+            StructuralIssue::BadArity { name, kind, got, .. } => {
+                NetlistError::BadArity { gate: name, kind, got }
+            }
+            StructuralIssue::DuplicateName { name, .. } => NetlistError::DuplicateName { name },
+            StructuralIssue::CombinationalCycle { names, .. } => {
+                NetlistError::CombinationalCycle { cycle: names }
+            }
+        }
+    }
+}
+
+impl Display for StructuralReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} structural issue(s):", self.issues.len())?;
+        for issue in &self.issues {
+            writeln!(f, "  - {issue}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for StructuralReport {}
 
 #[derive(Debug, Clone)]
 struct PendingGate {
@@ -139,7 +259,12 @@ impl CircuitBuilder {
     /// Adds a constant driver.
     pub fn constant(&mut self, value: bool) -> GateId {
         let kind = if value { GateKind::Const1 } else { GateKind::Const0 };
-        self.push(PendingGate { kind: Some(kind), fanin: Vec::new(), delay: Delay::ZERO, name: None })
+        self.push(PendingGate {
+            kind: Some(kind),
+            fanin: Vec::new(),
+            delay: Delay::ZERO,
+            name: None,
+        })
     }
 
     /// Adds an anonymous gate and returns its id.
@@ -227,6 +352,11 @@ impl CircuitBuilder {
         self.output_names.push(name);
     }
 
+    /// The name the finished circuit will carry.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
     /// Number of gates added so far.
     pub fn len(&self) -> usize {
         self.gates.len()
@@ -250,86 +380,38 @@ impl CircuitBuilder {
     ///
     /// Returns a [`NetlistError`] if the circuit is empty, a declared gate
     /// was never defined, a gate has an illegal fanin count, a name is
-    /// duplicated, or the combinational part contains a cycle.
+    /// duplicated, or the combinational part contains a cycle. Only the
+    /// first problem is reported; use
+    /// [`finish_with_diagnostics`](Self::finish_with_diagnostics) for an
+    /// exhaustive report.
     pub fn finish(self) -> Result<Circuit, NetlistError> {
-        if self.gates.is_empty() {
-            return Err(NetlistError::Empty);
+        self.finish_with_diagnostics().map_err(StructuralReport::into_first_error)
+    }
+
+    /// Validates the structure, reporting *every* structural problem.
+    ///
+    /// This is the diagnostics-grade variant of [`finish`](Self::finish):
+    /// instead of bailing at the first problem it collects a
+    /// [`StructuralReport`] with all undefined gates, arity violations,
+    /// duplicate names and (if the gate kinds are all known) a full
+    /// combinational cycle path with [`GateId`] sites.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`StructuralReport`] when the circuit has at least one
+    /// structural issue.
+    pub fn finish_with_diagnostics(self) -> Result<Circuit, StructuralReport> {
+        let issues = self.check();
+        if !issues.is_empty() {
+            return Err(StructuralReport { issues });
         }
 
-        // Every declared gate must be defined.
-        for (i, g) in self.gates.iter().enumerate() {
-            if g.kind.is_none() {
-                return Err(NetlistError::UndefinedGate {
-                    name: self.display_name(GateId::new(i)),
-                });
-            }
-        }
-
-        // Arity.
-        for (i, g) in self.gates.iter().enumerate() {
-            let kind = g.kind.expect("checked above");
-            if !kind.accepts_inputs(g.fanin.len()) {
-                return Err(NetlistError::BadArity {
-                    gate: self.display_name(GateId::new(i)),
-                    kind,
-                    got: g.fanin.len(),
-                });
-            }
-        }
-
-        // Unique names.
-        let mut seen = HashSet::new();
-        for g in &self.gates {
-            if let Some(name) = &g.name {
-                if !seen.insert(name.clone()) {
-                    return Err(NetlistError::DuplicateName { name: name.to_string() });
-                }
-            }
-        }
-
-        // Combinational cycle check: Kahn's algorithm over the edge set that
-        // excludes edges *into* sequential elements (a DFF/latch input is a
-        // legal feedback point).
-        let n = self.gates.len();
-        let mut indegree = vec![0usize; n];
-        for (i, g) in self.gates.iter().enumerate() {
-            if !g.kind.expect("defined").is_sequential() {
-                indegree[i] = g.fanin.len();
-            }
-        }
-        let mut ready: Vec<usize> =
-            (0..n).filter(|&i| indegree[i] == 0).collect();
-        let mut done = 0usize;
-        // fanout adjacency (also reused for the final circuit)
-        let mut fanout: Vec<Vec<FanoutEntry>> = vec![Vec::new(); n];
-        for (i, g) in self.gates.iter().enumerate() {
-            for (pin, &src) in g.fanin.iter().enumerate() {
-                fanout[src.index()].push(FanoutEntry { gate: GateId::new(i), pin });
-            }
-        }
-        while let Some(i) = ready.pop() {
-            done += 1;
-            for entry in &fanout[i] {
-                let j = entry.gate.index();
-                if self.gates[j].kind.expect("defined").is_sequential() {
-                    continue;
-                }
-                indegree[j] -= 1;
-                if indegree[j] == 0 {
-                    ready.push(j);
-                }
-            }
-        }
-        if done < n {
-            let cycle = self.extract_cycle(&indegree);
-            return Err(NetlistError::CombinationalCycle { cycle });
-        }
-
+        let fanout = self.fanout_adjacency();
         let gates = self
             .gates
             .into_iter()
             .map(|g| Gate {
-                kind: g.kind.expect("defined"),
+                kind: g.kind.expect("checked by self.check()"),
                 fanin: g.fanin,
                 delay: g.delay,
                 name: g.name,
@@ -339,9 +421,104 @@ impl CircuitBuilder {
         Ok(Circuit { name: self.name, gates, fanout, inputs: self.inputs, outputs: self.outputs })
     }
 
+    /// Fanout adjacency of the pending gates (who reads each net, on which
+    /// pin).
+    fn fanout_adjacency(&self) -> Vec<Vec<FanoutEntry>> {
+        let mut fanout: Vec<Vec<FanoutEntry>> = vec![Vec::new(); self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            for (pin, &src) in g.fanin.iter().enumerate() {
+                fanout[src.index()].push(FanoutEntry { gate: GateId::new(i), pin });
+            }
+        }
+        fanout
+    }
+
+    /// Collects every structural issue, in category order (emptiness,
+    /// undefined gates, arity, duplicate names, cycle).
+    fn check(&self) -> Vec<StructuralIssue> {
+        let mut issues = Vec::new();
+
+        if self.gates.is_empty() {
+            return vec![StructuralIssue::Empty];
+        }
+
+        // Every declared gate must be defined.
+        for (i, g) in self.gates.iter().enumerate() {
+            if g.kind.is_none() {
+                let gate = GateId::new(i);
+                issues.push(StructuralIssue::UndefinedGate { gate, name: self.display_name(gate) });
+            }
+        }
+
+        // Arity (only checkable once a gate's kind is known).
+        for (i, g) in self.gates.iter().enumerate() {
+            let Some(kind) = g.kind else { continue };
+            if !kind.accepts_inputs(g.fanin.len()) {
+                let gate = GateId::new(i);
+                issues.push(StructuralIssue::BadArity {
+                    gate,
+                    name: self.display_name(gate),
+                    kind,
+                    got: g.fanin.len(),
+                });
+            }
+        }
+
+        // Unique names: report each reused name once, with every holder.
+        let mut holders: HashMap<&str, Vec<GateId>> = HashMap::new();
+        for (i, g) in self.gates.iter().enumerate() {
+            if let Some(name) = &g.name {
+                holders.entry(name).or_default().push(GateId::new(i));
+            }
+        }
+        let mut duplicates: Vec<(&str, Vec<GateId>)> =
+            holders.into_iter().filter(|(_, gates)| gates.len() > 1).collect();
+        duplicates.sort_by_key(|(_, gates)| gates[0]);
+        for (name, gates) in duplicates {
+            issues.push(StructuralIssue::DuplicateName { name: name.to_owned(), gates });
+        }
+
+        // Combinational cycle check: Kahn's algorithm over the edge set that
+        // excludes edges *into* sequential elements (a DFF/latch input is a
+        // legal feedback point). Skipped while any gate is undefined: the
+        // check needs every gate's kind.
+        if self.gates.iter().all(|g| g.kind.is_some()) {
+            let n = self.gates.len();
+            let mut indegree = vec![0usize; n];
+            for (i, g) in self.gates.iter().enumerate() {
+                if !g.kind.expect("defined").is_sequential() {
+                    indegree[i] = g.fanin.len();
+                }
+            }
+            let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+            let mut done = 0usize;
+            let fanout = self.fanout_adjacency();
+            while let Some(i) = ready.pop() {
+                done += 1;
+                for entry in &fanout[i] {
+                    let j = entry.gate.index();
+                    if self.gates[j].kind.expect("defined").is_sequential() {
+                        continue;
+                    }
+                    indegree[j] -= 1;
+                    if indegree[j] == 0 {
+                        ready.push(j);
+                    }
+                }
+            }
+            if done < n {
+                let gates = self.extract_cycle(&indegree);
+                let names = gates.iter().map(|&g| self.display_name(g)).collect();
+                issues.push(StructuralIssue::CombinationalCycle { gates, names });
+            }
+        }
+
+        issues
+    }
+
     /// Walks backwards from an unresolved gate to recover one cycle for the
     /// error message.
-    fn extract_cycle(&self, indegree: &[usize]) -> Vec<String> {
+    fn extract_cycle(&self, indegree: &[usize]) -> Vec<GateId> {
         let start = indegree
             .iter()
             .position(|&d| d > 0)
@@ -351,11 +528,7 @@ impl CircuitBuilder {
         let mut cur = start;
         loop {
             if seen[cur] != usize::MAX {
-                let names = path[seen[cur]..]
-                    .iter()
-                    .map(|&i| self.display_name(GateId::new(i)))
-                    .collect();
-                return names;
+                return path[seen[cur]..].iter().map(|&i| GateId::new(i)).collect();
             }
             seen[cur] = path.len();
             path.push(cur);

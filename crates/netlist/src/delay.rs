@@ -141,7 +141,9 @@ impl DelayModel {
                 if kind.is_source() {
                     return Delay::ZERO;
                 }
-                let mut rng = StdRng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
                 Delay::new(rng.random_range(min..=max))
             }
         }

@@ -25,6 +25,31 @@ use crate::{Circuit, GateId};
 /// assert!(text.contains("NAND"));
 /// ```
 pub fn write_dot(circuit: &Circuit, clusters: Option<&dyn Fn(GateId) -> usize>) -> String {
+    write_dot_highlighted(circuit, clusters, &[])
+}
+
+/// Renders a circuit as a Graphviz `digraph` with a set of gates visually
+/// flagged.
+///
+/// Identical to [`write_dot`], except that every gate in `highlights` is
+/// filled red — the sites of lint diagnostics, the members of a cycle, the
+/// endpoints of a cut edge. Duplicate ids in `highlights` are harmless.
+///
+/// # Examples
+///
+/// ```
+/// use parsim_netlist::{bench, dot, GateId};
+///
+/// let c = bench::c17();
+/// let text = dot::write_dot_highlighted(&c, None, &[GateId::new(0)]);
+/// assert!(text.contains("fillcolor"));
+/// ```
+pub fn write_dot_highlighted(
+    circuit: &Circuit,
+    clusters: Option<&dyn Fn(GateId) -> usize>,
+    highlights: &[GateId],
+) -> String {
+    let flagged: std::collections::HashSet<GateId> = highlights.iter().copied().collect();
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{}\" {{", escape(circuit.name()));
     let _ = writeln!(out, "  rankdir=LR;");
@@ -43,7 +68,12 @@ pub fn write_dot(circuit: &Circuit, clusters: Option<&dyn Fn(GateId) -> usize>) 
             _ => "box",
         };
         let bold = if circuit.outputs().contains(&id) { ", penwidth=2" } else { "" };
-        format!("  n{} [label=\"{label}\", shape={shape}{bold}];", id.index())
+        let mark = if flagged.contains(&id) {
+            ", style=filled, fillcolor=\"#ffd6d6\", color=\"#c00000\""
+        } else {
+            ""
+        };
+        format!("  n{} [label=\"{label}\", shape={shape}{bold}{mark}];", id.index())
     };
 
     match clusters {
@@ -108,5 +138,17 @@ mod tests {
         let text = write_dot(&c, Some(&block));
         assert_eq!(text.matches("subgraph cluster_").count(), 3);
         assert!(text.contains("label=\"block 0\""));
+    }
+
+    #[test]
+    fn highlighted_export_marks_only_sites() {
+        let c = bench::c17();
+        let sites = [GateId::new(3), GateId::new(7), GateId::new(7)];
+        let text = write_dot_highlighted(&c, None, &sites);
+        // Two distinct gates flagged, despite the duplicate id.
+        assert_eq!(text.matches("fillcolor").count(), 2);
+        assert!(text.contains("n3 [") && text.contains("n7 ["));
+        // No highlights requested → no fill styling at all.
+        assert!(!write_dot(&c, None).contains("fillcolor"));
     }
 }

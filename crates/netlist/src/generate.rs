@@ -324,7 +324,7 @@ pub fn decoder(bits: usize, delays: DelayModel) -> Circuit {
 
 /// An `n`-input priority encoder: output `yK` carries bit `K` of the index
 /// of the highest-priority (highest-numbered) asserted request line, plus a
-/// `valid` output.
+/// `valid` output and one-hot grant outputs `gI`.
 ///
 /// # Panics
 ///
@@ -334,33 +334,35 @@ pub fn priority_encoder(requests: usize, delays: DelayModel) -> Circuit {
     let mut b = CircuitBuilder::new(format!("priority_encoder_{requests}"));
     let req: Vec<GateId> = (0..requests).map(|i| b.input(format!("r{i}"))).collect();
 
-    // higher[i] = OR of requests strictly above i.
-    let mut higher: Vec<GateId> = vec![GateId::new(0); requests];
-    let mut acc = b.constant(false);
-    for i in (0..requests).rev() {
-        higher[i] = acc;
+    // grant[i] = req[i] AND NOT (any request strictly above i). The top
+    // request has nothing above it, so its grant is the request itself,
+    // and `any_above` accumulates downward without a constant seed.
+    let mut grants: Vec<GateId> = vec![GateId::new(0); requests];
+    grants[requests - 1] = req[requests - 1];
+    let mut any_above = req[requests - 1];
+    for i in (0..requests - 1).rev() {
+        let dn = delay(&b, delays, GateKind::Not);
+        let n = b.gate(GateKind::Not, [any_above], dn);
+        let da = delay(&b, delays, GateKind::And);
+        grants[i] = b.gate(GateKind::And, [req[i], n], da);
         let d = delay(&b, delays, GateKind::Or);
-        acc = b.gate(GateKind::Or, [acc, req[i]], d);
+        any_above = b.gate(GateKind::Or, [any_above, req[i]], d);
     }
-    b.output("valid", acc);
+    b.output("valid", any_above);
 
-    // grant[i] = req[i] AND NOT higher[i].
-    let grants: Vec<GateId> = (0..requests)
-        .map(|i| {
-            let dn = delay(&b, delays, GateKind::Not);
-            let n = b.gate(GateKind::Not, [higher[i]], dn);
-            let da = delay(&b, delays, GateKind::And);
-            b.gate(GateKind::And, [req[i], n], da)
-        })
-        .collect();
+    // One-hot grant outputs; these also keep grant 0 alive, which no index
+    // bit observes (index 0 has no set bits).
+    for (i, &g) in grants.iter().enumerate() {
+        b.output(format!("g{i}"), g);
+    }
 
     // Encode the grant index: yK = OR of grants whose index has bit K set.
     let out_bits = usize::BITS as usize - (requests - 1).leading_zeros() as usize;
-    for k in 0..out_bits.max(1) {
+    for k in 0..out_bits {
         let contributors: Vec<GateId> =
             (0..requests).filter(|i| i >> k & 1 == 1).map(|i| grants[i]).collect();
-        let y = if contributors.is_empty() {
-            b.constant(false)
+        let y = if let [single] = contributors[..] {
+            single
         } else {
             let d = delay(&b, delays, GateKind::Or);
             b.gate(GateKind::Or, contributors, d)
@@ -394,19 +396,53 @@ pub fn carry_select_adder(bits: usize, delays: DelayModel) -> Circuit {
     }
     let select = carry;
 
-    // High half, twice.
+    // High half, twice — but the propagate (XOR) and generate (AND) terms
+    // of each bit depend only on `a` and `b`, so the two speculative carry
+    // chains share them instead of duplicating the gates.
     let mut sums0 = Vec::new();
     let mut sums1 = Vec::new();
-    let zero = b.constant(false);
-    let one = b.constant(true);
-    let (mut c0, mut c1) = (zero, one);
+    let mut c0 = GateId::new(0);
+    let mut c1 = GateId::new(0);
     for i in lo..bits {
-        let (s0, n0) = full_adder(&mut b, delays, a[i], x[i], c0);
-        let (s1, n1) = full_adder(&mut b, delays, a[i], x[i], c1);
-        sums0.push(s0);
-        sums1.push(s1);
-        c0 = n0;
-        c1 = n1;
+        let p = {
+            let d = delay(&b, delays, GateKind::Xor);
+            b.gate(GateKind::Xor, [a[i], x[i]], d)
+        };
+        let g = {
+            let d = delay(&b, delays, GateKind::And);
+            b.gate(GateKind::And, [a[i], x[i]], d)
+        };
+        if i == lo {
+            // Carry-ins are the known 0 and 1: sum0 = p, carry0 = g,
+            // sum1 = ¬p, carry1 = a OR b — no constant drivers needed.
+            sums0.push(p);
+            c0 = g;
+            let s1 = {
+                let d = delay(&b, delays, GateKind::Not);
+                b.gate(GateKind::Not, [p], d)
+            };
+            sums1.push(s1);
+            c1 = {
+                let d = delay(&b, delays, GateKind::Or);
+                b.gate(GateKind::Or, [a[i], x[i]], d)
+            };
+        } else {
+            for (sums, carry) in [(&mut sums0, &mut c0), (&mut sums1, &mut c1)] {
+                let s = {
+                    let d = delay(&b, delays, GateKind::Xor);
+                    b.gate(GateKind::Xor, [p, *carry], d)
+                };
+                let t = {
+                    let d = delay(&b, delays, GateKind::And);
+                    b.gate(GateKind::And, [p, *carry], d)
+                };
+                *carry = {
+                    let d = delay(&b, delays, GateKind::Or);
+                    b.gate(GateKind::Or, [g, t], d)
+                };
+                sums.push(s);
+            }
+        }
     }
     for (i, (s0, s1)) in sums0.iter().zip(&sums1).enumerate() {
         let d = delay(&b, delays, GateKind::Mux2);
@@ -495,8 +531,8 @@ impl Default for RandomDagConfig {
 /// Generates a random combinational/sequential DAG with controlled fanin,
 /// locality and sequential fraction.
 ///
-/// Zero-fanout gates become primary outputs, so the circuit has no dead
-/// logic from the simulator's point of view.
+/// Zero-fanout gates (and never-sampled inputs) become primary outputs, so
+/// the circuit has no dead logic from the simulator's point of view.
 ///
 /// # Panics
 ///
@@ -523,8 +559,9 @@ pub fn random_dag(cfg: &RandomDagConfig) -> Circuit {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut b = CircuitBuilder::new(format!("random_dag_{}_{}", cfg.gates, cfg.seed));
     let mut pool: Vec<GateId> = (0..cfg.inputs).map(|i| b.input(format!("in{i}"))).collect();
-    let clock =
-        if cfg.seq_fraction > 0.0 { Some(b.input("clk")) } else { None };
+    // Created lazily at the first flip-flop, so a run whose dice never roll
+    // sequential does not leave a dangling clock input behind.
+    let mut clock: Option<GateId> = None;
     let mut fanout_count: std::collections::HashMap<GateId, usize> =
         std::collections::HashMap::new();
 
@@ -536,33 +573,58 @@ pub fn random_dag(cfg: &RandomDagConfig) -> Circuit {
         }
     };
 
+    // A realistic netlist has been through common-subexpression elimination:
+    // no two gates compute the same function of the same nets. Track each
+    // gate's structural signature and re-roll collisions (bounded, so tiny
+    // pools still terminate).
+    let mut signatures: std::collections::HashSet<(GateKind, Vec<GateId>)> =
+        std::collections::HashSet::new();
     for _ in 0..cfg.gates {
-        let id = if cfg.seq_fraction > 0.0 && rng.random_bool(cfg.seq_fraction) {
-            let data = pick(&mut rng, &pool);
-            *fanout_count.entry(data).or_insert(0) += 1;
-            let clk = clock.expect("clock exists when seq_fraction > 0");
+        let seq = cfg.seq_fraction > 0.0 && rng.random_bool(cfg.seq_fraction);
+        let (kind, fanin) = {
+            let mut attempt = 0;
+            loop {
+                let (kind, fanin): (GateKind, Vec<GateId>) = if seq {
+                    (GateKind::Dff, vec![pick(&mut rng, &pool)])
+                } else {
+                    let kind = *KINDS.choose(&mut rng).expect("kind table nonempty");
+                    let fanin_n = if kind == GateKind::Not {
+                        1
+                    } else {
+                        rng.random_range(2..=cfg.max_fanin.max(2))
+                    };
+                    (kind, (0..fanin_n).map(|_| pick(&mut rng, &pool)).collect())
+                };
+                // All multi-input kinds in the table are commutative, so the
+                // sorted fanin is the structural identity of the gate.
+                let mut sig = fanin.clone();
+                sig.sort_unstable();
+                attempt += 1;
+                if signatures.insert((kind, sig)) || attempt >= 16 {
+                    break (kind, fanin);
+                }
+            }
+        };
+        for &f in &fanin {
+            *fanout_count.entry(f).or_insert(0) += 1;
+        }
+        let id = if seq {
+            let clk = *clock.get_or_insert_with(|| b.input("clk"));
+            let data = fanin[0];
             let d = delay(&b, cfg.delays, GateKind::Dff);
             b.gate(GateKind::Dff, [clk, data], d)
         } else {
-            let kind = *KINDS.choose(&mut rng).expect("kind table nonempty");
-            let fanin_n = if kind == GateKind::Not {
-                1
-            } else {
-                rng.random_range(2..=cfg.max_fanin.max(2))
-            };
-            let fanin: Vec<GateId> = (0..fanin_n).map(|_| pick(&mut rng, &pool)).collect();
-            for &f in &fanin {
-                *fanout_count.entry(f).or_insert(0) += 1;
-            }
             let d = delay(&b, cfg.delays, kind);
             b.gate(kind, fanin, d)
         };
         pool.push(id);
     }
 
-    // Expose every sink as a primary output.
+    // Expose every sink as a primary output — including a primary input the
+    // dice never sampled, so the circuit carries neither dead logic nor
+    // dangling inputs.
     let mut out_idx = 0;
-    for &id in &pool[cfg.inputs..] {
+    for &id in &pool {
         if fanout_count.get(&id).copied().unwrap_or(0) == 0 {
             b.output(format!("out{out_idx}"), id);
             out_idx += 1;
@@ -650,10 +712,11 @@ mod tests {
     #[test]
     fn priority_encoder_structure() {
         let c = priority_encoder(6, DelayModel::Unit);
-        // ceil(log2 6) = 3 index bits + valid.
-        assert_eq!(c.outputs().len(), 4);
+        // ceil(log2 6) = 3 index bits + valid + 6 one-hot grants.
+        assert_eq!(c.outputs().len(), 10);
         assert!(c.find("valid").is_some());
         assert!(c.find("y2").is_some());
+        assert!(c.find("g0").is_some());
     }
 
     #[test]
@@ -708,11 +771,8 @@ mod tests {
     fn generators_respect_delay_model() {
         let m = DelayModel::Uniform { min: 1, max: 20, seed: 3 };
         let c = ripple_adder(4, m);
-        let distinct: std::collections::HashSet<_> = c
-            .iter()
-            .filter(|(_, g)| !g.kind().is_source())
-            .map(|(_, g)| g.delay())
-            .collect();
+        let distinct: std::collections::HashSet<_> =
+            c.iter().filter(|(_, g)| !g.kind().is_source()).map(|(_, g)| g.delay()).collect();
         assert!(distinct.len() > 1, "uniform model should spread delays");
     }
 }

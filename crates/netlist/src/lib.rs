@@ -46,15 +46,15 @@
 
 pub mod bench;
 mod builder;
-pub mod dot;
 mod circuit;
 mod delay;
+pub mod dot;
 pub mod generate;
 mod ids;
 mod levelize;
 mod stats;
 
-pub use builder::{CircuitBuilder, NetlistError};
+pub use builder::{CircuitBuilder, NetlistError, StructuralIssue, StructuralReport};
 pub use circuit::{Circuit, FanoutEntry, Gate};
 pub use delay::{Delay, DelayModel};
 pub use ids::GateId;

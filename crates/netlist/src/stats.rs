@@ -76,11 +76,7 @@ impl CircuitStats {
             depth: Levelization::of(circuit).depth(),
             avg_fanout: if n == 0 { 0.0 } else { fanout_total as f64 / n as f64 },
             max_fanout: fanouts.into_iter().max().unwrap_or(0),
-            avg_fanin: if fanin_gates == 0 {
-                0.0
-            } else {
-                fanin_total as f64 / fanin_gates as f64
-            },
+            avg_fanin: if fanin_gates == 0 { 0.0 } else { fanin_total as f64 / fanin_gates as f64 },
         }
     }
 }

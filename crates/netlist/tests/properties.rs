@@ -6,15 +6,8 @@ use parsim_netlist::{bench, DelayModel, Levelization};
 use proptest::prelude::*;
 
 fn any_config() -> impl Strategy<Value = RandomDagConfig> {
-    (
-        10usize..400,
-        1usize..16,
-        1usize..6,
-        0.0f64..=1.0,
-        0.0f64..=0.5,
-        any::<u64>(),
-    )
-        .prop_map(|(gates, inputs, max_fanin, locality, seq_fraction, seed)| RandomDagConfig {
+    (10usize..400, 1usize..16, 1usize..6, 0.0f64..=1.0, 0.0f64..=0.5, any::<u64>()).prop_map(
+        |(gates, inputs, max_fanin, locality, seq_fraction, seed)| RandomDagConfig {
             gates,
             inputs,
             max_fanin,
@@ -22,7 +15,8 @@ fn any_config() -> impl Strategy<Value = RandomDagConfig> {
             seq_fraction,
             delays: DelayModel::Unit,
             seed,
-        })
+        },
+    )
 }
 
 proptest! {

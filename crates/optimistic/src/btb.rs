@@ -118,8 +118,12 @@ impl<V: LogicValue> Simulator<V> for BtbSimulator<V> {
             "simulation kernels require nonzero gate delays"
         );
         let coarse: Vec<usize> = circuit.ids().map(|id| self.partition.block_of(id)).collect();
-        let topo =
-            LpTopology::with_granularity(circuit, &coarse, self.partition.blocks(), self.granularity);
+        let topo = LpTopology::with_granularity(
+            circuit,
+            &coarse,
+            self.partition.blocks(),
+            self.granularity,
+        );
         let n_lps = topo.lps().len();
         let proc_of = |lp: usize| lp / self.granularity;
         let mut vm = VirtualMachine::new(self.machine);
@@ -202,7 +206,7 @@ impl<V: LogicValue> Simulator<V> for BtbSimulator<V> {
                             match out {
                                 TwOutgoing::Event { dst, event } => {
                                     horizon_estimate = horizon_estimate.min(event.time);
-                                    buffer.push((lp_idx, dst, event))
+                                    buffer.push((lp_idx, dst, event));
                                 }
                                 TwOutgoing::Anti { .. } => {
                                     unreachable!("no rollback during forward processing")
@@ -220,8 +224,7 @@ impl<V: LogicValue> Simulator<V> for BtbSimulator<V> {
             // Phase 3: the event horizon, at a barrier.
             vm.barrier();
             stats.barriers += 1;
-            let horizon: Option<VirtualTime> =
-                buffer.iter().map(|&(_, _, e)| e.time).min();
+            let horizon: Option<VirtualTime> = buffer.iter().map(|&(_, _, e)| e.time).min();
 
             // Phase 4: local rollback of everything at or beyond the
             // horizon; cancelled sends are annihilated inside the buffer
@@ -263,10 +266,7 @@ impl<V: LogicValue> Simulator<V> for BtbSimulator<V> {
                     let _ = lp.fossil_collect(gvt);
                 }
             }
-            inbox = buffer
-                .into_iter()
-                .map(|(src_lp, dst, e)| (proc_of(src_lp), dst, e))
-                .collect();
+            inbox = buffer.into_iter().map(|(src_lp, dst, e)| (proc_of(src_lp), dst, e)).collect();
 
             if inbox.is_empty() && !processed_any {
                 break;
@@ -335,9 +335,11 @@ mod tests {
         let btb = BtbSimulator::<V>::new(part, MachineConfig::shared_memory(p))
             .with_observe(Observe::AllNets)
             .run(c, stim, VirtualTime::new(until));
-        let seq = SequentialSimulator::<V>::new()
-            .with_observe(Observe::AllNets)
-            .run(c, stim, VirtualTime::new(until));
+        let seq = SequentialSimulator::<V>::new().with_observe(Observe::AllNets).run(
+            c,
+            stim,
+            VirtualTime::new(until),
+        );
         if let Some(d) = btb.divergence_from(&seq) {
             panic!("breathing-time-buckets diverged on {}: {d}", c.name());
         }
@@ -376,8 +378,11 @@ mod tests {
     fn no_anti_messages_ever() {
         let c = generate::mesh(10, 10, DelayModel::Unit);
         let part = FiducciaMattheyses::default().partition(&c, 4, &GateWeights::uniform(c.len()));
-        let out = BtbSimulator::<Bit>::new(part, MachineConfig::shared_memory(4))
-            .run(&c, &Stimulus::random(3, 14), VirtualTime::new(400));
+        let out = BtbSimulator::<Bit>::new(part, MachineConfig::shared_memory(4)).run(
+            &c,
+            &Stimulus::random(3, 14),
+            VirtualTime::new(400),
+        );
         assert_eq!(out.stats.anti_messages, 0);
         assert!(out.stats.barriers > 0, "breaths are barrier-synchronized");
         assert!(out.stats.modeled_speedup().is_some());
@@ -387,9 +392,11 @@ mod tests {
     fn granularity_preserves_results() {
         let c = generate::mesh(8, 8, DelayModel::Unit);
         let part = FiducciaMattheyses::default().partition(&c, 4, &GateWeights::uniform(c.len()));
-        let base = SequentialSimulator::<Bit>::new()
-            .with_observe(Observe::AllNets)
-            .run(&c, &Stimulus::random(8, 15), VirtualTime::new(250));
+        let base = SequentialSimulator::<Bit>::new().with_observe(Observe::AllNets).run(
+            &c,
+            &Stimulus::random(8, 15),
+            VirtualTime::new(250),
+        );
         let out = BtbSimulator::<Bit>::new(part, MachineConfig::shared_memory(4))
             .with_granularity(4)
             .with_observe(Observe::AllNets)

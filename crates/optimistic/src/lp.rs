@@ -313,10 +313,8 @@ impl<V: LogicValue> TwLp<V> {
                     }
                     // Lazy cancellation: an identical rolled-back message is
                     // still valid at the receiver — regenerate silently.
-                    if let Some(pos) = self
-                        .pending_cancel
-                        .iter()
-                        .position(|(_, d, pe)| *d == dst && *pe == e)
+                    if let Some(pos) =
+                        self.pending_cancel.iter().position(|(_, d, pe)| *d == dst && *pe == e)
                     {
                         self.pending_cancel.remove(pos);
                     } else {
@@ -330,8 +328,7 @@ impl<V: LogicValue> TwLp<V> {
         // Phase 3: record history.
         match (&mut self.history, self.saving) {
             (History::Incremental(deltas), StateSaving::Incremental) => {
-                work.state_slots_saved +=
-                    (delta.values.len() + delta.runtimes.len() * 3) as u64;
+                work.state_slots_saved += (delta.values.len() + delta.runtimes.len() * 3) as u64;
                 deltas.push(delta);
             }
             (History::Copy(snapshots), StateSaving::Copy) => {
@@ -339,8 +336,7 @@ impl<V: LogicValue> TwLp<V> {
                     values: self.relevant.iter().map(|&g| self.values[g.index()]).collect(),
                     runtimes: self.runtime.values().copied().collect(),
                 };
-                work.state_slots_saved +=
-                    (snap.values.len() + snap.runtimes.len() * 3) as u64;
+                work.state_slots_saved += (snap.values.len() + snap.runtimes.len() * 3) as u64;
                 snapshots.push(snap);
             }
             _ => unreachable!("history representation matches the saving policy"),
@@ -370,10 +366,8 @@ impl<V: LogicValue> TwLp<V> {
                 break;
             }
             self.batches.pop();
-            work.events_rolled_back +=
-                self.events.get(&t).map_or(0, |b| b.len() as u64);
-            work.evaluations_rolled_back +=
-                self.batch_evals.pop().expect("eval count per batch");
+            work.events_rolled_back += self.events.get(&t).map_or(0, |b| b.len() as u64);
+            work.evaluations_rolled_back += self.batch_evals.pop().expect("eval count per batch");
             // Undo the state.
             match &mut self.history {
                 History::Incremental(deltas) => {
@@ -511,10 +505,6 @@ impl<V: LogicValue> TwLp<V> {
 
     /// Final values of the nets driven by this LP.
     pub(crate) fn owned_values(&self, topo: &LpTopology) -> Vec<(GateId, V)> {
-        topo.lps()[self.index]
-            .gates
-            .iter()
-            .map(|&g| (g, self.values[g.index()]))
-            .collect()
+        topo.lps()[self.index].gates.iter().map(|&g| (g, self.values[g.index()])).collect()
     }
 }

@@ -175,8 +175,12 @@ impl<V: LogicValue> Simulator<V> for TimeWarpSimulator<V> {
             "simulation kernels require nonzero gate delays"
         );
         let coarse: Vec<usize> = circuit.ids().map(|id| self.partition.block_of(id)).collect();
-        let topo =
-            LpTopology::with_granularity(circuit, &coarse, self.partition.blocks(), self.granularity);
+        let topo = LpTopology::with_granularity(
+            circuit,
+            &coarse,
+            self.partition.blocks(),
+            self.granularity,
+        );
         let n_lps = topo.lps().len();
         let p_count = self.machine.processors;
         let proc_of = |lp: usize| lp / self.granularity;
@@ -296,10 +300,10 @@ impl<V: LogicValue> Simulator<V> for TimeWarpSimulator<V> {
                         let mut sends: Vec<(usize, TwMsg<V>)> = Vec::new();
                         lps[dst].receive_batch(batch, &mut work, &mut |out| match out {
                             TwOutgoing::Event { dst, event } => {
-                                sends.push((dst, TwMsg::Event(event)))
+                                sends.push((dst, TwMsg::Event(event)));
                             }
                             TwOutgoing::Anti { dst, event } => {
-                                sends.push((dst, TwMsg::Anti(event)))
+                                sends.push((dst, TwMsg::Anti(event)));
                             }
                         });
                         accumulate(&mut total_work, &work);
@@ -320,10 +324,10 @@ impl<V: LogicValue> Simulator<V> for TimeWarpSimulator<V> {
                     {
                         let collect = &mut |out: TwOutgoing<V>| match out {
                             TwOutgoing::Event { dst, event } => {
-                                sends.push((dst, TwMsg::Event(event)))
+                                sends.push((dst, TwMsg::Event(event)));
                             }
                             TwOutgoing::Anti { dst, event } => {
-                                sends.push((dst, TwMsg::Anti(event)))
+                                sends.push((dst, TwMsg::Anti(event)));
                             }
                         };
                         let processed =
@@ -345,11 +349,7 @@ impl<V: LogicValue> Simulator<V> for TimeWarpSimulator<V> {
                 let gvt = lps
                     .iter()
                     .filter_map(TwLp::gvt_component)
-                    .chain(
-                        inboxes
-                            .iter()
-                            .flat_map(|q| q.iter().map(|(_, _, m)| m.event_time())),
-                    )
+                    .chain(inboxes.iter().flat_map(|q| q.iter().map(|(_, _, m)| m.event_time())))
                     .min();
                 stats.gvt_rounds += 1;
                 batches_since_gvt = 0;
@@ -447,9 +447,11 @@ mod tests {
         until: u64,
     ) {
         let tw = sim.clone().with_observe(Observe::AllNets).run(c, stim, VirtualTime::new(until));
-        let seq = SequentialSimulator::<V>::new()
-            .with_observe(Observe::AllNets)
-            .run(c, stim, VirtualTime::new(until));
+        let seq = SequentialSimulator::<V>::new().with_observe(Observe::AllNets).run(
+            c,
+            stim,
+            VirtualTime::new(until),
+        );
         if let Some(d) = tw.divergence_from(&seq) {
             panic!("{} diverged on {}: {d}", sim.name(), c.name());
         }
@@ -551,9 +553,10 @@ mod tests {
         );
         let stim = Stimulus::random(9, 12);
         let until = VirtualTime::new(500);
-        let aggressive = TimeWarpSimulator::<Bit>::new(part.clone(), MachineConfig::shared_memory(6))
-            .with_cancellation(Cancellation::Aggressive)
-            .run(&c, &stim, until);
+        let aggressive =
+            TimeWarpSimulator::<Bit>::new(part.clone(), MachineConfig::shared_memory(6))
+                .with_cancellation(Cancellation::Aggressive)
+                .run(&c, &stim, until);
         let lazy = TimeWarpSimulator::<Bit>::new(part, MachineConfig::shared_memory(6))
             .with_cancellation(Cancellation::Lazy)
             .run(&c, &stim, until);

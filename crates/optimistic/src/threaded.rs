@@ -156,8 +156,7 @@ impl<V: LogicValue> Simulator<V> for ThreadedTimeWarpSimulator<V> {
         let results: Vec<WorkerResult<V>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p_count);
             for p in 0..p_count {
-                let my_lps: Vec<usize> =
-                    (0..n_lps).filter(|&lp| lp / granularity == p).collect();
+                let my_lps: Vec<usize> = (0..n_lps).filter(|&lp| lp / granularity == p).collect();
                 let mut lps: Vec<TwLp<V>> = my_lps
                     .iter()
                     .map(|&i| {
@@ -184,8 +183,20 @@ impl<V: LogicValue> Simulator<V> for ThreadedTimeWarpSimulator<V> {
                 let topo = &topo;
                 handles.push(scope.spawn(move || {
                     worker(
-                        p, circuit, topo, lps, rx, senders, barrier, any_sent, all_done,
-                        gvt_inputs, gvt_cell, decision, until, granularity,
+                        p,
+                        circuit,
+                        topo,
+                        lps,
+                        rx,
+                        senders,
+                        barrier,
+                        any_sent,
+                        all_done,
+                        gvt_inputs,
+                        gvt_cell,
+                        decision,
+                        until,
+                        granularity,
                     )
                 }));
             }
@@ -270,10 +281,10 @@ fn worker<V: LogicValue>(
         for wire in rx.try_iter() {
             match wire {
                 Wire::Event(dst, e) => {
-                    groups.entry(dst).or_default().push(crate::lp::TwIncoming::Event(e))
+                    groups.entry(dst).or_default().push(crate::lp::TwIncoming::Event(e));
                 }
                 Wire::Anti(dst, e) => {
-                    groups.entry(dst).or_default().push(crate::lp::TwIncoming::Anti(e))
+                    groups.entry(dst).or_default().push(crate::lp::TwIncoming::Anti(e));
                 }
             }
         }
@@ -287,7 +298,8 @@ fn worker<V: LogicValue>(
         for lp in lps.iter_mut() {
             for _ in 0..BATCH_BUDGET {
                 let mut work = TwWork::default();
-                let processed = lp.process_next(circuit, topo, until, &mut work, &mut |o| route!(o));
+                let processed =
+                    lp.process_next(circuit, topo, until, &mut work, &mut |o| route!(o));
                 accumulate(&mut total, &work);
                 if !processed {
                     break;
@@ -317,11 +329,7 @@ fn worker<V: LogicValue>(
             let done = all_done.lock().expect("done lock").iter().all(|&d| d);
             let sent_any = any_sent.load(Ordering::SeqCst);
             let gvt = gvt_inputs.lock().expect("gvt lock").iter().flatten().min().copied();
-            let verdict = if done && !sent_any {
-                DECIDE_STOP
-            } else {
-                DECIDE_CONTINUE
-            };
+            let verdict = if done && !sent_any { DECIDE_STOP } else { DECIDE_CONTINUE };
             *gvt_cell.lock().expect("gvt cell") = gvt.unwrap_or(VirtualTime::INFINITY);
             decision.store(verdict, Ordering::SeqCst);
             any_sent.store(false, Ordering::SeqCst);
@@ -385,9 +393,11 @@ mod tests {
         until: u64,
     ) {
         let tw = sim.clone().with_observe(Observe::AllNets).run(c, stim, VirtualTime::new(until));
-        let seq = SequentialSimulator::<V>::new()
-            .with_observe(Observe::AllNets)
-            .run(c, stim, VirtualTime::new(until));
+        let seq = SequentialSimulator::<V>::new().with_observe(Observe::AllNets).run(
+            c,
+            stim,
+            VirtualTime::new(until),
+        );
         if let Some(d) = tw.divergence_from(&seq) {
             panic!("{} diverged on {}: {d}", sim.name(), c.name());
         }

@@ -5,9 +5,9 @@
 use parsim_core::{Observe, SequentialSimulator, SimOutcome, Simulator, Stimulus};
 use parsim_event::VirtualTime;
 use parsim_logic::Logic4;
+use parsim_machine::MachineConfig;
 use parsim_netlist::generate::{random_dag, RandomDagConfig};
 use parsim_netlist::{Circuit, DelayModel};
-use parsim_machine::MachineConfig;
 use parsim_optimistic::{BtbSimulator, Cancellation, StateSaving, TimeWarpSimulator};
 use parsim_partition::{ContiguousPartitioner, GateWeights, Partition, Partitioner};
 use proptest::prelude::*;
@@ -42,9 +42,11 @@ fn any_scenario() -> impl Strategy<Value = Scenario> {
 }
 
 fn oracle(s: &Scenario) -> SimOutcome<Logic4> {
-    SequentialSimulator::<Logic4>::new()
-        .with_observe(Observe::AllNets)
-        .run(&s.circuit, &s.stimulus, s.until)
+    SequentialSimulator::<Logic4>::new().with_observe(Observe::AllNets).run(
+        &s.circuit,
+        &s.stimulus,
+        s.until,
+    )
 }
 
 fn partition(s: &Scenario) -> Partition {

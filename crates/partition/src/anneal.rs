@@ -57,7 +57,8 @@ impl Partitioner for AnnealingPartitioner {
 
         // Seed: contiguous weighted split (same as the refiners).
         let seed_part = crate::ContiguousPartitioner.partition(circuit, blocks, weights);
-        let mut assignment: Vec<usize> = (0..n).map(|i| seed_part.block_of(GateId::new(i))).collect();
+        let mut assignment: Vec<usize> =
+            (0..n).map(|i| seed_part.block_of(GateId::new(i))).collect();
 
         let mut loads = vec![0.0f64; blocks];
         for (id, w) in weights.iter() {
@@ -87,11 +88,8 @@ impl Partitioner for AnnealingPartitioner {
             over * over / (target * target).max(f64::MIN_POSITIVE)
         };
 
-        let moves_per_temp = if self.moves_per_temp == 0 {
-            64 * blocks
-        } else {
-            self.moves_per_temp
-        };
+        let moves_per_temp =
+            if self.moves_per_temp == 0 { 64 * blocks } else { self.moves_per_temp };
         let mut temp = self.initial_temp;
         for _ in 0..self.temp_steps {
             for _ in 0..moves_per_temp {
@@ -106,12 +104,11 @@ impl Partitioner for AnnealingPartitioner {
                 let bal_before = balance_term(loads[from]) + balance_term(loads[to]);
                 assignment[g] = to;
                 let cut_after = local_cut(&assignment, g) as f64;
-                let bal_after =
-                    balance_term(loads[from] - w) + balance_term(loads[to] + w);
-                let delta = (cut_after - cut_before)
-                    + self.balance_penalty * (bal_after - bal_before);
-                let accept = delta <= 0.0
-                    || (temp > 0.0 && rng.random::<f64>() < (-delta / temp).exp());
+                let bal_after = balance_term(loads[from] - w) + balance_term(loads[to] + w);
+                let delta =
+                    (cut_after - cut_before) + self.balance_penalty * (bal_after - bal_before);
+                let accept =
+                    delta <= 0.0 || (temp > 0.0 && rng.random::<f64>() < (-delta / temp).exp());
                 if accept {
                     loads[from] -= w;
                     loads[to] += w;

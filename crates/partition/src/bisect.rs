@@ -28,11 +28,7 @@ pub(crate) trait Bisector {
 
 /// Splits `cells` by ascending id until the left side holds `target_left`
 /// of the weight — the standard seed partition both refiners start from.
-pub(crate) fn seed_split(
-    weights: &GateWeights,
-    cells: &[usize],
-    target_left: f64,
-) -> Sides {
+pub(crate) fn seed_split(weights: &GateWeights, cells: &[usize], target_left: f64) -> Sides {
     let total: f64 = cells.iter().map(|&c| weights.weight(parsim_netlist::GateId::new(c))).sum();
     let target = total * target_left;
     let mut acc = 0.0;
@@ -87,5 +83,13 @@ fn split(
         }
     }
     split(circuit, weights, bisector, left, block_lo, left_blocks, assignment);
-    split(circuit, weights, bisector, right, block_lo + left_blocks, nblocks - left_blocks, assignment);
+    split(
+        circuit,
+        weights,
+        bisector,
+        right,
+        block_lo + left_blocks,
+        nblocks - left_blocks,
+        assignment,
+    );
 }

@@ -23,11 +23,7 @@ pub struct ConePartitioner;
 
 impl ConePartitioner {
     /// Collects the still-unassigned fanin cone of `root`, breadth-first.
-    fn cone(
-        circuit: &Circuit,
-        root: GateId,
-        assignment: &[Option<usize>],
-    ) -> Vec<GateId> {
+    fn cone(circuit: &Circuit, root: GateId, assignment: &[Option<usize>]) -> Vec<GateId> {
         let mut seen = vec![false; circuit.len()];
         let mut cone = Vec::new();
         let mut frontier = VecDeque::new();
@@ -70,22 +66,21 @@ impl Partitioner for ConePartitioner {
             .collect();
         roots.sort_by_key(|&(size, id)| (size, id));
 
-        let place = |cone: Vec<GateId>,
-                         assignment: &mut Vec<Option<usize>>,
-                         loads: &mut Vec<f64>| {
-            if cone.is_empty() {
-                return;
-            }
-            let (best, _) = loads
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).expect("loads are finite"))
-                .expect("at least one block");
-            for &id in &cone {
-                assignment[id.index()] = Some(best);
-                loads[best] += weights.weight(id);
-            }
-        };
+        let place =
+            |cone: Vec<GateId>, assignment: &mut Vec<Option<usize>>, loads: &mut Vec<f64>| {
+                if cone.is_empty() {
+                    return;
+                }
+                let (best, _) = loads
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("loads are finite"))
+                    .expect("at least one block");
+                for &id in &cone {
+                    assignment[id.index()] = Some(best);
+                    loads[best] += weights.weight(id);
+                }
+            };
 
         for (_, po) in roots {
             let cone = Self::cone(circuit, po, &assignment);
@@ -100,8 +95,7 @@ impl Partitioner for ConePartitioner {
             }
         }
 
-        let assignment =
-            assignment.into_iter().map(|a| a.expect("every gate coned")).collect();
+        let assignment = assignment.into_iter().map(|a| a.expect("every gate coned")).collect();
         Partition::new(blocks, assignment).expect("cone assignment is in range")
     }
 }
@@ -115,7 +109,8 @@ mod tests {
 
     #[test]
     fn covers_every_gate() {
-        let c = random_dag(&RandomDagConfig { gates: 300, seq_fraction: 0.1, ..Default::default() });
+        let c =
+            random_dag(&RandomDagConfig { gates: 300, seq_fraction: 0.1, ..Default::default() });
         let w = GateWeights::uniform(c.len());
         let p = ConePartitioner.partition(&c, 6, &w);
         assert_eq!(p.len(), c.len());

@@ -294,8 +294,7 @@ mod tests {
     fn weighted_balance() {
         let c = random_dag(&RandomDagConfig { gates: 400, ..Default::default() });
         // Heavily skewed weights: first quarter of gates 10× hotter.
-        let v: Vec<f64> =
-            (0..c.len()).map(|i| if i < c.len() / 4 { 10.0 } else { 1.0 }).collect();
+        let v: Vec<f64> = (0..c.len()).map(|i| if i < c.len() / 4 { 10.0 } else { 1.0 }).collect();
         let w = GateWeights::from_values(v);
         let p = FiducciaMattheyses::default().partition(&c, 4, &w);
         let q = p.quality(&c, &w);

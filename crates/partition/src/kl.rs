@@ -60,8 +60,7 @@ impl Bisector for KernighanLin {
             return sides;
         }
         // Local adjacency (edge multiplicity) restricted to the subset.
-        let local: HashMap<usize, usize> =
-            cells.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        let local: HashMap<usize, usize> = cells.iter().enumerate().map(|(i, &c)| (c, i)).collect();
         let mut adj: Vec<Vec<(usize, i64)>> = vec![Vec::new(); n];
         for (i, &c) in cells.iter().enumerate() {
             let id = GateId::new(c);
@@ -97,12 +96,7 @@ impl KernighanLin {
         let n = sides.len();
         // D[i] = external cost − internal cost.
         let mut d: Vec<i64> = (0..n)
-            .map(|i| {
-                adj[i]
-                    .iter()
-                    .map(|&(j, w)| if sides[i] != sides[j] { w } else { -w })
-                    .sum()
-            })
+            .map(|i| adj[i].iter().map(|&(j, w)| if sides[i] != sides[j] { w } else { -w }).sum())
             .collect();
         let mut locked = vec![false; n];
         let mut swaps: Vec<(usize, usize)> = Vec::new();
@@ -123,8 +117,7 @@ impl KernighanLin {
             let mut best: Option<(i64, usize, usize)> = None;
             for &a in &left {
                 for &b in &right {
-                    let w_ab =
-                        adj[a].iter().find(|&&(j, _)| j == b).map(|&(_, w)| w).unwrap_or(0);
+                    let w_ab = adj[a].iter().find(|&&(j, _)| j == b).map_or(0, |&(_, w)| w);
                     let gain = d[a] + d[b] - 2 * w_ab;
                     if best.is_none_or(|(g, _, _)| gain > g) {
                         best = Some((gain, a, b));

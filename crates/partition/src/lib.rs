@@ -59,7 +59,9 @@ pub use fm::FiducciaMattheyses;
 pub use kl::KernighanLin;
 pub use multilevel::MultilevelPartitioner;
 pub use partition::{Partition, PartitionError, PartitionQuality};
-pub use simple::{ContiguousPartitioner, LevelPartitioner, RandomPartitioner, RoundRobinPartitioner};
+pub use simple::{
+    ContiguousPartitioner, LevelPartitioner, RandomPartitioner, RoundRobinPartitioner,
+};
 pub use strings::StringPartitioner;
 pub use weights::GateWeights;
 

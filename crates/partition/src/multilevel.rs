@@ -66,8 +66,7 @@ impl Graph {
     /// Builds the subset graph of a circuit (edges = fanout connections
     /// with both endpoints in the subset, accumulated as multiplicities).
     fn from_subset(circuit: &Circuit, weights: &GateWeights, cells: &[usize]) -> Self {
-        let local: HashMap<usize, usize> =
-            cells.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        let local: HashMap<usize, usize> = cells.iter().enumerate().map(|(i, &c)| (c, i)).collect();
         let mut adj: Vec<HashMap<usize, i64>> = vec![HashMap::new(); cells.len()];
         for (i, &c) in cells.iter().enumerate() {
             for e in circuit.fanout(GateId::new(c)) {
@@ -125,10 +124,7 @@ impl Graph {
                 }
             }
         }
-        (
-            Graph { adj: adj.into_iter().map(|m| m.into_iter().collect()).collect(), weights },
-            map,
-        )
+        (Graph { adj: adj.into_iter().map(|m| m.into_iter().collect()).collect(), weights }, map)
     }
 }
 
@@ -170,12 +166,7 @@ impl MultilevelPartitioner {
     fn refine_pass(&self, g: &Graph, sides: &mut [bool], target: [f64; 2], slack: f64) -> bool {
         let n = g.len();
         let mut gain: Vec<i64> = (0..n)
-            .map(|v| {
-                g.adj[v]
-                    .iter()
-                    .map(|&(u, w)| if sides[v] != sides[u] { w } else { -w })
-                    .sum()
-            })
+            .map(|v| g.adj[v].iter().map(|&(u, w)| if sides[v] != sides[u] { w } else { -w }).sum())
             .collect();
         let mut side_weight = [0.0f64; 2];
         for v in 0..n {
@@ -295,7 +286,8 @@ mod tests {
 
     #[test]
     fn balanced_and_total() {
-        let c = random_dag(&RandomDagConfig { gates: 800, seq_fraction: 0.1, ..Default::default() });
+        let c =
+            random_dag(&RandomDagConfig { gates: 800, seq_fraction: 0.1, ..Default::default() });
         let w = GateWeights::uniform(c.len());
         let p = MultilevelPartitioner::default().partition(&c, 8, &w);
         assert_eq!(p.len(), c.len());

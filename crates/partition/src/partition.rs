@@ -233,7 +233,7 @@ mod tests {
     #[test]
     fn cut_metrics_count_crossings() {
         let c = bench::c17(); // 11 gates
-        // Alternate blocks by id: nearly every edge is cut.
+                              // Alternate blocks by id: nearly every edge is cut.
         let p = Partition::new(2, (0..11).map(|i| i % 2).collect()).unwrap();
         assert!(p.cut_edges(&c) > 0);
         assert!(p.cut_nets(&c) <= p.cut_edges(&c));

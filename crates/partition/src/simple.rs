@@ -168,10 +168,7 @@ mod tests {
         let w = GateWeights::uniform(c.len());
         let contiguous = ContiguousPartitioner.partition(&c, 8, &w).cut_edges(&c);
         let random = RandomPartitioner::new(7).partition(&c, 8, &w).cut_edges(&c);
-        assert!(
-            contiguous < random,
-            "locality should beat random: {contiguous} vs {random}"
-        );
+        assert!(contiguous < random, "locality should beat random: {contiguous} vs {random}");
     }
 
     #[test]

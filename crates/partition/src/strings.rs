@@ -33,22 +33,21 @@ impl Partitioner for StringPartitioner {
         let mut assignment: Vec<Option<usize>> = vec![None; n];
         let mut loads = vec![0.0f64; blocks];
 
-        let assign_string = |string: &[GateId],
-                                 assignment: &mut Vec<Option<usize>>,
-                                 loads: &mut Vec<f64>| {
-            if string.is_empty() {
-                return;
-            }
-            let (best, _) = loads
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).expect("loads are finite"))
-                .expect("at least one block");
-            for &id in string {
-                assignment[id.index()] = Some(best);
-                loads[best] += weights.weight(id);
-            }
-        };
+        let assign_string =
+            |string: &[GateId], assignment: &mut Vec<Option<usize>>, loads: &mut Vec<f64>| {
+                if string.is_empty() {
+                    return;
+                }
+                let (best, _) = loads
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("loads are finite"))
+                    .expect("at least one block");
+                for &id in string {
+                    assignment[id.index()] = Some(best);
+                    loads[best] += weights.weight(id);
+                }
+            };
 
         // Trace a string from each seed: follow the first unassigned fanout
         // until none remains.
@@ -84,8 +83,7 @@ impl Partitioner for StringPartitioner {
             trace(id, &mut assignment, &mut loads);
         }
 
-        let assignment =
-            assignment.into_iter().map(|a| a.expect("every gate traced")).collect();
+        let assignment = assignment.into_iter().map(|a| a.expect("every gate traced")).collect();
         Partition::new(blocks, assignment).expect("string assignment is in range")
     }
 }
@@ -98,7 +96,8 @@ mod tests {
 
     #[test]
     fn covers_every_gate() {
-        let c = random_dag(&RandomDagConfig { gates: 300, seq_fraction: 0.2, ..Default::default() });
+        let c =
+            random_dag(&RandomDagConfig { gates: 300, seq_fraction: 0.2, ..Default::default() });
         let w = GateWeights::uniform(c.len());
         let p = StringPartitioner.partition(&c, 5, &w);
         assert_eq!(p.len(), c.len());

@@ -3,7 +3,9 @@
 use std::collections::BTreeMap;
 use std::marker::PhantomData;
 
-use parsim_core::{evaluate_gate, GateRuntime, Observe, SimOutcome, SimStats, Simulator, Stimulus, Waveform};
+use parsim_core::{
+    evaluate_gate, GateRuntime, Observe, SimOutcome, SimStats, Simulator, Stimulus, Waveform,
+};
 use parsim_event::{BinaryHeapQueue, Event, EventQueue, VirtualTime};
 use parsim_logic::{GateKind, LogicValue};
 use parsim_machine::{MachineConfig, VirtualMachine};
@@ -88,8 +90,7 @@ impl<V: LogicValue> Simulator<V> for SyncSimulator<V> {
 
         let block_of = |id: GateId| self.partition.block_of(id);
         let dests = |id: GateId| -> Vec<usize> {
-            let mut d: Vec<usize> =
-                circuit.fanout(id).iter().map(|e| block_of(e.gate)).collect();
+            let mut d: Vec<usize> = circuit.fanout(id).iter().map(|e| block_of(e.gate)).collect();
             d.push(block_of(id));
             d.sort_unstable();
             d.dedup();
@@ -131,7 +132,7 @@ impl<V: LogicValue> Simulator<V> for SyncSimulator<V> {
             let now = if first_step {
                 VirtualTime::ZERO
             } else {
-                match queues.iter().filter_map(|q| q.peek_time()).min() {
+                match queues.iter().filter_map(EventQueue::peek_time).min() {
                     Some(t) if t <= until => t,
                     _ => break,
                 }
@@ -218,8 +219,8 @@ impl<V: LogicValue> Simulator<V> for SyncSimulator<V> {
         }
 
         stats.modeled_makespan = vm.makespan();
-        stats.modeled_work = evals * self.machine.eval_cost
-            + 2 * logical_events * self.machine.event_cost;
+        stats.modeled_work =
+            evals * self.machine.eval_cost + 2 * logical_events * self.machine.event_cost;
         SimOutcome { final_values: values, waveforms, end_time: until, stats }
     }
 }
@@ -240,9 +241,11 @@ mod tests {
         let sync = SyncSimulator::<V>::new(partition(c, p), MachineConfig::shared_memory(p))
             .with_observe(Observe::AllNets)
             .run(c, stim, VirtualTime::new(until));
-        let seq = SequentialSimulator::<V>::new()
-            .with_observe(Observe::AllNets)
-            .run(c, stim, VirtualTime::new(until));
+        let seq = SequentialSimulator::<V>::new().with_observe(Observe::AllNets).run(
+            c,
+            stim,
+            VirtualTime::new(until),
+        );
         if let Some(d) = sync.divergence_from(&seq) {
             panic!("synchronous kernel diverged on {}: {d}", c.name());
         }
@@ -280,8 +283,11 @@ mod tests {
     fn modeled_speedup_above_one_on_wide_circuits() {
         let c = generate::array_multiplier(12, DelayModel::Unit);
         let p = 8;
-        let out = SyncSimulator::<Bit>::new(partition(&c, p), MachineConfig::shared_memory(p))
-            .run(&c, &Stimulus::random(3, 40), VirtualTime::new(800));
+        let out = SyncSimulator::<Bit>::new(partition(&c, p), MachineConfig::shared_memory(p)).run(
+            &c,
+            &Stimulus::random(3, 40),
+            VirtualTime::new(800),
+        );
         let speedup = out.stats.modeled_speedup().expect("modeled kernel reports speedup");
         assert!(speedup > 1.5, "expected parallel benefit, got {speedup:.2}");
         assert!(speedup <= p as f64 + 0.01, "speedup {speedup:.2} cannot beat P={p}");

@@ -5,7 +5,9 @@ use std::marker::PhantomData;
 use std::sync::{Barrier, Mutex};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parsim_core::{evaluate_gate, GateRuntime, Observe, SimOutcome, SimStats, Simulator, Stimulus, Waveform};
+use parsim_core::{
+    evaluate_gate, GateRuntime, Observe, SimOutcome, SimStats, Simulator, Stimulus, Waveform,
+};
 use parsim_event::{BinaryHeapQueue, Event, EventQueue, VirtualTime};
 use parsim_logic::{GateKind, LogicValue};
 use parsim_netlist::{Circuit, GateId};
@@ -116,8 +118,8 @@ impl<V: LogicValue> Simulator<V> for ThreadedSyncSimulator<V> {
                 let observe = self.observe;
                 handles.push(scope.spawn(move || {
                     run_worker(
-                        p, circuit, partition, observe, my_initial, my_rx, senders, barrier,
-                        heads, dests, owned, until,
+                        p, circuit, partition, observe, my_initial, my_rx, senders, barrier, heads,
+                        dests, owned, until,
                     )
                 }));
             }
@@ -217,8 +219,7 @@ fn run_worker<V: LogicValue>(
                 w.record(now, e.value);
             }
             for entry in circuit.fanout(e.net) {
-                if partition.block_of(entry.gate) == p
-                    && stamp[entry.gate.index()] != stamp_counter
+                if partition.block_of(entry.gate) == p && stamp[entry.gate.index()] != stamp_counter
                 {
                     stamp[entry.gate.index()] = stamp_counter;
                     dirty.push(entry.gate);
@@ -277,12 +278,16 @@ mod tests {
 
     fn check_equivalent<V: LogicValue>(c: &Circuit, stim: &Stimulus, until: u64, p: usize) {
         let part = FiducciaMattheyses::default().partition(c, p, &GateWeights::uniform(c.len()));
-        let threaded = ThreadedSyncSimulator::<V>::new(part)
-            .with_observe(Observe::AllNets)
-            .run(c, stim, VirtualTime::new(until));
-        let seq = SequentialSimulator::<V>::new()
-            .with_observe(Observe::AllNets)
-            .run(c, stim, VirtualTime::new(until));
+        let threaded = ThreadedSyncSimulator::<V>::new(part).with_observe(Observe::AllNets).run(
+            c,
+            stim,
+            VirtualTime::new(until),
+        );
+        let seq = SequentialSimulator::<V>::new().with_observe(Observe::AllNets).run(
+            c,
+            stim,
+            VirtualTime::new(until),
+        );
         if let Some(d) = threaded.divergence_from(&seq) {
             panic!("threaded synchronous kernel diverged on {}: {d}", c.name());
         }

@@ -1,0 +1,186 @@
+//! Offline, dependency-free subset of the `criterion` crate API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of `criterion` it uses: `criterion_group!` /
+//! `criterion_main!`, [`Criterion`] with `bench_function`,
+//! `benchmark_group` and `bench_with_input`, [`BenchmarkId`] and
+//! [`Bencher::iter`]. There is no statistical analysis: each benchmark is
+//! warmed up briefly, then timed over a fixed wall-clock window and
+//! reported as mean ns/iter on stdout. That is enough to compare
+//! alternatives locally and to keep `--all-targets` builds honest.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// A named benchmark id, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", name.into(), parameter) }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Times closures handed to it by benchmark bodies.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_done: u64,
+    total: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly within the measurement budget, recording the
+    /// mean time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Brief warm-up so first-touch effects don't dominate tiny budgets.
+        black_box(f());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+        self.total = start.elapsed();
+        self.iters_done = iters;
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { budget: Duration::from_millis(300) }
+    }
+}
+
+fn run_one(label: &str, budget: Duration, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { iters_done: 0, total: Duration::ZERO, budget };
+    f(&mut b);
+    if b.iters_done == 0 {
+        println!("bench {label:<40} (no iterations recorded)");
+    } else {
+        let per_iter = b.total.as_nanos() / u128::from(b.iters_done);
+        println!("bench {label:<40} {per_iter:>12} ns/iter ({} iters)", b.iters_done);
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        run_one(&id.to_string(), self.budget, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), budget: self.budget, _parent: self }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    budget: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's fixed time budget ignores
+    /// the requested sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.budget, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F: FnOnce(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.budget, |b| f(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut b =
+            Bencher { iters_done: 0, total: Duration::ZERO, budget: Duration::from_millis(5) };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert!(b.iters_done > 0);
+        assert!(count > b.iters_done); // warm-up call included
+    }
+
+    #[test]
+    fn groups_and_ids_render() {
+        assert_eq!(BenchmarkId::new("heap", 64).to_string(), "heap/64");
+        let mut c = Criterion { budget: Duration::from_millis(1) };
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("param", 3), &3, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        g.finish();
+    }
+}

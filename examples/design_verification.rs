@@ -105,7 +105,8 @@ fn main() {
         inputs.push(cin);
         let stim = Stimulus::vectors(64, vec![inputs]);
         let out = run(&good, &stim, VirtualTime::new(64));
-        let to_u32 = |bits: &[bool]| bits.iter().enumerate().map(|(i, &b)| (b as u32) << i).sum::<u32>();
+        let to_u32 =
+            |bits: &[bool]| bits.iter().enumerate().map(|(i, &b)| (b as u32) << i).sum::<u32>();
         let expected = to_u32(&a) + to_u32(&bv) + cin as u32;
         let mut got = 0u32;
         for i in 0..8 {

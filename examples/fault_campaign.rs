@@ -10,8 +10,8 @@
 //! example runs the campaign serially, reports the coverage ramp as vectors
 //! accumulate, and writes `c17.vcd` for any waveform viewer.
 
-use parsim::prelude::*;
 use parsim::core::fault;
+use parsim::prelude::*;
 
 fn main() {
     let circuit = bench::c17();
@@ -46,9 +46,11 @@ fn main() {
     }
 
     // Dump the good machine's output waveforms as VCD.
-    let out = SequentialSimulator::<Logic4>::new()
-        .with_observe(Observe::AllNets)
-        .run(&circuit, &Stimulus::counting(10), VirtualTime::new(330));
+    let out = SequentialSimulator::<Logic4>::new().with_observe(Observe::AllNets).run(
+        &circuit,
+        &Stimulus::counting(10),
+        VirtualTime::new(330),
+    );
     let vcd = write_vcd(&circuit, &out);
     let path = "c17.vcd";
     std::fs::write(path, &vcd).expect("write vcd");

@@ -52,8 +52,7 @@ fn main() {
         Box::new(BtbSimulator::new(partition, machine)),
     ];
 
-    let reference =
-        SequentialSimulator::<Bit>::new().run(&circuit, &stimulus, until);
+    let reference = SequentialSimulator::<Bit>::new().run(&circuit, &stimulus, until);
 
     let mut rows: Vec<(String, f64, String)> = Vec::new();
     for kernel in kernels {
@@ -91,11 +90,7 @@ fn diagnostics(s: &SimStats) -> String {
         parts.push(format!("{} deadlock recoveries", s.gvt_rounds));
     }
     if s.rollbacks > 0 {
-        parts.push(format!(
-            "{} rollbacks, efficiency {:.0}%",
-            s.rollbacks,
-            s.efficiency() * 100.0
-        ));
+        parts.push(format!("{} rollbacks, efficiency {:.0}%", s.rollbacks, s.efficiency() * 100.0));
     }
     if parts.is_empty() {
         parts.push(format!("{} messages", s.messages_sent));

@@ -24,8 +24,8 @@ fn load_circuit(arg: Option<String>) -> Circuit {
         Some("multiplier") => generate::array_multiplier(16, DelayModel::Unit),
         Some("mesh") => generate::mesh(40, 40, DelayModel::Unit),
         Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            let text =
+                std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
             bench::parse(path, &text, DelayModel::Unit)
                 .unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
         }
@@ -75,5 +75,7 @@ fn main() {
             );
         }
     }
-    println!("\n(balance = heaviest block / mean block load; speedup = modeled, synchronous kernel)");
+    println!(
+        "\n(balance = heaviest block / mean block load; speedup = modeled, synchronous kernel)"
+    );
 }

@@ -14,7 +14,7 @@ use parsim::prelude::*;
 fn main() {
     // 1. A circuit: a 16-bit array multiplier (~1.6k gates), unit delays.
     let circuit = generate::array_multiplier(16, DelayModel::Unit);
-    println!("circuit : {}", circuit);
+    println!("circuit : {circuit}");
     println!("stats   : {}", circuit.stats());
 
     // 2. A stimulus: a fresh random operand pair every 50 ticks.
@@ -58,12 +58,8 @@ fn main() {
     }
 
     // 5. The answer itself: the final product bits.
-    let product: String = circuit
-        .outputs()
-        .iter()
-        .rev()
-        .map(|&po| baseline.value(po).to_string())
-        .collect();
+    let product: String =
+        circuit.outputs().iter().rev().map(|&po| baseline.value(po).to_string()).collect();
     println!("\nfinal product bits (p31..p0): {product}");
     println!("all kernels agree ✓");
 }

@@ -13,7 +13,7 @@
 //!
 //! This crate is a facade: it re-exports the workspace crates under one
 //! name. See [`logic`], [`netlist`], [`event`], [`partition`], [`core`],
-//! [`machine`], [`sync`], [`conservative`] and [`optimistic`].
+//! [`machine`], [`sync`], [`conservative`], [`optimistic`] and [`lint`].
 //!
 //! # Quickstart
 //!
@@ -45,6 +45,7 @@
 pub use parsim_conservative as conservative;
 pub use parsim_core as core;
 pub use parsim_event as event;
+pub use parsim_lint as lint;
 pub use parsim_logic as logic;
 pub use parsim_machine as machine;
 pub use parsim_netlist as netlist;
@@ -58,13 +59,15 @@ pub mod prelude {
         ConservativeSimulator, DeadlockStrategy, ThreadedConservativeSimulator,
     };
     pub use parsim_core::{
-        evaluate_gate, fault, parse_vcd_changes, pre_simulate, write_vcd, ActivityProfile, CycleSimulator, GateRuntime, LpTopology,
-        Observe, ObliviousSimulator, QueueKind, SequentialSimulator, SimOutcome, SimStats, Simulator,
-        Stimulus, Waveform,
+        evaluate_gate, fault, parse_vcd_changes, pre_simulate, write_vcd, ActivityProfile,
+        CycleSimulator, GateRuntime, LpTopology, ObliviousSimulator, Observe, QueueKind,
+        SequentialSimulator, SimOutcome, SimStats, Simulator, Stimulus, Waveform,
     };
     pub use parsim_event::{
-        BinaryHeapQueue, CalendarQueue, Event, EventQueue, Message, PairingHeapQueue,
-        VirtualTime,
+        BinaryHeapQueue, CalendarQueue, Event, EventQueue, Message, PairingHeapQueue, VirtualTime,
+    };
+    pub use parsim_lint::{
+        check_build, Code, Diagnostic, LintContext, LintPass, LintReport, Linter, Severity,
     };
     pub use parsim_logic::{Bit, GateKind, Logic4, LogicValue, Std9};
     pub use parsim_machine::{MachineConfig, VirtualMachine};
@@ -78,8 +81,8 @@ pub mod prelude {
     };
     pub use parsim_partition::{
         all_partitioners, AnnealingPartitioner, ConePartitioner, ContiguousPartitioner,
-        FiducciaMattheyses, GateWeights, KernighanLin, LevelPartitioner, MultilevelPartitioner, Partition,
-        PartitionQuality, Partitioner, RandomPartitioner, RoundRobinPartitioner,
+        FiducciaMattheyses, GateWeights, KernighanLin, LevelPartitioner, MultilevelPartitioner,
+        Partition, PartitionQuality, Partitioner, RandomPartitioner, RoundRobinPartitioner,
         StringPartitioner,
     };
     pub use parsim_sync::{SyncSimulator, ThreadedSyncSimulator};

@@ -13,15 +13,10 @@ fn all_kernels(partition: &Partition, processors: usize) -> Vec<Box<dyn Simulato
     let machine = MachineConfig::shared_memory(processors);
     vec![
         Box::new(SequentialSimulator::new().with_observe(Observe::AllNets).with_calendar_queue()),
+        Box::new(SyncSimulator::new(partition.clone(), machine).with_observe(Observe::AllNets)),
+        Box::new(ThreadedSyncSimulator::new(partition.clone()).with_observe(Observe::AllNets)),
         Box::new(
-            SyncSimulator::new(partition.clone(), machine).with_observe(Observe::AllNets),
-        ),
-        Box::new(
-            ThreadedSyncSimulator::new(partition.clone()).with_observe(Observe::AllNets),
-        ),
-        Box::new(
-            ConservativeSimulator::new(partition.clone(), machine)
-                .with_observe(Observe::AllNets),
+            ConservativeSimulator::new(partition.clone(), machine).with_observe(Observe::AllNets),
         ),
         Box::new(
             ConservativeSimulator::new(partition.clone(), machine)
@@ -29,12 +24,9 @@ fn all_kernels(partition: &Partition, processors: usize) -> Vec<Box<dyn Simulato
                 .with_observe(Observe::AllNets),
         ),
         Box::new(
-            ThreadedConservativeSimulator::new(partition.clone())
-                .with_observe(Observe::AllNets),
+            ThreadedConservativeSimulator::new(partition.clone()).with_observe(Observe::AllNets),
         ),
-        Box::new(
-            TimeWarpSimulator::new(partition.clone(), machine).with_observe(Observe::AllNets),
-        ),
+        Box::new(TimeWarpSimulator::new(partition.clone(), machine).with_observe(Observe::AllNets)),
         Box::new(
             TimeWarpSimulator::new(partition.clone(), machine)
                 .with_state_saving(StateSaving::Copy)
@@ -42,9 +34,7 @@ fn all_kernels(partition: &Partition, processors: usize) -> Vec<Box<dyn Simulato
                 .with_gvt_interval(8)
                 .with_observe(Observe::AllNets),
         ),
-        Box::new(
-            ThreadedTimeWarpSimulator::new(partition.clone()).with_observe(Observe::AllNets),
-        ),
+        Box::new(ThreadedTimeWarpSimulator::new(partition.clone()).with_observe(Observe::AllNets)),
     ]
 }
 

@@ -53,12 +53,10 @@ fn carry_select_adder_matches_ripple() {
     let rca = generate::ripple_adder(10, DelayModel::Unit);
     let stim = Stimulus::random(0xADD, 64);
     let until = VirtualTime::new(64 * 40);
-    let a = SequentialSimulator::<Bit>::new()
-        .with_observe(Observe::Outputs)
-        .run(&csa, &stim, until);
-    let b = SequentialSimulator::<Bit>::new()
-        .with_observe(Observe::Outputs)
-        .run(&rca, &stim, until);
+    let a =
+        SequentialSimulator::<Bit>::new().with_observe(Observe::Outputs).run(&csa, &stim, until);
+    let b =
+        SequentialSimulator::<Bit>::new().with_observe(Observe::Outputs).run(&rca, &stim, until);
     for i in 0..10 {
         let name = format!("s{i}");
         assert_eq!(
@@ -88,8 +86,7 @@ fn array_multiplier_multiplies() {
 fn decoder_decodes() {
     let c = generate::decoder(3, DelayModel::Unit);
     for k in 0usize..8 {
-        let mut assignments: Vec<(usize, bool)> =
-            (0..3).map(|i| (i, k >> i & 1 == 1)).collect();
+        let mut assignments: Vec<(usize, bool)> = (0..3).map(|i| (i, k >> i & 1 == 1)).collect();
         assignments.push((3, true)); // enable
         let out = run_once(&c, input_vector(4, &assignments), 32);
         for d in 0..8 {
@@ -127,9 +124,11 @@ fn lfsr_has_maximal_looking_period_prefix() {
     // only require "long", not maximal).
     let c = generate::lfsr(8, DelayModel::Unit);
     let stim = Stimulus::quiet(1_000_000).with_clock(4);
-    let out = SequentialSimulator::<Bit>::new()
-        .with_observe(Observe::AllNets)
-        .run(&c, &stim, VirtualTime::new(8 * 2 * 100 + 2));
+    let out = SequentialSimulator::<Bit>::new().with_observe(Observe::AllNets).run(
+        &c,
+        &stim,
+        VirtualTime::new(8 * 2 * 100 + 2),
+    );
     let qs: Vec<_> = (0..8).map(|i| c.find(&format!("q{i}")).unwrap()).collect();
     let mut seen = std::collections::HashSet::new();
     // Sample just after each rising edge (edges at 4 + 8k, settle +2).
@@ -147,9 +146,8 @@ fn decoder_cross_kernel() {
     let until = VirtualTime::new(600);
     let weights = GateWeights::uniform(c.len());
     let partition = ConePartitioner.partition(&c, 4, &weights);
-    let seq = SequentialSimulator::<Logic4>::new()
-        .with_observe(Observe::AllNets)
-        .run(&c, &stim, until);
+    let seq =
+        SequentialSimulator::<Logic4>::new().with_observe(Observe::AllNets).run(&c, &stim, until);
     let btb = BtbSimulator::<Logic4>::new(partition, MachineConfig::shared_memory(4))
         .with_observe(Observe::AllNets)
         .run(&c, &stim, until);

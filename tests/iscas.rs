@@ -51,9 +51,8 @@ fn s27ish_clocked_cross_kernel() {
     let weights = GateWeights::uniform(c.len());
     let partition = StringPartitioner.partition(&c, 3, &weights);
 
-    let seq = SequentialSimulator::<Logic4>::new()
-        .with_observe(Observe::AllNets)
-        .run(&c, &stim, until);
+    let seq =
+        SequentialSimulator::<Logic4>::new().with_observe(Observe::AllNets).run(&c, &stim, until);
     let warp = TimeWarpSimulator::<Logic4>::new(partition.clone(), MachineConfig::shared_memory(3))
         .with_observe(Observe::AllNets)
         .run(&c, &stim, until);
@@ -104,9 +103,11 @@ fn implicit_clock_is_driven() {
     ";
     let c = bench::parse("two_stage", src, DelayModel::Unit).expect("valid");
     let stim = Stimulus::vectors(64, vec![vec![true]]).with_clock(8);
-    let out = SequentialSimulator::<Bit>::new()
-        .with_observe(Observe::AllNets)
-        .run(&c, &stim, VirtualTime::new(200));
+    let out = SequentialSimulator::<Bit>::new().with_observe(Observe::AllNets).run(
+        &c,
+        &stim,
+        VirtualTime::new(200),
+    );
     // After two clock edges the 1 at d has reached q2.
     assert_eq!(out.value_by_name(&c, "q2"), Some(Bit::One));
 }

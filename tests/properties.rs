@@ -29,20 +29,18 @@ fn any_scenario() -> impl Strategy<Value = Scenario> {
     )
         .prop_map(
             |(gates, inputs, seq, max_delay, seed, processors, until, clock_half, toggle)| {
-                let circuit = parsim::netlist::generate::random_dag(
-                    &parsim::netlist::generate::RandomDagConfig {
-                        gates,
-                        inputs,
-                        seq_fraction: seq,
-                        delays: if max_delay == 1 {
-                            DelayModel::Unit
-                        } else {
-                            DelayModel::Uniform { min: 1, max: max_delay, seed }
-                        },
-                        seed,
-                        ..Default::default()
+                let circuit = generate::random_dag(&generate::RandomDagConfig {
+                    gates,
+                    inputs,
+                    seq_fraction: seq,
+                    delays: if max_delay == 1 {
+                        DelayModel::Unit
+                    } else {
+                        DelayModel::Uniform { min: 1, max: max_delay, seed }
                     },
-                );
+                    seed,
+                    ..Default::default()
+                });
                 let stimulus =
                     Stimulus::random_with_toggle(seed ^ 0xABCD, 7, toggle).with_clock(clock_half);
                 Scenario {
@@ -57,9 +55,11 @@ fn any_scenario() -> impl Strategy<Value = Scenario> {
 }
 
 fn reference(s: &Scenario) -> SimOutcome<Logic4> {
-    SequentialSimulator::<Logic4>::new()
-        .with_observe(Observe::AllNets)
-        .run(&s.circuit, &s.stimulus, s.until)
+    SequentialSimulator::<Logic4>::new().with_observe(Observe::AllNets).run(
+        &s.circuit,
+        &s.stimulus,
+        s.until,
+    )
 }
 
 fn partition_for(s: &Scenario) -> Partition {

@@ -51,9 +51,11 @@ fn check_vcd(text: &str) -> Result<usize, String> {
 #[test]
 fn vcd_dump_is_well_formed() {
     let c = generate::counter(5, DelayModel::Unit);
-    let out = SequentialSimulator::<Logic4>::new()
-        .with_observe(Observe::AllNets)
-        .run(&c, &Stimulus::quiet(100_000).with_clock(6), VirtualTime::new(400));
+    let out = SequentialSimulator::<Logic4>::new().with_observe(Observe::AllNets).run(
+        &c,
+        &Stimulus::quiet(100_000).with_clock(6),
+        VirtualTime::new(400),
+    );
     let vcd = write_vcd(&c, &out);
     let changes = check_vcd(&vcd).expect("well-formed VCD");
     assert!(changes > 50, "a counter should toggle a lot, got {changes} changes");
@@ -69,9 +71,11 @@ fn vcd_renders_high_impedance() {
     b.output("y", t);
     let c = b.finish().unwrap();
     let stim = Stimulus::vectors(16, vec![vec![false, true]]);
-    let out = SequentialSimulator::<Logic4>::new()
-        .with_observe(Observe::AllNets)
-        .run(&c, &stim, VirtualTime::new(32));
+    let out = SequentialSimulator::<Logic4>::new().with_observe(Observe::AllNets).run(
+        &c,
+        &stim,
+        VirtualTime::new(32),
+    );
     assert_eq!(out.value_by_name(&c, "t"), Some(Logic4::Z));
     let vcd = write_vcd(&c, &out);
     check_vcd(&vcd).expect("well-formed VCD");
@@ -85,8 +89,7 @@ fn fault_campaign_on_adder_detects_observable_faults() {
     // Exhaustive vectors: 9 inputs → 512 combinations is overkill; 64
     // random vectors give high coverage on an adder (every net toggles).
     let stimulus = Stimulus::random(0xF417, 32);
-    let report =
-        fault::simulate_faults::<Bit>(&c, &faults, &stimulus, VirtualTime::new(64 * 32));
+    let report = fault::simulate_faults::<Bit>(&c, &faults, &stimulus, VirtualTime::new(64 * 32));
     assert!(
         report.coverage() > 0.95,
         "random vectors should catch nearly everything on an adder: {report}"
@@ -104,9 +107,8 @@ fn fault_detection_agrees_across_kernels() {
     let until = VirtualTime::new(512);
     let weights = GateWeights::uniform(faulty.len());
     let partition = StringPartitioner.partition(&faulty, 3, &weights);
-    let seq = SequentialSimulator::<Bit>::new()
-        .with_observe(Observe::AllNets)
-        .run(&faulty, &stim, until);
+    let seq =
+        SequentialSimulator::<Bit>::new().with_observe(Observe::AllNets).run(&faulty, &stim, until);
     let par = ThreadedSyncSimulator::<Bit>::new(partition)
         .with_observe(Observe::AllNets)
         .run(&faulty, &stim, until);
@@ -127,9 +129,8 @@ fn tristate_bus_four_state_semantics() {
     ];
     let stim = Stimulus::vectors(16, vectors);
     let until = VirtualTime::new(64);
-    let out = SequentialSimulator::<Logic4>::new()
-        .with_observe(Observe::AllNets)
-        .run(&c, &stim, until);
+    let out =
+        SequentialSimulator::<Logic4>::new().with_observe(Observe::AllNets).run(&c, &stim, until);
     let bus = c.find("bus").unwrap();
     let w = &out.waveforms[&bus];
     assert_eq!(w.value_at(VirtualTime::new(12)), Logic4::Z, "idle bus floats");
@@ -152,9 +153,11 @@ fn tristate_bus_ieee1164_strengths() {
     // forcing 0 from the other driver, instead of going X.
     let c = generate::tristate_bus(2, DelayModel::Unit);
     let stim = Stimulus::vectors(16, vec![vec![true, true, true, false]]);
-    let out = SequentialSimulator::<Std9>::new()
-        .with_observe(Observe::AllNets)
-        .run(&c, &stim, VirtualTime::new(32));
+    let out = SequentialSimulator::<Std9>::new().with_observe(Observe::AllNets).run(
+        &c,
+        &stim,
+        VirtualTime::new(32),
+    );
     // Both forcing: conflict.
     assert_eq!(out.value_by_name(&c, "bus"), Some(Std9::X));
 }
