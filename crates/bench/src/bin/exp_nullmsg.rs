@@ -10,6 +10,11 @@
 //! (every LP cyclically waits on its neighbour). Lookahead is varied by
 //! scaling all gate delays; the null ratio and speedup are reported, plus
 //! the deadlock-recovery variant for contrast.
+//!
+//! The smallest-lookahead null-message run is additionally traced with a
+//! [`parsim_trace::Probe`]: the per-channel null breakdown is printed after
+//! the table, and setting `PARSIM_TRACE_OUT=<dir>` writes its Perfetto JSON
+//! to `<dir>/exp_nullmsg.perfetto.json`.
 
 use parsim_bench::{f2, Table};
 use parsim_conservative::{ConservativeSimulator, DeadlockStrategy};
@@ -19,6 +24,7 @@ use parsim_logic::Bit;
 use parsim_machine::MachineConfig;
 use parsim_netlist::{generate, Delay, DelayModel};
 use parsim_partition::{ContiguousPartitioner, GateWeights, Partitioner};
+use parsim_trace::{analysis, to_perfetto_json, Probe};
 
 fn main() {
     let processors = 8;
@@ -27,6 +33,7 @@ fn main() {
     println!("E10: null-message overhead vs lookahead (ring circuit, P={processors})\n");
     let mut table =
         Table::new(&["lookahead", "strategy", "nulls", "events", "null ratio", "speedup"]);
+    let mut traced_probe: Option<Probe> = None;
 
     for lookahead in [1u64, 2, 5, 10, 25] {
         // The gate delay *is* the lookahead. Event spacing (clock period,
@@ -42,10 +49,18 @@ fn main() {
         let until = VirtualTime::new(50_000);
 
         for strategy in [DeadlockStrategy::NullMessages, DeadlockStrategy::DetectAndRecover] {
+            // Trace the worst case (smallest lookahead, null messages) to
+            // show *which channels* carry the overhead, not just how much.
+            let traced = lookahead == 1 && strategy == DeadlockStrategy::NullMessages;
+            let probe = if traced { Probe::enabled() } else { Probe::disabled() };
             let out = ConservativeSimulator::<Bit>::new(partition.clone(), machine)
                 .with_strategy(strategy)
                 .with_observe(Observe::Nothing)
+                .with_probe(probe.clone())
                 .run(&circuit, &stimulus, until);
+            if traced {
+                traced_probe = Some(probe);
+            }
             let total = out.stats.null_messages + out.stats.messages_sent;
             let label = match strategy {
                 DeadlockStrategy::NullMessages => "null-msg",
@@ -64,6 +79,28 @@ fn main() {
         }
     }
     table.finish("exp_nullmsg");
+
+    if let Some(probe) = traced_probe {
+        let trace = probe.take_trace();
+        let nulls = analysis::null_message_summary(&trace);
+        println!(
+            "\ntraced run (lookahead=1, null-msg): {} nulls vs {} events ({:.1}% null)",
+            nulls.nulls,
+            nulls.events,
+            nulls.ratio() * 100.0
+        );
+        for ((src, dst), (n, e)) in nulls.worst_channels().into_iter().take(5) {
+            println!("  channel LP{src} -> LP{dst}: {n} nulls, {e} events");
+        }
+        if let Ok(dir) = std::env::var("PARSIM_TRACE_OUT") {
+            let path = std::path::Path::new(&dir).join("exp_nullmsg.perfetto.json");
+            match std::fs::write(&path, to_perfetto_json(&trace)) {
+                Ok(()) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("could not write {}: {e}", path.display()),
+            }
+        }
+    }
+
     println!(
         "\nexpected shape: the null ratio dominates at small lookahead (the §V reason\n\
          conservative implementations 'reported no good performance') and falls as\n\

@@ -150,13 +150,14 @@ pub fn default_partition(circuit: &Circuit, processors: usize) -> Partition {
     ConePartitioner.partition(circuit, processors, &GateWeights::uniform(circuit.len()))
 }
 
-/// A fixed-width table printer that mirrors every row into a CSV string
-/// (printed at the end for downstream plotting).
+/// A fixed-width table printer that mirrors every row into a CSV string and
+/// a JSON document (both printed at the end for downstream plotting).
 #[derive(Debug)]
 pub struct Table {
     headers: Vec<String>,
     widths: Vec<usize>,
     csv: String,
+    rows: Vec<Vec<String>>,
 }
 
 impl Table {
@@ -173,6 +174,7 @@ impl Table {
             headers: headers.iter().map(ToString::to_string).collect(),
             widths,
             csv: format!("{}\n", headers.join(",")),
+            rows: Vec::new(),
         }
     }
 
@@ -185,13 +187,82 @@ impl Table {
         }
         println!("{line}");
         self.csv.push_str(&format!("{}\n", cells.join(",")));
+        self.rows.push(cells.to_vec());
     }
 
-    /// Emits the CSV mirror, fenced for easy extraction.
+    /// Renders the rows as a machine-readable JSON document: an object with
+    /// an `experiment` name and a `rows` array of header-keyed objects.
+    /// Cells that parse as integers or floats become JSON numbers; anything
+    /// else stays a string.
+    pub fn to_json(&self, name: &str) -> String {
+        let mut out = String::from("{\n  \"experiment\": ");
+        json_string(name, &mut out);
+        out.push_str(",\n  \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    {" } else { ",\n    {" });
+            for (j, (h, c)) in self.headers.iter().zip(row).enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                json_string(h, &mut out);
+                out.push_str(": ");
+                json_cell(c, &mut out);
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Emits the CSV and JSON mirrors, fenced for easy extraction. When the
+    /// `PARSIM_BENCH_JSON` environment variable names a directory, the JSON
+    /// document is additionally written to `<dir>/<name>.json`.
     pub fn finish(self, name: &str) {
         println!("\n--- csv:{name} ---");
         print!("{}", self.csv);
         println!("--- end csv ---");
+        let json = self.to_json(name);
+        println!("--- json:{name} ---");
+        print!("{json}");
+        println!("--- end json ---");
+        if let Ok(dir) = std::env::var("PARSIM_BENCH_JSON") {
+            let path = std::path::Path::new(&dir).join(format!("{name}.json"));
+            match std::fs::write(&path, &json) {
+                Ok(()) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("could not write {}: {e}", path.display()),
+            }
+        }
+    }
+}
+
+/// Appends `s` as a JSON string literal (quoted, escaped).
+fn json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a table cell as a JSON value: integer, float, or string.
+fn json_cell(cell: &str, out: &mut String) {
+    if let Ok(i) = cell.parse::<i64>() {
+        out.push_str(&i.to_string());
+    } else if let Ok(f) = cell.parse::<f64>() {
+        if f.is_finite() {
+            out.push_str(&format!("{f}"));
+        } else {
+            json_string(cell, out);
+        }
+    } else {
+        json_string(cell, out);
     }
 }
 
@@ -210,6 +281,18 @@ mod tests {
         assert_eq!(ladder.len(), 3);
         assert!(ladder[0].len() >= 256);
         assert!(ladder[2].len() >= 4 * ladder[1].len() / 2);
+    }
+
+    #[test]
+    fn table_json_mirror_types_cells() {
+        let mut t = Table::new(&["gates", "speedup", "strategy"]);
+        t.row(&["256".into(), "3.50".into(), "null-msg".into()]);
+        t.row(&["1024".into(), "5.25".into(), "recovery(3)".into()]);
+        let json = t.to_json("unit");
+        assert!(json.contains("\"experiment\": \"unit\""));
+        assert!(json.contains("\"gates\": 256"));
+        assert!(json.contains("\"speedup\": 3.5"));
+        assert!(json.contains("\"strategy\": \"recovery(3)\""));
     }
 
     #[test]

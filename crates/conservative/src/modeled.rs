@@ -9,6 +9,7 @@ use parsim_logic::{GateKind, LogicValue};
 use parsim_machine::{MachineConfig, VirtualMachine};
 use parsim_netlist::{Circuit, Delay, GateId};
 use parsim_partition::Partition;
+use parsim_trace::{Probe, TraceKind, NO_LP};
 
 use crate::lp_state::{LpState, Outgoing};
 use crate::DeadlockStrategy;
@@ -55,6 +56,7 @@ pub struct ConservativeSimulator<V> {
     strategy: DeadlockStrategy,
     granularity: usize,
     observe: Observe,
+    probe: Probe,
     _values: PhantomData<V>,
 }
 
@@ -77,8 +79,19 @@ impl<V: LogicValue> ConservativeSimulator<V> {
             strategy: DeadlockStrategy::NullMessages,
             granularity: 1,
             observe: Observe::Outputs,
+            probe: Probe::disabled(),
             _values: PhantomData,
         }
+    }
+
+    /// Attaches a trace probe. The virtual machine records charge, idle and
+    /// barrier spans; the kernel adds per-channel event and null-message
+    /// sends (`lp` = source LP, `arg` = destination LP — the axes of the
+    /// null-ratio analysis), batched gate evaluations per activation, and a
+    /// `GvtAdvance` per deadlock recovery.
+    pub fn with_probe(mut self, probe: Probe) -> Self {
+        self.probe = probe;
+        self
     }
 
     /// Selects the deadlock discipline.
@@ -129,6 +142,8 @@ impl<V: LogicValue> Simulator<V> for ConservativeSimulator<V> {
         let n_lps = topo.lps().len();
         let proc_of = |lp: usize| lp / self.granularity;
         let mut vm = VirtualMachine::new(self.machine);
+        vm.attach_probe(&self.probe);
+        let mut ph = self.probe.handle();
         let mut stats = SimStats::default();
         let send_nulls = self.strategy == DeadlockStrategy::NullMessages;
 
@@ -193,11 +208,31 @@ impl<V: LogicValue> Simulator<V> for ConservativeSimulator<V> {
                         Outgoing::Event { dst, event } => {
                             let ready = vm.send(p, proc_of(dst));
                             stats.messages_sent += 1;
+                            if ph.enabled() {
+                                ph.emit(
+                                    vm.clock(p),
+                                    event.time.ticks(),
+                                    p as u32,
+                                    lp_idx as u32,
+                                    TraceKind::MessageSend,
+                                    dst as u64,
+                                );
+                            }
                             outbox[dst].push((ready, Delivery::Event(event), lp_idx));
                         }
                         Outgoing::Null { dst, time } => {
                             let ready = vm.send(p, proc_of(dst));
                             stats.null_messages += 1;
+                            if ph.enabled() {
+                                ph.emit(
+                                    vm.clock(p),
+                                    time.ticks(),
+                                    p as u32,
+                                    lp_idx as u32,
+                                    TraceKind::NullMessage,
+                                    dst as u64,
+                                );
+                            }
                             outbox[dst].push((ready, Delivery::Null(time), lp_idx));
                         }
                     }
@@ -209,6 +244,16 @@ impl<V: LogicValue> Simulator<V> for ConservativeSimulator<V> {
                         + work.evaluations * self.machine.eval_cost
                         + work.events_scheduled * self.machine.event_cost,
                 );
+                if ph.enabled() && work.evaluations > 0 {
+                    ph.emit(
+                        vm.clock(p),
+                        0,
+                        p as u32,
+                        lp_idx as u32,
+                        TraceKind::GateEval,
+                        work.evaluations,
+                    );
+                }
                 stats.events_processed += work.events_popped;
                 stats.gate_evaluations += work.evaluations;
                 stats.events_scheduled += work.events_scheduled;
@@ -251,6 +296,17 @@ impl<V: LogicValue> Simulator<V> for ConservativeSimulator<V> {
                         }
                         stats.gvt_rounds += 1;
                         let m = lps.iter().filter_map(LpState::head_time).min();
+                        if ph.enabled() {
+                            let recovered = m.map_or(0, VirtualTime::ticks);
+                            ph.emit(
+                                vm.makespan(),
+                                recovered,
+                                0,
+                                NO_LP,
+                                TraceKind::GvtAdvance,
+                                recovered,
+                            );
+                        }
                         match m {
                             Some(m) if m <= until => {
                                 for lp in lps.iter_mut() {

@@ -12,6 +12,7 @@ use parsim_event::{Event, VirtualTime};
 use parsim_logic::{GateKind, LogicValue};
 use parsim_netlist::{Circuit, Delay, GateId};
 use parsim_partition::Partition;
+use parsim_trace::{Probe, ProbeHandle, TraceKind, NO_LP};
 
 use crate::lp_state::{LpState, Outgoing};
 use crate::DeadlockStrategy;
@@ -33,6 +34,7 @@ pub struct ThreadedConservativeSimulator<V> {
     strategy: DeadlockStrategy,
     granularity: usize,
     observe: Observe,
+    probe: Probe,
     _values: PhantomData<V>,
 }
 
@@ -44,8 +46,19 @@ impl<V: LogicValue> ThreadedConservativeSimulator<V> {
             strategy: DeadlockStrategy::NullMessages,
             granularity: 1,
             observe: Observe::Outputs,
+            probe: Probe::disabled(),
             _values: PhantomData,
         }
+    }
+
+    /// Attaches a trace probe. Workers record on per-thread handles with a
+    /// wall-clock-nanosecond timeline: per-channel event and null-message
+    /// sends (`lp` = source LP, `arg` = destination LP), batched gate
+    /// evaluations per activation, barrier-wait spans, and a `GvtAdvance`
+    /// per deadlock recovery.
+    pub fn with_probe(mut self, probe: Probe) -> Self {
+        self.probe = probe;
+        self
     }
 
     /// Selects the deadlock discipline.
@@ -171,6 +184,7 @@ impl<V: LogicValue> Simulator<V> for ThreadedConservativeSimulator<V> {
                 let (barrier, any_sent, any_work, all_done, heads, decision, recover_time) =
                     (&barrier, &any_sent, &any_work, &all_done, &heads, &decision, &recover_time);
                 let topo = &topo;
+                let ph = self.probe.handle();
                 handles.push(scope.spawn(move || {
                     worker(
                         p,
@@ -191,6 +205,7 @@ impl<V: LogicValue> Simulator<V> for ThreadedConservativeSimulator<V> {
                         send_nulls,
                         strategy,
                         granularity,
+                        ph,
                     )
                 }));
             }
@@ -205,12 +220,7 @@ impl<V: LogicValue> Simulator<V> for ThreadedConservativeSimulator<V> {
                 final_values[id.index()] = v;
             }
             waveforms.extend(r.waveforms);
-            stats.events_processed += r.stats.events_processed;
-            stats.events_scheduled += r.stats.events_scheduled;
-            stats.gate_evaluations += r.stats.gate_evaluations;
-            stats.messages_sent += r.stats.messages_sent;
-            stats.null_messages += r.stats.null_messages;
-            stats.gvt_rounds = stats.gvt_rounds.max(r.stats.gvt_rounds);
+            stats.merge(&r.stats);
         }
         SimOutcome { final_values, waveforms, end_time: until, stats }
     }
@@ -236,10 +246,21 @@ fn worker<V: LogicValue>(
     send_nulls: bool,
     strategy: DeadlockStrategy,
     granularity: usize,
+    mut ph: ProbeHandle,
 ) -> WorkerResult<V> {
     let slot_of = |lp: usize| -> usize { lp % granularity };
     debug_assert!(my_lps.iter().all(|&lp| lp / granularity == p));
     let mut stats = SimStats::default();
+    let timed_wait = |ph: &mut ProbeHandle| {
+        if ph.enabled() {
+            let start = ph.now_ns();
+            barrier.wait();
+            let end = ph.now_ns();
+            ph.emit(start, 0, p as u32, NO_LP, TraceKind::BarrierWait, end - start);
+        } else {
+            barrier.wait();
+        }
+    };
 
     loop {
         // Drain the inbox (messages sent in previous rounds).
@@ -259,12 +280,34 @@ fn worker<V: LogicValue>(
                 match out {
                     Outgoing::Event { dst, event } => {
                         stats.messages_sent += 1;
+                        if ph.enabled() {
+                            let t = ph.now_ns();
+                            ph.emit(
+                                t,
+                                event.time.ticks(),
+                                p as u32,
+                                lp_idx as u32,
+                                TraceKind::MessageSend,
+                                dst as u64,
+                            );
+                        }
                         senders[dst / granularity]
                             .send(Wire::Event(dst, event))
                             .expect("peer alive until all workers exit");
                     }
                     Outgoing::Null { dst, time } => {
                         stats.null_messages += 1;
+                        if ph.enabled() {
+                            let t = ph.now_ns();
+                            ph.emit(
+                                t,
+                                time.ticks(),
+                                p as u32,
+                                lp_idx as u32,
+                                TraceKind::NullMessage,
+                                dst as u64,
+                            );
+                        }
                         senders[dst / granularity]
                             .send(Wire::Null { dst, src: lp_idx, time })
                             .expect("peer alive until all workers exit");
@@ -274,6 +317,10 @@ fn worker<V: LogicValue>(
             stats.events_processed += work.events_popped;
             stats.gate_evaluations += work.evaluations;
             stats.events_scheduled += work.events_scheduled;
+            if ph.enabled() && work.evaluations > 0 {
+                let t = ph.now_ns();
+                ph.emit(t, 0, p as u32, lp_idx as u32, TraceKind::GateEval, work.evaluations);
+            }
             worked |= work.evaluations > 0 || work.events_popped > 0;
         }
 
@@ -292,7 +339,7 @@ fn worker<V: LogicValue>(
             let mut h = heads.lock().expect("heads lock");
             h[p] = lps.iter().filter_map(LpState::head_time).min();
         }
-        barrier.wait();
+        timed_wait(&mut ph);
 
         // Worker 0 decides; everyone else waits for the verdict.
         if p == 0 {
@@ -330,7 +377,7 @@ fn worker<V: LogicValue>(
             any_sent.store(false, Ordering::SeqCst);
             any_work.store(false, Ordering::SeqCst);
         }
-        barrier.wait();
+        timed_wait(&mut ph);
         match decision.load(Ordering::SeqCst) {
             DECIDE_STOP => break,
             DECIDE_RECOVER => {
@@ -339,6 +386,10 @@ fn worker<V: LogicValue>(
                     lp.recover_to(t);
                 }
                 stats.gvt_rounds += 1;
+                if ph.enabled() {
+                    let now = ph.now_ns();
+                    ph.emit(now, t.ticks(), p as u32, NO_LP, TraceKind::GvtAdvance, t.ticks());
+                }
             }
             _ => {}
         }

@@ -6,6 +6,7 @@ use std::marker::PhantomData;
 use parsim_event::VirtualTime;
 use parsim_logic::{GateKind, LogicValue};
 use parsim_netlist::Circuit;
+use parsim_trace::{Probe, TraceKind, NO_LP};
 
 use crate::{
     evaluate_gate, GateRuntime, Observe, SimOutcome, SimStats, Simulator, Stimulus, Waveform,
@@ -52,18 +53,32 @@ use crate::{
 #[derive(Debug, Clone)]
 pub struct ObliviousSimulator<V> {
     observe: Observe,
+    probe: Probe,
     _values: PhantomData<V>,
 }
 
 impl<V: LogicValue> ObliviousSimulator<V> {
     /// Creates the kernel.
     pub fn new() -> Self {
-        ObliviousSimulator { observe: Observe::Outputs, _values: PhantomData }
+        ObliviousSimulator {
+            observe: Observe::Outputs,
+            probe: Probe::disabled(),
+            _values: PhantomData,
+        }
     }
 
     /// Selects which nets to record waveforms for.
     pub fn with_observe(mut self, observe: Observe) -> Self {
         self.observe = observe;
+        self
+    }
+
+    /// Attaches a trace probe. The oblivious kernel evaluates every gate at
+    /// every tick, so it records one batched `GateEval` per tick (`arg` =
+    /// evaluation count) plus a `Dequeue` per applied input event — there is
+    /// no event queue to report depths for.
+    pub fn with_probe(mut self, probe: Probe) -> Self {
+        self.probe = probe;
         self
     }
 }
@@ -114,6 +129,7 @@ impl<V: LogicValue> Simulator<V> for ObliviousSimulator<V> {
         // `pending[g]` is the output computed at the previous tick, to be
         // applied this tick (unit delay).
         let mut pending: Vec<Option<V>> = vec![None; n];
+        let mut ph = self.probe.handle();
 
         let mut t = 0u64;
         loop {
@@ -134,6 +150,10 @@ impl<V: LogicValue> Simulator<V> for ObliviousSimulator<V> {
                 let e = input_events[next_input];
                 next_input += 1;
                 stats.events_processed += 1;
+                if ph.enabled() {
+                    let remaining = (input_events.len() - next_input) as u64;
+                    ph.emit(t, t, 0, e.net.index() as u32, TraceKind::Dequeue, remaining);
+                }
                 if values[e.net.index()] != e.value {
                     values[e.net.index()] = e.value;
                     if let Some(w) = waveforms.get_mut(&e.net) {
@@ -153,6 +173,9 @@ impl<V: LogicValue> Simulator<V> for ObliviousSimulator<V> {
                     &mut |f| values[f.index()],
                     &mut runtime[id.index()],
                 );
+            }
+            if ph.enabled() {
+                ph.emit(t, t, 0, NO_LP, TraceKind::GateEval, evaluating.len() as u64);
             }
             t += 1;
         }

@@ -62,6 +62,30 @@ impl SimStats {
         }
     }
 
+    /// Folds another shard's counters into this one — how the threaded
+    /// kernels combine per-worker statistics.
+    ///
+    /// Additive counters saturate instead of wrapping. Run-wide quantities
+    /// are *not* additive and take the maximum instead: every worker passes
+    /// the same `barriers` and `gvt_rounds`, and `modeled_makespan` is by
+    /// definition the largest processor clock.
+    pub fn merge(&mut self, other: &SimStats) {
+        self.events_processed = self.events_processed.saturating_add(other.events_processed);
+        self.events_scheduled = self.events_scheduled.saturating_add(other.events_scheduled);
+        self.gate_evaluations = self.gate_evaluations.saturating_add(other.gate_evaluations);
+        self.messages_sent = self.messages_sent.saturating_add(other.messages_sent);
+        self.null_messages = self.null_messages.saturating_add(other.null_messages);
+        self.rollbacks = self.rollbacks.saturating_add(other.rollbacks);
+        self.events_rolled_back = self.events_rolled_back.saturating_add(other.events_rolled_back);
+        self.anti_messages = self.anti_messages.saturating_add(other.anti_messages);
+        self.state_saves = self.state_saves.saturating_add(other.state_saves);
+        self.state_bytes_saved = self.state_bytes_saved.saturating_add(other.state_bytes_saved);
+        self.modeled_work = self.modeled_work.saturating_add(other.modeled_work);
+        self.barriers = self.barriers.max(other.barriers);
+        self.gvt_rounds = self.gvt_rounds.max(other.gvt_rounds);
+        self.modeled_makespan = self.modeled_makespan.max(other.modeled_makespan);
+    }
+
     /// Fraction of processed events that survived (were not rolled back);
     /// 1.0 for non-optimistic kernels.
     pub fn efficiency(&self) -> f64 {
@@ -205,6 +229,35 @@ mod tests {
         a.waveforms.insert(GateId::new(0), w);
         b.waveforms.insert(GateId::new(0), Waveform::new(Bit::Zero));
         assert!(a.divergence_from(&b).unwrap().contains("waveform"));
+    }
+
+    #[test]
+    fn merge_adds_counters_and_maxes_run_wide_fields() {
+        let mut a = SimStats {
+            events_processed: 10,
+            gate_evaluations: u64::MAX - 5,
+            barriers: 7,
+            gvt_rounds: 3,
+            modeled_makespan: 100,
+            modeled_work: 40,
+            ..Default::default()
+        };
+        let b = SimStats {
+            events_processed: 5,
+            gate_evaluations: 100, // would overflow: must saturate
+            barriers: 7,           // same barriers seen by every worker
+            gvt_rounds: 9,
+            modeled_makespan: 80,
+            modeled_work: 60,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.events_processed, 15);
+        assert_eq!(a.gate_evaluations, u64::MAX);
+        assert_eq!(a.barriers, 7);
+        assert_eq!(a.gvt_rounds, 9);
+        assert_eq!(a.modeled_makespan, 100);
+        assert_eq!(a.modeled_work, 100);
     }
 
     #[test]

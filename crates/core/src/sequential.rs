@@ -8,6 +8,7 @@ use parsim_event::{
 };
 use parsim_logic::{GateKind, LogicValue};
 use parsim_netlist::{Circuit, GateId};
+use parsim_trace::{Probe, TraceKind};
 
 use crate::{
     evaluate_gate, GateRuntime, Observe, SimOutcome, SimStats, Simulator, Stimulus, Waveform,
@@ -58,6 +59,7 @@ pub enum QueueKind {
 pub struct SequentialSimulator<V> {
     observe: Observe,
     queue: QueueKind,
+    probe: Probe,
     _values: PhantomData<V>,
 }
 
@@ -68,8 +70,18 @@ impl<V: LogicValue> SequentialSimulator<V> {
         SequentialSimulator {
             observe: Observe::Outputs,
             queue: QueueKind::BinaryHeap,
+            probe: Probe::disabled(),
             _values: PhantomData,
         }
+    }
+
+    /// Attaches a trace probe. When enabled, the run records every gate
+    /// evaluation and every queue operation (with queue depth) on a
+    /// virtual-time-tick timeline, processor 0, LP = gate id. The default
+    /// disabled probe costs one predictable branch per would-be record.
+    pub fn with_probe(mut self, probe: Probe) -> Self {
+        self.probe = probe;
+        self
     }
 
     /// Selects which nets to record waveforms for.
@@ -118,15 +130,31 @@ impl<V: LogicValue> SequentialSimulator<V> {
             .map(|id| (id, Waveform::new(V::ZERO)))
             .collect();
 
+        let mut ph = self.probe.handle();
+
         // Initialization: stimulus events plus constant drivers.
         for e in stimulus.events::<V>(circuit, until) {
+            let (due, net) = (e.time, e.net);
             queue.push(e);
             stats.events_scheduled += 1;
+            if ph.enabled() {
+                ph.emit(
+                    0,
+                    due.ticks(),
+                    0,
+                    net.index() as u32,
+                    TraceKind::Enqueue,
+                    queue.len() as u64,
+                );
+            }
         }
         for (id, g) in circuit.iter() {
             if g.kind() == GateKind::Const1 {
                 queue.push(Event::new(VirtualTime::ZERO, id, V::ONE));
                 stats.events_scheduled += 1;
+                if ph.enabled() {
+                    ph.emit(0, 0, 0, id.index() as u32, TraceKind::Enqueue, queue.len() as u64);
+                }
             }
         }
 
@@ -150,6 +178,16 @@ impl<V: LogicValue> SequentialSimulator<V> {
             while queue.peek_time() == Some(now) {
                 let e = queue.pop().expect("peeked");
                 stats.events_processed += 1;
+                if ph.enabled() {
+                    ph.emit(
+                        now.ticks(),
+                        now.ticks(),
+                        0,
+                        e.net.index() as u32,
+                        TraceKind::Dequeue,
+                        queue.len() as u64,
+                    );
+                }
                 if values[e.net.index()] == e.value {
                     continue; // no change: suppressed
                 }
@@ -180,6 +218,9 @@ impl<V: LogicValue> SequentialSimulator<V> {
             for &id in &dirty {
                 eval_counts[id.index()] += 1;
                 stats.gate_evaluations += 1;
+                if ph.enabled() {
+                    ph.emit(now.ticks(), now.ticks(), 0, id.index() as u32, TraceKind::GateEval, 1);
+                }
                 let out = evaluate_gate(
                     circuit,
                     id,
@@ -187,8 +228,19 @@ impl<V: LogicValue> SequentialSimulator<V> {
                     &mut runtime[id.index()],
                 );
                 if let Some(v) = out {
-                    queue.push(Event::new(now + circuit.delay(id), id, v));
+                    let due = now + circuit.delay(id);
+                    queue.push(Event::new(due, id, v));
                     stats.events_scheduled += 1;
+                    if ph.enabled() {
+                        ph.emit(
+                            now.ticks(),
+                            due.ticks(),
+                            0,
+                            id.index() as u32,
+                            TraceKind::Enqueue,
+                            queue.len() as u64,
+                        );
+                    }
                 }
             }
         };

@@ -1,7 +1,7 @@
 //! Build-time structural errors as diagnostics.
 //!
 //! These are not [`LintPass`](crate::LintPass)es: a constructed
-//! [`Circuit`](parsim_netlist::Circuit) is structurally valid by definition,
+//! [`Circuit`] is structurally valid by definition,
 //! so structural problems can only be observed *during* construction. This
 //! module upgrades the builder's error path — [`check_build`] runs
 //! [`CircuitBuilder::finish_with_diagnostics`] and converts every

@@ -43,6 +43,8 @@
 
 use std::fmt::{self, Display};
 
+use parsim_trace::{Probe, ProbeHandle, TraceKind, NO_LP};
+
 /// The price list of the virtual multiprocessor, in abstract cost units
 /// (think nanoseconds on a 1995-era machine).
 ///
@@ -149,11 +151,25 @@ pub struct MachineStats {
 ///
 /// The machine is *passive*: kernels drive it by charging costs, sending
 /// messages and invoking barriers. It is entirely deterministic.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct VirtualMachine {
     config: MachineConfig,
     clocks: Vec<u64>,
     stats: MachineStats,
+    /// Trace recorder (disabled by default): emits `Charge` / `Idle` /
+    /// `BarrierWait` spans positioned on the modeled cost-unit timeline.
+    probe: ProbeHandle,
+}
+
+impl Clone for VirtualMachine {
+    fn clone(&self) -> Self {
+        VirtualMachine {
+            config: self.config,
+            clocks: self.clocks.clone(),
+            stats: self.stats,
+            probe: self.probe.fork(),
+        }
+    }
 }
 
 impl VirtualMachine {
@@ -168,7 +184,17 @@ impl VirtualMachine {
             config,
             clocks: vec![0; config.processors],
             stats: MachineStats::default(),
+            probe: Probe::disabled().handle(),
         }
+    }
+
+    /// Attaches a trace probe: from now on every [`charge`](Self::charge),
+    /// message wait and barrier is recorded as a span on the modeled
+    /// cost-unit timeline. Kernel-level instants (gate evaluations, message
+    /// sends) share the same timeline through their own handles of the same
+    /// probe.
+    pub fn attach_probe(&mut self, probe: &Probe) {
+        self.probe = probe.handle();
     }
 
     /// The machine configuration.
@@ -192,6 +218,9 @@ impl VirtualMachine {
 
     /// Charges `cost` units of CPU work to processor `p`.
     pub fn charge(&mut self, p: usize, cost: u64) {
+        if self.probe.enabled() && cost > 0 {
+            self.probe.emit(self.clocks[p], 0, p as u32, NO_LP, TraceKind::Charge, cost);
+        }
         self.clocks[p] += cost;
         self.stats.busy += cost;
     }
@@ -199,6 +228,16 @@ impl VirtualMachine {
     /// Advances processor `p` to at least time `t` (idle waiting).
     pub fn wait_until(&mut self, p: usize, t: u64) {
         if t > self.clocks[p] {
+            if self.probe.enabled() {
+                self.probe.emit(
+                    self.clocks[p],
+                    0,
+                    p as u32,
+                    NO_LP,
+                    TraceKind::Idle,
+                    t - self.clocks[p],
+                );
+            }
             self.stats.idle += t - self.clocks[p];
             self.clocks[p] = t;
         }
@@ -227,7 +266,20 @@ impl VirtualMachine {
     pub fn barrier(&mut self) {
         let release = self.makespan() + self.config.barrier_cost();
         for p in 0..self.clocks.len() {
-            self.wait_until(p, release);
+            if release > self.clocks[p] {
+                if self.probe.enabled() {
+                    self.probe.emit(
+                        self.clocks[p],
+                        0,
+                        p as u32,
+                        NO_LP,
+                        TraceKind::BarrierWait,
+                        release - self.clocks[p],
+                    );
+                }
+                self.stats.idle += release - self.clocks[p];
+                self.clocks[p] = release;
+            }
         }
         // The barrier cost itself is work, not idling; account it once.
         self.stats.busy += self.config.barrier_cost();
@@ -348,5 +400,48 @@ mod tests {
     #[should_panic(expected = "at least one processor")]
     fn zero_processors_rejected() {
         VirtualMachine::new(MachineConfig { processors: 0, ..Default::default() });
+    }
+
+    #[test]
+    fn probe_records_charge_idle_and_barrier_spans() {
+        let cfg = MachineConfig::shared_memory(2);
+        let probe = Probe::enabled();
+        let mut vm = VirtualMachine::new(cfg);
+        vm.attach_probe(&probe);
+        vm.charge(0, 100);
+        let ready = vm.send(0, 1);
+        vm.receive(1, ready); // processor 1 idles until the message lands
+        vm.barrier();
+        drop(vm);
+        let t = probe.take_trace();
+        // Charges: explicit 100, send cost, recv cost.
+        assert_eq!(t.count(TraceKind::Charge), 3);
+        assert_eq!(t.count(TraceKind::Idle), 1);
+        // Release time exceeds both clocks, so both processors wait.
+        assert_eq!(t.count(TraceKind::BarrierWait), 2);
+        // Spans are positioned on the cost-unit timeline: the first charge
+        // starts at clock 0 and covers [0, 100).
+        let first = t.of_kind(TraceKind::Charge).next().unwrap();
+        assert_eq!((first.t, first.end()), (0, 100));
+        // Busy/idle accounting matches the machine's own counters.
+        assert_eq!(t.sum_arg(TraceKind::Charge), 100 + cfg.send_cost + cfg.recv_cost);
+    }
+
+    #[test]
+    fn unprobed_machine_behaves_identically() {
+        let cfg = MachineConfig::workstation_cluster(3);
+        let run = |probe: Option<&Probe>| {
+            let mut vm = VirtualMachine::new(cfg);
+            if let Some(p) = probe {
+                vm.attach_probe(p);
+            }
+            vm.charge(0, 10);
+            let ready = vm.send(0, 2);
+            vm.receive(2, ready);
+            vm.barrier();
+            (vm.makespan(), vm.stats())
+        };
+        let probe = Probe::enabled();
+        assert_eq!(run(None), run(Some(&probe)));
     }
 }

@@ -16,7 +16,7 @@
 //! [`parse`] reads this format (accepting both the ISCAS-89 single-input
 //! `DFF(d)` form, for which an implicit clock input named [`IMPLICIT_CLOCK`]
 //! is synthesized, and this crate's explicit two-input `DFF(clk, d)` form)
-//! and [`write`] emits it. The classic `c17` circuit ships embedded via
+//! and [`write()`] emits it. The classic `c17` circuit ships embedded via
 //! [`c17`].
 
 use std::error::Error;

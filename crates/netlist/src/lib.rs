@@ -12,7 +12,7 @@
 //!   combinational cycles),
 //! * [`Levelization`] — topological levels for compiled-mode (oblivious)
 //!   simulation and levelized partitioning,
-//! * [`bench`] — ISCAS `.bench` format parsing and writing, with the classic
+//! * [`mod@bench`] — ISCAS `.bench` format parsing and writing, with the classic
 //!   `c17` benchmark embedded,
 //! * [`dot`] — Graphviz export (optionally clustered by partition block),
 //! * [`generate`] — parameterized synthetic circuit generators (adders,

@@ -9,6 +9,7 @@ use parsim_logic::{GateKind, LogicValue};
 use parsim_machine::{MachineConfig, VirtualMachine};
 use parsim_netlist::{Circuit, GateId};
 use parsim_partition::Partition;
+use parsim_trace::{Probe, TraceKind, NO_LP};
 
 use crate::lp::{TwLp, TwOutgoing, TwWork};
 use crate::{Cancellation, StateSaving, Window};
@@ -68,6 +69,7 @@ pub struct TimeWarpSimulator<V> {
     window: Window,
     granularity: usize,
     observe: Observe,
+    probe: Probe,
     _values: PhantomData<V>,
 }
 
@@ -95,8 +97,19 @@ impl<V: LogicValue> TimeWarpSimulator<V> {
             window: Window::Auto,
             granularity: 1,
             observe: Observe::Outputs,
+            probe: Probe::disabled(),
             _values: PhantomData,
         }
+    }
+
+    /// Attaches a trace probe. The virtual machine records charge, idle and
+    /// barrier spans on the modeled timeline; the kernel adds rollbacks
+    /// (`arg` = events undone), state saves, event/anti-message sends
+    /// (`lp` = source LP, `arg` = destination LP), batched gate evaluations
+    /// and a `GvtAdvance` per GVT round.
+    pub fn with_probe(mut self, probe: Probe) -> Self {
+        self.probe = probe;
+        self
     }
 
     /// Selects the state-saving discipline.
@@ -185,6 +198,8 @@ impl<V: LogicValue> Simulator<V> for TimeWarpSimulator<V> {
         let p_count = self.machine.processors;
         let proc_of = |lp: usize| lp / self.granularity;
         let mut vm = VirtualMachine::new(self.machine);
+        vm.attach_probe(&self.probe);
+        let mut ph = self.probe.handle();
         let mut stats = SimStats::default();
 
         let mut lps: Vec<TwLp<V>> = (0..n_lps)
@@ -239,7 +254,7 @@ impl<V: LogicValue> Simulator<V> for TimeWarpSimulator<V> {
         // Charges one LP action's work to processor `p` and routes its
         // outgoing messages.
         macro_rules! route {
-            ($p:expr, $work:expr, $sends:expr) => {{
+            ($p:expr, $lp:expr, $work:expr, $sends:expr) => {{
                 let w: &TwWork = &$work;
                 vm.charge(
                     $p,
@@ -253,11 +268,60 @@ impl<V: LogicValue> Simulator<V> for TimeWarpSimulator<V> {
                                 StateSaving::Incremental => self.machine.incremental_save_cost,
                             },
                 );
+                if ph.enabled() {
+                    let t = vm.clock($p);
+                    if w.evaluations > 0 {
+                        ph.emit(t, 0, $p as u32, $lp as u32, TraceKind::GateEval, w.evaluations);
+                    }
+                    if w.rollbacks > 0 {
+                        ph.emit(
+                            t,
+                            0,
+                            $p as u32,
+                            $lp as u32,
+                            TraceKind::Rollback,
+                            w.events_rolled_back,
+                        );
+                    }
+                    if w.state_slots_saved > 0 {
+                        ph.emit(
+                            t,
+                            0,
+                            $p as u32,
+                            $lp as u32,
+                            TraceKind::StateSave,
+                            w.state_slots_saved,
+                        );
+                    }
+                }
                 for (dst, msg) in $sends {
                     let ready = vm.send($p, proc_of(dst));
-                    match msg {
-                        TwMsg::Event(_) => stats.messages_sent += 1,
-                        TwMsg::Anti(_) => {}
+                    match &msg {
+                        TwMsg::Event(e) => {
+                            stats.messages_sent += 1;
+                            if ph.enabled() {
+                                ph.emit(
+                                    vm.clock($p),
+                                    e.time.ticks(),
+                                    $p as u32,
+                                    $lp as u32,
+                                    TraceKind::MessageSend,
+                                    dst as u64,
+                                );
+                            }
+                        }
+                        TwMsg::Anti(e) => {
+                            if ph.enabled() {
+                                ph.emit(
+                                    vm.clock($p),
+                                    e.time.ticks(),
+                                    $p as u32,
+                                    $lp as u32,
+                                    TraceKind::AntiMessage,
+                                    dst as u64,
+                                );
+                            }
+                        }
                     }
                     inboxes[proc_of(dst)].push_back((ready, dst, msg));
                     in_flight += 1;
@@ -307,7 +371,7 @@ impl<V: LogicValue> Simulator<V> for TimeWarpSimulator<V> {
                             }
                         });
                         accumulate(&mut total_work, &work);
-                        route!(p, work, sends);
+                        route!(p, dst, work, sends);
                     }
                     acted = true;
                     break;
@@ -337,7 +401,7 @@ impl<V: LogicValue> Simulator<V> for TimeWarpSimulator<V> {
                     batches_since_gvt += 1;
                     accumulate(&mut total_work, &work);
                     stats.state_saves += 1;
-                    route!(p, work, sends);
+                    route!(p, lp_idx, work, sends);
                     acted = true;
                     break;
                 }
@@ -355,6 +419,10 @@ impl<V: LogicValue> Simulator<V> for TimeWarpSimulator<V> {
                 batches_since_gvt = 0;
                 for p in 0..p_count {
                     vm.charge(p, self.machine.gvt_cost);
+                }
+                if ph.enabled() {
+                    let g = gvt.map_or(0, VirtualTime::ticks);
+                    ph.emit(vm.makespan(), g, 0, NO_LP, TraceKind::GvtAdvance, g);
                 }
                 match gvt {
                     Some(g) => {

@@ -12,6 +12,7 @@ use parsim_event::{Event, VirtualTime};
 use parsim_logic::{GateKind, LogicValue};
 use parsim_netlist::{Circuit, GateId};
 use parsim_partition::Partition;
+use parsim_trace::{Probe, ProbeHandle, TraceKind, NO_LP};
 
 use crate::lp::{TwLp, TwOutgoing, TwWork};
 use crate::{Cancellation, StateSaving};
@@ -39,6 +40,7 @@ pub struct ThreadedTimeWarpSimulator<V> {
     cancellation: Cancellation,
     granularity: usize,
     observe: Observe,
+    probe: Probe,
     _values: PhantomData<V>,
 }
 
@@ -51,8 +53,18 @@ impl<V: LogicValue> ThreadedTimeWarpSimulator<V> {
             cancellation: Cancellation::Lazy,
             granularity: 1,
             observe: Observe::Outputs,
+            probe: Probe::disabled(),
             _values: PhantomData,
         }
+    }
+
+    /// Attaches a trace probe. Workers record wall-clock `BarrierWait`
+    /// spans, rollbacks (`arg` = events undone), state saves, batched gate
+    /// evaluations, event/anti-message sends (`lp` = source LP, `arg` =
+    /// destination LP) and one `GvtAdvance` per round (worker 0).
+    pub fn with_probe(mut self, probe: Probe) -> Self {
+        self.probe = probe;
+        self
     }
 
     /// Selects the state-saving discipline.
@@ -178,6 +190,7 @@ impl<V: LogicValue> Simulator<V> for ThreadedTimeWarpSimulator<V> {
                 }
                 let rx = receivers[p].take().expect("receiver taken once");
                 let senders = senders.clone();
+                let ph = self.probe.handle();
                 let (barrier, any_sent, all_done, gvt_inputs, gvt_cell, decision) =
                     (&barrier, &any_sent, &all_done, &gvt_inputs, &gvt_cell, &decision);
                 let topo = &topo;
@@ -197,6 +210,7 @@ impl<V: LogicValue> Simulator<V> for ThreadedTimeWarpSimulator<V> {
                         decision,
                         until,
                         granularity,
+                        ph,
                     )
                 }));
             }
@@ -211,15 +225,7 @@ impl<V: LogicValue> Simulator<V> for ThreadedTimeWarpSimulator<V> {
                 final_values[id.index()] = v;
             }
             waveforms.extend(r.waveforms);
-            stats.events_processed += r.stats.events_processed;
-            stats.events_scheduled += r.stats.events_scheduled;
-            stats.gate_evaluations += r.stats.gate_evaluations;
-            stats.messages_sent += r.stats.messages_sent;
-            stats.rollbacks += r.stats.rollbacks;
-            stats.events_rolled_back += r.stats.events_rolled_back;
-            stats.anti_messages += r.stats.anti_messages;
-            stats.state_bytes_saved += r.stats.state_bytes_saved;
-            stats.gvt_rounds = stats.gvt_rounds.max(r.stats.gvt_rounds);
+            stats.merge(&r.stats);
         }
         SimOutcome { final_values, waveforms, end_time: until, stats }
     }
@@ -241,23 +247,62 @@ fn worker<V: LogicValue>(
     decision: &AtomicU8,
     until: VirtualTime,
     granularity: usize,
+    mut ph: ProbeHandle,
 ) -> WorkerResult<V> {
     let slot_of = |lp: usize| lp % granularity;
     let mut total = TwWork::default();
     let mut stats = SimStats::default();
     let mut gvt_rounds = 0u64;
+    // Real barrier-wait spans; only reads the clock when the probe is live.
+    let timed_wait = |ph: &mut ProbeHandle| {
+        if ph.enabled() {
+            let start = ph.now_ns();
+            barrier.wait();
+            let end = ph.now_ns();
+            ph.emit(start, 0, p as u32, NO_LP, TraceKind::BarrierWait, end - start);
+        } else {
+            barrier.wait();
+        }
+    };
+    // Per-batch work instants: rollbacks, state saves and a batched
+    // gate-evaluation record for LP `lp`.
+    let emit_work = |ph: &mut ProbeHandle, lp: usize, w: &TwWork| {
+        if !ph.enabled() {
+            return;
+        }
+        let t = ph.now_ns();
+        if w.evaluations > 0 {
+            ph.emit(t, 0, p as u32, lp as u32, TraceKind::GateEval, w.evaluations);
+        }
+        if w.rollbacks > 0 {
+            ph.emit(t, 0, p as u32, lp as u32, TraceKind::Rollback, w.events_rolled_back);
+        }
+        if w.state_slots_saved > 0 {
+            ph.emit(t, 0, p as u32, lp as u32, TraceKind::StateSave, w.state_slots_saved);
+        }
+    };
 
     loop {
         let mut sent = false;
         let mut sent_min: Option<VirtualTime> = None;
         // Routing closure shared by receive and process paths.
         macro_rules! route {
-            ($out:expr) => {
+            ($src:expr, $out:expr) => {
                 match $out {
                     TwOutgoing::Event { dst, event } => {
                         stats.messages_sent += 1;
                         sent = true;
                         sent_min = Some(sent_min.map_or(event.time, |m| m.min(event.time)));
+                        if ph.enabled() {
+                            ph.emit(
+                                ph.now_ns(),
+                                event.time.ticks(),
+                                p as u32,
+                                $src as u32,
+                                TraceKind::MessageSend,
+                                dst as u64,
+                            );
+                        }
                         senders[dst / granularity]
                             .send(Wire::Event(dst, event))
                             .expect("peer alive until all workers exit");
@@ -265,6 +310,16 @@ fn worker<V: LogicValue>(
                     TwOutgoing::Anti { dst, event } => {
                         sent = true;
                         sent_min = Some(sent_min.map_or(event.time, |m| m.min(event.time)));
+                        if ph.enabled() {
+                            ph.emit(
+                                ph.now_ns(),
+                                event.time.ticks(),
+                                p as u32,
+                                $src as u32,
+                                TraceKind::AntiMessage,
+                                dst as u64,
+                            );
+                        }
                         senders[dst / granularity]
                             .send(Wire::Anti(dst, event))
                             .expect("peer alive until all workers exit");
@@ -290,17 +345,20 @@ fn worker<V: LogicValue>(
         }
         for (dst, batch) in groups {
             let mut work = TwWork::default();
-            lps[slot_of(dst)].receive_batch(batch, &mut work, &mut |o| route!(o));
+            lps[slot_of(dst)].receive_batch(batch, &mut work, &mut |o| route!(dst, o));
             accumulate(&mut total, &work);
+            emit_work(&mut ph, dst, &work);
         }
 
         // Optimistically process a bounded number of batches per LP.
-        for lp in lps.iter_mut() {
+        for (slot, lp) in lps.iter_mut().enumerate() {
+            let lp_idx = p * granularity + slot;
             for _ in 0..BATCH_BUDGET {
                 let mut work = TwWork::default();
                 let processed =
-                    lp.process_next(circuit, topo, until, &mut work, &mut |o| route!(o));
+                    lp.process_next(circuit, topo, until, &mut work, &mut |o| route!(lp_idx, o));
                 accumulate(&mut total, &work);
+                emit_work(&mut ph, lp_idx, &work);
                 if !processed {
                     break;
                 }
@@ -323,7 +381,7 @@ fn worker<V: LogicValue>(
                 (a, b) => a.or(b),
             };
         }
-        barrier.wait();
+        timed_wait(&mut ph);
 
         if p == 0 {
             let done = all_done.lock().expect("done lock").iter().all(|&d| d);
@@ -333,8 +391,12 @@ fn worker<V: LogicValue>(
             *gvt_cell.lock().expect("gvt cell") = gvt.unwrap_or(VirtualTime::INFINITY);
             decision.store(verdict, Ordering::SeqCst);
             any_sent.store(false, Ordering::SeqCst);
+            if ph.enabled() {
+                let g = gvt.map_or(0, VirtualTime::ticks);
+                ph.emit(ph.now_ns(), g, 0, NO_LP, TraceKind::GvtAdvance, g);
+            }
         }
-        barrier.wait();
+        timed_wait(&mut ph);
         gvt_rounds += 1;
         if decision.load(Ordering::SeqCst) == DECIDE_STOP {
             break;

@@ -11,6 +11,7 @@ use parsim_logic::{GateKind, LogicValue};
 use parsim_machine::{MachineConfig, VirtualMachine};
 use parsim_netlist::{Circuit, GateId};
 use parsim_partition::Partition;
+use parsim_trace::{Probe, TraceKind};
 
 /// The synchronous global-clock kernel on the virtual multiprocessor.
 ///
@@ -27,6 +28,7 @@ pub struct SyncSimulator<V> {
     partition: Partition,
     machine: MachineConfig,
     observe: Observe,
+    probe: Probe,
     _values: PhantomData<V>,
 }
 
@@ -43,12 +45,27 @@ impl<V: LogicValue> SyncSimulator<V> {
             machine.processors,
             "synchronous kernel needs one partition block per processor"
         );
-        SyncSimulator { partition, machine, observe: Observe::Outputs, _values: PhantomData }
+        SyncSimulator {
+            partition,
+            machine,
+            observe: Observe::Outputs,
+            probe: Probe::disabled(),
+            _values: PhantomData,
+        }
     }
 
     /// Selects which nets to record waveforms for.
     pub fn with_observe(mut self, observe: Observe) -> Self {
         self.observe = observe;
+        self
+    }
+
+    /// Attaches a trace probe. The virtual machine records charge, idle and
+    /// barrier-wait spans on the modeled cost-unit timeline; the kernel adds
+    /// queue operations, gate evaluations and cross-block message sends at
+    /// the same timeline positions.
+    pub fn with_probe(mut self, probe: Probe) -> Self {
+        self.probe = probe;
         self
     }
 
@@ -72,6 +89,8 @@ impl<V: LogicValue> Simulator<V> for SyncSimulator<V> {
         let n = circuit.len();
         let p_count = self.machine.processors;
         let mut vm = VirtualMachine::new(self.machine);
+        vm.attach_probe(&self.probe);
+        let mut ph = self.probe.handle();
         let mut stats = SimStats::default();
 
         let mut values = vec![V::ZERO; n];
@@ -145,6 +164,16 @@ impl<V: LogicValue> Simulator<V> for SyncSimulator<V> {
                 while queue.peek_time() == Some(now) {
                     let e = queue.pop().expect("peeked");
                     vm.charge(p, self.machine.event_cost);
+                    if ph.enabled() {
+                        ph.emit(
+                            vm.clock(p),
+                            now.ticks(),
+                            p as u32,
+                            e.net.index() as u32,
+                            TraceKind::Dequeue,
+                            queue.len() as u64,
+                        );
+                    }
                     // The block owning the net applies it authoritatively
                     // (counts once); readers apply to their local copy
                     // (modeled by the shared array — no second write
@@ -186,6 +215,16 @@ impl<V: LogicValue> Simulator<V> for SyncSimulator<V> {
                     vm.charge(p, self.machine.eval_cost);
                     evals += 1;
                     stats.gate_evaluations += 1;
+                    if ph.enabled() {
+                        ph.emit(
+                            vm.clock(p),
+                            now.ticks(),
+                            p as u32,
+                            id.index() as u32,
+                            TraceKind::GateEval,
+                            1,
+                        );
+                    }
                     let out = evaluate_gate(
                         circuit,
                         id,
@@ -207,6 +246,26 @@ impl<V: LogicValue> Simulator<V> for SyncSimulator<V> {
                                 let _ready = vm.send(p, q);
                                 vm.charge(q, self.machine.recv_cost);
                                 stats.messages_sent += 1;
+                                if ph.enabled() {
+                                    ph.emit(
+                                        vm.clock(p),
+                                        now.ticks(),
+                                        p as u32,
+                                        id.index() as u32,
+                                        TraceKind::MessageSend,
+                                        q as u64,
+                                    );
+                                }
+                            }
+                            if ph.enabled() {
+                                ph.emit(
+                                    vm.clock(q),
+                                    e.time.ticks(),
+                                    q as u32,
+                                    id.index() as u32,
+                                    TraceKind::Enqueue,
+                                    queues[q].len() as u64,
+                                );
                             }
                         }
                     }

@@ -12,6 +12,7 @@ use parsim_event::{BinaryHeapQueue, Event, EventQueue, VirtualTime};
 use parsim_logic::{GateKind, LogicValue};
 use parsim_netlist::{Circuit, GateId};
 use parsim_partition::Partition;
+use parsim_trace::{Probe, TraceKind, NO_LP};
 
 /// The synchronous kernel on real threads.
 ///
@@ -29,18 +30,33 @@ use parsim_partition::Partition;
 pub struct ThreadedSyncSimulator<V> {
     partition: Partition,
     observe: Observe,
+    probe: Probe,
     _values: PhantomData<V>,
 }
 
 impl<V: LogicValue> ThreadedSyncSimulator<V> {
     /// Creates the kernel; one thread per partition block.
     pub fn new(partition: Partition) -> Self {
-        ThreadedSyncSimulator { partition, observe: Observe::Outputs, _values: PhantomData }
+        ThreadedSyncSimulator {
+            partition,
+            observe: Observe::Outputs,
+            probe: Probe::disabled(),
+            _values: PhantomData,
+        }
     }
 
     /// Selects which nets to record waveforms for.
     pub fn with_observe(mut self, observe: Observe) -> Self {
         self.observe = observe;
+        self
+    }
+
+    /// Attaches a trace probe. Each worker thread records on its own handle
+    /// with host wall-clock nanoseconds as the timeline: measured
+    /// barrier-wait spans, gate evaluations, queue operations and
+    /// cross-block sends.
+    pub fn with_probe(mut self, probe: Probe) -> Self {
+        self.probe = probe;
         self
     }
 }
@@ -116,10 +132,11 @@ impl<V: LogicValue> Simulator<V> for ThreadedSyncSimulator<V> {
                 let owned = &owned[p];
                 let partition = &self.partition;
                 let observe = self.observe;
+                let ph = self.probe.handle();
                 handles.push(scope.spawn(move || {
                     run_worker(
                         p, circuit, partition, observe, my_initial, my_rx, senders, barrier, heads,
-                        dests, owned, until,
+                        dests, owned, until, ph,
                     )
                 }));
             }
@@ -135,11 +152,7 @@ impl<V: LogicValue> Simulator<V> for ThreadedSyncSimulator<V> {
                 final_values[id.index()] = v;
             }
             waveforms.extend(r.waveforms);
-            stats.events_processed += r.stats.events_processed;
-            stats.events_scheduled += r.stats.events_scheduled;
-            stats.gate_evaluations += r.stats.gate_evaluations;
-            stats.messages_sent += r.stats.messages_sent;
-            stats.barriers = stats.barriers.max(r.stats.barriers);
+            stats.merge(&r.stats);
         }
         SimOutcome { final_values, waveforms, end_time: until, stats }
     }
@@ -159,7 +172,19 @@ fn run_worker<V: LogicValue>(
     dests: &[Vec<usize>],
     owned: &[GateId],
     until: VirtualTime,
+    mut ph: parsim_trace::ProbeHandle,
 ) -> WorkerResult<V> {
+    // Measured barrier wait: real elapsed nanoseconds, not modeled cost.
+    let timed_wait = |ph: &mut parsim_trace::ProbeHandle, vt: u64| {
+        if ph.enabled() {
+            let start = ph.now_ns();
+            barrier.wait();
+            let end = ph.now_ns();
+            ph.emit(start, vt, p as u32, NO_LP, TraceKind::BarrierWait, end - start);
+        } else {
+            barrier.wait();
+        }
+    };
     let n = circuit.len();
     let mut values = vec![V::ZERO; n];
     let mut runtime: BTreeMap<GateId, GateRuntime<V>> =
@@ -185,13 +210,13 @@ fn run_worker<V: LogicValue>(
             let mut h = heads.lock().expect("heads lock");
             h[p] = queue.peek_time();
         }
-        barrier.wait();
+        timed_wait(&mut ph, 0);
         let now = {
             let h = heads.lock().expect("heads lock");
             h.iter().flatten().min().copied()
         };
         // All workers must pass this barrier before anyone rewrites heads.
-        barrier.wait();
+        timed_wait(&mut ph, 0);
         // The first round always runs at t = 0 (initial evaluation), even
         // when the earliest queued event is later; every worker takes this
         // branch in the same round, keeping the barriers aligned.
@@ -211,6 +236,17 @@ fn run_worker<V: LogicValue>(
         while queue.peek_time() == Some(now) {
             let e = queue.pop().expect("peeked");
             stats.events_processed += 1;
+            if ph.enabled() {
+                let t = ph.now_ns();
+                ph.emit(
+                    t,
+                    now.ticks(),
+                    p as u32,
+                    e.net.index() as u32,
+                    TraceKind::Dequeue,
+                    queue.len() as u64,
+                );
+            }
             if values[e.net.index()] == e.value {
                 continue;
             }
@@ -240,6 +276,10 @@ fn run_worker<V: LogicValue>(
         dirty.sort_unstable();
         for &id in &dirty {
             stats.gate_evaluations += 1;
+            if ph.enabled() {
+                let t = ph.now_ns();
+                ph.emit(t, now.ticks(), p as u32, id.index() as u32, TraceKind::GateEval, 1);
+            }
             let rt = runtime.get_mut(&id).expect("dirty gate is owned");
             let out = evaluate_gate(circuit, id, &mut |f| values[f.index()], rt);
             if let Some(v) = out {
@@ -250,6 +290,17 @@ fn run_worker<V: LogicValue>(
                         queue.push(e);
                     } else {
                         stats.messages_sent += 1;
+                        if ph.enabled() {
+                            let t = ph.now_ns();
+                            ph.emit(
+                                t,
+                                now.ticks(),
+                                p as u32,
+                                id.index() as u32,
+                                TraceKind::MessageSend,
+                                b as u64,
+                            );
+                        }
                         senders[b].send(e).expect("peer alive until all workers exit");
                     }
                 }
@@ -257,7 +308,7 @@ fn run_worker<V: LogicValue>(
         }
 
         // Phase 3: everyone has sent; drain the inbox.
-        barrier.wait();
+        timed_wait(&mut ph, now.ticks());
         stats.barriers += 1;
         for e in rx.try_iter() {
             queue.push(e);

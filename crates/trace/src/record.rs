@@ -1,0 +1,170 @@
+//! The wire format of the trace layer: one fixed-size record per observed
+//! action.
+
+use std::fmt::{self, Display};
+
+/// Sentinel for "no LP context" (machine-level records, kernel setup).
+pub const NO_LP: u32 = u32::MAX;
+
+/// What happened. Every variant is an *instant* except [`TraceKind::Charge`],
+/// [`TraceKind::Idle`] and [`TraceKind::BarrierWait`], which are *spans*
+/// covering `[t, t + arg)` on the record's processor timeline.
+///
+/// The `arg` payload of a [`TraceRecord`] is kind-specific; the meaning is
+/// documented per variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum TraceKind {
+    /// Gate evaluation(s). `arg` = number of evaluations the record stands
+    /// for (1 for kernels that emit per evaluation; LP-batched kernels emit
+    /// one record per activation with the batch size).
+    GateEval,
+    /// Event pushed into a pending-event set. `arg` = queue depth after the
+    /// push.
+    Enqueue,
+    /// Event popped from a pending-event set. `arg` = queue depth after the
+    /// pop.
+    Dequeue,
+    /// A real event message crossed an LP/processor boundary. `arg` =
+    /// destination LP.
+    MessageSend,
+    /// A null message (conservative kernels). `arg` = destination LP.
+    NullMessage,
+    /// An anti-message (optimistic kernels). `arg` = destination LP.
+    AntiMessage,
+    /// Time spent blocked at a barrier (span). `arg` = waited duration in
+    /// timeline units.
+    BarrierWait,
+    /// A rollback. `arg` = events undone (the rollback depth).
+    Rollback,
+    /// A state snapshot. `arg` = state slots captured.
+    StateSave,
+    /// GVT advanced (or a deadlock recovery committed a new floor). `arg` =
+    /// the new GVT estimate in virtual-time ticks.
+    GvtAdvance,
+    /// CPU work charged to a processor (span, virtual-machine kernels).
+    /// `arg` = cost units charged.
+    Charge,
+    /// Idle time waiting for a message or barrier (span, virtual-machine
+    /// kernels). `arg` = idle units.
+    Idle,
+}
+
+impl TraceKind {
+    /// Returns `true` for span kinds (`[t, t + arg)`), `false` for instants.
+    pub fn is_span(self) -> bool {
+        matches!(self, TraceKind::Charge | TraceKind::Idle | TraceKind::BarrierWait)
+    }
+
+    /// A short stable label for exports and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceKind::GateEval => "gate_eval",
+            TraceKind::Enqueue => "enqueue",
+            TraceKind::Dequeue => "dequeue",
+            TraceKind::MessageSend => "msg_send",
+            TraceKind::NullMessage => "null_msg",
+            TraceKind::AntiMessage => "anti_msg",
+            TraceKind::BarrierWait => "barrier_wait",
+            TraceKind::Rollback => "rollback",
+            TraceKind::StateSave => "state_save",
+            TraceKind::GvtAdvance => "gvt_advance",
+            TraceKind::Charge => "charge",
+            TraceKind::Idle => "idle",
+        }
+    }
+
+    /// All kinds, in a stable order (report tables iterate this).
+    pub fn all() -> [TraceKind; 12] {
+        [
+            TraceKind::GateEval,
+            TraceKind::Enqueue,
+            TraceKind::Dequeue,
+            TraceKind::MessageSend,
+            TraceKind::NullMessage,
+            TraceKind::AntiMessage,
+            TraceKind::BarrierWait,
+            TraceKind::Rollback,
+            TraceKind::StateSave,
+            TraceKind::GvtAdvance,
+            TraceKind::Charge,
+            TraceKind::Idle,
+        ]
+    }
+}
+
+impl Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One observed action.
+///
+/// `t` is the record's position on the *timeline axis*, whose unit is
+/// kernel-defined:
+///
+/// * virtual-machine kernels — modeled cost units (the processor clock);
+/// * threaded kernels — host wall-clock nanoseconds since probe creation;
+/// * the sequential / oblivious reference kernels — virtual-time ticks.
+///
+/// `vt` is the simulated (virtual) time the action concerns, when one
+/// applies; records without a meaningful virtual time carry 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Timeline position (see type docs for the unit).
+    pub t: u64,
+    /// Virtual time of the action, in ticks (0 when not applicable).
+    pub vt: u64,
+    /// Processor the action ran on.
+    pub processor: u32,
+    /// Logical process the action belonged to, or [`NO_LP`].
+    pub lp: u32,
+    /// What happened.
+    pub kind: TraceKind,
+    /// Kind-specific payload (see [`TraceKind`]).
+    pub arg: u64,
+}
+
+impl TraceRecord {
+    /// The timeline ordering key: position, then processor, then LP — the
+    /// stable order every trace consumer sees.
+    pub fn key(&self) -> (u64, u32, u32) {
+        (self.t, self.processor, self.lp)
+    }
+
+    /// End of the record on the timeline (`t + arg` for spans, `t` for
+    /// instants).
+    pub fn end(&self) -> u64 {
+        if self.kind.is_span() {
+            self.t.saturating_add(self.arg)
+        } else {
+            self.t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_and_instants() {
+        assert!(TraceKind::Charge.is_span());
+        assert!(TraceKind::BarrierWait.is_span());
+        assert!(!TraceKind::GateEval.is_span());
+        let span =
+            TraceRecord { t: 10, vt: 0, processor: 0, lp: NO_LP, kind: TraceKind::Charge, arg: 5 };
+        assert_eq!(span.end(), 15);
+        let inst =
+            TraceRecord { t: 10, vt: 3, processor: 0, lp: 2, kind: TraceKind::GateEval, arg: 1 };
+        assert_eq!(inst.end(), 10);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::BTreeSet<_> =
+            TraceKind::all().iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), TraceKind::all().len());
+    }
+}

@@ -1,0 +1,180 @@
+//! The human-readable run report: every analysis pass rendered as text.
+
+use std::fmt::Write as _;
+
+use crate::analysis::{
+    gvt_trajectory, load_summary, lp_activity, null_message_summary, queue_depth_summary,
+    rollback_summary, utilization_timeline,
+};
+use crate::{MetricsSnapshot, Trace, TraceKind};
+
+/// Renders a trace (plus optional metrics) into a multi-section text
+/// report: record inventory, per-processor utilization timeline and
+/// busy/idle accounting, hottest LPs, null-message channels, rollback
+/// dynamics and the GVT trajectory. Sections with no data are omitted.
+pub fn run_report(title: &str, trace: &Trace, metrics: Option<&MetricsSnapshot>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== trace report: {title} ===");
+
+    // Record inventory.
+    let _ =
+        writeln!(out, "\nrecords ({} total, {} dropped):", trace.records().len(), trace.dropped());
+    for kind in TraceKind::all() {
+        let n = trace.count(kind);
+        if n > 0 {
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>10}  (arg sum {})",
+                kind.label(),
+                n,
+                trace.sum_arg(kind)
+            );
+        }
+    }
+    if let Some((start, end)) = trace.extent() {
+        let _ = writeln!(out, "  timeline extent: [{start}, {end})");
+    }
+
+    // Utilization timeline + load accounting.
+    if let (Some(u), Some(l)) = (utilization_timeline(trace, 60), load_summary(trace)) {
+        let _ = writeln!(out, "\nper-processor utilization (60 bins of {} units):", u.bin_width);
+        for (p, _) in u.cells.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  P{p:<3} |{}| busy {:>10} idle {:>10} mean {:>5.2}",
+                u.sparkline(p),
+                l.busy[p],
+                l.idle[p],
+                u.mean(p)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  load imbalance (max/mean busy): {:.2}; critical processor P{} ({:.0}% busy)",
+            l.imbalance,
+            l.critical_processor,
+            l.critical_busy_fraction * 100.0
+        );
+    }
+
+    // Hottest LPs.
+    let lps = lp_activity(trace);
+    if !lps.is_empty() {
+        let total: u64 = lps.iter().map(|&(_, n)| n).sum();
+        let _ = writeln!(out, "\nhottest LPs (of {}; {} evaluations total):", lps.len(), total);
+        for &(lp, n) in lps.iter().take(10) {
+            let _ = writeln!(
+                out,
+                "  lp {lp:<6} {n:>10} evals ({:.1}%)",
+                n as f64 / total.max(1) as f64 * 100.0
+            );
+        }
+    }
+
+    // Queue depth.
+    let q = queue_depth_summary(trace);
+    if q.samples > 0 {
+        let _ = writeln!(
+            out,
+            "\npending-event-set depth: mean {:.1}, max {} over {} samples",
+            q.mean_depth, q.max_depth, q.samples
+        );
+    }
+
+    // Null messages (conservative).
+    let nulls = null_message_summary(trace);
+    if nulls.nulls > 0 {
+        let _ = writeln!(
+            out,
+            "\nnull messages: {} vs {} real events — ratio {:.1}%",
+            nulls.nulls,
+            nulls.events,
+            nulls.ratio() * 100.0
+        );
+        let _ = writeln!(out, "  heaviest channels (src lp -> dst lp: nulls/events):");
+        for ((src, dst), (n, e)) in nulls.worst_channels().into_iter().take(8) {
+            let _ = writeln!(out, "    {src:>4} -> {dst:<4}  {n:>8} / {e}");
+        }
+    }
+
+    // Rollbacks (optimistic).
+    let rb = rollback_summary(trace, 256);
+    if rb.rollbacks > 0 {
+        let _ = writeln!(
+            out,
+            "\nrollbacks: {} undoing {} events (max depth {}, longest cascade {})",
+            rb.rollbacks,
+            rb.events_undone,
+            rb.max_depth,
+            rb.longest_cascade()
+        );
+        for &(lp, n) in rb.per_lp.iter().take(8) {
+            let _ = writeln!(out, "    lp {lp:<6} {n:>6} rollbacks");
+        }
+    }
+
+    // GVT trajectory.
+    let gvt = gvt_trajectory(trace);
+    if !gvt.is_empty() {
+        let (first, last) = (gvt.first().expect("nonempty"), gvt.last().expect("nonempty"));
+        let _ = writeln!(
+            out,
+            "\nGVT: {} advances, {} -> {} ticks over [{}, {}]",
+            gvt.len(),
+            first.1,
+            last.1,
+            first.0,
+            last.0
+        );
+    }
+
+    if let Some(m) = metrics {
+        if !m.is_empty() {
+            let _ = writeln!(out, "\nmetrics:\n{m}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Metrics, Probe, NO_LP};
+
+    #[test]
+    fn report_covers_populated_sections() {
+        let probe = Probe::enabled();
+        let mut h = probe.handle();
+        h.emit(0, 0, 0, NO_LP, TraceKind::Charge, 10);
+        h.emit(1, 2, 0, 1, TraceKind::GateEval, 3);
+        h.emit(2, 2, 0, 1, TraceKind::NullMessage, 2);
+        h.emit(3, 2, 0, 1, TraceKind::Rollback, 4);
+        h.emit(4, 2, 0, 0, TraceKind::GvtAdvance, 7);
+        h.emit(5, 2, 0, 0, TraceKind::Enqueue, 3);
+        drop(h);
+        let trace = probe.take_trace();
+        let metrics = Metrics::new();
+        metrics.counter_add("events", 9);
+        let report = run_report("test", &trace, Some(&metrics.snapshot()));
+        for needle in [
+            "trace report: test",
+            "gate_eval",
+            "utilization",
+            "hottest LPs",
+            "null messages",
+            "rollbacks: 1",
+            "GVT: 1 advances",
+            "events = 9",
+            "pending-event-set depth",
+        ] {
+            assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_report_is_small() {
+        let report = run_report("empty", &Trace::default(), None);
+        assert!(report.contains("0 total"));
+        assert!(!report.contains("rollbacks"));
+    }
+}

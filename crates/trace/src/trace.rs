@@ -1,0 +1,104 @@
+//! The merged, time-sorted record of one instrumented run.
+
+use crate::{TraceKind, TraceRecord};
+
+/// Everything one probe recorded, merged across threads and sorted by
+/// timeline position (see [`TraceRecord::key`]).
+///
+/// Analyses ([`crate::analysis`]), exporters ([`crate::to_perfetto_json`],
+/// [`crate::to_csv`]) and the run report all consume this type.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Builds a trace from already-sorted records plus an overflow count.
+    pub(crate) fn new(records: Vec<TraceRecord>, dropped: u64) -> Self {
+        debug_assert!(records.windows(2).all(|w| w[0].key() <= w[1].key()));
+        Trace { records, dropped }
+    }
+
+    /// The records, sorted by `(t, processor, lp)`.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Records lost to ring overflow across all threads.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Returns `true` when nothing was recorded (and nothing dropped).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty() && self.dropped == 0
+    }
+
+    /// Records of one kind, in timeline order.
+    pub fn of_kind(&self, kind: TraceKind) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter().filter(move |r| r.kind == kind)
+    }
+
+    /// Number of records of one kind.
+    pub fn count(&self, kind: TraceKind) -> u64 {
+        self.of_kind(kind).count() as u64
+    }
+
+    /// Sum of `arg` over records of one kind (e.g. total evaluations for
+    /// batched [`TraceKind::GateEval`] records, total cost for
+    /// [`TraceKind::Charge`]).
+    pub fn sum_arg(&self, kind: TraceKind) -> u64 {
+        self.of_kind(kind).fold(0u64, |acc, r| acc.saturating_add(r.arg))
+    }
+
+    /// One past the largest processor index seen (0 for an empty trace).
+    pub fn processors(&self) -> usize {
+        self.records.iter().map(|r| r.processor as usize + 1).max().unwrap_or(0)
+    }
+
+    /// The timeline extent `[start, end)` covered by the records, including
+    /// span ends. `None` for an empty trace.
+    pub fn extent(&self) -> Option<(u64, u64)> {
+        if self.records.is_empty() {
+            return None;
+        }
+        let start = self.records.first().expect("nonempty").t;
+        let end = self.records.iter().map(TraceRecord::end).max().expect("nonempty");
+        Some((start, end.max(start + 1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Probe;
+
+    fn sample() -> Trace {
+        let probe = Probe::enabled();
+        let mut h = probe.handle();
+        h.emit(0, 0, 0, 0, TraceKind::GateEval, 2);
+        h.emit(4, 1, 1, 0, TraceKind::Charge, 10);
+        h.emit(6, 2, 0, 1, TraceKind::GateEval, 3);
+        drop(h);
+        probe.take_trace()
+    }
+
+    #[test]
+    fn counting_and_sums() {
+        let t = sample();
+        assert_eq!(t.count(TraceKind::GateEval), 2);
+        assert_eq!(t.sum_arg(TraceKind::GateEval), 5);
+        assert_eq!(t.processors(), 2);
+        assert_eq!(t.extent(), Some((0, 14))); // charge span ends at 4 + 10
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.extent(), None);
+        assert_eq!(t.processors(), 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Trace report: instrument a run, read the story back out.
+//!
+//! ```sh
+//! cargo run --release --example trace_report -- [out_dir]
+//! ```
+//!
+//! Attaches a [`Probe`] to four kernels — the sequential reference, the
+//! modeled synchronous kernel, conservative Chandy–Misra–Bryant and
+//! optimistic Time Warp — on ISCAS-85 c17 and a 16-bit LFSR, prints each
+//! run's human-readable report (per-processor utilization sparklines,
+//! hottest LPs, null-message channels, rollback cascades, GVT trajectory)
+//! and exports Chrome/Perfetto `trace_event` JSON plus CSV for every run
+//! into `out_dir` (default `target/trace_report/`). Open the `.json` files
+//! at <https://ui.perfetto.dev>.
+
+use parsim::prelude::*;
+
+/// One instrumented run: prints the report, writes the exports, and returns
+/// the trace for any extra analysis.
+fn instrumented(
+    out_dir: &std::path::Path,
+    tag: &str,
+    kernel: &dyn Simulator<Bit>,
+    probe: &Probe,
+    circuit: &Circuit,
+    stimulus: &Stimulus,
+    until: VirtualTime,
+) -> Trace {
+    let out = kernel.run(circuit, stimulus, until);
+    let trace = probe.take_trace();
+    let snapshot = probe.metrics().map(Metrics::snapshot);
+    println!("{}", run_report(&format!("{tag} on {}", circuit.name()), &trace, snapshot.as_ref()));
+    println!(
+        "stats: {} events, {} evals, {} nulls, {} rollbacks\n",
+        out.stats.events_processed,
+        out.stats.gate_evaluations,
+        out.stats.null_messages,
+        out.stats.rollbacks
+    );
+
+    let json_path = out_dir.join(format!("{tag}.perfetto.json"));
+    std::fs::write(&json_path, to_perfetto_json(&trace)).expect("write perfetto json");
+    let csv_path = out_dir.join(format!("{tag}.csv"));
+    std::fs::write(&csv_path, to_csv(&trace)).expect("write trace csv");
+    println!("wrote {} and {}\n", json_path.display(), csv_path.display());
+    trace
+}
+
+fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .map_or_else(|| std::path::PathBuf::from("target/trace_report"), std::path::PathBuf::from);
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+
+    let processors = 4;
+    let machine = MachineConfig::shared_memory(processors);
+
+    // --- ISCAS-85 c17: small enough to read every record. -----------------
+    let c17 = bench::c17();
+    let stim = Stimulus::random(7, 20);
+    let until = VirtualTime::new(200);
+    let weights = GateWeights::uniform(c17.len());
+    let part = FiducciaMattheyses::default().partition(&c17, 2, &weights);
+
+    let probe = Probe::enabled();
+    instrumented(
+        &out_dir,
+        "c17_sequential",
+        &SequentialSimulator::<Bit>::new().with_probe(probe.clone()),
+        &probe,
+        &c17,
+        &stim,
+        until,
+    );
+
+    let probe = Probe::enabled();
+    let trace = instrumented(
+        &out_dir,
+        "c17_conservative",
+        &ConservativeSimulator::<Bit>::new(part.clone(), MachineConfig::shared_memory(2))
+            .with_probe(probe.clone()),
+        &probe,
+        &c17,
+        &stim,
+        until,
+    );
+    let nulls = parsim::trace::analysis::null_message_summary(&trace);
+    println!("c17 conservative null ratio: {:.1}%\n", nulls.ratio() * 100.0);
+
+    // --- 16-bit LFSR: feedback, real rollbacks, real barrier traffic. -----
+    let lfsr = generate::lfsr(16, DelayModel::Uniform { min: 1, max: 4, seed: 11 });
+    let stim = Stimulus::quiet(10_000).with_clock(5);
+    let until = VirtualTime::new(500);
+    let weights = GateWeights::uniform(lfsr.len());
+    let part = FiducciaMattheyses::default().partition(&lfsr, processors, &weights);
+
+    let probe = Probe::enabled();
+    instrumented(
+        &out_dir,
+        "lfsr_synchronous",
+        &SyncSimulator::<Bit>::new(part.clone(), machine).with_probe(probe.clone()),
+        &probe,
+        &lfsr,
+        &stim,
+        until,
+    );
+
+    let probe = Probe::enabled();
+    let trace = instrumented(
+        &out_dir,
+        "lfsr_timewarp",
+        &TimeWarpSimulator::<Bit>::new(part, machine).with_granularity(4).with_probe(probe.clone()),
+        &probe,
+        &lfsr,
+        &stim,
+        until,
+    );
+    let rb = parsim::trace::analysis::rollback_summary(&trace, 1_000);
+    println!(
+        "lfsr time-warp rollbacks: {} ({} events undone, longest cascade {})",
+        rb.rollbacks,
+        rb.events_undone,
+        rb.longest_cascade()
+    );
+}

@@ -13,7 +13,8 @@
 //!
 //! This crate is a facade: it re-exports the workspace crates under one
 //! name. See [`logic`], [`netlist`], [`event`], [`partition`], [`core`],
-//! [`machine`], [`sync`], [`conservative`], [`optimistic`] and [`lint`].
+//! [`machine`], [`sync`], [`conservative`], [`optimistic`], [`trace`] and
+//! [`lint`].
 //!
 //! # Quickstart
 //!
@@ -52,6 +53,7 @@ pub use parsim_netlist as netlist;
 pub use parsim_optimistic as optimistic;
 pub use parsim_partition as partition;
 pub use parsim_sync as sync;
+pub use parsim_trace as trace;
 
 /// Everything needed for typical use, importable in one line.
 pub mod prelude {
@@ -86,4 +88,7 @@ pub mod prelude {
         StringPartitioner,
     };
     pub use parsim_sync::{SyncSimulator, ThreadedSyncSimulator};
+    pub use parsim_trace::{
+        run_report, to_csv, to_perfetto_json, Metrics, Probe, Trace, TraceKind, TraceRecord,
+    };
 }
