@@ -16,6 +16,7 @@
 //! | `exp_presim` | E8 | pre-simulation activity weighting |
 //! | `exp_barrier` | E9 | synchronous barrier-cost scaling |
 //! | `exp_nullmsg` | E10 | null-message overhead vs lookahead |
+//! | `exp_threaded` | E11 | wall-clock throughput of the threaded kernels on the runtime fabric |
 //!
 //! Criterion micro-benchmarks live in `benches/`.
 //!

@@ -2,11 +2,11 @@
 
 use std::collections::BTreeMap;
 
-use parsim_core::LpTopology;
-use parsim_core::{evaluate_gate, GateRuntime, Waveform};
+use parsim_core::{LpTopology, Waveform};
 use parsim_event::{BinaryHeapQueue, Event, EventQueue, VirtualTime};
 use parsim_logic::LogicValue;
 use parsim_netlist::{Circuit, GateId};
+use parsim_runtime::LpCore;
 
 /// A protocol action emitted by an LP activation, for the driver to route.
 #[derive(Debug, Clone, Copy)]
@@ -36,13 +36,14 @@ pub(crate) struct ActivationWork {
     pub events_scheduled: u64,
 }
 
-/// The state of one conservative logical process.
+/// The state of one conservative logical process: the kernel-independent
+/// [`LpCore`] (net values, gate state, waveforms, dirty marking) plus the
+/// Chandy–Misra–Bryant protocol layer — event queue, channel clocks and
+/// null-message bookkeeping.
 #[derive(Debug)]
 pub(crate) struct LpState<V> {
     pub(crate) index: usize,
-    /// Local copies of every net value this LP reads or drives.
-    values: Vec<V>,
-    runtime: BTreeMap<GateId, GateRuntime<V>>,
+    core: LpCore<V>,
     queue: BinaryHeapQueue<V>,
     /// Channel clocks: `in_clock[src]` is the promise from LP `src`.
     in_clock: BTreeMap<usize, VirtualTime>,
@@ -51,12 +52,6 @@ pub(crate) struct LpState<V> {
     /// Timestamp frontier: all timestamps `< frontier` are fully processed.
     frontier: VirtualTime,
     did_initial: bool,
-    /// Waveforms of observed nets owned by this LP.
-    pub(crate) waveforms: BTreeMap<GateId, Waveform<V>>,
-    // scratch for once-per-timestamp dirty marking
-    dirty: Vec<GateId>,
-    stamp: Vec<u64>,
-    stamp_counter: u64,
 }
 
 impl<V: LogicValue> LpState<V> {
@@ -69,17 +64,12 @@ impl<V: LogicValue> LpState<V> {
         let spec = &topo.lps()[index];
         LpState {
             index,
-            values: vec![V::ZERO; circuit.len()],
-            runtime: spec.gates.iter().map(|&g| (g, GateRuntime::default())).collect(),
+            core: LpCore::new(circuit, observed),
             queue: BinaryHeapQueue::new(),
             in_clock: spec.in_channels.iter().map(|&s| (s, VirtualTime::ZERO)).collect(),
             last_null: spec.out_channels.iter().map(|&d| (d, VirtualTime::ZERO)).collect(),
             frontier: VirtualTime::ZERO,
             did_initial: false,
-            waveforms: observed.map(|id| (id, Waveform::new(V::ZERO))).collect(),
-            dirty: Vec::new(),
-            stamp: vec![u64::MAX; circuit.len()],
-            stamp_counter: 0,
         }
     }
 
@@ -186,50 +176,27 @@ impl<V: LogicValue> LpState<V> {
         work: &mut ActivationWork,
         out: &mut impl FnMut(Outgoing<V>),
     ) {
-        self.dirty.clear();
-        self.stamp_counter += 1;
+        self.core.begin_batch();
         let my_index = self.index;
-        let stamp_counter = self.stamp_counter;
 
         // Phase 1: apply all events at `now`.
         while self.queue.peek_time() == Some(now) {
             let e = self.queue.pop().expect("peeked");
             work.events_popped += 1;
-            if self.values[e.net.index()] == e.value {
-                continue;
-            }
-            self.values[e.net.index()] = e.value;
-            if let Some(w) = self.waveforms.get_mut(&e.net) {
-                w.record(now, e.value);
-            }
-            for entry in circuit.fanout(e.net) {
-                if topo.lp_of(entry.gate) == my_index
-                    && self.stamp[entry.gate.index()] != stamp_counter
-                {
-                    self.stamp[entry.gate.index()] = stamp_counter;
-                    self.dirty.push(entry.gate);
-                }
+            if self.core.apply_event(now, &e).is_some() {
+                self.core.mark_fanout(circuit, topo, my_index, e.net);
             }
         }
         if initial {
-            for &id in &topo.lps()[self.index].gates {
-                if !circuit.kind(id).is_source() && self.stamp[id.index()] != stamp_counter {
-                    self.stamp[id.index()] = stamp_counter;
-                    self.dirty.push(id);
-                }
-            }
+            self.core.mark_owned_non_source(circuit, &topo.lps()[self.index].gates);
         }
 
         // Phase 2: evaluate once each, in id order; transmit boundary
         // events at scheduling time.
-        self.dirty.sort_unstable();
-        let dirty = std::mem::take(&mut self.dirty);
+        let dirty = self.core.take_dirty_sorted();
         for &id in &dirty {
             work.evaluations += 1;
-            let rt = self.runtime.get_mut(&id).expect("dirty gate is owned");
-            let values = &self.values;
-            let out_value = evaluate_gate(circuit, id, &mut |f| values[f.index()], rt);
-            if let Some(v) = out_value {
+            if let Some(v) = self.core.evaluate(circuit, id) {
                 let e = Event::new(now + circuit.delay(id), id, v);
                 work.events_scheduled += 1;
                 for &dst in topo.destinations(id) {
@@ -247,7 +214,7 @@ impl<V: LogicValue> LpState<V> {
                 }
             }
         }
-        self.dirty = dirty;
+        self.core.recycle_dirty(dirty);
     }
 
     /// True once every local event up to `until` has been processed.
@@ -255,8 +222,13 @@ impl<V: LogicValue> LpState<V> {
         self.did_initial && self.queue.peek_time().is_none_or(|t| t > until)
     }
 
+    /// Waveforms of this LP's observed nets (drained).
+    pub(crate) fn take_waveforms(&mut self) -> BTreeMap<GateId, Waveform<V>> {
+        self.core.take_waveforms()
+    }
+
     /// Final values of the nets driven by this LP's gates.
     pub(crate) fn owned_values(&self, topo: &LpTopology) -> Vec<(GateId, V)> {
-        topo.lps()[self.index].gates.iter().map(|&g| (g, self.values[g.index()])).collect()
+        self.core.owned_values(&topo.lps()[self.index].gates)
     }
 }

@@ -333,7 +333,7 @@ impl<V: LogicValue> Simulator<V> for ConservativeSimulator<V> {
             }
         }
         for lp in &mut lps {
-            waveforms.append(&mut lp.waveforms);
+            waveforms.extend(lp.take_waveforms());
         }
 
         stats.modeled_makespan = vm.makespan();

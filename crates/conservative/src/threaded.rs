@@ -1,28 +1,25 @@
-//! The threaded conservative kernel.
+//! The threaded conservative kernel, as a protocol on the shared fabric.
 
-#![allow(clippy::needless_range_loop)] // index-parallel arrays: indices are the clearer idiom here
-use std::collections::BTreeMap;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
-use std::sync::{Barrier, Mutex};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parsim_core::{LpTopology, Observe, SimOutcome, SimStats, Simulator, Stimulus, Waveform};
+use parsim_core::{Observe, SimOutcome, SimStats, Simulator, Stimulus};
 use parsim_event::{Event, VirtualTime};
-use parsim_logic::{GateKind, LogicValue};
-use parsim_netlist::{Circuit, Delay, GateId};
+use parsim_logic::LogicValue;
+use parsim_netlist::{Circuit, Delay};
 use parsim_partition::Partition;
-use parsim_trace::{Probe, ProbeHandle, TraceKind, NO_LP};
+use parsim_runtime::{DecideCx, Decision, Fabric, RoundCx, SyncProtocol, WorkerOutput};
+use parsim_trace::{Probe, TraceKind, NO_LP};
 
 use crate::lp_state::{LpState, Outgoing};
 use crate::DeadlockStrategy;
 
 /// The Chandy–Misra–Bryant kernel on real threads.
 ///
-/// One worker per partition block; each worker owns its LPs' full state and
-/// exchanges event/null messages over crossbeam channels. Worker activations
-/// run concurrently between rounds; a barrier-based round structure provides
-/// the global quiescence test (termination and, in
+/// One worker per partition block, driven by the shared [`Fabric`]; each
+/// worker owns its LPs' full state and exchanges event/null messages
+/// through the batched mailbox mesh. Worker activations run concurrently
+/// between rounds; the fabric's round structure provides the global
+/// quiescence test (termination and, in
 /// [`DeadlockStrategy::DetectAndRecover`] mode, deadlock detection — the
 /// circulating-marker outcome computed centrally).
 ///
@@ -85,323 +82,252 @@ impl<V: LogicValue> ThreadedConservativeSimulator<V> {
     }
 }
 
-/// A routed message: destination LP, source LP, payload.
-enum Wire<V> {
-    Event(usize, Event<V>),
-    Null { dst: usize, src: usize, time: VirtualTime },
-}
-
-const DECIDE_CONTINUE: u8 = 0;
-const DECIDE_STOP: u8 = 1;
-const DECIDE_RECOVER: u8 = 2;
-
-struct WorkerResult<V> {
-    owned_values: Vec<(GateId, V)>,
-    waveforms: BTreeMap<GateId, Waveform<V>>,
-    stats: SimStats,
-}
-
 impl<V: LogicValue> Simulator<V> for ThreadedConservativeSimulator<V> {
     fn name(&self) -> String {
         format!("threaded-conservative(P={})", self.partition.blocks())
     }
 
     fn run(&self, circuit: &Circuit, stimulus: &Stimulus, until: VirtualTime) -> SimOutcome<V> {
-        assert_eq!(self.partition.len(), circuit.len(), "partition does not match circuit");
-        assert!(
-            circuit.min_gate_delay().ticks() >= 1,
-            "simulation kernels require nonzero gate delays"
-        );
-        let p_count = self.partition.blocks();
-        let coarse: Vec<usize> = circuit.ids().map(|id| self.partition.block_of(id)).collect();
-        let topo = LpTopology::with_granularity(circuit, &coarse, p_count, self.granularity);
-        let n_lps = topo.lps().len();
-        let granularity = self.granularity;
-
-        // Stimulus / constant preloads, grouped per LP.
-        let mut preloads: Vec<Vec<Event<V>>> = vec![Vec::new(); n_lps];
-        let mut initial_events: Vec<Event<V>> = stimulus.events::<V>(circuit, until);
-        for (id, g) in circuit.iter() {
-            if g.kind() == GateKind::Const1 {
-                initial_events.push(Event::new(VirtualTime::ZERO, id, V::ONE));
-            }
-        }
-        for e in &initial_events {
-            let owner = topo.lp_of(e.net);
-            let mut to_owner = false;
-            for &dst in topo.destinations(e.net) {
-                preloads[dst].push(*e);
-                to_owner |= dst == owner;
-            }
-            if !to_owner {
-                preloads[owner].push(*e);
-            }
-        }
-
-        let barrier = Barrier::new(p_count);
-        let any_sent = AtomicBool::new(false);
-        let any_work = AtomicBool::new(false);
-        let all_done = Mutex::new(vec![false; p_count]);
-        let heads = Mutex::new(vec![None::<VirtualTime>; p_count]);
-        let decision = AtomicU8::new(DECIDE_CONTINUE);
-        let recover_time = Mutex::new(VirtualTime::ZERO);
-
-        let mut senders: Vec<Sender<Wire<V>>> = Vec::with_capacity(p_count);
-        let mut receivers: Vec<Option<Receiver<Wire<V>>>> = Vec::with_capacity(p_count);
-        for _ in 0..p_count {
-            let (s, r) = unbounded();
-            senders.push(s);
-            receivers.push(Some(r));
-        }
-
-        let send_nulls = self.strategy == DeadlockStrategy::NullMessages;
-        let strategy = self.strategy;
-        let observe = self.observe;
-
-        let results: Vec<WorkerResult<V>> = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(p_count);
-            for p in 0..p_count {
-                let my_lps: Vec<usize> = (0..n_lps).filter(|&lp| lp / granularity == p).collect();
-                let mut lps: Vec<LpState<V>> = my_lps
-                    .iter()
-                    .map(|&i| {
-                        let owned = topo.lps()[i].gates.clone();
-                        LpState::new(
-                            circuit,
-                            &topo,
-                            i,
-                            owned.into_iter().filter(|&id| observe.wants(circuit, id)),
-                        )
-                    })
-                    .collect();
-                for (slot, &lp_idx) in my_lps.iter().enumerate() {
-                    for e in preloads[lp_idx].drain(..) {
-                        lps[slot].preload(e);
-                    }
-                }
-                let rx = receivers[p].take().expect("receiver taken once");
-                let senders = senders.clone();
-                let (barrier, any_sent, any_work, all_done, heads, decision, recover_time) =
-                    (&barrier, &any_sent, &any_work, &all_done, &heads, &decision, &recover_time);
-                let topo = &topo;
-                let ph = self.probe.handle();
-                handles.push(scope.spawn(move || {
-                    worker(
-                        p,
-                        circuit,
-                        topo,
-                        my_lps,
-                        lps,
-                        rx,
-                        senders,
-                        barrier,
-                        any_sent,
-                        any_work,
-                        all_done,
-                        heads,
-                        decision,
-                        recover_time,
-                        until,
-                        send_nulls,
-                        strategy,
-                        granularity,
-                        ph,
-                    )
-                }));
-            }
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        });
-
-        let mut final_values = vec![V::ZERO; circuit.len()];
-        let mut waveforms = BTreeMap::new();
-        let mut stats = SimStats::default();
-        for r in results {
-            for (id, v) in r.owned_values {
-                final_values[id.index()] = v;
-            }
-            waveforms.extend(r.waveforms);
-            stats.merge(&r.stats);
-        }
-        SimOutcome { final_values, waveforms, end_time: until, stats }
+        let fabric = Fabric::new(circuit, &self.partition, self.granularity, self.observe);
+        let protocol = CmbProtocol { strategy: self.strategy };
+        fabric.execute(stimulus, until, &self.probe, &protocol)
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn worker<V: LogicValue>(
-    p: usize,
-    circuit: &Circuit,
-    topo: &LpTopology,
-    my_lps: Vec<usize>,
-    mut lps: Vec<LpState<V>>,
-    rx: Receiver<Wire<V>>,
-    senders: Vec<Sender<Wire<V>>>,
-    barrier: &Barrier,
-    any_sent: &AtomicBool,
-    any_work: &AtomicBool,
-    all_done: &Mutex<Vec<bool>>,
-    heads: &Mutex<Vec<Option<VirtualTime>>>,
-    decision: &AtomicU8,
-    recover_time: &Mutex<VirtualTime>,
-    until: VirtualTime,
-    send_nulls: bool,
-    strategy: DeadlockStrategy,
-    granularity: usize,
-    mut ph: ProbeHandle,
-) -> WorkerResult<V> {
-    let slot_of = |lp: usize| -> usize { lp % granularity };
-    debug_assert!(my_lps.iter().all(|&lp| lp / granularity == p));
-    let mut stats = SimStats::default();
-    let timed_wait = |ph: &mut ProbeHandle| {
-        if ph.enabled() {
-            let start = ph.now_ns();
-            barrier.wait();
-            let end = ph.now_ns();
-            ph.emit(start, 0, p as u32, NO_LP, TraceKind::BarrierWait, end - start);
-        } else {
-            barrier.wait();
-        }
-    };
+/// A routed message: destination LP, source LP, payload.
+enum Wire<V> {
+    Event(usize, Event<V>),
+    Null { dst: usize, src: usize, time: VirtualTime },
+}
 
-    loop {
-        // Drain the inbox (messages sent in previous rounds).
-        for wire in rx.try_iter() {
+/// The conservative discipline: channel clocks advance via null messages
+/// or central deadlock recovery; the coordinator only tests quiescence.
+struct CmbProtocol {
+    strategy: DeadlockStrategy,
+}
+
+/// Per-worker state: this worker's LPs (ascending slot order).
+struct CmbWorker<V> {
+    lps: Vec<LpState<V>>,
+    stats: SimStats,
+}
+
+/// Round report: did this worker send or work, is it drained, and where is
+/// its earliest pending event (for deadlock recovery).
+struct CmbReport {
+    sent: bool,
+    worked: bool,
+    done: bool,
+    head: Option<VirtualTime>,
+}
+
+/// Coordinator verdict for the next round.
+#[derive(Clone)]
+enum CmbVerdict {
+    /// Keep simulating.
+    Run,
+    /// Deadlock was detected: advance every channel clock to this time
+    /// before draining the inbox.
+    Recover(VirtualTime),
+}
+
+impl<V: LogicValue> SyncProtocol<V> for CmbProtocol {
+    type Msg = Wire<V>;
+    type Worker = CmbWorker<V>;
+    type Report = CmbReport;
+    type Verdict = CmbVerdict;
+
+    fn worker(
+        &self,
+        fabric: &Fabric<'_>,
+        worker: usize,
+        preloads: Vec<Vec<Event<V>>>,
+    ) -> CmbWorker<V> {
+        let circuit = fabric.circuit();
+        let topo = fabric.topo();
+        let observe = fabric.observe();
+        let mut lps: Vec<LpState<V>> = fabric
+            .my_lps(worker)
+            .map(|i| {
+                let owned = topo.lps()[i].gates.clone();
+                LpState::new(
+                    circuit,
+                    topo,
+                    i,
+                    owned.into_iter().filter(|&id| observe.wants(circuit, id)),
+                )
+            })
+            .collect();
+        for (slot, events) in preloads.into_iter().enumerate() {
+            for e in events {
+                lps[slot].preload(e);
+            }
+        }
+        CmbWorker { lps, stats: SimStats::default() }
+    }
+
+    fn first_verdict(&self) -> CmbVerdict {
+        CmbVerdict::Run
+    }
+
+    fn round(
+        &self,
+        fabric: &Fabric<'_>,
+        state: &mut CmbWorker<V>,
+        verdict: &CmbVerdict,
+        cx: &mut RoundCx<'_, '_, Wire<V>>,
+    ) -> CmbReport {
+        let circuit = fabric.circuit();
+        let topo = fabric.topo();
+        let me = cx.worker;
+        let send_nulls = self.strategy == DeadlockStrategy::NullMessages;
+
+        // Act on a recovery verdict from the previous round (before the
+        // inbox: recovery happens at global quiescence, so it is empty
+        // anyway).
+        if let CmbVerdict::Recover(t) = *verdict {
+            for lp in &mut state.lps {
+                lp.recover_to(t);
+            }
+            state.stats.gvt_rounds += 1;
+            if cx.probe.enabled() {
+                let now = cx.probe.now_ns();
+                cx.probe.emit(now, t.ticks(), me as u32, NO_LP, TraceKind::GvtAdvance, t.ticks());
+            }
+        }
+
+        // Drain the inbox (messages sent in the previous round).
+        for wire in cx.inbox.drain(..) {
             match wire {
-                Wire::Event(dst, e) => lps[slot_of(dst)].receive_event(e),
-                Wire::Null { dst, src, time } => lps[slot_of(dst)].receive_null(src, time),
+                Wire::Event(dst, e) => state.lps[fabric.slot_of(dst)].receive_event(e),
+                Wire::Null { dst, src, time } => {
+                    state.lps[fabric.slot_of(dst)].receive_null(src, time);
+                }
             }
         }
 
         // Activate every owned LP.
         let mut sent = false;
         let mut worked = false;
-        for (slot, &lp_idx) in my_lps.iter().enumerate() {
-            let work = lps[slot].activate(circuit, topo, until, send_nulls, &mut |out| {
-                sent = true;
-                match out {
-                    Outgoing::Event { dst, event } => {
-                        stats.messages_sent += 1;
-                        if ph.enabled() {
-                            let t = ph.now_ns();
-                            ph.emit(
-                                t,
-                                event.time.ticks(),
-                                p as u32,
-                                lp_idx as u32,
-                                TraceKind::MessageSend,
-                                dst as u64,
-                            );
+        let stats = &mut state.stats;
+        for lp in &mut state.lps {
+            let lp_idx = lp.index;
+            let work = {
+                let probe = &mut *cx.probe;
+                let outbox = &mut *cx.outbox;
+                let granularity = cx.granularity;
+                lp.activate(circuit, topo, cx.until, send_nulls, &mut |out| {
+                    sent = true;
+                    match out {
+                        Outgoing::Event { dst, event } => {
+                            stats.messages_sent += 1;
+                            if probe.enabled() {
+                                let t = probe.now_ns();
+                                probe.emit(
+                                    t,
+                                    event.time.ticks(),
+                                    me as u32,
+                                    lp_idx as u32,
+                                    TraceKind::MessageSend,
+                                    dst as u64,
+                                );
+                            }
+                            outbox.send(dst / granularity, Wire::Event(dst, event));
                         }
-                        senders[dst / granularity]
-                            .send(Wire::Event(dst, event))
-                            .expect("peer alive until all workers exit");
-                    }
-                    Outgoing::Null { dst, time } => {
-                        stats.null_messages += 1;
-                        if ph.enabled() {
-                            let t = ph.now_ns();
-                            ph.emit(
-                                t,
-                                time.ticks(),
-                                p as u32,
-                                lp_idx as u32,
-                                TraceKind::NullMessage,
-                                dst as u64,
-                            );
+                        Outgoing::Null { dst, time } => {
+                            stats.null_messages += 1;
+                            if probe.enabled() {
+                                let t = probe.now_ns();
+                                probe.emit(
+                                    t,
+                                    time.ticks(),
+                                    me as u32,
+                                    lp_idx as u32,
+                                    TraceKind::NullMessage,
+                                    dst as u64,
+                                );
+                            }
+                            outbox.send(dst / granularity, Wire::Null { dst, src: lp_idx, time });
                         }
-                        senders[dst / granularity]
-                            .send(Wire::Null { dst, src: lp_idx, time })
-                            .expect("peer alive until all workers exit");
                     }
-                }
-            });
+                })
+            };
             stats.events_processed += work.events_popped;
             stats.gate_evaluations += work.evaluations;
             stats.events_scheduled += work.events_scheduled;
-            if ph.enabled() && work.evaluations > 0 {
-                let t = ph.now_ns();
-                ph.emit(t, 0, p as u32, lp_idx as u32, TraceKind::GateEval, work.evaluations);
+            if cx.probe.enabled() && work.evaluations > 0 {
+                let t = cx.probe.now_ns();
+                cx.probe.emit(
+                    t,
+                    0,
+                    me as u32,
+                    lp_idx as u32,
+                    TraceKind::GateEval,
+                    work.evaluations,
+                );
             }
             worked |= work.evaluations > 0 || work.events_popped > 0;
         }
 
-        // Publish round flags.
-        if sent {
-            any_sent.store(true, Ordering::SeqCst);
+        CmbReport {
+            sent,
+            worked,
+            done: state.lps.iter().all(|lp| lp.done(cx.until)),
+            head: state.lps.iter().filter_map(LpState::head_time).min(),
         }
-        if worked {
-            any_work.store(true, Ordering::SeqCst);
-        }
-        {
-            let mut done = all_done.lock().expect("done lock");
-            done[p] = lps.iter().all(|lp| lp.done(until));
-        }
-        {
-            let mut h = heads.lock().expect("heads lock");
-            h[p] = lps.iter().filter_map(LpState::head_time).min();
-        }
-        timed_wait(&mut ph);
+    }
 
-        // Worker 0 decides; everyone else waits for the verdict.
-        if p == 0 {
-            let sent_any = any_sent.load(Ordering::SeqCst);
-            let worked_any = any_work.load(Ordering::SeqCst);
-            let done = all_done.lock().expect("done lock").iter().all(|&d| d);
-            let verdict = if done && !sent_any {
-                DECIDE_STOP
-            } else if !worked_any && !sent_any {
-                match strategy {
-                    DeadlockStrategy::NullMessages => {
-                        // The null-message protocol cannot deadlock with
-                        // lookahead ≥ 1; if we ever get here it is a bug.
-                        // Release the peers with STOP before panicking so
-                        // the test fails instead of hanging at the barrier.
-                        decision.store(DECIDE_STOP, Ordering::SeqCst);
-                        barrier.wait();
-                        panic!("null-message protocol cannot deadlock with lookahead ≥ 1");
-                    }
-                    DeadlockStrategy::DetectAndRecover => {
-                        let m = heads.lock().expect("heads lock").iter().flatten().min().copied();
-                        match m {
-                            Some(m) if m <= until => {
-                                *recover_time.lock().expect("recover lock") = m + Delay::UNIT;
-                                DECIDE_RECOVER
-                            }
-                            _ => DECIDE_STOP,
+    fn decide(
+        &self,
+        _fabric: &Fabric<'_>,
+        reports: &mut [Option<CmbReport>],
+        cx: &mut DecideCx<'_>,
+    ) -> Decision<CmbVerdict> {
+        let sent_any = reports.iter().flatten().any(|r| r.sent);
+        let worked_any = reports.iter().flatten().any(|r| r.worked);
+        let done = reports.iter().flatten().all(|r| r.done);
+        if done && !sent_any {
+            Decision::Stop
+        } else if !worked_any && !sent_any {
+            match self.strategy {
+                DeadlockStrategy::NullMessages => {
+                    // The null-message protocol cannot deadlock with
+                    // lookahead ≥ 1; if we ever get here it is a bug. Abort
+                    // releases the peers so the test fails instead of
+                    // hanging at the barrier.
+                    Decision::Abort(
+                        "null-message protocol cannot deadlock with lookahead ≥ 1".into(),
+                    )
+                }
+                DeadlockStrategy::DetectAndRecover => {
+                    let m = reports.iter().flatten().filter_map(|r| r.head).min();
+                    match m {
+                        Some(m) if m <= cx.until => {
+                            Decision::Continue(CmbVerdict::Recover(m + Delay::UNIT))
                         }
+                        _ => Decision::Stop,
                     }
-                }
-            } else {
-                DECIDE_CONTINUE
-            };
-            decision.store(verdict, Ordering::SeqCst);
-            any_sent.store(false, Ordering::SeqCst);
-            any_work.store(false, Ordering::SeqCst);
-        }
-        timed_wait(&mut ph);
-        match decision.load(Ordering::SeqCst) {
-            DECIDE_STOP => break,
-            DECIDE_RECOVER => {
-                let t = *recover_time.lock().expect("recover lock");
-                for lp in &mut lps {
-                    lp.recover_to(t);
-                }
-                stats.gvt_rounds += 1;
-                if ph.enabled() {
-                    let now = ph.now_ns();
-                    ph.emit(now, t.ticks(), p as u32, NO_LP, TraceKind::GvtAdvance, t.ticks());
                 }
             }
-            _ => {}
+        } else {
+            Decision::Continue(CmbVerdict::Run)
         }
     }
 
-    let mut owned_values = Vec::new();
-    let mut waveforms = BTreeMap::new();
-    for lp in &mut lps {
-        owned_values.extend(lp.owned_values(topo));
-        waveforms.append(&mut lp.waveforms);
+    fn finish(
+        &self,
+        fabric: &Fabric<'_>,
+        _worker: usize,
+        mut state: CmbWorker<V>,
+    ) -> WorkerOutput<V> {
+        let mut owned_values = Vec::new();
+        let mut waveforms = std::collections::BTreeMap::new();
+        for lp in &mut state.lps {
+            owned_values.extend(lp.owned_values(fabric.topo()));
+            waveforms.extend(lp.take_waveforms());
+        }
+        WorkerOutput { owned_values, waveforms, stats: state.stats }
     }
-    WorkerResult { owned_values, waveforms, stats }
 }
 
 #[cfg(test)]

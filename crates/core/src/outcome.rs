@@ -30,7 +30,10 @@ pub struct SimStats {
     pub messages_sent: u64,
     /// Null messages sent (conservative kernels only).
     pub null_messages: u64,
-    /// Barrier synchronizations executed (synchronous kernel only).
+    /// Barrier synchronizations executed. For the modeled synchronous
+    /// kernel this is one per timestep; for every threaded kernel on the
+    /// runtime fabric it is the number of synchronization rounds (each
+    /// round is one barrier pair).
     pub barriers: u64,
     /// Rollbacks executed (optimistic kernels only).
     pub rollbacks: u64,

@@ -281,7 +281,7 @@ impl<V: LogicValue> Simulator<V> for BtbSimulator<V> {
             }
         }
         for lp in &mut lps {
-            waveforms.append(&mut lp.waveforms);
+            waveforms.extend(lp.take_waveforms());
         }
 
         let committed_events = total.events_processed - total.events_rolled_back;

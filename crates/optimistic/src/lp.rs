@@ -3,10 +3,11 @@
 
 use std::collections::BTreeMap;
 
-use parsim_core::{evaluate_gate, GateRuntime, LpTopology, Waveform};
+use parsim_core::{GateRuntime, LpTopology, Waveform};
 use parsim_event::{Event, VirtualTime};
 use parsim_logic::LogicValue;
 use parsim_netlist::{Circuit, GateId};
+use parsim_runtime::LpCore;
 
 use crate::{Cancellation, StateSaving};
 
@@ -71,12 +72,15 @@ enum History<V> {
     Incremental(Vec<Delta<V>>),
 }
 
-/// One Time Warp logical process.
+/// One Time Warp logical process: the kernel-independent [`LpCore`] (net
+/// values, gate state, waveforms, dirty marking) plus the Time Warp layer —
+/// event set, state-saving history, rollback and cancellation bookkeeping.
 #[derive(Debug)]
 pub(crate) struct TwLp<V> {
     pub(crate) index: usize,
-    values: Vec<V>,
-    runtime: BTreeMap<GateId, GateRuntime<V>>,
+    core: LpCore<V>,
+    /// This LP's gates, ascending (snapshot runtime order).
+    owned: Vec<GateId>,
     /// All live events, processed (`time ≤ lvt`) and unprocessed alike.
     events: BTreeMap<VirtualTime, Vec<Event<V>>>,
     /// Local virtual time: the last processed batch, `None` before the
@@ -100,10 +104,6 @@ pub(crate) struct TwLp<V> {
     saving: StateSaving,
     /// Nets whose values participate in a copy snapshot.
     relevant: Vec<GateId>,
-    pub(crate) waveforms: BTreeMap<GateId, Waveform<V>>,
-    // scratch for once-per-batch dirty marking
-    stamp: Vec<u64>,
-    stamp_counter: u64,
 }
 
 impl<V: LogicValue> TwLp<V> {
@@ -116,6 +116,8 @@ impl<V: LogicValue> TwLp<V> {
         observed: impl Iterator<Item = GateId>,
     ) -> Self {
         let spec = &topo.lps()[index];
+        let mut owned = spec.gates.clone();
+        owned.sort_unstable();
         let mut relevant: Vec<GateId> = spec.gates.clone();
         for &g in &spec.gates {
             relevant.extend(circuit.fanin(g).iter().copied());
@@ -124,8 +126,8 @@ impl<V: LogicValue> TwLp<V> {
         relevant.dedup();
         TwLp {
             index,
-            values: vec![V::ZERO; circuit.len()],
-            runtime: spec.gates.iter().map(|&g| (g, GateRuntime::default())).collect(),
+            core: LpCore::new(circuit, observed),
+            owned,
             events: BTreeMap::new(),
             lvt: None,
             batches: Vec::new(),
@@ -140,9 +142,6 @@ impl<V: LogicValue> TwLp<V> {
             cancellation,
             saving,
             relevant,
-            waveforms: observed.map(|id| (id, Waveform::new(V::ZERO))).collect(),
-            stamp: vec![u64::MAX; circuit.len()],
-            stamp_counter: 0,
         }
     }
 
@@ -250,57 +249,35 @@ impl<V: LogicValue> TwLp<V> {
         };
         let initial = self.lvt.is_none();
 
-        self.stamp_counter += 1;
-        let stamp_counter = self.stamp_counter;
         let my_index = self.index;
         let mut delta = Delta::default();
-        let mut dirty: Vec<GateId> = Vec::new();
+        self.core.begin_batch();
 
         // Phase 1: apply all events at `now`.
         let batch: Vec<Event<V>> = self.events.get(&now).cloned().unwrap_or_default();
         work.events_processed += batch.len() as u64;
         for e in &batch {
-            if self.values[e.net.index()] == e.value {
-                continue;
-            }
-            if self.saving == StateSaving::Incremental {
-                delta.values.push((e.net, self.values[e.net.index()]));
-            }
-            self.values[e.net.index()] = e.value;
-            if let Some(w) = self.waveforms.get_mut(&e.net) {
-                w.record(now, e.value);
-            }
-            for entry in circuit.fanout(e.net) {
-                if topo.lp_of(entry.gate) == my_index
-                    && self.stamp[entry.gate.index()] != stamp_counter
-                {
-                    self.stamp[entry.gate.index()] = stamp_counter;
-                    dirty.push(entry.gate);
+            if let Some(old) = self.core.apply_event(now, e) {
+                if self.saving == StateSaving::Incremental {
+                    delta.values.push((e.net, old));
                 }
+                self.core.mark_fanout(circuit, topo, my_index, e.net);
             }
         }
         if initial {
-            for &id in &topo.lps()[self.index].gates {
-                if !circuit.kind(id).is_source() && self.stamp[id.index()] != stamp_counter {
-                    self.stamp[id.index()] = stamp_counter;
-                    dirty.push(id);
-                }
-            }
+            self.core.mark_owned_non_source(circuit, &topo.lps()[self.index].gates);
         }
 
         // Phase 2: evaluate each affected gate once, in id order.
-        dirty.sort_unstable();
+        let dirty = self.core.take_dirty_sorted();
         let mut sent: Vec<(usize, Event<V>)> = Vec::new();
         let mut scheduled: Vec<Event<V>> = Vec::new();
         for &id in &dirty {
             work.evaluations += 1;
-            let rt = self.runtime.get_mut(&id).expect("dirty gate is owned");
             if self.saving == StateSaving::Incremental {
-                delta.runtimes.push((id, *rt));
+                delta.runtimes.push((id, self.core.runtime(id)));
             }
-            let values = &self.values;
-            let out_value = evaluate_gate(circuit, id, &mut |f| values[f.index()], rt);
-            if let Some(v) = out_value {
+            if let Some(v) = self.core.evaluate(circuit, id) {
                 let e = Event::new(now + circuit.delay(id), id, v);
                 work.events_scheduled += 1;
                 // Self-delivery into the local event set (also covers
@@ -324,6 +301,8 @@ impl<V: LogicValue> TwLp<V> {
                 }
             }
         }
+        let evals = dirty.len() as u64;
+        self.core.recycle_dirty(dirty);
 
         // Phase 3: record history.
         match (&mut self.history, self.saving) {
@@ -333,8 +312,8 @@ impl<V: LogicValue> TwLp<V> {
             }
             (History::Copy(snapshots), StateSaving::Copy) => {
                 let snap = Snapshot {
-                    values: self.relevant.iter().map(|&g| self.values[g.index()]).collect(),
-                    runtimes: self.runtime.values().copied().collect(),
+                    values: self.relevant.iter().map(|&g| self.core.value(g)).collect(),
+                    runtimes: self.owned.iter().map(|&g| self.core.runtime(g)).collect(),
                 };
                 work.state_slots_saved += (snap.values.len() + snap.runtimes.len() * 3) as u64;
                 snapshots.push(snap);
@@ -344,7 +323,7 @@ impl<V: LogicValue> TwLp<V> {
         self.batches.push(now);
         self.outputs.push(sent);
         self.self_sends.push(scheduled);
-        self.batch_evals.push(dirty.len() as u64);
+        self.batch_evals.push(evals);
         self.lvt = Some(now);
         self.flush_lazy(work, out);
         true
@@ -374,10 +353,10 @@ impl<V: LogicValue> TwLp<V> {
                     let delta = deltas.pop().expect("delta per batch");
                     // Reverse order restores first-overwritten values last.
                     for &(g, rt) in delta.runtimes.iter().rev() {
-                        *self.runtime.get_mut(&g).expect("owned gate") = rt;
+                        self.core.set_runtime(g, rt);
                     }
                     for &(net, v) in delta.values.iter().rev() {
-                        self.values[net.index()] = v;
+                        self.core.set_value_raw(net, v);
                     }
                 }
                 History::Copy(snapshots) => {
@@ -409,26 +388,24 @@ impl<V: LogicValue> TwLp<V> {
             match snapshots.last() {
                 Some(snap) => {
                     for (&g, &v) in self.relevant.iter().zip(&snap.values) {
-                        self.values[g.index()] = v;
+                        self.core.set_value_raw(g, v);
                     }
-                    for (rt_slot, &rt) in self.runtime.values_mut().zip(&snap.runtimes) {
-                        *rt_slot = rt;
+                    for (&g, &rt) in self.owned.iter().zip(&snap.runtimes) {
+                        self.core.set_runtime(g, rt);
                     }
                 }
                 None => {
                     // Pre-initial state.
                     for &g in &self.relevant {
-                        self.values[g.index()] = V::ZERO;
+                        self.core.set_value_raw(g, V::ZERO);
                     }
-                    for rt in self.runtime.values_mut() {
-                        *rt = GateRuntime::default();
+                    for &g in &self.owned {
+                        self.core.set_runtime(g, GateRuntime::default());
                     }
                 }
             }
         }
-        for w in self.waveforms.values_mut() {
-            w.truncate_from(target);
-        }
+        self.core.truncate_waveforms_from(target);
         self.lvt = self.batches.last().copied();
     }
 
@@ -503,8 +480,13 @@ impl<V: LogicValue> TwLp<V> {
         committed
     }
 
+    /// Waveforms of this LP's observed nets (drained).
+    pub(crate) fn take_waveforms(&mut self) -> BTreeMap<GateId, Waveform<V>> {
+        self.core.take_waveforms()
+    }
+
     /// Final values of the nets driven by this LP.
     pub(crate) fn owned_values(&self, topo: &LpTopology) -> Vec<(GateId, V)> {
-        topo.lps()[self.index].gates.iter().map(|&g| (g, self.values[g.index()])).collect()
+        self.core.owned_values(&topo.lps()[self.index].gates)
     }
 }

@@ -466,7 +466,7 @@ impl<V: LogicValue> Simulator<V> for TimeWarpSimulator<V> {
             }
         }
         for lp in &mut lps {
-            waveforms.append(&mut lp.waveforms);
+            waveforms.extend(lp.take_waveforms());
         }
 
         let committed_events = total_work.events_processed - total_work.events_rolled_back;

@@ -1,20 +1,17 @@
-//! The threaded Time Warp kernel.
+//! The threaded Time Warp kernel, as a protocol on the shared fabric.
 
-#![allow(clippy::needless_range_loop)] // index-parallel arrays: indices are the clearer idiom here
 use std::collections::BTreeMap;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
-use std::sync::{Barrier, Mutex};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parsim_core::{LpTopology, Observe, SimOutcome, SimStats, Simulator, Stimulus, Waveform};
+use parsim_core::{Observe, SimOutcome, SimStats, Simulator, Stimulus};
 use parsim_event::{Event, VirtualTime};
-use parsim_logic::{GateKind, LogicValue};
-use parsim_netlist::{Circuit, GateId};
+use parsim_logic::LogicValue;
+use parsim_netlist::Circuit;
 use parsim_partition::Partition;
+use parsim_runtime::{DecideCx, Decision, Fabric, RoundCx, SyncProtocol, WorkerOutput};
 use parsim_trace::{Probe, ProbeHandle, TraceKind, NO_LP};
 
-use crate::lp::{TwLp, TwOutgoing, TwWork};
+use crate::lp::{TwIncoming, TwLp, TwOutgoing, TwWork};
 use crate::{Cancellation, StateSaving};
 
 /// Batches each LP may process per round, bounding optimism drift between
@@ -23,11 +20,12 @@ const BATCH_BUDGET: usize = 4;
 
 /// Time Warp on real threads.
 ///
-/// One worker per partition block, each optimistically processing its LPs
-/// between rounds; messages crossing a round boundary arrive *after* the
-/// receiver has already speculated ahead, producing genuine stragglers and
-/// rollbacks. GVT is computed at the round barrier (where it is exact) and
-/// drives fossil collection and termination.
+/// One worker per partition block, driven by the shared [`Fabric`], each
+/// optimistically processing its LPs between rounds; messages crossing a
+/// round boundary arrive *after* the receiver has already speculated ahead,
+/// producing genuine stragglers and rollbacks. GVT is computed at the round
+/// barrier (where it is exact) and drives fossil collection and
+/// termination.
 ///
 /// Committed results are identical to the sequential reference; statistics
 /// (rollback counts, anti-messages) vary run to run with thread timing —
@@ -97,195 +95,152 @@ impl<V: LogicValue> ThreadedTimeWarpSimulator<V> {
     }
 }
 
-enum Wire<V> {
-    Event(usize, Event<V>),
-    Anti(usize, Event<V>),
-}
-
-const DECIDE_CONTINUE: u8 = 0;
-const DECIDE_STOP: u8 = 1;
-
-struct WorkerResult<V> {
-    owned_values: Vec<(GateId, V)>,
-    waveforms: BTreeMap<GateId, Waveform<V>>,
-    stats: SimStats,
-}
-
 impl<V: LogicValue> Simulator<V> for ThreadedTimeWarpSimulator<V> {
     fn name(&self) -> String {
         format!("threaded-time-warp(P={})", self.partition.blocks())
     }
 
     fn run(&self, circuit: &Circuit, stimulus: &Stimulus, until: VirtualTime) -> SimOutcome<V> {
-        assert_eq!(self.partition.len(), circuit.len(), "partition does not match circuit");
-        assert!(
-            circuit.min_gate_delay().ticks() >= 1,
-            "simulation kernels require nonzero gate delays"
-        );
-        let p_count = self.partition.blocks();
-        let coarse: Vec<usize> = circuit.ids().map(|id| self.partition.block_of(id)).collect();
-        let topo = LpTopology::with_granularity(circuit, &coarse, p_count, self.granularity);
-        let n_lps = topo.lps().len();
-        let granularity = self.granularity;
-
-        // Preloads per LP.
-        let mut preloads: Vec<Vec<Event<V>>> = vec![Vec::new(); n_lps];
-        let mut initial_events: Vec<Event<V>> = stimulus.events::<V>(circuit, until);
-        for (id, g) in circuit.iter() {
-            if g.kind() == GateKind::Const1 {
-                initial_events.push(Event::new(VirtualTime::ZERO, id, V::ONE));
-            }
-        }
-        for e in &initial_events {
-            let owner = topo.lp_of(e.net);
-            let mut to_owner = false;
-            for &dst in topo.destinations(e.net) {
-                preloads[dst].push(*e);
-                to_owner |= dst == owner;
-            }
-            if !to_owner {
-                preloads[owner].push(*e);
-            }
-        }
-
-        let barrier = Barrier::new(p_count);
-        let any_sent = AtomicBool::new(false);
-        let all_done = Mutex::new(vec![false; p_count]);
-        let gvt_inputs = Mutex::new(vec![None::<VirtualTime>; p_count]);
-        let gvt_cell = Mutex::new(VirtualTime::ZERO);
-        let decision = AtomicU8::new(DECIDE_CONTINUE);
-
-        let mut senders: Vec<Sender<Wire<V>>> = Vec::with_capacity(p_count);
-        let mut receivers: Vec<Option<Receiver<Wire<V>>>> = Vec::with_capacity(p_count);
-        for _ in 0..p_count {
-            let (s, r) = unbounded();
-            senders.push(s);
-            receivers.push(Some(r));
-        }
-
-        let (saving, cancellation, observe) = (self.saving, self.cancellation, self.observe);
-
-        let results: Vec<WorkerResult<V>> = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(p_count);
-            for p in 0..p_count {
-                let my_lps: Vec<usize> = (0..n_lps).filter(|&lp| lp / granularity == p).collect();
-                let mut lps: Vec<TwLp<V>> = my_lps
-                    .iter()
-                    .map(|&i| {
-                        let owned = topo.lps()[i].gates.clone();
-                        TwLp::new(
-                            circuit,
-                            &topo,
-                            i,
-                            saving,
-                            cancellation,
-                            owned.into_iter().filter(|&id| observe.wants(circuit, id)),
-                        )
-                    })
-                    .collect();
-                for (slot, &lp_idx) in my_lps.iter().enumerate() {
-                    for e in preloads[lp_idx].drain(..) {
-                        lps[slot].preload(e);
-                    }
-                }
-                let rx = receivers[p].take().expect("receiver taken once");
-                let senders = senders.clone();
-                let ph = self.probe.handle();
-                let (barrier, any_sent, all_done, gvt_inputs, gvt_cell, decision) =
-                    (&barrier, &any_sent, &all_done, &gvt_inputs, &gvt_cell, &decision);
-                let topo = &topo;
-                handles.push(scope.spawn(move || {
-                    worker(
-                        p,
-                        circuit,
-                        topo,
-                        lps,
-                        rx,
-                        senders,
-                        barrier,
-                        any_sent,
-                        all_done,
-                        gvt_inputs,
-                        gvt_cell,
-                        decision,
-                        until,
-                        granularity,
-                        ph,
-                    )
-                }));
-            }
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        });
-
-        let mut final_values = vec![V::ZERO; circuit.len()];
-        let mut waveforms = BTreeMap::new();
-        let mut stats = SimStats::default();
-        for r in results {
-            for (id, v) in r.owned_values {
-                final_values[id.index()] = v;
-            }
-            waveforms.extend(r.waveforms);
-            stats.merge(&r.stats);
-        }
-        SimOutcome { final_values, waveforms, end_time: until, stats }
+        let fabric = Fabric::new(circuit, &self.partition, self.granularity, self.observe);
+        let protocol = TwProtocol { saving: self.saving, cancellation: self.cancellation };
+        fabric.execute(stimulus, until, &self.probe, &protocol)
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn worker<V: LogicValue>(
-    p: usize,
-    circuit: &Circuit,
-    topo: &LpTopology,
-    mut lps: Vec<TwLp<V>>,
-    rx: Receiver<Wire<V>>,
-    senders: Vec<Sender<Wire<V>>>,
-    barrier: &Barrier,
-    any_sent: &AtomicBool,
-    all_done: &Mutex<Vec<bool>>,
-    gvt_inputs: &Mutex<Vec<Option<VirtualTime>>>,
-    gvt_cell: &Mutex<VirtualTime>,
-    decision: &AtomicU8,
-    until: VirtualTime,
-    granularity: usize,
-    mut ph: ProbeHandle,
-) -> WorkerResult<V> {
-    let slot_of = |lp: usize| lp % granularity;
-    let mut total = TwWork::default();
-    let mut stats = SimStats::default();
-    let mut gvt_rounds = 0u64;
-    // Real barrier-wait spans; only reads the clock when the probe is live.
-    let timed_wait = |ph: &mut ProbeHandle| {
-        if ph.enabled() {
-            let start = ph.now_ns();
-            barrier.wait();
-            let end = ph.now_ns();
-            ph.emit(start, 0, p as u32, NO_LP, TraceKind::BarrierWait, end - start);
-        } else {
-            barrier.wait();
-        }
-    };
-    // Per-batch work instants: rollbacks, state saves and a batched
-    // gate-evaluation record for LP `lp`.
-    let emit_work = |ph: &mut ProbeHandle, lp: usize, w: &TwWork| {
-        if !ph.enabled() {
-            return;
-        }
-        let t = ph.now_ns();
-        if w.evaluations > 0 {
-            ph.emit(t, 0, p as u32, lp as u32, TraceKind::GateEval, w.evaluations);
-        }
-        if w.rollbacks > 0 {
-            ph.emit(t, 0, p as u32, lp as u32, TraceKind::Rollback, w.events_rolled_back);
-        }
-        if w.state_slots_saved > 0 {
-            ph.emit(t, 0, p as u32, lp as u32, TraceKind::StateSave, w.state_slots_saved);
-        }
-    };
+/// A routed message: destination LP, payload.
+enum Wire<V> {
+    Event(usize, Event<V>),
+    Anti(usize, Event<V>),
+}
 
-    loop {
+/// The optimistic discipline: speculate freely between rounds; the
+/// coordinator computes the exact GVT at the barrier.
+struct TwProtocol {
+    saving: StateSaving,
+    cancellation: Cancellation,
+}
+
+/// Per-worker state: this worker's LPs plus accumulated work counters.
+struct TwWorker<V> {
+    lps: Vec<TwLp<V>>,
+    total: TwWork,
+    stats: SimStats,
+    gvt_rounds: u64,
+}
+
+/// Round report: quiescence flags plus this worker's GVT component (its
+/// LPs' next unprocessed work and the earliest message sent this round, so
+/// the global minimum lower-bounds everything still in flight).
+struct TwReport {
+    sent: bool,
+    done: bool,
+    gvt: Option<VirtualTime>,
+}
+
+/// Per-batch work instants: rollbacks, state saves and a batched
+/// gate-evaluation record for LP `lp`.
+fn emit_work(ph: &mut ProbeHandle, p: usize, lp: usize, w: &TwWork) {
+    if !ph.enabled() {
+        return;
+    }
+    let t = ph.now_ns();
+    if w.evaluations > 0 {
+        ph.emit(t, 0, p as u32, lp as u32, TraceKind::GateEval, w.evaluations);
+    }
+    if w.rollbacks > 0 {
+        ph.emit(t, 0, p as u32, lp as u32, TraceKind::Rollback, w.events_rolled_back);
+    }
+    if w.state_slots_saved > 0 {
+        ph.emit(t, 0, p as u32, lp as u32, TraceKind::StateSave, w.state_slots_saved);
+    }
+}
+
+impl<V: LogicValue> SyncProtocol<V> for TwProtocol {
+    type Msg = Wire<V>;
+    type Worker = TwWorker<V>;
+    type Report = TwReport;
+    /// The GVT computed at the previous barrier (infinite before the first
+    /// round and at quiescence); each worker fossil-collects behind it.
+    type Verdict = VirtualTime;
+
+    fn worker(
+        &self,
+        fabric: &Fabric<'_>,
+        worker: usize,
+        preloads: Vec<Vec<Event<V>>>,
+    ) -> TwWorker<V> {
+        let circuit = fabric.circuit();
+        let topo = fabric.topo();
+        let observe = fabric.observe();
+        let mut lps: Vec<TwLp<V>> = fabric
+            .my_lps(worker)
+            .map(|i| {
+                let owned = topo.lps()[i].gates.clone();
+                TwLp::new(
+                    circuit,
+                    topo,
+                    i,
+                    self.saving,
+                    self.cancellation,
+                    owned.into_iter().filter(|&id| observe.wants(circuit, id)),
+                )
+            })
+            .collect();
+        for (slot, events) in preloads.into_iter().enumerate() {
+            for e in events {
+                lps[slot].preload(e);
+            }
+        }
+        TwWorker { lps, total: TwWork::default(), stats: SimStats::default(), gvt_rounds: 0 }
+    }
+
+    fn first_verdict(&self) -> VirtualTime {
+        VirtualTime::INFINITY
+    }
+
+    fn round(
+        &self,
+        fabric: &Fabric<'_>,
+        state: &mut TwWorker<V>,
+        verdict: &VirtualTime,
+        cx: &mut RoundCx<'_, '_, Wire<V>>,
+    ) -> TwReport {
+        let circuit = fabric.circuit();
+        let topo = fabric.topo();
+        let me = cx.worker;
+        let until = cx.until;
+        state.gvt_rounds += 1;
+
+        // Fossil-collect behind the previous round's exact GVT. Messages
+        // sent last round were accounted in its GVT components, so the
+        // verdict lower-bounds everything still in flight.
+        if !verdict.is_infinite() {
+            for lp in &mut state.lps {
+                let _ = lp.fossil_collect(*verdict);
+            }
+        }
+
+        // Group the inbox per LP for single-rollback application
+        // (per-message rollback lets the anti-message echo grow
+        // exponentially — see `TwLp::receive_batch`).
+        let mut groups: BTreeMap<usize, Vec<TwIncoming<V>>> = BTreeMap::new();
+        for wire in cx.inbox.drain(..) {
+            match wire {
+                Wire::Event(dst, e) => groups.entry(dst).or_default().push(TwIncoming::Event(e)),
+                Wire::Anti(dst, e) => groups.entry(dst).or_default().push(TwIncoming::Anti(e)),
+            }
+        }
+
         let mut sent = false;
         let mut sent_min: Option<VirtualTime> = None;
-        // Routing closure shared by receive and process paths.
+        let stats = &mut state.stats;
+        let total = &mut state.total;
+        let lps = &mut state.lps;
+        let probe = &mut *cx.probe;
+        let outbox = &mut *cx.outbox;
+        let granularity = cx.granularity;
+
+        // Routing shared by the receive and process paths.
         macro_rules! route {
             ($src:expr, $out:expr) => {
                 match $out {
@@ -293,140 +248,116 @@ fn worker<V: LogicValue>(
                         stats.messages_sent += 1;
                         sent = true;
                         sent_min = Some(sent_min.map_or(event.time, |m| m.min(event.time)));
-                        if ph.enabled() {
-                            ph.emit(
-                                ph.now_ns(),
+                        if probe.enabled() {
+                            probe.emit(
+                                probe.now_ns(),
                                 event.time.ticks(),
-                                p as u32,
+                                me as u32,
                                 $src as u32,
                                 TraceKind::MessageSend,
                                 dst as u64,
                             );
                         }
-                        senders[dst / granularity]
-                            .send(Wire::Event(dst, event))
-                            .expect("peer alive until all workers exit");
+                        outbox.send(dst / granularity, Wire::Event(dst, event));
                     }
                     TwOutgoing::Anti { dst, event } => {
                         sent = true;
                         sent_min = Some(sent_min.map_or(event.time, |m| m.min(event.time)));
-                        if ph.enabled() {
-                            ph.emit(
-                                ph.now_ns(),
+                        if probe.enabled() {
+                            probe.emit(
+                                probe.now_ns(),
                                 event.time.ticks(),
-                                p as u32,
+                                me as u32,
                                 $src as u32,
                                 TraceKind::AntiMessage,
                                 dst as u64,
                             );
                         }
-                        senders[dst / granularity]
-                            .send(Wire::Anti(dst, event))
-                            .expect("peer alive until all workers exit");
+                        outbox.send(dst / granularity, Wire::Anti(dst, event));
                     }
                 }
             };
         }
 
-        // Drain the inbox: stragglers and anti-messages trigger rollbacks.
-        // Messages are grouped per LP and applied with a single rollback
-        // (per-message rollback lets the anti-message echo grow
-        // exponentially — see `TwLp::receive_batch`).
-        let mut groups: BTreeMap<usize, Vec<crate::lp::TwIncoming<V>>> = BTreeMap::new();
-        for wire in rx.try_iter() {
-            match wire {
-                Wire::Event(dst, e) => {
-                    groups.entry(dst).or_default().push(crate::lp::TwIncoming::Event(e));
-                }
-                Wire::Anti(dst, e) => {
-                    groups.entry(dst).or_default().push(crate::lp::TwIncoming::Anti(e));
-                }
-            }
-        }
+        // Apply the inbox: stragglers and anti-messages trigger rollbacks.
         for (dst, batch) in groups {
             let mut work = TwWork::default();
-            lps[slot_of(dst)].receive_batch(batch, &mut work, &mut |o| route!(dst, o));
-            accumulate(&mut total, &work);
-            emit_work(&mut ph, dst, &work);
+            lps[dst % granularity].receive_batch(batch, &mut work, &mut |o| route!(dst, o));
+            accumulate(total, &work);
+            emit_work(probe, me, dst, &work);
         }
 
         // Optimistically process a bounded number of batches per LP.
         for (slot, lp) in lps.iter_mut().enumerate() {
-            let lp_idx = p * granularity + slot;
+            let lp_idx = me * granularity + slot;
             for _ in 0..BATCH_BUDGET {
                 let mut work = TwWork::default();
                 let processed =
                     lp.process_next(circuit, topo, until, &mut work, &mut |o| route!(lp_idx, o));
-                accumulate(&mut total, &work);
-                emit_work(&mut ph, lp_idx, &work);
+                accumulate(total, &work);
+                emit_work(probe, me, lp_idx, &work);
                 if !processed {
                     break;
                 }
             }
         }
 
-        // Publish round state.
-        if sent {
-            any_sent.store(true, Ordering::SeqCst);
-        }
-        {
-            let mut done = all_done.lock().expect("done lock");
-            done[p] = lps.iter().all(|lp| lp.done(until)) && !sent;
-        }
-        {
-            let mut g = gvt_inputs.lock().expect("gvt lock");
-            let local = lps.iter().filter_map(TwLp::gvt_component).min();
-            g[p] = match (local, sent_min) {
+        let local = lps.iter().filter_map(TwLp::gvt_component).min();
+        TwReport {
+            sent,
+            done: lps.iter().all(|lp| lp.done(until)) && !sent,
+            gvt: match (local, sent_min) {
                 (Some(a), Some(b)) => Some(a.min(b)),
                 (a, b) => a.or(b),
-            };
-        }
-        timed_wait(&mut ph);
-
-        if p == 0 {
-            let done = all_done.lock().expect("done lock").iter().all(|&d| d);
-            let sent_any = any_sent.load(Ordering::SeqCst);
-            let gvt = gvt_inputs.lock().expect("gvt lock").iter().flatten().min().copied();
-            let verdict = if done && !sent_any { DECIDE_STOP } else { DECIDE_CONTINUE };
-            *gvt_cell.lock().expect("gvt cell") = gvt.unwrap_or(VirtualTime::INFINITY);
-            decision.store(verdict, Ordering::SeqCst);
-            any_sent.store(false, Ordering::SeqCst);
-            if ph.enabled() {
-                let g = gvt.map_or(0, VirtualTime::ticks);
-                ph.emit(ph.now_ns(), g, 0, NO_LP, TraceKind::GvtAdvance, g);
-            }
-        }
-        timed_wait(&mut ph);
-        gvt_rounds += 1;
-        if decision.load(Ordering::SeqCst) == DECIDE_STOP {
-            break;
-        }
-        // Fossil-collect behind the exact GVT computed at the barrier.
-        // Messages sent this round are accounted in `sent_min`, so the GVT
-        // lower-bounds everything still in flight.
-        let gvt = *gvt_cell.lock().expect("gvt cell");
-        if !gvt.is_infinite() {
-            for lp in lps.iter_mut() {
-                let _ = lp.fossil_collect(gvt);
-            }
+            },
         }
     }
 
-    let mut owned_values = Vec::new();
-    let mut waveforms = BTreeMap::new();
-    for lp in &mut lps {
-        owned_values.extend(lp.owned_values(topo));
-        waveforms.append(&mut lp.waveforms);
+    fn decide(
+        &self,
+        _fabric: &Fabric<'_>,
+        reports: &mut [Option<TwReport>],
+        cx: &mut DecideCx<'_>,
+    ) -> Decision<VirtualTime> {
+        let done = reports.iter().flatten().all(|r| r.done);
+        let sent_any = reports.iter().flatten().any(|r| r.sent);
+        let gvt = reports.iter().flatten().filter_map(|r| r.gvt).min();
+        if cx.probe.enabled() {
+            let g = gvt.map_or(0, VirtualTime::ticks);
+            let t = cx.probe.now_ns();
+            cx.probe.emit(t, g, 0, NO_LP, TraceKind::GvtAdvance, g);
+        }
+        if done && !sent_any {
+            Decision::Stop
+        } else {
+            Decision::Continue(gvt.unwrap_or(VirtualTime::INFINITY))
+        }
     }
-    stats.events_processed = total.events_processed - total.events_rolled_back;
-    stats.events_scheduled = total.events_scheduled;
-    stats.gate_evaluations = total.evaluations;
-    stats.rollbacks = total.rollbacks;
-    stats.events_rolled_back = total.events_rolled_back;
-    stats.anti_messages = total.anti_messages;
-    stats.state_bytes_saved = total.state_slots_saved;
-    stats.gvt_rounds = gvt_rounds;
-    WorkerResult { owned_values, waveforms, stats }
+
+    fn finish(
+        &self,
+        fabric: &Fabric<'_>,
+        _worker: usize,
+        mut state: TwWorker<V>,
+    ) -> WorkerOutput<V> {
+        let mut owned_values = Vec::new();
+        let mut waveforms = BTreeMap::new();
+        for lp in &mut state.lps {
+            owned_values.extend(lp.owned_values(fabric.topo()));
+            waveforms.extend(lp.take_waveforms());
+        }
+        let total = state.total;
+        let mut stats = state.stats;
+        stats.events_processed = total.events_processed - total.events_rolled_back;
+        stats.events_scheduled = total.events_scheduled;
+        stats.gate_evaluations = total.evaluations;
+        stats.rollbacks = total.rollbacks;
+        stats.events_rolled_back = total.events_rolled_back;
+        stats.anti_messages = total.anti_messages;
+        stats.state_bytes_saved = total.state_slots_saved;
+        stats.gvt_rounds = state.gvt_rounds;
+        WorkerOutput { owned_values, waveforms, stats }
+    }
 }
 
 fn accumulate(total: &mut TwWork, w: &TwWork) {

@@ -1,0 +1,281 @@
+//! The shared threaded LP execution fabric.
+
+use std::sync::{Barrier, Mutex};
+
+use parsim_core::{LpTopology, Observe, SimOutcome, SimStats, Stimulus};
+use parsim_event::{Event, VirtualTime};
+use parsim_logic::{GateKind, LogicValue};
+use parsim_netlist::Circuit;
+use parsim_partition::Partition;
+use parsim_trace::Probe;
+
+use crate::mailbox::{MailboxMesh, Outbox, DEFAULT_BATCH_LIMIT};
+use crate::protocol::{DecideCx, Decision, RoundCx, SyncProtocol, WorkerOutput};
+
+/// The compiled execution plan for one run: LP topology, worker mapping
+/// and preload routing, shared by every threaded kernel.
+///
+/// A fabric is built from a circuit and a [`Partition`] (one worker per
+/// block, each block optionally split into `granularity` LPs) and then
+/// driven by a [`SyncProtocol`] via [`Fabric::execute`]. The fabric owns
+/// everything the paper's §IV disciplines have in common — the worker
+/// pool, the round/barrier cadence, the batched mailbox mesh, report
+/// collection, result merging and probe plumbing — so a kernel is nothing
+/// but its protocol.
+#[derive(Debug)]
+pub struct Fabric<'c> {
+    circuit: &'c Circuit,
+    topo: LpTopology,
+    workers: usize,
+    granularity: usize,
+    observe: Observe,
+}
+
+impl<'c> Fabric<'c> {
+    /// Compiles a fabric: one worker per partition block, each block split
+    /// into `granularity` LPs (LP `l` runs on worker `l / granularity`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition does not cover the circuit, any gate delay
+    /// is zero, or `granularity` is zero.
+    pub fn new(
+        circuit: &'c Circuit,
+        partition: &Partition,
+        granularity: usize,
+        observe: Observe,
+    ) -> Self {
+        assert_eq!(partition.len(), circuit.len(), "partition does not match circuit");
+        assert!(
+            circuit.min_gate_delay().ticks() >= 1,
+            "simulation kernels require nonzero gate delays"
+        );
+        assert!(granularity >= 1, "granularity factor must be at least 1");
+        let workers = partition.blocks();
+        let coarse: Vec<usize> = circuit.ids().map(|id| partition.block_of(id)).collect();
+        let topo = LpTopology::with_granularity(circuit, &coarse, workers, granularity);
+        Fabric { circuit, topo, workers, granularity, observe }
+    }
+
+    /// The circuit this fabric simulates.
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
+    /// The LP decomposition (`workers × granularity` LPs; trailing LPs of
+    /// a block may be empty).
+    pub fn topo(&self) -> &LpTopology {
+        &self.topo
+    }
+
+    /// Worker-thread count (= partition blocks).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// LPs per worker.
+    pub fn granularity(&self) -> usize {
+        self.granularity
+    }
+
+    /// Which nets get waveforms.
+    pub fn observe(&self) -> Observe {
+        self.observe
+    }
+
+    /// The LPs owned by `worker`, ascending.
+    pub fn my_lps(&self, worker: usize) -> std::ops::Range<usize> {
+        worker * self.granularity..(worker + 1) * self.granularity
+    }
+
+    /// The worker that runs LP `lp`.
+    pub fn worker_of(&self, lp: usize) -> usize {
+        lp / self.granularity
+    }
+
+    /// LP `lp`'s index within its worker.
+    pub fn slot_of(&self, lp: usize) -> usize {
+        lp % self.granularity
+    }
+
+    /// Routes the known-in-advance events (stimulus and constant sources)
+    /// to every reader: each event goes to all LPs owning fanout of its
+    /// net, plus the owner of the driving gate (which tracks the net's
+    /// final value even without local fanout).
+    pub fn preloads<V: LogicValue>(
+        &self,
+        stimulus: &Stimulus,
+        until: VirtualTime,
+    ) -> Vec<Vec<Event<V>>> {
+        let mut preloads: Vec<Vec<Event<V>>> = vec![Vec::new(); self.topo.lps().len()];
+        let mut initial: Vec<Event<V>> = stimulus.events::<V>(self.circuit, until);
+        for (id, g) in self.circuit.iter() {
+            if g.kind() == GateKind::Const1 {
+                initial.push(Event::new(VirtualTime::ZERO, id, V::ONE));
+            }
+        }
+        for e in &initial {
+            let owner = self.topo.lp_of(e.net);
+            let mut to_owner = false;
+            for &dst in self.topo.destinations(e.net) {
+                preloads[dst].push(*e);
+                to_owner |= dst == owner;
+            }
+            if !to_owner {
+                preloads[owner].push(*e);
+            }
+        }
+        preloads
+    }
+
+    /// Runs `protocol` to completion on the worker pool and merges the
+    /// per-worker outputs.
+    ///
+    /// `stats.barriers` of the merged outcome reports the number of
+    /// synchronization rounds executed (each round is one barrier pair).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocol aborts ([`Decision::Abort`]) or a worker
+    /// thread panics; the originating panic is propagated.
+    pub fn execute<V, P>(
+        &self,
+        stimulus: &Stimulus,
+        until: VirtualTime,
+        probe: &Probe,
+        protocol: &P,
+    ) -> SimOutcome<V>
+    where
+        V: LogicValue,
+        P: SyncProtocol<V>,
+    {
+        let mut preloads = self.preloads::<V>(stimulus, until);
+        let mesh: MailboxMesh<P::Msg> = MailboxMesh::new(self.workers);
+        let barrier = Barrier::new(self.workers);
+        let reports: Mutex<Vec<Option<P::Report>>> =
+            Mutex::new((0..self.workers).map(|_| None).collect());
+        let decision: Mutex<Option<Decision<P::Verdict>>> = Mutex::new(None);
+
+        let results: Vec<(WorkerOutput<V>, u64)> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.workers);
+            for p in 0..self.workers {
+                let my_preloads: Vec<Vec<Event<V>>> =
+                    self.my_lps(p).map(|lp| std::mem::take(&mut preloads[lp])).collect();
+                let (mesh, barrier, reports, decision) = (&mesh, &barrier, &reports, &decision);
+                let ph = probe.handle();
+                handles.push(scope.spawn(move || {
+                    self.worker_loop(
+                        p,
+                        protocol,
+                        my_preloads,
+                        until,
+                        mesh,
+                        barrier,
+                        reports,
+                        decision,
+                        ph,
+                    )
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
+        });
+
+        let mut final_values = vec![V::ZERO; self.circuit.len()];
+        let mut waveforms = std::collections::BTreeMap::new();
+        let mut stats = SimStats::default();
+        let mut rounds = 0u64;
+        for (out, worker_rounds) in results {
+            for (id, v) in out.owned_values {
+                final_values[id.index()] = v;
+            }
+            waveforms.extend(out.waveforms);
+            stats.merge(&out.stats);
+            rounds = rounds.max(worker_rounds);
+        }
+        stats.barriers = stats.barriers.max(rounds);
+        SimOutcome { final_values, waveforms, end_time: until, stats }
+    }
+
+    /// One worker's round loop; returns its output and round count.
+    #[allow(clippy::too_many_arguments)]
+    fn worker_loop<V, P>(
+        &self,
+        p: usize,
+        protocol: &P,
+        preloads: Vec<Vec<Event<V>>>,
+        until: VirtualTime,
+        mesh: &MailboxMesh<P::Msg>,
+        barrier: &Barrier,
+        reports: &Mutex<Vec<Option<P::Report>>>,
+        decision: &Mutex<Option<Decision<P::Verdict>>>,
+        mut ph: parsim_trace::ProbeHandle,
+    ) -> (WorkerOutput<V>, u64)
+    where
+        V: LogicValue,
+        P: SyncProtocol<V>,
+    {
+        let mut state = protocol.worker(self, p, preloads);
+        let mut verdict = protocol.first_verdict();
+        let mut inbox: Vec<P::Msg> = Vec::new();
+        let mut outbox = Outbox::new(mesh, DEFAULT_BATCH_LIMIT);
+        let mut rounds = 0u64;
+
+        loop {
+            rounds += 1;
+            mesh.drain_into(p, &mut inbox);
+            let report = {
+                let mut cx = RoundCx {
+                    worker: p,
+                    until,
+                    inbox: &mut inbox,
+                    outbox: &mut outbox,
+                    probe: &mut ph,
+                    granularity: self.granularity,
+                };
+                protocol.round(self, &mut state, &verdict, &mut cx)
+            };
+            inbox.clear();
+            outbox.flush();
+            reports.lock().expect("reports lock")[p] = Some(report);
+
+            ph.barrier_wait(barrier, p as u32, 0);
+            if p == 0 {
+                let mut slots = reports.lock().expect("reports lock");
+                debug_assert!(slots.iter().all(Option::is_some), "every worker reported");
+                let d = {
+                    let mut cx = DecideCx { until, round: rounds, probe: &mut ph };
+                    protocol.decide(self, &mut slots, &mut cx)
+                };
+                for slot in slots.iter_mut() {
+                    *slot = None;
+                }
+                drop(slots);
+                *decision.lock().expect("decision lock") = Some(d);
+            }
+            ph.barrier_wait(barrier, p as u32, 0);
+
+            let d = decision
+                .lock()
+                .expect("decision lock")
+                .as_ref()
+                .expect("coordinator decided")
+                .clone();
+            match d {
+                Decision::Continue(v) => verdict = v,
+                Decision::Stop => break,
+                Decision::Abort(msg) => {
+                    // Everyone is past the barrier, so no one can hang;
+                    // worker 0 carries the diagnostic.
+                    if p == 0 {
+                        panic!("{msg}");
+                    }
+                    break;
+                }
+            }
+        }
+        (protocol.finish(self, p, state), rounds)
+    }
+}

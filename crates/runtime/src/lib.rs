@@ -1,0 +1,40 @@
+//! # parsim-runtime
+//!
+//! The shared threaded LP execution fabric under every parallel kernel.
+//!
+//! The paper's parallel simulators (§IV) differ only in their
+//! synchronization discipline — synchronous barriers, conservative
+//! channel clocks with null messages, optimistic rollback with GVT. The
+//! machinery around the discipline is identical: a pool of worker
+//! threads, logical processes mapped onto workers, time-stamped messages
+//! between them, a global agreement step, and merged results. Before this
+//! crate existed, each threaded kernel carried its own copy of that
+//! machinery; now it lives here once:
+//!
+//! - [`Fabric`] — compiles a circuit + [`Partition`](parsim_partition::Partition)
+//!   into an LP topology and worker mapping, routes preloaded events, and
+//!   drives the round/barrier loop to completion.
+//! - [`SyncProtocol`] — the plug point: per-worker state, the message
+//!   type, one round of local work, and the coordinator's decision.
+//! - [`MailboxMesh`] / [`Outbox`] — batched inter-worker delivery with
+//!   FIFO-per-channel ordering; one lock acquisition per batch instead of
+//!   per message.
+//! - [`LpCore`] — flat struct-of-arrays per-LP gate state (net values,
+//!   sequential gate state, waveforms, dirty marking) shared by every
+//!   discipline's LP state machine.
+//!
+//! The synchronous, conservative and Time Warp threaded kernels in
+//! `parsim-sync`, `parsim-conservative` and `parsim-optimistic` are
+//! `SyncProtocol` implementations on this fabric.
+
+#![forbid(unsafe_code)]
+
+mod fabric;
+mod mailbox;
+mod protocol;
+mod state;
+
+pub use fabric::Fabric;
+pub use mailbox::{MailboxMesh, Outbox, DEFAULT_BATCH_LIMIT};
+pub use protocol::{DecideCx, Decision, RoundCx, SyncProtocol, WorkerOutput};
+pub use state::{GateStateSoa, LpCore};

@@ -1,0 +1,157 @@
+//! The synchronization-protocol interface the fabric drives.
+//!
+//! §IV of the paper surveys synchronization disciplines — synchronous
+//! (global barrier per timestep), conservative (channel clocks and null
+//! messages), optimistic (rollback and GVT). What *varies* between them is
+//! exactly what [`SyncProtocol`] captures: the per-worker state, the
+//! message type, what one round of local work does, and how a coordinator
+//! turns the workers' round reports into the next global verdict. What
+//! does *not* vary — thread pool, mailbox mesh, barrier cadence, result
+//! merging, probe plumbing — lives in [`Fabric`](crate::Fabric).
+
+use std::collections::BTreeMap;
+
+use parsim_core::{SimStats, Waveform};
+use parsim_event::VirtualTime;
+use parsim_logic::LogicValue;
+use parsim_netlist::GateId;
+use parsim_trace::ProbeHandle;
+
+use crate::mailbox::Outbox;
+use crate::Fabric;
+
+/// The coordinator's verdict after one round, broadcast to every worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision<T> {
+    /// Run another round under the given verdict.
+    Continue(T),
+    /// The run is complete: workers finalize and exit.
+    Stop,
+    /// A protocol invariant broke. Every worker leaves the round loop (so
+    /// no one hangs at a barrier) and the fabric panics with the message.
+    Abort(String),
+}
+
+/// What one worker hands back when its rounds are over.
+#[derive(Debug)]
+pub struct WorkerOutput<V> {
+    /// Final value of every net owned by this worker's LPs.
+    pub owned_values: Vec<(GateId, V)>,
+    /// Waveforms of this worker's observed nets.
+    pub waveforms: BTreeMap<GateId, Waveform<V>>,
+    /// This worker's share of the run statistics.
+    pub stats: SimStats,
+}
+
+/// Per-round context handed to [`SyncProtocol::round`].
+///
+/// The fabric drains the worker's mailbox into `inbox` before the call and
+/// flushes `outbox` after it, so a protocol only routes logical messages;
+/// batching and delivery are the mailbox's problem.
+#[derive(Debug)]
+pub struct RoundCx<'a, 'm, M> {
+    /// This worker's index.
+    pub worker: usize,
+    /// Simulation horizon.
+    pub until: VirtualTime,
+    /// Messages that arrived since the previous round. The protocol must
+    /// consume them (`drain(..)`); anything left is discarded.
+    pub inbox: &'a mut Vec<M>,
+    /// Batched sender to every worker (including this one: self-posts are
+    /// delivered next round).
+    pub outbox: &'a mut Outbox<'m, M>,
+    /// This worker thread's trace recorder.
+    pub probe: &'a mut ProbeHandle,
+    /// LPs per worker: a message for LP `l` goes to worker
+    /// `l / granularity`.
+    pub granularity: usize,
+}
+
+impl<M> RoundCx<'_, '_, M> {
+    /// Sends `msg` to the worker owning LP `dst_lp`.
+    #[inline]
+    pub fn send_lp(&mut self, dst_lp: usize, msg: M) {
+        self.outbox.send(dst_lp / self.granularity, msg);
+    }
+}
+
+/// Context handed to [`SyncProtocol::decide`] (runs on worker 0 between
+/// the two round barriers).
+#[derive(Debug)]
+pub struct DecideCx<'a> {
+    /// Simulation horizon.
+    pub until: VirtualTime,
+    /// Rounds completed so far, including the one being decided.
+    pub round: u64,
+    /// Worker 0's trace recorder.
+    pub probe: &'a mut ProbeHandle,
+}
+
+/// One synchronization discipline, pluggable into the fabric.
+///
+/// The fabric runs every worker through the same loop:
+///
+/// ```text
+/// loop {
+///     drain mailbox → inbox
+///     report = protocol.round(state, verdict, cx)   // act on verdict,
+///     flush outbox                                  // apply inbox, work
+///     barrier
+///     worker 0: decision = protocol.decide(reports)
+///     barrier
+///     Continue(v) → verdict = v;  Stop/Abort → leave
+/// }
+/// ```
+///
+/// Messages posted during round *r* are visible in every inbox at round
+/// *r + 1* — the barrier pair is the delivery guarantee. A verdict decided
+/// after round *r* is acted on at the *start* of round *r + 1* (e.g.
+/// deadlock recovery, fossil collection), which is equivalent to acting
+/// after the second barrier since nothing happens in between.
+pub trait SyncProtocol<V: LogicValue>: Sync {
+    /// Inter-worker message (events, nulls, anti-messages…).
+    type Msg: Send;
+    /// Per-worker protocol state (LPs, queues, counters).
+    type Worker: Send;
+    /// What a worker reports after each round (flags, head times…).
+    type Report: Send;
+    /// What the coordinator broadcasts for the next round (step time,
+    /// GVT, recovery target…).
+    type Verdict: Clone + Send;
+
+    /// Builds worker `worker`'s state. `preloads[slot]` holds the
+    /// stimulus/constant events routed to the worker's `slot`-th LP
+    /// (ascending LP order, see [`Fabric::my_lps`]).
+    fn worker(
+        &self,
+        fabric: &Fabric<'_>,
+        worker: usize,
+        preloads: Vec<Vec<parsim_event::Event<V>>>,
+    ) -> Self::Worker;
+
+    /// The verdict in force for the first round, before any report exists.
+    fn first_verdict(&self) -> Self::Verdict;
+
+    /// One round of local work: act on `verdict`, apply `cx.inbox`, then
+    /// advance the worker's LPs, routing messages through `cx`.
+    fn round(
+        &self,
+        fabric: &Fabric<'_>,
+        state: &mut Self::Worker,
+        verdict: &Self::Verdict,
+        cx: &mut RoundCx<'_, '_, Self::Msg>,
+    ) -> Self::Report;
+
+    /// Coordinator step: fold every worker's report into the next
+    /// decision. `reports[p]` is always `Some` (every worker reported this
+    /// round); the fabric clears the slots afterwards.
+    fn decide(
+        &self,
+        fabric: &Fabric<'_>,
+        reports: &mut [Option<Self::Report>],
+        cx: &mut DecideCx<'_>,
+    ) -> Decision<Self::Verdict>;
+
+    /// Tears a worker's state down into the merged-result contribution.
+    fn finish(&self, fabric: &Fabric<'_>, worker: usize, state: Self::Worker) -> WorkerOutput<V>;
+}

@@ -1,0 +1,211 @@
+//! Fabric-level regression tests with a minimal protocol: worker-count
+//! edge cases, message delivery across rounds, round accounting, clean
+//! termination and abort propagation.
+
+use std::collections::BTreeMap;
+
+use parsim_core::{Observe, SimStats, Stimulus};
+use parsim_event::{Event, VirtualTime};
+use parsim_logic::Bit;
+use parsim_netlist::bench;
+use parsim_partition::Partition;
+use parsim_runtime::{DecideCx, Decision, Fabric, RoundCx, SyncProtocol, WorkerOutput};
+use parsim_trace::Probe;
+
+/// A protocol that ignores the circuit entirely: each worker passes one
+/// token per round to its successor for a fixed number of rounds. Exercises
+/// the fabric's mailbox delivery (including self-posts on a single worker),
+/// round cadence and termination without any simulation semantics.
+struct TokenRing {
+    sending_rounds: u64,
+}
+
+struct RingWorker {
+    received: u64,
+    sum: u64,
+}
+
+impl SyncProtocol<Bit> for TokenRing {
+    type Msg = u64;
+    type Worker = RingWorker;
+    /// Tokens received this round.
+    type Report = u64;
+    /// Completed round count.
+    type Verdict = u64;
+
+    fn worker(
+        &self,
+        _fabric: &Fabric<'_>,
+        _worker: usize,
+        _preloads: Vec<Vec<Event<Bit>>>,
+    ) -> RingWorker {
+        RingWorker { received: 0, sum: 0 }
+    }
+
+    fn first_verdict(&self) -> u64 {
+        0
+    }
+
+    fn round(
+        &self,
+        fabric: &Fabric<'_>,
+        state: &mut RingWorker,
+        verdict: &u64,
+        cx: &mut RoundCx<'_, '_, u64>,
+    ) -> u64 {
+        let got = cx.inbox.len() as u64;
+        state.received += got;
+        for m in cx.inbox.drain(..) {
+            state.sum += m;
+        }
+        if *verdict < self.sending_rounds {
+            // Address the successor by LP (first LP of the next worker).
+            let next_lp = ((cx.worker + 1) % fabric.workers()) * cx.granularity;
+            cx.send_lp(next_lp, *verdict);
+        }
+        got
+    }
+
+    fn decide(
+        &self,
+        _fabric: &Fabric<'_>,
+        _reports: &mut [Option<u64>],
+        cx: &mut DecideCx<'_>,
+    ) -> Decision<u64> {
+        // One extra round drains the tokens sent in the last sending round.
+        if cx.round > self.sending_rounds {
+            Decision::Stop
+        } else {
+            Decision::Continue(cx.round)
+        }
+    }
+
+    fn finish(&self, _fabric: &Fabric<'_>, _worker: usize, state: RingWorker) -> WorkerOutput<Bit> {
+        let mut stats = SimStats::default();
+        stats.events_processed = state.received;
+        stats.messages_sent = state.sum;
+        WorkerOutput { owned_values: Vec::new(), waveforms: BTreeMap::new(), stats }
+    }
+}
+
+fn run_ring(workers: usize, sending_rounds: u64) -> SimStats {
+    let c = bench::c17();
+    // Worker count independent of gate placement: all gates in block 0,
+    // the remaining blocks own no gates at all.
+    let part = Partition::new(workers, vec![0; c.len()]).expect("valid partition");
+    let fabric = Fabric::new(&c, &part, 1, Observe::Outputs);
+    assert_eq!(fabric.workers(), workers);
+    let out = fabric.execute::<Bit, _>(
+        &Stimulus::quiet(100),
+        VirtualTime::new(100),
+        &Probe::disabled(),
+        &TokenRing { sending_rounds },
+    );
+    out.stats
+}
+
+#[test]
+fn tokens_are_delivered_at_every_worker_count() {
+    for workers in [1, 2, 3, 8] {
+        let rounds = 5;
+        let stats = run_ring(workers, rounds);
+        // Every worker sends one token in each of `rounds` rounds; every
+        // token is delivered exactly once (self-posts included at P = 1).
+        assert_eq!(stats.events_processed, workers as u64 * rounds, "token count at P = {workers}");
+        // Tokens carry the round number 0..rounds, once per worker.
+        let expected_sum = workers as u64 * (0..rounds).sum::<u64>();
+        assert_eq!(stats.messages_sent, expected_sum, "token payloads at P = {workers}");
+    }
+}
+
+#[test]
+fn round_count_is_reported_as_barriers() {
+    // `sending_rounds` rounds of traffic plus the draining round.
+    let stats = run_ring(4, 7);
+    assert_eq!(stats.barriers, 8);
+}
+
+#[test]
+fn zero_round_protocol_terminates_immediately() {
+    let stats = run_ring(3, 0);
+    assert_eq!(stats.events_processed, 0);
+    assert_eq!(stats.barriers, 1);
+}
+
+#[test]
+fn workers_exceeding_lps_still_run() {
+    // c17 has a handful of gates; 8 workers leaves most blocks empty.
+    let stats = run_ring(8, 3);
+    assert_eq!(stats.events_processed, 24);
+}
+
+/// A protocol whose coordinator aborts on the first decision.
+struct AbortImmediately;
+
+impl SyncProtocol<Bit> for AbortImmediately {
+    type Msg = ();
+    type Worker = ();
+    type Report = ();
+    type Verdict = ();
+
+    fn worker(&self, _f: &Fabric<'_>, _w: usize, _p: Vec<Vec<Event<Bit>>>) {}
+
+    fn first_verdict(&self) {}
+
+    fn round(&self, _f: &Fabric<'_>, _s: &mut (), _v: &(), cx: &mut RoundCx<'_, '_, ()>) {
+        cx.inbox.clear();
+    }
+
+    fn decide(
+        &self,
+        _f: &Fabric<'_>,
+        _r: &mut [Option<()>],
+        _cx: &mut DecideCx<'_>,
+    ) -> Decision<()> {
+        Decision::Abort("protocol invariant violated (test)".into())
+    }
+
+    fn finish(&self, _f: &Fabric<'_>, _w: usize, (): ()) -> WorkerOutput<Bit> {
+        WorkerOutput {
+            owned_values: Vec::new(),
+            waveforms: BTreeMap::new(),
+            stats: SimStats::default(),
+        }
+    }
+}
+
+#[test]
+fn abort_panics_with_the_protocol_message_instead_of_hanging() {
+    let c = bench::c17();
+    let part = Partition::new(3, vec![0; c.len()]).expect("valid partition");
+    let fabric = Fabric::new(&c, &part, 1, Observe::Outputs);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        fabric.execute::<Bit, _>(
+            &Stimulus::quiet(100),
+            VirtualTime::new(100),
+            &Probe::disabled(),
+            &AbortImmediately,
+        )
+    }));
+    let payload = result.expect_err("abort must panic");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_default();
+    assert!(msg.contains("protocol invariant violated"), "unexpected panic payload: {msg}");
+}
+
+#[test]
+fn lp_to_worker_mapping_is_consistent() {
+    let c = bench::c17();
+    let part = Partition::new(3, vec![0; c.len()]).expect("valid partition");
+    let fabric = Fabric::new(&c, &part, 4, Observe::Outputs);
+    assert_eq!(fabric.granularity(), 4);
+    assert_eq!(fabric.topo().lps().len(), 12);
+    for lp in 0..12 {
+        let w = fabric.worker_of(lp);
+        assert!(fabric.my_lps(w).contains(&lp));
+        assert_eq!(w * 4 + fabric.slot_of(lp), lp);
+    }
+}

@@ -1,27 +1,25 @@
-//! The threaded synchronous kernel.
+//! The threaded synchronous kernel, as a protocol on the shared fabric.
 
-use std::collections::BTreeMap;
 use std::marker::PhantomData;
-use std::sync::{Barrier, Mutex};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parsim_core::{
-    evaluate_gate, GateRuntime, Observe, SimOutcome, SimStats, Simulator, Stimulus, Waveform,
-};
+use parsim_core::{Observe, SimOutcome, SimStats, Simulator, Stimulus};
 use parsim_event::{BinaryHeapQueue, Event, EventQueue, VirtualTime};
-use parsim_logic::{GateKind, LogicValue};
-use parsim_netlist::{Circuit, GateId};
+use parsim_logic::LogicValue;
+use parsim_netlist::GateId;
 use parsim_partition::Partition;
-use parsim_trace::{Probe, TraceKind, NO_LP};
+use parsim_runtime::{DecideCx, Decision, Fabric, LpCore, RoundCx, SyncProtocol, WorkerOutput};
+use parsim_trace::{Probe, TraceKind};
 
 /// The synchronous kernel on real threads.
 ///
-/// One worker thread per partition block; each superstep the workers agree
-/// on the next event time through a shared head-time table and a
-/// `std::sync::Barrier`, process their events on private state, and
-/// exchange boundary events over crossbeam channels. Logical results are
-/// bit-identical to [`SyncSimulator`](crate::SyncSimulator) and the
-/// sequential reference.
+/// One worker thread per partition block, one LP per worker, driven by the
+/// shared [`Fabric`]. Each round the workers process every local event at
+/// the globally agreed step time, exchange boundary events through the
+/// batched mailbox mesh, and report the earliest pending timestamp (local
+/// queue head, or the earliest event sent this round — so in-flight
+/// messages are covered); the coordinator's minimum is the next step time.
+/// Logical results are bit-identical to
+/// [`SyncSimulator`](crate::SyncSimulator) and the sequential reference.
 ///
 /// On a single-core host this kernel demonstrates correctness, not speedup;
 /// wall-clock numbers are only meaningful on real multiprocessors (the
@@ -61,262 +59,184 @@ impl<V: LogicValue> ThreadedSyncSimulator<V> {
     }
 }
 
-struct WorkerResult<V> {
-    owned_values: Vec<(GateId, V)>,
-    waveforms: BTreeMap<GateId, Waveform<V>>,
-    stats: SimStats,
-}
-
 impl<V: LogicValue> Simulator<V> for ThreadedSyncSimulator<V> {
     fn name(&self) -> String {
         format!("threaded-synchronous(P={})", self.partition.blocks())
     }
 
-    fn run(&self, circuit: &Circuit, stimulus: &Stimulus, until: VirtualTime) -> SimOutcome<V> {
-        assert_eq!(self.partition.len(), circuit.len(), "partition does not match circuit");
-        assert!(
-            circuit.min_gate_delay().ticks() >= 1,
-            "simulation kernels require nonzero gate delays"
-        );
-        let p_count = self.partition.blocks();
-        let n = circuit.len();
-
-        // Pre-compute destination blocks per net.
-        let dests: Vec<Vec<usize>> = circuit
-            .ids()
-            .map(|id| {
-                let mut d: Vec<usize> =
-                    circuit.fanout(id).iter().map(|e| self.partition.block_of(e.gate)).collect();
-                d.push(self.partition.block_of(id));
-                d.sort_unstable();
-                d.dedup();
-                d
-            })
-            .collect();
-
-        // Initial events, distributed per destination block.
-        let mut initial: Vec<Vec<Event<V>>> = vec![Vec::new(); p_count];
-        let mut init_events: Vec<Event<V>> = stimulus.events::<V>(circuit, until);
-        for (id, g) in circuit.iter() {
-            if g.kind() == GateKind::Const1 {
-                init_events.push(Event::new(VirtualTime::ZERO, id, V::ONE));
-            }
-        }
-        for e in &init_events {
-            for &b in &dests[e.net.index()] {
-                initial[b].push(*e);
-            }
-        }
-
-        let barrier = Barrier::new(p_count);
-        let heads: Mutex<Vec<Option<VirtualTime>>> = Mutex::new(vec![None; p_count]);
-        let mut senders: Vec<Sender<Event<V>>> = Vec::with_capacity(p_count);
-        let mut receivers: Vec<Option<Receiver<Event<V>>>> = Vec::with_capacity(p_count);
-        for _ in 0..p_count {
-            let (s, r) = unbounded();
-            senders.push(s);
-            receivers.push(Some(r));
-        }
-
-        let owned: Vec<Vec<GateId>> = self.partition.members();
-
-        let results: Vec<WorkerResult<V>> = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(p_count);
-            for p in 0..p_count {
-                let my_initial = std::mem::take(&mut initial[p]);
-                let my_rx = receivers[p].take().expect("receiver taken once");
-                let senders = senders.clone();
-                let barrier = &barrier;
-                let heads = &heads;
-                let dests = &dests;
-                let owned = &owned[p];
-                let partition = &self.partition;
-                let observe = self.observe;
-                let ph = self.probe.handle();
-                handles.push(scope.spawn(move || {
-                    run_worker(
-                        p, circuit, partition, observe, my_initial, my_rx, senders, barrier, heads,
-                        dests, owned, until, ph,
-                    )
-                }));
-            }
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        });
-
-        // Merge worker results.
-        let mut final_values = vec![V::ZERO; n];
-        let mut waveforms = BTreeMap::new();
-        let mut stats = SimStats::default();
-        for r in results {
-            for (id, v) in r.owned_values {
-                final_values[id.index()] = v;
-            }
-            waveforms.extend(r.waveforms);
-            stats.merge(&r.stats);
-        }
-        SimOutcome { final_values, waveforms, end_time: until, stats }
+    fn run(
+        &self,
+        circuit: &parsim_netlist::Circuit,
+        stimulus: &Stimulus,
+        until: VirtualTime,
+    ) -> SimOutcome<V> {
+        let fabric = Fabric::new(circuit, &self.partition, 1, self.observe);
+        fabric.execute(stimulus, until, &self.probe, &BarrierProtocol)
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_worker<V: LogicValue>(
-    p: usize,
-    circuit: &Circuit,
-    partition: &Partition,
-    observe: Observe,
-    initial: Vec<Event<V>>,
-    rx: Receiver<Event<V>>,
-    senders: Vec<Sender<Event<V>>>,
-    barrier: &Barrier,
-    heads: &Mutex<Vec<Option<VirtualTime>>>,
-    dests: &[Vec<usize>],
-    owned: &[GateId],
-    until: VirtualTime,
-    mut ph: parsim_trace::ProbeHandle,
-) -> WorkerResult<V> {
-    // Measured barrier wait: real elapsed nanoseconds, not modeled cost.
-    let timed_wait = |ph: &mut parsim_trace::ProbeHandle, vt: u64| {
-        if ph.enabled() {
-            let start = ph.now_ns();
-            barrier.wait();
-            let end = ph.now_ns();
-            ph.emit(start, vt, p as u32, NO_LP, TraceKind::BarrierWait, end - start);
-        } else {
-            barrier.wait();
-        }
-    };
-    let n = circuit.len();
-    let mut values = vec![V::ZERO; n];
-    let mut runtime: BTreeMap<GateId, GateRuntime<V>> =
-        owned.iter().map(|&id| (id, GateRuntime::default())).collect();
-    let mut waveforms: BTreeMap<GateId, Waveform<V>> = owned
-        .iter()
-        .copied()
-        .filter(|&id| observe.wants(circuit, id))
-        .map(|id| (id, Waveform::new(V::ZERO)))
-        .collect();
-    let mut queue = BinaryHeapQueue::new();
-    for e in initial {
-        queue.push(e);
-    }
-    let mut stats = SimStats::default();
-    let mut stamp = vec![u64::MAX; n];
-    let mut stamp_counter = 0u64;
-    let mut first_step = true;
+/// The synchronous discipline: every worker steps at the same global time.
+struct BarrierProtocol;
 
-    loop {
-        // Publish the local head time; the minimum is the global step time.
-        {
-            let mut h = heads.lock().expect("heads lock");
-            h[p] = queue.peek_time();
+/// Per-worker state: one LP (= partition block) with a private event queue.
+struct SyncWorker<V> {
+    owned: Vec<GateId>,
+    core: LpCore<V>,
+    queue: BinaryHeapQueue<V>,
+    first: bool,
+    stats: SimStats,
+}
+
+impl<V: LogicValue> SyncProtocol<V> for BarrierProtocol {
+    type Msg = Event<V>;
+    type Worker = SyncWorker<V>;
+    /// Earliest pending timestamp: min(queue head, earliest send this round).
+    type Report = Option<VirtualTime>;
+    /// The globally agreed step time of the next round.
+    type Verdict = VirtualTime;
+
+    fn worker(
+        &self,
+        fabric: &Fabric<'_>,
+        worker: usize,
+        preloads: Vec<Vec<Event<V>>>,
+    ) -> SyncWorker<V> {
+        let circuit = fabric.circuit();
+        let owned = fabric.topo().lps()[worker].gates.clone();
+        let observe = fabric.observe();
+        let core =
+            LpCore::new(circuit, owned.iter().copied().filter(|&id| observe.wants(circuit, id)));
+        let mut queue = BinaryHeapQueue::new();
+        for events in preloads {
+            for e in events {
+                queue.push(e);
+            }
         }
-        timed_wait(&mut ph, 0);
-        let now = {
-            let h = heads.lock().expect("heads lock");
-            h.iter().flatten().min().copied()
-        };
-        // All workers must pass this barrier before anyone rewrites heads.
-        timed_wait(&mut ph, 0);
+        SyncWorker { owned, core, queue, first: true, stats: SimStats::default() }
+    }
+
+    fn first_verdict(&self) -> VirtualTime {
+        VirtualTime::ZERO
+    }
+
+    fn round(
+        &self,
+        fabric: &Fabric<'_>,
+        state: &mut SyncWorker<V>,
+        verdict: &VirtualTime,
+        cx: &mut RoundCx<'_, '_, Event<V>>,
+    ) -> Option<VirtualTime> {
+        let circuit = fabric.circuit();
+        let topo = fabric.topo();
+        let me = cx.worker;
+        for e in cx.inbox.drain(..) {
+            state.queue.push(e);
+        }
         // The first round always runs at t = 0 (initial evaluation), even
         // when the earliest queued event is later; every worker takes this
-        // branch in the same round, keeping the barriers aligned.
-        let now = if first_step {
-            VirtualTime::ZERO
-        } else {
-            match now {
-                Some(t) if t <= until => t,
-                _ => break,
-            }
-        };
+        // branch in the same round, keeping the rounds aligned.
+        let now = if state.first { VirtualTime::ZERO } else { *verdict };
 
-        stamp_counter += 1;
-        let mut dirty: Vec<GateId> = Vec::new();
+        state.core.begin_batch();
 
         // Phase 1: apply local events at `now`.
-        while queue.peek_time() == Some(now) {
-            let e = queue.pop().expect("peeked");
-            stats.events_processed += 1;
-            if ph.enabled() {
-                let t = ph.now_ns();
-                ph.emit(
+        while state.queue.peek_time() == Some(now) {
+            let e = state.queue.pop().expect("peeked");
+            state.stats.events_processed += 1;
+            if cx.probe.enabled() {
+                let t = cx.probe.now_ns();
+                cx.probe.emit(
                     t,
                     now.ticks(),
-                    p as u32,
+                    me as u32,
                     e.net.index() as u32,
                     TraceKind::Dequeue,
-                    queue.len() as u64,
+                    state.queue.len() as u64,
                 );
             }
-            if values[e.net.index()] == e.value {
-                continue;
-            }
-            values[e.net.index()] = e.value;
-            if let Some(w) = waveforms.get_mut(&e.net) {
-                w.record(now, e.value);
-            }
-            for entry in circuit.fanout(e.net) {
-                if partition.block_of(entry.gate) == p && stamp[entry.gate.index()] != stamp_counter
-                {
-                    stamp[entry.gate.index()] = stamp_counter;
-                    dirty.push(entry.gate);
-                }
+            if state.core.apply_event(now, &e).is_some() {
+                state.core.mark_fanout(circuit, topo, me, e.net);
             }
         }
-        if first_step {
-            for &id in owned {
-                if !circuit.kind(id).is_source() && stamp[id.index()] != stamp_counter {
-                    stamp[id.index()] = stamp_counter;
-                    dirty.push(id);
-                }
-            }
-            first_step = false;
+        if state.first {
+            state.core.mark_owned_non_source(circuit, &state.owned);
+            state.first = false;
         }
 
-        // Phase 2: evaluate and distribute.
-        dirty.sort_unstable();
+        // Phase 2: evaluate in id order and distribute.
+        let mut sent_min: Option<VirtualTime> = None;
+        let dirty = state.core.take_dirty_sorted();
         for &id in &dirty {
-            stats.gate_evaluations += 1;
-            if ph.enabled() {
-                let t = ph.now_ns();
-                ph.emit(t, now.ticks(), p as u32, id.index() as u32, TraceKind::GateEval, 1);
+            state.stats.gate_evaluations += 1;
+            if cx.probe.enabled() {
+                let t = cx.probe.now_ns();
+                cx.probe.emit(t, now.ticks(), me as u32, id.index() as u32, TraceKind::GateEval, 1);
             }
-            let rt = runtime.get_mut(&id).expect("dirty gate is owned");
-            let out = evaluate_gate(circuit, id, &mut |f| values[f.index()], rt);
-            if let Some(v) = out {
+            if let Some(v) = state.core.evaluate(circuit, id) {
                 let e = Event::new(now + circuit.delay(id), id, v);
-                stats.events_scheduled += 1;
-                for &b in &dests[id.index()] {
-                    if b == p {
-                        queue.push(e);
+                state.stats.events_scheduled += 1;
+                let mut to_self = false;
+                for &dst in topo.destinations(id) {
+                    if dst == me {
+                        to_self = true;
+                        state.queue.push(e);
                     } else {
-                        stats.messages_sent += 1;
-                        if ph.enabled() {
-                            let t = ph.now_ns();
-                            ph.emit(
+                        state.stats.messages_sent += 1;
+                        if cx.probe.enabled() {
+                            let t = cx.probe.now_ns();
+                            cx.probe.emit(
                                 t,
                                 now.ticks(),
-                                p as u32,
+                                me as u32,
                                 id.index() as u32,
                                 TraceKind::MessageSend,
-                                b as u64,
+                                dst as u64,
                             );
                         }
-                        senders[b].send(e).expect("peer alive until all workers exit");
+                        sent_min = Some(sent_min.map_or(e.time, |m| m.min(e.time)));
+                        cx.send_lp(dst, e);
                     }
+                }
+                // A driver whose own block is not among the destinations
+                // still tracks its output value locally.
+                if !to_self {
+                    state.queue.push(e);
                 }
             }
         }
+        state.core.recycle_dirty(dirty);
 
-        // Phase 3: everyone has sent; drain the inbox.
-        timed_wait(&mut ph, now.ticks());
-        stats.barriers += 1;
-        for e in rx.try_iter() {
-            queue.push(e);
+        match (state.queue.peek_time(), sent_min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
         }
     }
 
-    let owned_values = owned.iter().map(|&id| (id, values[id.index()])).collect();
-    WorkerResult { owned_values, waveforms, stats }
+    fn decide(
+        &self,
+        _fabric: &Fabric<'_>,
+        reports: &mut [Option<Option<VirtualTime>>],
+        cx: &mut DecideCx<'_>,
+    ) -> Decision<VirtualTime> {
+        let next = reports.iter().filter_map(|r| r.flatten()).min();
+        match next {
+            Some(t) if t <= cx.until => Decision::Continue(t),
+            _ => Decision::Stop,
+        }
+    }
+
+    fn finish(
+        &self,
+        _fabric: &Fabric<'_>,
+        _worker: usize,
+        mut state: SyncWorker<V>,
+    ) -> WorkerOutput<V> {
+        WorkerOutput {
+            owned_values: state.core.owned_values(&state.owned),
+            waveforms: state.core.take_waveforms(),
+            stats: state.stats,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -324,7 +244,7 @@ mod tests {
     use super::*;
     use parsim_core::SequentialSimulator;
     use parsim_logic::{Bit, Logic4};
-    use parsim_netlist::{bench, generate, DelayModel};
+    use parsim_netlist::{bench, generate, Circuit, DelayModel};
     use parsim_partition::{FiducciaMattheyses, GateWeights, Partitioner};
 
     fn check_equivalent<V: LogicValue>(c: &Circuit, stim: &Stimulus, until: u64, p: usize) {

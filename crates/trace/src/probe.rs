@@ -3,7 +3,7 @@
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use crate::{Metrics, Trace, TraceKind, TraceRecord};
+use crate::{Metrics, Trace, TraceKind, TraceRecord, NO_LP};
 
 /// Default per-thread ring capacity (records). At 48 bytes per record this
 /// bounds a worker's buffer to ~48 MB; overflowing records are counted, not
@@ -175,6 +175,24 @@ impl ProbeHandle {
             return;
         }
         self.buf.push(TraceRecord { t, vt, processor, lp, kind, arg });
+    }
+
+    /// Waits on `barrier`, recording the measured wait span as a
+    /// [`TraceKind::BarrierWait`] record attributed to `processor` at
+    /// virtual time `vt` (no LP). When disabled this is exactly
+    /// `barrier.wait()` — no clock reads.
+    ///
+    /// Every threaded kernel synchronizes through this helper; it replaces
+    /// the per-kernel timed-wait closures that used to be copy-pasted.
+    pub fn barrier_wait(&mut self, barrier: &std::sync::Barrier, processor: u32, vt: u64) {
+        if self.shared.is_none() {
+            barrier.wait();
+            return;
+        }
+        let start = self.now_ns();
+        barrier.wait();
+        let end = self.now_ns();
+        self.emit(start, vt, processor, NO_LP, TraceKind::BarrierWait, end - start);
     }
 
     /// A sibling handle feeding the same probe, starting with an empty

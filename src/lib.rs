@@ -13,8 +13,8 @@
 //!
 //! This crate is a facade: it re-exports the workspace crates under one
 //! name. See [`logic`], [`netlist`], [`event`], [`partition`], [`core`],
-//! [`machine`], [`sync`], [`conservative`], [`optimistic`], [`trace`] and
-//! [`lint`].
+//! [`machine`], [`runtime`], [`sync`], [`conservative`], [`optimistic`],
+//! [`trace`] and [`lint`].
 //!
 //! # Quickstart
 //!
@@ -52,6 +52,7 @@ pub use parsim_machine as machine;
 pub use parsim_netlist as netlist;
 pub use parsim_optimistic as optimistic;
 pub use parsim_partition as partition;
+pub use parsim_runtime as runtime;
 pub use parsim_sync as sync;
 pub use parsim_trace as trace;
 
@@ -87,6 +88,7 @@ pub mod prelude {
         Partition, PartitionQuality, Partitioner, RandomPartitioner, RoundRobinPartitioner,
         StringPartitioner,
     };
+    pub use parsim_runtime::{Decision, Fabric, SyncProtocol};
     pub use parsim_sync::{SyncSimulator, ThreadedSyncSimulator};
     pub use parsim_trace::{
         run_report, to_csv, to_perfetto_json, Metrics, Probe, Trace, TraceKind, TraceRecord,
