@@ -17,6 +17,7 @@
 //! | `exp_barrier` | E9 | synchronous barrier-cost scaling |
 //! | `exp_nullmsg` | E10 | null-message overhead vs lookahead |
 //! | `exp_threaded` | E11 | wall-clock throughput of the threaded kernels on the runtime fabric |
+//! | `exp_bitparallel` | E12 | §II bit parallelism: packed 64-lane throughput vs scalar kernels |
 //!
 //! Criterion micro-benchmarks live in `benches/`.
 //!

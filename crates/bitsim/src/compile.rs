@@ -1,0 +1,172 @@
+//! Compiling a circuit into a levelized straight-line evaluation schedule.
+
+use parsim_logic::GateKind;
+use parsim_netlist::{Circuit, GateId, Levelization};
+
+/// One compiled evaluation: a gate, its kind, and a slice of the flat
+/// fanin array.
+#[derive(Debug, Clone, Copy)]
+pub struct CompiledOp {
+    /// The gate (and the net it drives).
+    pub gate: GateId,
+    /// What to evaluate.
+    pub kind: GateKind,
+    /// For sequential ops, the index of this op's `(prev_clk, q)` slot;
+    /// `usize::MAX` for combinational ops.
+    pub seq_slot: usize,
+    fanin_start: u32,
+    fanin_len: u32,
+}
+
+/// A circuit compiled for oblivious bit-parallel evaluation: every
+/// non-source gate exactly once, grouped by topological level.
+///
+/// The kernel is double-buffered (tick `t` values are a pure function of
+/// tick `t − 1` values), so the level grouping is not needed for
+/// correctness — it provides cache-friendly straight-line order, the unit
+/// of work for thread sharding, and the span boundaries the trace probes
+/// charge.
+#[derive(Debug, Clone)]
+pub struct CompiledCircuit {
+    ops: Vec<CompiledOp>,
+    fanins: Vec<GateId>,
+    /// `ops` index range of each level, ascending.
+    levels: Vec<std::ops::Range<usize>>,
+    seq_ops: usize,
+    nets: usize,
+}
+
+impl CompiledCircuit {
+    /// Compiles `circuit` into a levelized straight-line schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any non-source gate has a delay other than one tick — the
+    /// oblivious discipline's precondition, shared with
+    /// `ObliviousSimulator`.
+    pub fn compile(circuit: &Circuit) -> Self {
+        for (_, g) in circuit.iter() {
+            assert!(
+                g.kind().is_source() || g.delay().ticks() == 1,
+                "bit-parallel simulation requires unit gate delays, found {} on a {}",
+                g.delay(),
+                g.kind()
+            );
+        }
+        let lv = Levelization::of(circuit);
+        let mut ops = Vec::new();
+        let mut fanins: Vec<GateId> = Vec::new();
+        let mut levels = Vec::new();
+        let mut seq_ops = 0usize;
+        for level in lv.by_level() {
+            let start = ops.len();
+            for id in level {
+                let g = circuit.gate(id);
+                if g.kind().is_source() {
+                    continue;
+                }
+                let fanin_start = fanins.len() as u32;
+                fanins.extend_from_slice(g.fanin());
+                let seq_slot = if g.kind().is_sequential() {
+                    seq_ops += 1;
+                    seq_ops - 1
+                } else {
+                    usize::MAX
+                };
+                ops.push(CompiledOp {
+                    gate: id,
+                    kind: g.kind(),
+                    seq_slot,
+                    fanin_start,
+                    fanin_len: g.fanin().len() as u32,
+                });
+            }
+            if ops.len() > start {
+                levels.push(start..ops.len());
+            }
+        }
+        CompiledCircuit { ops, fanins, levels, seq_ops, nets: circuit.len() }
+    }
+
+    /// The straight-line schedule, in level order.
+    pub fn ops(&self) -> &[CompiledOp] {
+        &self.ops
+    }
+
+    /// Per-level `ops` index ranges, ascending by level.
+    pub fn levels(&self) -> &[std::ops::Range<usize>] {
+        &self.levels
+    }
+
+    /// The fanin nets of `op`.
+    pub fn fanin(&self, op: &CompiledOp) -> &[GateId] {
+        &self.fanins[op.fanin_start as usize..(op.fanin_start + op.fanin_len) as usize]
+    }
+
+    /// Number of sequential (state-carrying) ops.
+    pub fn seq_ops(&self) -> usize {
+        self.seq_ops
+    }
+
+    /// Number of nets in the source circuit.
+    pub fn nets(&self) -> usize {
+        self.nets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim_netlist::{bench, generate, DelayModel};
+
+    #[test]
+    fn schedule_covers_every_non_source_gate_once() {
+        let c = generate::random_dag(&generate::RandomDagConfig {
+            gates: 300,
+            seq_fraction: 0.2,
+            seed: 9,
+            ..Default::default()
+        });
+        let cc = CompiledCircuit::compile(&c);
+        let mut seen = vec![false; c.len()];
+        for op in cc.ops() {
+            assert!(!seen[op.gate.index()], "gate scheduled twice");
+            seen[op.gate.index()] = true;
+            assert!(!c.kind(op.gate).is_source());
+            assert_eq!(cc.fanin(op), c.fanin(op.gate));
+        }
+        let scheduled = seen.iter().filter(|&&s| s).count();
+        let sources = c.iter().filter(|(_, g)| g.kind().is_source()).count();
+        assert_eq!(scheduled + sources, c.len());
+        assert_eq!(cc.levels().iter().map(ExactSizeIterator::len).sum::<usize>(), cc.ops().len());
+    }
+
+    #[test]
+    fn levels_respect_combinational_topology() {
+        let c = bench::c17();
+        let cc = CompiledCircuit::compile(&c);
+        // Within the schedule, a combinational gate appears after all of
+        // its non-source fanins.
+        let mut pos = vec![usize::MAX; c.len()];
+        for (i, op) in cc.ops().iter().enumerate() {
+            pos[op.gate.index()] = i;
+        }
+        for op in cc.ops() {
+            if c.kind(op.gate).is_sequential() {
+                continue;
+            }
+            for &f in cc.fanin(op) {
+                if pos[f.index()] != usize::MAX {
+                    assert!(pos[f.index()] < pos[op.gate.index()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unit gate delays")]
+    fn rejects_non_unit_delays() {
+        let c = generate::ripple_adder(2, DelayModel::PerKind);
+        let _ = CompiledCircuit::compile(&c);
+    }
+}

@@ -1,0 +1,50 @@
+//! `parsim-bitsim` — the bit-parallel compiled oblivious kernel.
+//!
+//! The paper's §II names *data parallelism* as one of the two parallelisms
+//! in logic simulation: "the same operation on many data items", most
+//! effective "for fault simulation, where a large number of independent
+//! input vectors need to be simulated". This crate exploits it the classic
+//! way — bit parallelism: [`LANES`] (64) independent simulation machines
+//! packed into the bit positions of machine words, so one word-wide boolean
+//! operation evaluates a gate for all 64 machines at once.
+//!
+//! The pieces:
+//!
+//! - [`PackedValue`] with two carriers: [`PackedBit`] (one `u64` plane, the
+//!   two-valued fast path) and [`PackedLogic4`] (two planes packing the
+//!   four-valued `Logic4`, with word-wide X/Z propagation).
+//! - [`CompiledCircuit`]: the circuit levelized
+//!   (`parsim_netlist::Levelization`) into a straight-line evaluation
+//!   schedule, compiled once per run.
+//! - [`BitSimulator`]: the §IV oblivious discipline over packed words —
+//!   every gate evaluated every tick, double-buffered unit-delay
+//!   semantics, optionally sharding each level across the `parsim-runtime`
+//!   worker pool.
+//! - [`PackedStimulus`] / [`PackedOutcome`]: transposing 64 scalar
+//!   [`Stimulus`](parsim_core::Stimulus) streams into packed events and
+//!   projecting per-lane scalar [`SimOutcome`](parsim_core::SimOutcome)s
+//!   back out.
+//! - [`simulate_faults_packed`]: the fault-campaign fast path — up to 64
+//!   faulty machines per packed pass via per-lane stuck-value forcing.
+//!
+//! # Determinism contract
+//!
+//! Lane `k` of a packed run is **bit-identical** to a scalar run driven by
+//! stimulus lane `k` alone — final values and waveforms, against both the
+//! scalar kernels and the threaded packed kernel. The differential suite
+//! (`tests/bitsim.rs`) holds the crate to this contract.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compile;
+mod fault;
+mod packed;
+mod sim;
+mod stimulus;
+
+pub use compile::{CompiledCircuit, CompiledOp};
+pub use fault::simulate_faults_packed;
+pub use packed::{PackedBit, PackedLogic4, PackedValue, LANES};
+pub use sim::{BitSimulator, PackedForce};
+pub use stimulus::{PackedEvent, PackedOutcome, PackedStimulus, PackedWaveform};

@@ -1,0 +1,468 @@
+//! Packed lane representations: 64 scalar logic values per machine word.
+//!
+//! Every operation here is *lane-exact*: lane `k` of a packed operation
+//! equals the corresponding scalar [`LogicValue`] operation applied to
+//! lane `k` of the operands. The unit tests enumerate every operand
+//! combination per gate kind and check each lane against
+//! [`eval_combinational`](parsim_logic::eval_combinational) /
+//! [`eval_dff`](parsim_logic::eval_dff) /
+//! [`eval_latch`](parsim_logic::eval_latch), so the bit-parallel kernel
+//! inherits the workspace-wide gate semantics exactly.
+
+use std::fmt::Debug;
+
+use parsim_logic::{Bit, Logic4, LogicValue};
+
+/// Lanes per packed word.
+pub const LANES: usize = 64;
+
+/// A `u64`-backed bundle of [`LANES`] independent logic values.
+///
+/// The mapping from scalars to planes differs per value system
+/// ([`PackedBit`] uses one plane, [`PackedLogic4`] two), but the contract
+/// is shared: `op(a, b).lane(k) == op(a.lane(k), b.lane(k))` for every
+/// operation and every lane — the determinism contract that lets a packed
+/// run stand in for 64 scalar runs.
+pub trait PackedValue: Copy + Clone + Eq + Debug + Send + Sync + 'static {
+    /// The scalar value system each lane carries.
+    type Scalar: LogicValue;
+
+    /// All lanes at the scalar default (`ZERO`).
+    const ALL_ZERO: Self;
+
+    /// Broadcasts one scalar into every lane.
+    fn splat(v: Self::Scalar) -> Self;
+
+    /// Extracts lane `k`.
+    fn lane(self, k: usize) -> Self::Scalar;
+
+    /// Replaces lane `k`.
+    fn set_lane(&mut self, k: usize, v: Self::Scalar);
+
+    /// Mask of lanes where `self` and `other` differ (bit `k` = lane `k`).
+    fn diff_mask(self, other: Self) -> u64;
+
+    /// Lane blend: takes `other` in the lanes of `mask`, `self` elsewhere.
+    fn select(self, other: Self, mask: u64) -> Self;
+
+    /// Lane-wise [`LogicValue::and`].
+    fn and(self, other: Self) -> Self;
+    /// Lane-wise [`LogicValue::or`].
+    fn or(self, other: Self) -> Self;
+    /// Lane-wise [`LogicValue::not`].
+    fn not(self) -> Self;
+    /// Lane-wise [`LogicValue::xor`].
+    fn xor(self, other: Self) -> Self;
+    /// Lane-wise [`LogicValue::resolve`] (bus resolution).
+    fn resolve(self, other: Self) -> Self;
+
+    /// Lane-wise 2-to-1 mux (`sel == 0` → `a`, `sel == 1` → `b`, unknown
+    /// select → `a` where `a == b`, else `UNKNOWN`), matching the scalar
+    /// `Mux2` evaluation.
+    fn mux(sel: Self, a: Self, b: Self) -> Self;
+
+    /// Lane-wise tri-state buffer (`enable == 1` → `data`, `0` → `HIGH_Z`,
+    /// unknown → `UNKNOWN`), matching the scalar `Tribuf` evaluation.
+    fn tribuf(enable: Self, data: Self) -> Self;
+
+    /// Lane-wise rising-edge D flip-flop next state, matching
+    /// [`eval_dff`](parsim_logic::eval_dff).
+    fn dff(prev_clk: Self, clk: Self, d: Self, q: Self) -> Self;
+
+    /// Lane-wise transparent latch next state, matching
+    /// [`eval_latch`](parsim_logic::eval_latch).
+    fn latch(enable: Self, d: Self, q: Self) -> Self;
+}
+
+/// 64 [`Bit`] lanes in one word: bit `k` is lane `k`'s value.
+///
+/// `Bit` collapses `UNKNOWN` and `HIGH_Z` to `Zero`, so one plane suffices
+/// and every gate is one or two machine instructions per 64 patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct PackedBit(pub u64);
+
+impl PackedValue for PackedBit {
+    type Scalar = Bit;
+
+    const ALL_ZERO: Self = PackedBit(0);
+
+    fn splat(v: Bit) -> Self {
+        PackedBit(if v.as_bool() { u64::MAX } else { 0 })
+    }
+
+    fn lane(self, k: usize) -> Bit {
+        Bit::from_bool(self.0 >> k & 1 == 1)
+    }
+
+    fn set_lane(&mut self, k: usize, v: Bit) {
+        let bit = 1u64 << k;
+        if v.as_bool() {
+            self.0 |= bit;
+        } else {
+            self.0 &= !bit;
+        }
+    }
+
+    fn diff_mask(self, other: Self) -> u64 {
+        self.0 ^ other.0
+    }
+
+    fn select(self, other: Self, mask: u64) -> Self {
+        PackedBit((self.0 & !mask) | (other.0 & mask))
+    }
+
+    fn and(self, other: Self) -> Self {
+        PackedBit(self.0 & other.0)
+    }
+
+    fn or(self, other: Self) -> Self {
+        PackedBit(self.0 | other.0)
+    }
+
+    fn not(self) -> Self {
+        PackedBit(!self.0)
+    }
+
+    fn xor(self, other: Self) -> Self {
+        PackedBit(self.0 ^ other.0)
+    }
+
+    fn resolve(self, other: Self) -> Self {
+        // Bit's bus resolution is wired-OR (HIGH_Z collapses to Zero).
+        PackedBit(self.0 | other.0)
+    }
+
+    fn mux(sel: Self, a: Self, b: Self) -> Self {
+        // Bit selects are always definite.
+        PackedBit((a.0 & !sel.0) | (b.0 & sel.0))
+    }
+
+    fn tribuf(enable: Self, data: Self) -> Self {
+        // Disabled lanes drive HIGH_Z = Zero.
+        PackedBit(enable.0 & data.0)
+    }
+
+    fn dff(prev_clk: Self, clk: Self, d: Self, q: Self) -> Self {
+        let rising = !prev_clk.0 & clk.0;
+        PackedBit((d.0 & rising) | (q.0 & !rising))
+    }
+
+    fn latch(enable: Self, d: Self, q: Self) -> Self {
+        PackedBit((d.0 & enable.0) | (q.0 & !enable.0))
+    }
+}
+
+/// 64 [`Logic4`] lanes in two planes.
+///
+/// Lane `k` is encoded by bit `k` of the `(x, v)` planes:
+/// `(0,0)` = `Zero`, `(0,1)` = `One`, `(1,0)` = `X`, `(1,1)` = `Z`.
+/// Gate operations reduce to boolean masks over the planes — the same
+/// 2-bits-per-signal technique production compiled simulators use for
+/// 4-state X-propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct PackedLogic4 {
+    /// Indeterminate plane: lane is `X` or `Z`.
+    pub x: u64,
+    /// Value plane: `One` when definite, distinguishes `Z` from `X` when not.
+    pub v: u64,
+}
+
+impl PackedLogic4 {
+    /// Lanes holding a definite `Zero`.
+    fn def0(self) -> u64 {
+        !self.x & !self.v
+    }
+
+    /// Lanes holding a definite `One`.
+    fn def1(self) -> u64 {
+        !self.x & self.v
+    }
+
+    /// Lanes holding `Z`.
+    fn z(self) -> u64 {
+        self.x & self.v
+    }
+
+    /// Lanes where `self` and `other` hold the same state (all four states
+    /// distinguished — `X != Z` here, exactly like scalar `==`).
+    fn eq_mask(self, other: Self) -> u64 {
+        !((self.x ^ other.x) | (self.v ^ other.v))
+    }
+
+    fn from_planes(x: u64, v: u64) -> Self {
+        PackedLogic4 { x, v }
+    }
+}
+
+impl PackedValue for PackedLogic4 {
+    type Scalar = Logic4;
+
+    const ALL_ZERO: Self = PackedLogic4 { x: 0, v: 0 };
+
+    fn splat(s: Logic4) -> Self {
+        let (x, v) = match s {
+            Logic4::Zero => (0, 0),
+            Logic4::One => (0, u64::MAX),
+            Logic4::X => (u64::MAX, 0),
+            Logic4::Z => (u64::MAX, u64::MAX),
+        };
+        PackedLogic4 { x, v }
+    }
+
+    fn lane(self, k: usize) -> Logic4 {
+        match (self.x >> k & 1, self.v >> k & 1) {
+            (0, 0) => Logic4::Zero,
+            (0, 1) => Logic4::One,
+            (1, 0) => Logic4::X,
+            _ => Logic4::Z,
+        }
+    }
+
+    fn set_lane(&mut self, k: usize, s: Logic4) {
+        let bit = 1u64 << k;
+        let (x, v) = match s {
+            Logic4::Zero => (false, false),
+            Logic4::One => (false, true),
+            Logic4::X => (true, false),
+            Logic4::Z => (true, true),
+        };
+        self.x = if x { self.x | bit } else { self.x & !bit };
+        self.v = if v { self.v | bit } else { self.v & !bit };
+    }
+
+    fn diff_mask(self, other: Self) -> u64 {
+        (self.x ^ other.x) | (self.v ^ other.v)
+    }
+
+    fn select(self, other: Self, mask: u64) -> Self {
+        PackedLogic4 {
+            x: (self.x & !mask) | (other.x & mask),
+            v: (self.v & !mask) | (other.v & mask),
+        }
+    }
+
+    fn and(self, other: Self) -> Self {
+        // Zero dominates; One ∧ One = One; anything else is X.
+        let zero = self.def0() | other.def0();
+        let one = self.def1() & other.def1();
+        Self::from_planes(!(zero | one), one)
+    }
+
+    fn or(self, other: Self) -> Self {
+        let one = self.def1() | other.def1();
+        let zero = self.def0() & other.def0();
+        Self::from_planes(!(one | zero), one)
+    }
+
+    fn not(self) -> Self {
+        // Definite lanes invert; X and Z both become X.
+        Self::from_planes(self.x, self.def0())
+    }
+
+    fn xor(self, other: Self) -> Self {
+        // Defined only where both operands are definite; X elsewhere.
+        let def = !self.x & !other.x;
+        Self::from_planes(!def, (self.v ^ other.v) & def)
+    }
+
+    fn resolve(self, other: Self) -> Self {
+        // Z yields to any driver; equal states agree; conflicts are X.
+        let take_b = self.z();
+        let take_a = !take_b & (other.z() | self.eq_mask(other));
+        let conflict = !(take_a | take_b);
+        Self::from_planes(
+            (self.x & take_a) | (other.x & take_b) | conflict,
+            (self.v & take_a) | (other.v & take_b),
+        )
+    }
+
+    fn mux(sel: Self, a: Self, b: Self) -> Self {
+        let s0 = sel.def0();
+        let s1 = sel.def1();
+        // Unknown select: the data inputs mask the X (a == b → a, else X).
+        let su_agree = sel.x & a.eq_mask(b);
+        let su_conflict = sel.x & !a.eq_mask(b);
+        Self::from_planes(
+            (a.x & s0) | (b.x & s1) | (a.x & su_agree) | su_conflict,
+            (a.v & s0) | (b.v & s1) | (a.v & su_agree),
+        )
+    }
+
+    fn tribuf(enable: Self, data: Self) -> Self {
+        let e1 = enable.def1();
+        let e0 = enable.def0();
+        // Disabled lanes drive Z = (1,1); unknown enables drive X = (1,0).
+        Self::from_planes((data.x & e1) | e0 | enable.x, (data.v & e1) | e0)
+    }
+
+    fn dff(prev_clk: Self, clk: Self, d: Self, q: Self) -> Self {
+        let both_def = !prev_clk.x & !clk.x;
+        let rising = prev_clk.def0() & clk.def1();
+        let hold = both_def & !rising;
+        // Indefinite clocks: the capture cannot be ruled in or out, so the
+        // result is q where d already equals q and X otherwise.
+        let unk_agree = !both_def & d.eq_mask(q);
+        let unk_conflict = !both_def & !d.eq_mask(q);
+        Self::from_planes(
+            (d.x & rising) | (q.x & hold) | (q.x & unk_agree) | unk_conflict,
+            (d.v & rising) | (q.v & hold) | (q.v & unk_agree),
+        )
+    }
+
+    fn latch(enable: Self, d: Self, q: Self) -> Self {
+        let e1 = enable.def1();
+        let e0 = enable.def0();
+        let unk_agree = enable.x & d.eq_mask(q);
+        let unk_conflict = enable.x & !d.eq_mask(q);
+        Self::from_planes(
+            (d.x & e1) | (q.x & e0) | (q.x & unk_agree) | unk_conflict,
+            (d.v & e1) | (q.v & e0) | (q.v & unk_agree),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim_logic::{eval_dff, eval_latch};
+
+    /// Builds a packed word whose lanes sweep all combinations of `vals`
+    /// across `arity` operands; returns one word per operand position.
+    fn sweep<P: PackedValue>(vals: &[P::Scalar], arity: usize) -> Vec<P> {
+        let combos = vals.len().pow(arity as u32);
+        assert!(combos <= LANES, "sweep must fit the lane count");
+        let mut words = vec![P::ALL_ZERO; arity];
+        for lane in 0..combos {
+            let mut rest = lane;
+            for (pos, w) in words.iter_mut().enumerate() {
+                let _ = pos;
+                w.set_lane(lane, vals[rest % vals.len()]);
+                rest /= vals.len();
+            }
+        }
+        words
+    }
+
+    fn check_binary<P: PackedValue>(
+        name: &str,
+        packed: fn(P, P) -> P,
+        scalar: fn(P::Scalar, P::Scalar) -> P::Scalar,
+    ) {
+        let vals = P::Scalar::all();
+        let words = sweep::<P>(vals, 2);
+        let got = packed(words[0], words[1]);
+        for lane in 0..vals.len() * vals.len() {
+            let (a, b) = (words[0].lane(lane), words[1].lane(lane));
+            assert_eq!(got.lane(lane), scalar(a, b), "{name}({a:?}, {b:?})");
+        }
+    }
+
+    fn check_binary_ops<P: PackedValue>() {
+        check_binary::<P>("and", P::and, <P::Scalar as LogicValue>::and);
+        check_binary::<P>("or", P::or, <P::Scalar as LogicValue>::or);
+        check_binary::<P>("xor", P::xor, <P::Scalar as LogicValue>::xor);
+        check_binary::<P>("resolve", P::resolve, <P::Scalar as LogicValue>::resolve);
+        check_binary::<P>("tribuf", P::tribuf, |e, d| match e.to_bool() {
+            Some(true) => d,
+            Some(false) => <P::Scalar as LogicValue>::HIGH_Z,
+            None => <P::Scalar as LogicValue>::UNKNOWN,
+        });
+        // not, via the sweep's first operand.
+        let words = sweep::<P>(P::Scalar::all(), 1);
+        let got = words[0].not();
+        for lane in 0..P::Scalar::all().len() {
+            assert_eq!(got.lane(lane), words[0].lane(lane).not(), "not lane {lane}");
+        }
+    }
+
+    fn check_mux<P: PackedValue>() {
+        let vals = P::Scalar::all();
+        let words = sweep::<P>(vals, 3);
+        let got = P::mux(words[0], words[1], words[2]);
+        for lane in 0..vals.len().pow(3) {
+            let (s, a, b) = (words[0].lane(lane), words[1].lane(lane), words[2].lane(lane));
+            let want = parsim_logic::eval_combinational(parsim_logic::GateKind::Mux2, &[s, a, b]);
+            assert_eq!(got.lane(lane), want, "mux({s:?}, {a:?}, {b:?})");
+        }
+    }
+
+    fn check_latch<P: PackedValue>() {
+        let vals = P::Scalar::all();
+        let words = sweep::<P>(vals, 3);
+        let got = P::latch(words[0], words[1], words[2]);
+        for lane in 0..vals.len().pow(3) {
+            let (e, d, q) = (words[0].lane(lane), words[1].lane(lane), words[2].lane(lane));
+            assert_eq!(got.lane(lane), eval_latch(e, d, q).q, "latch({e:?}, {d:?}, {q:?})");
+        }
+    }
+
+    /// DFF has four operands; 4⁴ = 256 Logic4 combinations exceed the lane
+    /// count, so sweep the clock pair per-word and the (d, q) pair per-lane.
+    fn check_dff<P: PackedValue>() {
+        let vals = P::Scalar::all();
+        for &pc in vals {
+            for &clk in vals {
+                let words = sweep::<P>(vals, 2);
+                let got = P::dff(P::splat(pc), P::splat(clk), words[0], words[1]);
+                for lane in 0..vals.len() * vals.len() {
+                    let (d, q) = (words[0].lane(lane), words[1].lane(lane));
+                    assert_eq!(
+                        got.lane(lane),
+                        eval_dff(pc, clk, d, q).q,
+                        "dff({pc:?}, {clk:?}, {d:?}, {q:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_bit_ops_are_lane_exact() {
+        check_binary_ops::<PackedBit>();
+        check_mux::<PackedBit>();
+        check_latch::<PackedBit>();
+        check_dff::<PackedBit>();
+    }
+
+    #[test]
+    fn packed_logic4_ops_are_lane_exact() {
+        check_binary_ops::<PackedLogic4>();
+        check_mux::<PackedLogic4>();
+        check_latch::<PackedLogic4>();
+        check_dff::<PackedLogic4>();
+    }
+
+    #[test]
+    fn lane_round_trip_and_diff_masks() {
+        let mut w = PackedLogic4::ALL_ZERO;
+        for (k, &v) in Logic4::all().iter().cycle().take(LANES).enumerate() {
+            w.set_lane(k, v);
+        }
+        for (k, &v) in Logic4::all().iter().cycle().take(LANES).enumerate() {
+            assert_eq!(w.lane(k), v);
+        }
+        let mut u = w;
+        u.set_lane(7, Logic4::One);
+        u.set_lane(40, Logic4::X);
+        let diff = w.diff_mask(u);
+        assert_eq!(diff, ((w.lane(7) != u.lane(7)) as u64 * (1 << 7)) | (1 << 40));
+        assert_eq!(w.select(u, diff), u);
+        assert_eq!(w.select(u, 0), w);
+    }
+
+    #[test]
+    fn splat_fills_every_lane() {
+        for &v in Logic4::all() {
+            let w = PackedLogic4::splat(v);
+            for k in 0..LANES {
+                assert_eq!(w.lane(k), v);
+            }
+        }
+        for &v in Bit::all() {
+            let w = PackedBit::splat(v);
+            for k in 0..LANES {
+                assert_eq!(w.lane(k), v);
+            }
+        }
+    }
+}

@@ -18,7 +18,9 @@ use crate::{Event, EventQueue, VirtualTime};
 /// re-estimating the width from the current population's time span) as the
 /// population grows and shrinks. Within a day, events are kept sorted by the
 /// same deterministic `(time, net, sequence)` key the binary heap uses, so
-/// the two implementations drain identically.
+/// the two implementations drain identically. Days are stored *descending*
+/// (minimum key at the back) so a dequeue is a `Vec::pop` — O(1) even when a
+/// resize packs thousands of same-timestamp events into one day.
 ///
 /// # Examples
 ///
@@ -36,7 +38,9 @@ use crate::{Event, EventQueue, VirtualTime};
 /// ```
 #[derive(Debug)]
 pub struct CalendarQueue<V> {
-    /// Each day holds events sorted ascending by key.
+    /// Each day holds events sorted *descending* by key: the day's earliest
+    /// event is at the back, so dequeues pop from the back in O(1) instead
+    /// of shifting the whole day with a front removal.
     days: Vec<Vec<Keyed<V>>>,
     /// Ticks per day (≥ 1).
     width: u64,
@@ -70,7 +74,8 @@ impl<V: Copy + Debug> CalendarQueue<V> {
     fn insert(&mut self, keyed: Keyed<V>) {
         let day = self.day_of(keyed.event.time);
         let bucket = &mut self.days[day];
-        let pos = bucket.partition_point(|k| k.key() <= keyed.key());
+        // Descending order: everything with a larger key stays in front.
+        let pos = bucket.partition_point(|k| k.key() > keyed.key());
         bucket.insert(pos, keyed);
     }
 
@@ -107,7 +112,7 @@ impl<V: Copy + Debug> CalendarQueue<V> {
     }
 
     fn min_time(&self) -> Option<VirtualTime> {
-        self.days.iter().filter_map(|d| d.first()).map(|k| k.event.time).min()
+        self.days.iter().filter_map(|d| d.last()).map(|k| k.event.time).min()
     }
 
     /// The min event across all days, by full key (used when a whole year is
@@ -115,7 +120,7 @@ impl<V: Copy + Debug> CalendarQueue<V> {
     fn min_key_day(&self) -> Option<usize> {
         let mut best: Option<(usize, (VirtualTime, usize, u64))> = None;
         for (i, day) in self.days.iter().enumerate() {
-            if let Some(k) = day.first() {
+            if let Some(k) = day.last() {
                 let key = k.key();
                 if best.is_none_or(|(_, bk)| key < bk) {
                     best = Some((i, key));
@@ -136,18 +141,16 @@ impl<V: Copy + Debug> EventQueue<V> for CalendarQueue<V> {
     fn push(&mut self, event: Event<V>) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        // An event earlier than the cursor (possible after out-of-order
-        // scheduling) pulls the cursor back so it is not skipped.
-        if self.size == 0 || event.time.ticks() < self.cursor_top.saturating_sub(self.width) {
-            self.insert(Keyed { event, seq });
-            self.size += 1;
-            let t = self.min_time().expect("queue nonempty after insert");
-            if event.time <= t {
-                self.seek(event.time);
-            }
-        } else {
-            self.insert(Keyed { event, seq });
-            self.size += 1;
+        self.insert(Keyed { event, seq });
+        self.size += 1;
+        // An event earlier than the cursor's current day (possible after
+        // out-of-order scheduling) pulls the cursor back so it is not
+        // skipped. The invariant "cursor day start ≤ minimum pending time"
+        // holds at every operation boundary, so an event that lands before
+        // the day start is *necessarily* the new global minimum — no scan
+        // over the days is needed to confirm it.
+        if self.size == 1 || event.time.ticks() < self.cursor_top.saturating_sub(self.width) {
+            self.seek(event.time);
         }
         if self.size > 2 * self.days.len() {
             let doubled = self.days.len() * 2;
@@ -162,9 +165,9 @@ impl<V: Copy + Debug> EventQueue<V> for CalendarQueue<V> {
         let ndays = self.days.len();
         for _ in 0..ndays {
             let day = &mut self.days[self.cursor];
-            if let Some(first) = day.first() {
-                if first.event.time.ticks() < self.cursor_top {
-                    let k = day.remove(0);
+            if let Some(head) = day.last() {
+                if head.event.time.ticks() < self.cursor_top {
+                    let k = day.pop().expect("day nonempty");
                     self.size -= 1;
                     if self.size >= INITIAL_DAYS && self.size * 2 < self.days.len() {
                         let halved = self.days.len() / 2;
@@ -178,9 +181,8 @@ impl<V: Copy + Debug> EventQueue<V> for CalendarQueue<V> {
         }
         // Scanned a whole year without a hit: jump directly to the minimum.
         let day = self.min_key_day().expect("size > 0 implies some day is nonempty");
-        let time = self.days[day][0].event.time;
-        self.seek(time);
-        let k = self.days[day].remove(0);
+        let k = self.days[day].pop().expect("min day nonempty");
+        self.seek(k.event.time);
         self.size -= 1;
         Some(k.event)
     }
@@ -273,6 +275,64 @@ mod tests {
             cal.push(e);
             heap.push(e);
             if round % 3 == 0 {
+                assert_eq!(cal.pop(), heap.pop(), "divergence at round {round}");
+            }
+        }
+        while let Some(h) = heap.pop() {
+            assert_eq!(cal.pop(), Some(h));
+        }
+        assert_eq!(cal.pop(), None);
+    }
+
+    #[test]
+    fn dense_single_day_drains_like_heap() {
+        // Every event shares one timestamp, so whatever the width ends up as
+        // after resizes, the whole population lives in a single day — the
+        // workload that made the old front-of-Vec removal quadratic. The
+        // drain must still match the binary heap event-for-event (FIFO among
+        // equal timestamps, by sequence number).
+        use crate::BinaryHeapQueue;
+        let mut cal = CalendarQueue::new();
+        let mut heap = BinaryHeapQueue::new();
+        for i in 0..4000 {
+            let e = ev(77, i % 13);
+            cal.push(e);
+            heap.push(e);
+        }
+        assert_eq!(cal.len(), 4000);
+        for round in 0..4000 {
+            assert_eq!(cal.pop(), heap.pop(), "divergence at dequeue {round}");
+        }
+        assert_eq!(cal.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_early_late_pushes_match_heap() {
+        // Regression for the out-of-order push path: inserts earlier than
+        // the cursor's day used to trigger a full O(days) minimum scan, and
+        // now rely on the cursor-day invariant instead. Interleave early and
+        // late timestamps around an advanced cursor and assert the pop order
+        // is identical to the binary heap's.
+        use crate::BinaryHeapQueue;
+        let mut cal = CalendarQueue::new();
+        let mut heap = BinaryHeapQueue::new();
+        for i in 0..64u64 {
+            let e = ev(1_000 + i * 3, i as usize);
+            cal.push(e);
+            heap.push(e);
+        }
+        // Advance the cursor well into the populated region.
+        for _ in 0..32 {
+            assert_eq!(cal.pop(), heap.pop());
+        }
+        for round in 0..500u64 {
+            let early = ev(round % 7, (round % 29) as usize);
+            let late = ev(2_000 + (round * 13) % 512, (round % 31) as usize);
+            cal.push(early);
+            heap.push(early);
+            cal.push(late);
+            heap.push(late);
+            if round % 2 == 0 {
                 assert_eq!(cal.pop(), heap.pop(), "divergence at round {round}");
             }
         }

@@ -54,6 +54,34 @@ proptest! {
         }
     }
 
+    /// Dense single-day drain equivalence: all events hash to one calendar
+    /// day (few distinct timestamps, large population), the workload that
+    /// degraded the old front-of-Vec dequeue to O(n²). The drain must still
+    /// match the binary heap exactly, including FIFO order among ties.
+    #[test]
+    fn dense_day_drain_matches_heap(
+        base in 0u64..10_000,
+        nets in prop::collection::vec(0usize..64, 64..512),
+    ) {
+        let mut cal: CalendarQueue<Logic4> = CalendarQueue::new();
+        let mut heap: BinaryHeapQueue<Logic4> = BinaryHeapQueue::new();
+        for (i, &net) in nets.iter().enumerate() {
+            // At most two adjacent timestamps, so resizes estimate a tiny
+            // span and the whole population stays in one or two days.
+            let t = base + (i % 2) as u64;
+            let e = Event::new(VirtualTime::new(t), GateId::new(net), Logic4::One);
+            cal.push(e);
+            heap.push(e);
+        }
+        loop {
+            let (c, h) = (cal.pop(), heap.pop());
+            prop_assert_eq!(c, h);
+            if h.is_none() {
+                break;
+            }
+        }
+    }
+
     /// Pop sequences are non-decreasing in time as long as no push goes
     /// backwards past the last pop (the monotone usage pattern of the
     /// sequential kernel).

@@ -149,38 +149,31 @@ impl<'c> Fabric<'c> {
         V: LogicValue,
         P: SyncProtocol<V>,
     {
-        let mut preloads = self.preloads::<V>(stimulus, until);
+        let preloads: Vec<Mutex<Vec<Event<V>>>> =
+            self.preloads::<V>(stimulus, until).into_iter().map(Mutex::new).collect();
         let mesh: MailboxMesh<P::Msg> = MailboxMesh::new(self.workers);
         let barrier = Barrier::new(self.workers);
         let reports: Mutex<Vec<Option<P::Report>>> =
             Mutex::new((0..self.workers).map(|_| None).collect());
         let decision: Mutex<Option<Decision<P::Verdict>>> = Mutex::new(None);
 
-        let results: Vec<(WorkerOutput<V>, u64)> = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(self.workers);
-            for p in 0..self.workers {
-                let my_preloads: Vec<Vec<Event<V>>> =
-                    self.my_lps(p).map(|lp| std::mem::take(&mut preloads[lp])).collect();
-                let (mesh, barrier, reports, decision) = (&mesh, &barrier, &reports, &decision);
-                let ph = probe.handle();
-                handles.push(scope.spawn(move || {
-                    self.worker_loop(
-                        p,
-                        protocol,
-                        my_preloads,
-                        until,
-                        mesh,
-                        barrier,
-                        reports,
-                        decision,
-                        ph,
-                    )
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
-                .collect()
+        let results: Vec<(WorkerOutput<V>, u64)> = crate::pool::run_workers(self.workers, |p| {
+            let my_preloads: Vec<Vec<Event<V>>> = self
+                .my_lps(p)
+                .map(|lp| std::mem::take(&mut *preloads[lp].lock().expect("preload lock")))
+                .collect();
+            let ph = probe.handle();
+            self.worker_loop(
+                p,
+                protocol,
+                my_preloads,
+                until,
+                &mesh,
+                &barrier,
+                &reports,
+                &decision,
+                ph,
+            )
         });
 
         let mut final_values = vec![V::ZERO; self.circuit.len()];

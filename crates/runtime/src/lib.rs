@@ -22,6 +22,8 @@
 //! - [`LpCore`] — flat struct-of-arrays per-LP gate state (net values,
 //!   sequential gate state, waveforms, dirty marking) shared by every
 //!   discipline's LP state machine.
+//! - [`run_workers`] — the scoped worker pool itself, also used directly
+//!   by the bit-parallel kernel (`parsim-bitsim`) to shard wide levels.
 //!
 //! The synchronous, conservative and Time Warp threaded kernels in
 //! `parsim-sync`, `parsim-conservative` and `parsim-optimistic` are
@@ -31,10 +33,12 @@
 
 mod fabric;
 mod mailbox;
+mod pool;
 mod protocol;
 mod state;
 
 pub use fabric::Fabric;
 pub use mailbox::{MailboxMesh, Outbox, DEFAULT_BATCH_LIMIT};
+pub use pool::run_workers;
 pub use protocol::{DecideCx, Decision, RoundCx, SyncProtocol, WorkerOutput};
 pub use state::{GateStateSoa, LpCore};

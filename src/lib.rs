@@ -13,8 +13,8 @@
 //!
 //! This crate is a facade: it re-exports the workspace crates under one
 //! name. See [`logic`], [`netlist`], [`event`], [`partition`], [`core`],
-//! [`machine`], [`runtime`], [`sync`], [`conservative`], [`optimistic`],
-//! [`trace`] and [`lint`].
+//! [`bitsim`], [`machine`], [`runtime`], [`sync`], [`conservative`],
+//! [`optimistic`], [`trace`] and [`lint`].
 //!
 //! # Quickstart
 //!
@@ -43,6 +43,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use parsim_bitsim as bitsim;
 pub use parsim_conservative as conservative;
 pub use parsim_core as core;
 pub use parsim_event as event;
@@ -58,6 +59,9 @@ pub use parsim_trace as trace;
 
 /// Everything needed for typical use, importable in one line.
 pub mod prelude {
+    pub use parsim_bitsim::{
+        simulate_faults_packed, BitSimulator, PackedBit, PackedLogic4, PackedStimulus, PackedValue,
+    };
     pub use parsim_conservative::{
         ConservativeSimulator, DeadlockStrategy, ThreadedConservativeSimulator,
     };

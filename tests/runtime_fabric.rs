@@ -10,13 +10,23 @@
 use parsim::prelude::*;
 
 /// Worker counts to exercise, from `PARSIM_TEST_THREADS` (comma-separated)
-/// or a default sweep.
+/// or a default sweep. Every entry must parse to a count ≥ 1: silently
+/// dropping a bad entry would run fewer configurations than CI asked for
+/// with no signal, so any invalid entry fails the suite loudly.
 fn thread_counts() -> Vec<usize> {
     match std::env::var("PARSIM_TEST_THREADS") {
         Ok(list) => {
-            let parsed: Vec<usize> =
-                list.split(',').filter_map(|t| t.trim().parse().ok()).filter(|&n| n >= 1).collect();
-            assert!(!parsed.is_empty(), "PARSIM_TEST_THREADS has no valid entries: {list:?}");
+            let parsed: Vec<usize> = list
+                .split(',')
+                .map(|t| {
+                    let n: usize = t.trim().parse().unwrap_or_else(|e| {
+                        panic!("invalid PARSIM_TEST_THREADS entry {t:?} in {list:?}: {e}")
+                    });
+                    assert!(n >= 1, "PARSIM_TEST_THREADS entry {t:?} in {list:?} must be >= 1");
+                    n
+                })
+                .collect();
+            assert!(!parsed.is_empty(), "PARSIM_TEST_THREADS has no entries: {list:?}");
             parsed
         }
         Err(_) => vec![1, 2, 4, 8],
