@@ -18,6 +18,7 @@
 //! | `exp_nullmsg` | E10 | null-message overhead vs lookahead |
 //! | `exp_threaded` | E11 | wall-clock throughput of the threaded kernels on the runtime fabric |
 //! | `exp_bitparallel` | E12 | §II bit parallelism: packed 64-lane throughput vs scalar kernels |
+//! | `exp_faults` | E13 | fault-injection campaign: recovery transparency and fail-fast overhead |
 //!
 //! Criterion micro-benchmarks live in `benches/`.
 //!

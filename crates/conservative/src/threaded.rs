@@ -2,12 +2,14 @@
 
 use std::marker::PhantomData;
 
-use parsim_core::{Observe, SimOutcome, SimStats, Simulator, Stimulus};
+use parsim_core::{Observe, RunBudget, SimError, SimOutcome, SimStats, Simulator, Stimulus};
 use parsim_event::{Event, VirtualTime};
 use parsim_logic::LogicValue;
 use parsim_netlist::{Circuit, Delay};
 use parsim_partition::Partition;
-use parsim_runtime::{DecideCx, Decision, Fabric, RoundCx, SyncProtocol, WorkerOutput};
+use parsim_runtime::{
+    DecideCx, Decision, Fabric, FaultPlan, RoundCx, RunOptions, SyncProtocol, WorkerOutput,
+};
 use parsim_trace::{Probe, TraceKind, NO_LP};
 
 use crate::lp_state::{LpState, Outgoing};
@@ -32,6 +34,7 @@ pub struct ThreadedConservativeSimulator<V> {
     granularity: usize,
     observe: Observe,
     probe: Probe,
+    options: RunOptions,
     _values: PhantomData<V>,
 }
 
@@ -44,6 +47,7 @@ impl<V: LogicValue> ThreadedConservativeSimulator<V> {
             granularity: 1,
             observe: Observe::Outputs,
             probe: Probe::disabled(),
+            options: RunOptions::default(),
             _values: PhantomData,
         }
     }
@@ -80,6 +84,32 @@ impl<V: LogicValue> ThreadedConservativeSimulator<V> {
         self.observe = observe;
         self
     }
+
+    /// Bounds the run (rounds, events, wall clock); an exhausted budget
+    /// truncates gracefully instead of erroring.
+    pub fn with_budget(mut self, budget: RunBudget) -> Self {
+        self.options.budget = budget;
+        self
+    }
+
+    /// Attaches a fault-injection plan for [`try_run`](Self::try_run).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.options.faults = Some(plan);
+        self
+    }
+
+    /// Runs the kernel, returning a structured [`SimError`] instead of
+    /// panicking when a worker fails or the protocol aborts.
+    pub fn try_run(
+        &self,
+        circuit: &Circuit,
+        stimulus: &Stimulus,
+        until: VirtualTime,
+    ) -> Result<SimOutcome<V>, SimError> {
+        let fabric = Fabric::new(circuit, &self.partition, self.granularity, self.observe);
+        let protocol = CmbProtocol { strategy: self.strategy };
+        fabric.run(stimulus, until, &self.probe, &protocol, &self.options)
+    }
 }
 
 impl<V: LogicValue> Simulator<V> for ThreadedConservativeSimulator<V> {
@@ -88,13 +118,12 @@ impl<V: LogicValue> Simulator<V> for ThreadedConservativeSimulator<V> {
     }
 
     fn run(&self, circuit: &Circuit, stimulus: &Stimulus, until: VirtualTime) -> SimOutcome<V> {
-        let fabric = Fabric::new(circuit, &self.partition, self.granularity, self.observe);
-        let protocol = CmbProtocol { strategy: self.strategy };
-        fabric.execute(stimulus, until, &self.probe, &protocol)
+        self.try_run(circuit, stimulus, until).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
 /// A routed message: destination LP, source LP, payload.
+#[derive(Clone)]
 enum Wire<V> {
     Event(usize, Event<V>),
     Null { dst: usize, src: usize, time: VirtualTime },
@@ -255,6 +284,10 @@ impl<V: LogicValue> SyncProtocol<V> for CmbProtocol {
             stats.events_processed += work.events_popped;
             stats.gate_evaluations += work.evaluations;
             stats.events_scheduled += work.events_scheduled;
+            cx.charge_events(work.events_popped);
+            if let Some(t) = lp.head_time() {
+                cx.note_progress(lp_idx, t);
+            }
             if cx.probe.enabled() && work.evaluations > 0 {
                 let t = cx.probe.now_ns();
                 cx.probe.emit(

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod cycle;
+mod error;
 mod eval;
 pub mod fault;
 mod lp;
@@ -55,6 +56,7 @@ mod vcd;
 mod waveform;
 
 pub use cycle::CycleSimulator;
+pub use error::{BudgetExhausted, RunBudget, SimError, WorkerDiagnostic};
 pub use eval::{evaluate_gate, GateRuntime};
 pub use lp::{LpSpec, LpTopology};
 pub use oblivious::ObliviousSimulator;

@@ -52,6 +52,11 @@ pub struct SimStats {
     /// Modeled single-processor work in cost units; `modeled_work /
     /// modeled_makespan` is the modeled speedup.
     pub modeled_work: u64,
+    /// True when the run stopped early because a
+    /// [`RunBudget`](crate::RunBudget) bound was exhausted: final values
+    /// and waveforms cover only the simulated prefix, not the requested
+    /// horizon.
+    pub truncated: bool,
 }
 
 impl SimStats {
@@ -87,6 +92,7 @@ impl SimStats {
         self.barriers = self.barriers.max(other.barriers);
         self.gvt_rounds = self.gvt_rounds.max(other.gvt_rounds);
         self.modeled_makespan = self.modeled_makespan.max(other.modeled_makespan);
+        self.truncated |= other.truncated;
     }
 
     /// Fraction of processed events that survived (were not rolled back);
@@ -121,6 +127,9 @@ impl Display for SimStats {
         }
         if let Some(s) = self.modeled_speedup() {
             write!(f, ", modeled speedup {s:.2}")?;
+        }
+        if self.truncated {
+            write!(f, ", TRUNCATED")?;
         }
         Ok(())
     }

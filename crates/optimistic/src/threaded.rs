@@ -3,12 +3,14 @@
 use std::collections::BTreeMap;
 use std::marker::PhantomData;
 
-use parsim_core::{Observe, SimOutcome, SimStats, Simulator, Stimulus};
+use parsim_core::{Observe, RunBudget, SimError, SimOutcome, SimStats, Simulator, Stimulus};
 use parsim_event::{Event, VirtualTime};
 use parsim_logic::LogicValue;
 use parsim_netlist::Circuit;
 use parsim_partition::Partition;
-use parsim_runtime::{DecideCx, Decision, Fabric, RoundCx, SyncProtocol, WorkerOutput};
+use parsim_runtime::{
+    DecideCx, Decision, Fabric, FaultPlan, RoundCx, RunOptions, SyncProtocol, WorkerOutput,
+};
 use parsim_trace::{Probe, ProbeHandle, TraceKind, NO_LP};
 
 use crate::lp::{TwIncoming, TwLp, TwOutgoing, TwWork};
@@ -39,6 +41,7 @@ pub struct ThreadedTimeWarpSimulator<V> {
     granularity: usize,
     observe: Observe,
     probe: Probe,
+    options: RunOptions,
     _values: PhantomData<V>,
 }
 
@@ -52,6 +55,7 @@ impl<V: LogicValue> ThreadedTimeWarpSimulator<V> {
             granularity: 1,
             observe: Observe::Outputs,
             probe: Probe::disabled(),
+            options: RunOptions::default(),
             _values: PhantomData,
         }
     }
@@ -93,6 +97,32 @@ impl<V: LogicValue> ThreadedTimeWarpSimulator<V> {
         self.observe = observe;
         self
     }
+
+    /// Bounds the run (rounds, events, wall clock); an exhausted budget
+    /// truncates gracefully instead of erroring.
+    pub fn with_budget(mut self, budget: RunBudget) -> Self {
+        self.options.budget = budget;
+        self
+    }
+
+    /// Attaches a fault-injection plan for [`try_run`](Self::try_run).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.options.faults = Some(plan);
+        self
+    }
+
+    /// Runs the kernel, returning a structured [`SimError`] instead of
+    /// panicking when a worker fails or the protocol aborts.
+    pub fn try_run(
+        &self,
+        circuit: &Circuit,
+        stimulus: &Stimulus,
+        until: VirtualTime,
+    ) -> Result<SimOutcome<V>, SimError> {
+        let fabric = Fabric::new(circuit, &self.partition, self.granularity, self.observe);
+        let protocol = TwProtocol { saving: self.saving, cancellation: self.cancellation };
+        fabric.run(stimulus, until, &self.probe, &protocol, &self.options)
+    }
 }
 
 impl<V: LogicValue> Simulator<V> for ThreadedTimeWarpSimulator<V> {
@@ -101,13 +131,12 @@ impl<V: LogicValue> Simulator<V> for ThreadedTimeWarpSimulator<V> {
     }
 
     fn run(&self, circuit: &Circuit, stimulus: &Stimulus, until: VirtualTime) -> SimOutcome<V> {
-        let fabric = Fabric::new(circuit, &self.partition, self.granularity, self.observe);
-        let protocol = TwProtocol { saving: self.saving, cancellation: self.cancellation };
-        fabric.execute(stimulus, until, &self.probe, &protocol)
+        self.try_run(circuit, stimulus, until).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
 /// A routed message: destination LP, payload.
+#[derive(Clone)]
 enum Wire<V> {
     Event(usize, Event<V>),
     Anti(usize, Event<V>),
@@ -235,6 +264,7 @@ impl<V: LogicValue> SyncProtocol<V> for TwProtocol {
         let mut sent_min: Option<VirtualTime> = None;
         let stats = &mut state.stats;
         let total = &mut state.total;
+        let processed_before = total.events_processed;
         let lps = &mut state.lps;
         let probe = &mut *cx.probe;
         let outbox = &mut *cx.outbox;
@@ -303,6 +333,10 @@ impl<V: LogicValue> SyncProtocol<V> for TwProtocol {
         }
 
         let local = lps.iter().filter_map(TwLp::gvt_component).min();
+        cx.charge_events(total.events_processed - processed_before);
+        if let Some(t) = local {
+            cx.note_progress(me * granularity, t);
+        }
         TwReport {
             sent,
             done: lps.iter().all(|lp| lp.done(until)) && !sent,

@@ -1,0 +1,185 @@
+//! A round barrier that can be aborted (and timed out) without hanging.
+//!
+//! `std::sync::Barrier` releases its waiters only when *all* participants
+//! arrive — a worker that panics mid-round therefore leaves every peer
+//! blocked forever. [`RoundBarrier`] is the fabric's replacement: any
+//! participant (typically one that just caught a panic) can [`abort`]
+//! (RoundBarrier::abort) the barrier, which wakes every current waiter and
+//! fails every future wait immediately. Waits can also carry a timeout, so
+//! a peer that silently stops participating (a hang, not a crash) surfaces
+//! as an error instead of a stalled process.
+
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::poison::lock_recover;
+
+/// Why a [`RoundBarrier::wait`] did not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierError {
+    /// A participant aborted the barrier; the round loop must stop.
+    Aborted,
+    /// The timeout elapsed before every participant arrived.
+    TimedOut,
+}
+
+#[derive(Debug)]
+struct BarrierState {
+    /// Participants currently blocked in `wait`.
+    waiting: usize,
+    /// Completed barrier generations; waiters block until it advances.
+    generation: u64,
+    /// Once set, every current and future wait fails with `Aborted`.
+    aborted: bool,
+}
+
+/// An abortable, timeout-capable counterpart of `std::sync::Barrier`,
+/// sized for a fixed set of participants.
+#[derive(Debug)]
+pub struct RoundBarrier {
+    state: Mutex<BarrierState>,
+    cvar: Condvar,
+    participants: usize,
+}
+
+impl RoundBarrier {
+    /// A barrier for `participants` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants` is zero.
+    pub fn new(participants: usize) -> Self {
+        assert!(participants >= 1, "barrier needs at least one participant");
+        RoundBarrier {
+            state: Mutex::new(BarrierState { waiting: 0, generation: 0, aborted: false }),
+            cvar: Condvar::new(),
+            participants,
+        }
+    }
+
+    /// Blocks until every participant arrives, the barrier is aborted, or
+    /// `timeout` (when given) elapses. Returns `Ok(true)` for exactly one
+    /// participant per generation (the "leader", matching
+    /// `std::sync::BarrierWaitResult::is_leader`).
+    ///
+    /// A timed-out wait leaves the barrier aborted: a participant that gave
+    /// up will never arrive, so letting the others keep waiting on a
+    /// now-incomplete set would re-create the hang this type exists to
+    /// prevent.
+    pub fn wait(&self, timeout: Option<Duration>) -> Result<bool, BarrierError> {
+        let mut state = lock_recover(&self.state);
+        if state.aborted {
+            return Err(BarrierError::Aborted);
+        }
+        state.waiting += 1;
+        if state.waiting == self.participants {
+            state.waiting = 0;
+            state.generation += 1;
+            self.cvar.notify_all();
+            return Ok(true);
+        }
+        let generation = state.generation;
+        let deadline = timeout.map(|t| Instant::now() + t);
+        while state.generation == generation && !state.aborted {
+            state = match deadline {
+                None => self.cvar.wait(state).unwrap_or_else(std::sync::PoisonError::into_inner),
+                Some(d) => {
+                    let now = Instant::now();
+                    let remaining = d.saturating_duration_since(now);
+                    if remaining.is_zero() {
+                        // Give up: this participant leaves the set, so the
+                        // barrier can never complete again.
+                        state.aborted = true;
+                        self.cvar.notify_all();
+                        return Err(BarrierError::TimedOut);
+                    }
+                    let (guard, _) = self
+                        .cvar
+                        .wait_timeout(state, remaining)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    guard
+                }
+            };
+        }
+        if state.generation != generation {
+            Ok(false)
+        } else {
+            Err(BarrierError::Aborted)
+        }
+    }
+
+    /// Aborts the barrier: every blocked waiter wakes with
+    /// [`BarrierError::Aborted`] and every future wait fails immediately.
+    /// Idempotent.
+    pub fn abort(&self) {
+        let mut state = lock_recover(&self.state);
+        if !state.aborted {
+            state.aborted = true;
+            self.cvar.notify_all();
+        }
+    }
+
+    /// True once the barrier has been aborted (or a wait timed out).
+    pub fn is_aborted(&self) -> bool {
+        lock_recover(&self.state).aborted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completes_like_a_plain_barrier() {
+        let b = RoundBarrier::new(4);
+        let leaders = std::thread::scope(|s| {
+            let handles: Vec<_> =
+                (0..4).map(|_| s.spawn(|| b.wait(None).expect("barrier completes"))).collect();
+            handles.into_iter().map(|h| h.join().expect("no panic")).filter(|l| *l).count()
+        });
+        assert_eq!(leaders, 1, "exactly one leader per generation");
+        assert!(!b.is_aborted());
+    }
+
+    #[test]
+    fn abort_wakes_blocked_waiters_and_fails_future_waits() {
+        let b = RoundBarrier::new(3);
+        std::thread::scope(|s| {
+            let w1 = s.spawn(|| b.wait(None));
+            let w2 = s.spawn(|| b.wait(None));
+            // Give the waiters time to block, then abort instead of joining.
+            std::thread::sleep(Duration::from_millis(20));
+            b.abort();
+            assert_eq!(w1.join().expect("no panic"), Err(BarrierError::Aborted));
+            assert_eq!(w2.join().expect("no panic"), Err(BarrierError::Aborted));
+        });
+        assert_eq!(b.wait(None), Err(BarrierError::Aborted));
+        assert!(b.is_aborted());
+    }
+
+    #[test]
+    fn timeout_fails_the_wait_and_aborts_the_barrier() {
+        let b = RoundBarrier::new(2);
+        let start = Instant::now();
+        assert_eq!(b.wait(Some(Duration::from_millis(30))), Err(BarrierError::TimedOut));
+        assert!(start.elapsed() >= Duration::from_millis(30));
+        // The late arriver must not hang on a set that can never complete.
+        assert_eq!(b.wait(None), Err(BarrierError::Aborted));
+    }
+
+    #[test]
+    fn generations_advance_across_rounds() {
+        let b = RoundBarrier::new(2);
+        std::thread::scope(|s| {
+            let t = s.spawn(|| {
+                for _ in 0..100 {
+                    b.wait(None).expect("round completes");
+                }
+            });
+            for _ in 0..100 {
+                b.wait(None).expect("round completes");
+            }
+            t.join().expect("no panic");
+        });
+    }
+}

@@ -1,27 +1,178 @@
 //! The shared threaded LP execution fabric.
 
-use std::sync::{Barrier, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
-use parsim_core::{LpTopology, Observe, SimOutcome, SimStats, Stimulus};
+use parsim_core::{
+    LpTopology, Observe, RunBudget, SimError, SimOutcome, SimStats, Stimulus, WorkerDiagnostic,
+};
 use parsim_event::{Event, VirtualTime};
 use parsim_logic::{GateKind, LogicValue};
 use parsim_netlist::Circuit;
 use parsim_partition::Partition;
-use parsim_trace::Probe;
+use parsim_trace::{Probe, ProbeHandle, TraceKind, NO_LP};
 
+use crate::barrier::{BarrierError, RoundBarrier};
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::mailbox::{MailboxMesh, Outbox, DEFAULT_BATCH_LIMIT};
-use crate::protocol::{DecideCx, Decision, RoundCx, SyncProtocol, WorkerOutput};
+use crate::poison::lock_recover;
+use crate::protocol::{DecideCx, Decision, RoundCx, SyncProtocol, WorkerOutput, WorkerProgress};
+
+/// Per-run execution options for [`Fabric::run`]: resource budget, fault
+/// injection, and the barrier hang guard. The default is a plain unbounded
+/// run with no injection.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Resource bounds; an exhausted budget stops the run cleanly at the
+    /// next round and flags the merged stats
+    /// [`truncated`](SimStats::truncated).
+    pub budget: RunBudget,
+    /// The fault-injection campaign, if any. An attached *empty* plan is a
+    /// no-op: the run is bit-identical to one without a plan.
+    pub faults: Option<FaultPlan>,
+    /// Maximum time a worker waits at a synchronization barrier before the
+    /// run fails with [`SimError::BarrierTimeout`]. `None` (the default)
+    /// waits forever — panics are already hang-safe via abort broadcast;
+    /// the timeout additionally guards against a worker *hanging* without
+    /// panicking.
+    pub barrier_timeout: Option<Duration>,
+}
+
+impl RunOptions {
+    /// Sets the run budget.
+    pub fn with_budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Attaches a fault-injection plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Sets the barrier hang guard.
+    pub fn with_barrier_timeout(mut self, timeout: Duration) -> Self {
+        self.barrier_timeout = Some(timeout);
+        self
+    }
+}
+
+/// The coordinator's broadcast slot. Unlike [`Decision`], `Fail` carries no
+/// payload: the error itself lives in the run's `fatal` slot (or the
+/// failure log), and *every* worker leaves without contributing results —
+/// the old behavior of letting workers `p != 0` return partial outputs
+/// that merged as if complete is exactly the bug this replaces.
+#[derive(Debug, Clone)]
+enum Directive<T> {
+    Continue(T),
+    Stop,
+    Fail,
+}
+
+/// Everything one run's workers share, bundled so the loop reads clearly.
+struct RunShared<M, R, T> {
+    mesh: MailboxMesh<M>,
+    barrier: RoundBarrier,
+    reports: Mutex<Vec<Option<R>>>,
+    directive: Mutex<Option<Directive<T>>>,
+    /// Caught worker panics: (where, panic message), in arrival order.
+    failures: Mutex<Vec<(WorkerDiagnostic, String)>>,
+    /// First coordinator-detected fatal error (abort, delivery fault,
+    /// barrier timeout).
+    fatal: Mutex<Option<SimError>>,
+    /// Total events charged by the protocols, for the event budget.
+    events: AtomicU64,
+    /// Set when the budget stopped the run early.
+    truncated: AtomicBool,
+    progress: Vec<WorkerProgress>,
+    injector: Option<Arc<FaultInjector>>,
+    start: Instant,
+}
+
+impl<M, R, T> RunShared<M, R, T> {
+    /// Logs a caught panic with the worker's best-effort progress marks and
+    /// aborts the barrier so no peer can hang waiting for the dead worker.
+    fn record_panic(&self, worker: usize, round: u64, payload: Box<dyn std::any::Any + Send>) {
+        let diag = WorkerDiagnostic {
+            worker,
+            lp: self.progress[worker].lp(),
+            virtual_time: self.progress[worker].virtual_time(),
+            round,
+        };
+        lock_recover(&self.failures).push((diag, panic_message(payload)));
+        self.barrier.abort();
+    }
+
+    /// Stores `err` as the run's fatal error unless one is already set
+    /// (the first failure wins; later ones are usually its echoes).
+    fn set_fatal(&self, err: SimError) {
+        let mut slot = lock_recover(&self.fatal);
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+    }
+
+    /// One barrier synchronization, traced as a [`TraceKind::BarrierWait`]
+    /// span. Returns false when the round loop must stop: the barrier was
+    /// aborted (a peer failed and its error is already recorded) or this
+    /// worker's wait timed out (recorded here).
+    fn sync(
+        &self,
+        ph: &mut ProbeHandle,
+        worker: usize,
+        round: u64,
+        timeout: Option<Duration>,
+    ) -> bool {
+        let result = if ph.enabled() {
+            let start = ph.now_ns();
+            let r = self.barrier.wait(timeout);
+            let end = ph.now_ns();
+            ph.emit(start, 0, worker as u32, NO_LP, TraceKind::BarrierWait, end - start);
+            r
+        } else {
+            self.barrier.wait(timeout)
+        };
+        match result {
+            Ok(_) => true,
+            Err(BarrierError::Aborted) => false,
+            Err(BarrierError::TimedOut) => {
+                self.set_fatal(SimError::BarrierTimeout {
+                    worker,
+                    round,
+                    waited: timeout.unwrap_or_default(),
+                });
+                false
+            }
+        }
+    }
+}
+
+/// Renders a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
+}
 
 /// The compiled execution plan for one run: LP topology, worker mapping
 /// and preload routing, shared by every threaded kernel.
 ///
 /// A fabric is built from a circuit and a [`Partition`] (one worker per
 /// block, each block optionally split into `granularity` LPs) and then
-/// driven by a [`SyncProtocol`] via [`Fabric::execute`]. The fabric owns
-/// everything the paper's §IV disciplines have in common — the worker
-/// pool, the round/barrier cadence, the batched mailbox mesh, report
-/// collection, result merging and probe plumbing — so a kernel is nothing
-/// but its protocol.
+/// driven by a [`SyncProtocol`] via [`Fabric::run`] (or the infallible
+/// [`Fabric::execute`]). The fabric owns everything the paper's §IV
+/// disciplines have in common — the worker pool, the round/barrier
+/// cadence, the batched mailbox mesh, report collection, result merging,
+/// probe plumbing, and the failure model: worker panics are caught at the
+/// round boundary and converted into a barrier-safe abort broadcast, so
+/// one dying worker can neither hang its peers nor tear the process down.
 #[derive(Debug)]
 pub struct Fabric<'c> {
     circuit: &'c Circuit,
@@ -129,15 +280,14 @@ impl<'c> Fabric<'c> {
     }
 
     /// Runs `protocol` to completion on the worker pool and merges the
-    /// per-worker outputs.
-    ///
-    /// `stats.barriers` of the merged outcome reports the number of
-    /// synchronization rounds executed (each round is one barrier pair).
+    /// per-worker outputs. Infallible wrapper around [`Fabric::run`] with
+    /// default [`RunOptions`], kept for callers that treat any failure as
+    /// a programming error.
     ///
     /// # Panics
     ///
-    /// Panics if the protocol aborts ([`Decision::Abort`]) or a worker
-    /// thread panics; the originating panic is propagated.
+    /// Panics with the [`SimError`] display form if the run fails (a
+    /// worker panicked, or the protocol aborted).
     pub fn execute<V, P>(
         &self,
         stimulus: &Stimulus,
@@ -149,38 +299,108 @@ impl<'c> Fabric<'c> {
         V: LogicValue,
         P: SyncProtocol<V>,
     {
+        self.run(stimulus, until, probe, protocol, &RunOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs `protocol` to completion on the worker pool and merges the
+    /// per-worker outputs, under the given [`RunOptions`].
+    ///
+    /// `stats.barriers` of the merged outcome reports the number of
+    /// synchronization rounds executed (each round is one barrier pair).
+    ///
+    /// # Failure model
+    ///
+    /// Every worker's round body runs under `catch_unwind`. A panic is
+    /// caught at the round boundary, logged with the worker's progress
+    /// marks (LP, virtual time, round), and converted into an abort
+    /// broadcast on the round barrier, so every peer — including ones
+    /// already blocked waiting — wakes and exits instead of hanging. A
+    /// [`Decision::Abort`] from the coordinator likewise makes *every*
+    /// worker (not just worker 0) leave with an error, so no partial
+    /// results are ever merged as if complete. Shared-lock poisoning from
+    /// a panicking thread is recovered, not propagated: the run's error is
+    /// the original panic, never a cascade of unrelated lock failures.
+    ///
+    /// An exhausted [`RunBudget`] is *not* an error: the run stops at the
+    /// next round boundary, merges what was simulated, and flags the
+    /// outcome's [`SimStats::truncated`].
+    pub fn run<V, P>(
+        &self,
+        stimulus: &Stimulus,
+        until: VirtualTime,
+        probe: &Probe,
+        protocol: &P,
+        options: &RunOptions,
+    ) -> Result<SimOutcome<V>, SimError>
+    where
+        V: LogicValue,
+        P: SyncProtocol<V>,
+    {
         let preloads: Vec<Mutex<Vec<Event<V>>>> =
             self.preloads::<V>(stimulus, until).into_iter().map(Mutex::new).collect();
-        let mesh: MailboxMesh<P::Msg> = MailboxMesh::new(self.workers);
-        let barrier = Barrier::new(self.workers);
-        let reports: Mutex<Vec<Option<P::Report>>> =
-            Mutex::new((0..self.workers).map(|_| None).collect());
-        let decision: Mutex<Option<Decision<P::Verdict>>> = Mutex::new(None);
+        let injector =
+            options.faults.as_ref().map(|plan| Arc::new(FaultInjector::new(plan, self.workers)));
+        let mesh = match &injector {
+            Some(inj) => MailboxMesh::with_faults(self.workers, Arc::clone(inj)),
+            None => MailboxMesh::new(self.workers),
+        };
+        let shared: RunShared<P::Msg, P::Report, P::Verdict> = RunShared {
+            mesh,
+            barrier: RoundBarrier::new(self.workers),
+            reports: Mutex::new((0..self.workers).map(|_| None).collect()),
+            directive: Mutex::new(None),
+            failures: Mutex::new(Vec::new()),
+            fatal: Mutex::new(None),
+            events: AtomicU64::new(0),
+            truncated: AtomicBool::new(false),
+            progress: (0..self.workers).map(|_| WorkerProgress::new()).collect(),
+            injector,
+            start: Instant::now(),
+        };
 
-        let results: Vec<(WorkerOutput<V>, u64)> = crate::pool::run_workers(self.workers, |p| {
-            let my_preloads: Vec<Vec<Event<V>>> = self
-                .my_lps(p)
-                .map(|lp| std::mem::take(&mut *preloads[lp].lock().expect("preload lock")))
-                .collect();
-            let ph = probe.handle();
-            self.worker_loop(
-                p,
-                protocol,
-                my_preloads,
-                until,
-                &mesh,
-                &barrier,
-                &reports,
-                &decision,
-                ph,
-            )
-        });
+        let results: Vec<Option<(WorkerOutput<V>, u64)>> =
+            crate::pool::run_workers(self.workers, |p| {
+                let my_preloads: Vec<Vec<Event<V>>> = self
+                    .my_lps(p)
+                    .map(|lp| std::mem::take(&mut *lock_recover(&preloads[lp])))
+                    .collect();
+                let ph = probe.handle();
+                self.worker_loop(p, protocol, my_preloads, until, &shared, options, ph)
+            });
+
+        let mut failures = std::mem::take(&mut *lock_recover(&shared.failures));
+        if !failures.is_empty() {
+            failures.sort_by_key(|(d, _)| (d.round, d.worker));
+            let (diagnostic, message) = failures.remove(0);
+            let also_failed = failures.into_iter().map(|(d, _)| d).collect();
+            return Err(SimError::WorkerPanic { diagnostic, message, also_failed });
+        }
+        if let Some(err) = lock_recover(&shared.fatal).take() {
+            return Err(err);
+        }
+        for (p, result) in results.iter().enumerate() {
+            if result.is_none() {
+                // Unreachable in practice: every exit path above either
+                // logs a failure or sets the fatal slot.
+                return Err(SimError::WorkerPanic {
+                    diagnostic: WorkerDiagnostic {
+                        worker: p,
+                        lp: None,
+                        virtual_time: None,
+                        round: 0,
+                    },
+                    message: "worker produced no output and recorded no failure".into(),
+                    also_failed: Vec::new(),
+                });
+            }
+        }
 
         let mut final_values = vec![V::ZERO; self.circuit.len()];
         let mut waveforms = std::collections::BTreeMap::new();
         let mut stats = SimStats::default();
         let mut rounds = 0u64;
-        for (out, worker_rounds) in results {
+        for (out, worker_rounds) in results.into_iter().flatten() {
             for (id, v) in out.owned_values {
                 final_values[id.index()] = v;
             }
@@ -189,10 +409,13 @@ impl<'c> Fabric<'c> {
             rounds = rounds.max(worker_rounds);
         }
         stats.barriers = stats.barriers.max(rounds);
-        SimOutcome { final_values, waveforms, end_time: until, stats }
+        stats.truncated = shared.truncated.load(Ordering::Relaxed);
+        Ok(SimOutcome { final_values, waveforms, end_time: until, stats })
     }
 
-    /// One worker's round loop; returns its output and round count.
+    /// One worker's round loop. Returns `None` when the run failed — the
+    /// failure is already recorded in `shared` — so nothing it produced is
+    /// merged.
     #[allow(clippy::too_many_arguments)]
     fn worker_loop<V, P>(
         &self,
@@ -200,26 +423,44 @@ impl<'c> Fabric<'c> {
         protocol: &P,
         preloads: Vec<Vec<Event<V>>>,
         until: VirtualTime,
-        mesh: &MailboxMesh<P::Msg>,
-        barrier: &Barrier,
-        reports: &Mutex<Vec<Option<P::Report>>>,
-        decision: &Mutex<Option<Decision<P::Verdict>>>,
-        mut ph: parsim_trace::ProbeHandle,
-    ) -> (WorkerOutput<V>, u64)
+        shared: &RunShared<P::Msg, P::Report, P::Verdict>,
+        options: &RunOptions,
+        mut ph: ProbeHandle,
+    ) -> Option<(WorkerOutput<V>, u64)>
     where
         V: LogicValue,
         P: SyncProtocol<V>,
     {
-        let mut state = protocol.worker(self, p, preloads);
-        let mut verdict = protocol.first_verdict();
+        let built = catch_unwind(AssertUnwindSafe(|| {
+            (protocol.worker(self, p, preloads), protocol.first_verdict())
+        }));
+        let (mut state, mut verdict) = match built {
+            Ok(sv) => sv,
+            Err(payload) => {
+                shared.record_panic(p, 0, payload);
+                return None;
+            }
+        };
         let mut inbox: Vec<P::Msg> = Vec::new();
-        let mut outbox = Outbox::new(mesh, DEFAULT_BATCH_LIMIT);
+        let mut outbox = Outbox::new(&shared.mesh, DEFAULT_BATCH_LIMIT);
         let mut rounds = 0u64;
 
         loop {
             rounds += 1;
-            mesh.drain_into(p, &mut inbox);
-            let report = {
+            if let Some(inj) = &shared.injector {
+                inj.enter_round(rounds);
+                if inj.should_poison(p, rounds) {
+                    shared.mesh.poison_slot(p);
+                }
+            }
+            let round_result = catch_unwind(AssertUnwindSafe(|| {
+                if let Some(inj) = &shared.injector {
+                    if inj.should_kill(p, rounds) {
+                        inj.note_injected(p);
+                        panic!("injected kill of worker {p} at round {rounds}");
+                    }
+                }
+                shared.mesh.drain_into(p, &mut inbox);
                 let mut cx = RoundCx {
                     worker: p,
                     until,
@@ -227,48 +468,127 @@ impl<'c> Fabric<'c> {
                     outbox: &mut outbox,
                     probe: &mut ph,
                     granularity: self.granularity,
+                    progress: &shared.progress[p],
+                    events: &shared.events,
                 };
-                protocol.round(self, &mut state, &verdict, &mut cx)
-            };
-            inbox.clear();
-            outbox.flush();
-            reports.lock().expect("reports lock")[p] = Some(report);
-
-            ph.barrier_wait(barrier, p as u32, 0);
-            if p == 0 {
-                let mut slots = reports.lock().expect("reports lock");
-                debug_assert!(slots.iter().all(Option::is_some), "every worker reported");
-                let d = {
-                    let mut cx = DecideCx { until, round: rounds, probe: &mut ph };
-                    protocol.decide(self, &mut slots, &mut cx)
-                };
-                for slot in slots.iter_mut() {
-                    *slot = None;
+                let report = protocol.round(self, &mut state, &verdict, &mut cx);
+                inbox.clear();
+                outbox.flush();
+                report
+            }));
+            let report = match round_result {
+                Ok(report) => report,
+                Err(payload) => {
+                    shared.record_panic(p, rounds, payload);
+                    outbox.discard_pending();
+                    return None;
                 }
-                drop(slots);
-                *decision.lock().expect("decision lock") = Some(d);
-            }
-            ph.barrier_wait(barrier, p as u32, 0);
+            };
+            lock_recover(&shared.reports)[p] = Some(report);
 
-            let d = decision
-                .lock()
-                .expect("decision lock")
-                .as_ref()
-                .expect("coordinator decided")
-                .clone();
-            match d {
-                Decision::Continue(v) => verdict = v,
-                Decision::Stop => break,
-                Decision::Abort(msg) => {
-                    // Everyone is past the barrier, so no one can hang;
-                    // worker 0 carries the diagnostic.
-                    if p == 0 {
-                        panic!("{msg}");
-                    }
-                    break;
+            if !shared.sync(&mut ph, p, rounds, options.barrier_timeout) {
+                outbox.discard_pending();
+                return None;
+            }
+            if p == 0 {
+                let directive = self.coordinate(protocol, shared, options, rounds, until, &mut ph);
+                *lock_recover(&shared.directive) = Some(directive);
+            }
+            if !shared.sync(&mut ph, p, rounds, options.barrier_timeout) {
+                outbox.discard_pending();
+                return None;
+            }
+
+            let directive = lock_recover(&shared.directive).clone();
+            match directive {
+                Some(Directive::Continue(v)) => verdict = v,
+                Some(Directive::Stop) => break,
+                Some(Directive::Fail) | None => {
+                    outbox.discard_pending();
+                    return None;
                 }
             }
         }
-        (protocol.finish(self, p, state), rounds)
+
+        match catch_unwind(AssertUnwindSafe(|| protocol.finish(self, p, state))) {
+            Ok(out) => Some((out, rounds)),
+            Err(payload) => {
+                shared.record_panic(p, rounds, payload);
+                None
+            }
+        }
+    }
+
+    /// Worker 0's step between the two barriers: surface delivery
+    /// violations and injection trace notes, run the protocol's `decide`
+    /// (itself panic-safe), and apply the run budget.
+    fn coordinate<V, P>(
+        &self,
+        protocol: &P,
+        shared: &RunShared<P::Msg, P::Report, P::Verdict>,
+        options: &RunOptions,
+        round: u64,
+        until: VirtualTime,
+        ph: &mut ProbeHandle,
+    ) -> Directive<P::Verdict>
+    where
+        V: LogicValue,
+        P: SyncProtocol<V>,
+    {
+        if let Some(inj) = &shared.injector {
+            for note in inj.take_notes() {
+                let kind =
+                    if note.recovered { TraceKind::FaultRecover } else { TraceKind::FaultInject };
+                let t = ph.now_ns();
+                ph.emit(t, 0, 0, NO_LP, kind, note.target);
+            }
+            if let Some(detail) = inj.take_violations() {
+                // Fail before the corrupted inboxes are consumed next
+                // round: delivery accounting is checked every round.
+                shared.set_fatal(SimError::DeliveryFault { round, detail });
+                return Directive::Fail;
+            }
+        }
+        let decided = {
+            let mut slots = lock_recover(&shared.reports);
+            debug_assert!(slots.iter().all(Option::is_some), "every worker reported");
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let mut cx = DecideCx { until, round, probe: ph };
+                protocol.decide(self, &mut slots, &mut cx)
+            }));
+            for slot in slots.iter_mut() {
+                *slot = None;
+            }
+            result
+        };
+        match decided {
+            Err(payload) => {
+                // `decide` runs on worker 0; its panic is that worker's
+                // failure. Peers are between the barriers, so broadcasting
+                // Fail (not aborting) releases them cleanly.
+                let diag = WorkerDiagnostic {
+                    worker: 0,
+                    lp: shared.progress[0].lp(),
+                    virtual_time: shared.progress[0].virtual_time(),
+                    round,
+                };
+                lock_recover(&shared.failures).push((diag, panic_message(payload)));
+                Directive::Fail
+            }
+            Ok(Decision::Abort(reason)) => {
+                shared.set_fatal(SimError::ProtocolAbort { round, reason });
+                Directive::Fail
+            }
+            Ok(Decision::Stop) => Directive::Stop,
+            Ok(Decision::Continue(v)) => {
+                let events = shared.events.load(Ordering::Relaxed);
+                if options.budget.exceeded_by(round, events, shared.start.elapsed()).is_some() {
+                    shared.truncated.store(true, Ordering::Relaxed);
+                    Directive::Stop
+                } else {
+                    Directive::Continue(v)
+                }
+            }
+        }
     }
 }

@@ -28,16 +28,34 @@
 //! The synchronous, conservative and Time Warp threaded kernels in
 //! `parsim-sync`, `parsim-conservative` and `parsim-optimistic` are
 //! `SyncProtocol` implementations on this fabric.
+//!
+//! # Failure model
+//!
+//! The fabric is fault-tolerant end to end. [`Fabric::run`] returns
+//! `Result<_, SimError>` instead of panicking: worker panics are caught at
+//! the round boundary and converted into an abort broadcast on the
+//! [`RoundBarrier`] (no peer ever hangs), lock poisoning is recovered
+//! rather than cascaded, a coordinator abort fails *every* worker so no
+//! partial results merge, and a [`RunBudget`](parsim_core::RunBudget) in
+//! [`RunOptions`] degrades an over-budget run gracefully into truncated
+//! partial results. A deterministic [`FaultPlan`] injects worker kills,
+//! delivery faults (drop/delay/duplicate) and lock poisoning to prove all
+//! of it under test.
 
 #![forbid(unsafe_code)]
 
+mod barrier;
 mod fabric;
+mod fault;
 mod mailbox;
+mod poison;
 mod pool;
 mod protocol;
 mod state;
 
-pub use fabric::Fabric;
+pub use barrier::{BarrierError, RoundBarrier};
+pub use fabric::{Fabric, RunOptions};
+pub use fault::{FaultPlan, FaultSpec};
 pub use mailbox::{MailboxMesh, Outbox, DEFAULT_BATCH_LIMIT};
 pub use pool::run_workers;
 pub use protocol::{DecideCx, Decision, RoundCx, SyncProtocol, WorkerOutput};

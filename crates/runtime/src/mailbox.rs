@@ -14,24 +14,71 @@
 //! preserve internal order, [`Outbox::send`] appends in call order, and
 //! posts from one sender interleave with other senders' posts but never
 //! reorder among themselves.
+//!
+//! Fault tolerance: mailbox locks are *poison-tolerant* — a worker that
+//! panics elsewhere while the runtime winds the run down never cascades
+//! into `expect("mailbox lock")` panics on its peers; the guard is
+//! recovered (every critical section here is a plain data move with no
+//! unwind point mid-update) and the original failure is surfaced by the
+//! fabric as the run's `SimError`. A mesh built with
+//! [`MailboxMesh::with_faults`] additionally carries the fault-injection
+//! layer (see [`FaultPlan`](crate::FaultPlan)): each posted batch passes
+//! an injection point that can drop, delay or duplicate it — either
+//! recovered in place (reliable-delivery mode) or recorded as a delivery
+//! violation the fabric fails fast on.
 
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::fault::{BatchFault, FaultInjector};
+use crate::poison::lock_recover;
 
 /// Default number of messages an [`Outbox`] accumulates per destination
 /// before posting the batch early. Large enough that a typical activation
 /// round flushes exactly once per destination.
 pub const DEFAULT_BATCH_LIMIT: usize = 256;
 
+/// A batch held back by an injected delay fault.
+#[derive(Debug)]
+struct HeldBatch<M> {
+    /// First round the batch may be released in.
+    release_round: u64,
+    msgs: Vec<M>,
+}
+
+/// The injection side of a mesh: the shared injector plus per-destination
+/// held-batch buffers and one-shot poison-recovery markers.
+#[derive(Debug)]
+struct FaultState<M> {
+    injector: Arc<FaultInjector>,
+    held: Vec<Mutex<Vec<HeldBatch<M>>>>,
+    poison_noted: Vec<AtomicBool>,
+}
+
 /// One mailbox per worker: the shared half of the mesh.
 #[derive(Debug)]
 pub struct MailboxMesh<M> {
     slots: Vec<Mutex<Vec<M>>>,
+    faults: Option<FaultState<M>>,
 }
 
 impl<M> MailboxMesh<M> {
-    /// A mesh with one mailbox per worker.
+    /// A mesh with one mailbox per worker and no fault injection.
     pub fn new(workers: usize) -> Self {
-        MailboxMesh { slots: (0..workers).map(|_| Mutex::new(Vec::new())).collect() }
+        MailboxMesh { slots: (0..workers).map(|_| Mutex::new(Vec::new())).collect(), faults: None }
+    }
+
+    /// A mesh with the fault-injection layer attached. With an empty plan
+    /// the layer is inert: delivery is bit-identical to [`MailboxMesh::new`].
+    pub(crate) fn with_faults(workers: usize, injector: Arc<FaultInjector>) -> Self {
+        MailboxMesh {
+            slots: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
+            faults: Some(FaultState {
+                injector,
+                held: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
+                poison_noted: (0..workers).map(|_| AtomicBool::new(false)).collect(),
+            }),
+        }
     }
 
     /// Number of mailboxes.
@@ -39,28 +86,60 @@ impl<M> MailboxMesh<M> {
         self.slots.len()
     }
 
-    /// Appends a batch into worker `dst`'s mailbox (the batch vector is
-    /// drained, keeping its allocation for reuse).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `dst` is out of range.
-    pub fn post(&self, dst: usize, batch: &mut Vec<M>) {
-        if batch.is_empty() {
-            return;
+    /// Acquires worker `w`'s mailbox, recovering (and, under injection,
+    /// noting) a poisoned guard instead of cascading the panic.
+    fn slot(&self, w: usize) -> MutexGuard<'_, Vec<M>> {
+        match self.slots[w].lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                if let Some(f) = &self.faults {
+                    if !f.poison_noted[w].swap(true, Ordering::Relaxed) {
+                        f.injector.note_recovered(w);
+                    }
+                }
+                poisoned.into_inner()
+            }
         }
-        let mut slot = self.slots[dst].lock().expect("mailbox lock");
-        slot.append(batch);
+    }
+
+    /// Poisons worker `w`'s mailbox lock, exactly as a thread panicking
+    /// while holding the guard would (fault injection only). The data
+    /// under the lock is untouched; every later acquisition recovers the
+    /// guard.
+    pub(crate) fn poison_slot(&self, w: usize) {
+        if let Some(f) = &self.faults {
+            f.injector.note_injected(w);
+        }
+        let slot = &self.slots[w];
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = lock_recover(slot);
+            panic!("injected mailbox lock poisoning");
+        }));
+        debug_assert!(caught.is_err(), "poisoning panic must unwind");
     }
 
     /// Moves everything in worker `w`'s mailbox into `into` (appending),
-    /// preserving arrival order.
+    /// preserving arrival order. Batches whose injected delay has expired
+    /// are released first.
     ///
     /// # Panics
     ///
     /// Panics if `w` is out of range.
     pub fn drain_into(&self, w: usize, into: &mut Vec<M>) {
-        let mut slot = self.slots[w].lock().expect("mailbox lock");
+        if let Some(f) = &self.faults {
+            let round = f.injector.round();
+            let mut held = lock_recover(&f.held[w]);
+            let mut i = 0;
+            while i < held.len() {
+                if held[i].release_round <= round {
+                    let mut batch = held.remove(i);
+                    into.append(&mut batch.msgs);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        let mut slot = self.slot(w);
         if into.is_empty() {
             // Common case: swap, no copy.
             std::mem::swap(&mut *slot, into);
@@ -71,7 +150,82 @@ impl<M> MailboxMesh<M> {
 
     /// True if worker `w`'s mailbox currently holds no messages.
     pub fn is_empty(&self, w: usize) -> bool {
-        self.slots[w].lock().expect("mailbox lock").is_empty()
+        self.slot(w).is_empty()
+    }
+}
+
+impl<M: Clone> MailboxMesh<M> {
+    /// Appends a batch into worker `dst`'s mailbox (the batch vector is
+    /// drained, keeping its allocation for reuse). Under fault injection
+    /// the batch first passes the injection point, which may drop, delay
+    /// or duplicate it — recovered in place when the plan enables
+    /// recovery, recorded as a delivery violation otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is out of range.
+    pub fn post(&self, dst: usize, batch: &mut Vec<M>) {
+        if batch.is_empty() {
+            return;
+        }
+        if let Some(f) = &self.faults {
+            let inj = &f.injector;
+            let seq = inj.next_seq(dst);
+            if let Some(fault) = inj.batch_fault(dst, seq) {
+                inj.note_injected(dst);
+                let round = inj.round();
+                let n = batch.len();
+                match fault {
+                    BatchFault::Drop => {
+                        if inj.recovery() {
+                            // The retained copy is re-delivered: fall
+                            // through and deliver normally.
+                            inj.note_recovered(dst);
+                        } else {
+                            inj.violation(format!(
+                                "batch #{seq} to worker {dst} ({n} messages) dropped at round \
+                                 {round}"
+                            ));
+                            batch.clear();
+                            return;
+                        }
+                    }
+                    BatchFault::Delay(rounds) => {
+                        if inj.recovery() {
+                            // Re-delivered before the barrier: logically a
+                            // normal delivery.
+                            inj.note_recovered(dst);
+                        } else {
+                            inj.violation(format!(
+                                "batch #{seq} to worker {dst} ({n} messages) delayed {rounds} \
+                                 round(s) at round {round}"
+                            ));
+                            lock_recover(&f.held[dst]).push(HeldBatch {
+                                release_round: round + rounds,
+                                msgs: std::mem::take(batch),
+                            });
+                            return;
+                        }
+                    }
+                    BatchFault::Duplicate => {
+                        if inj.recovery() {
+                            // The duplicate is suppressed by its sequence
+                            // number: deliver exactly once.
+                            inj.note_recovered(dst);
+                        } else {
+                            inj.violation(format!(
+                                "batch #{seq} to worker {dst} ({n} messages) duplicated at round \
+                                 {round}"
+                            ));
+                            let copy = batch.clone();
+                            self.slot(dst).extend(copy);
+                        }
+                    }
+                }
+            }
+        }
+        let mut slot = self.slot(dst);
+        slot.append(batch);
     }
 }
 
@@ -100,6 +254,23 @@ impl<'m, M> Outbox<'m, M> {
         }
     }
 
+    /// True when nothing is pending (everything sent has been posted).
+    pub fn is_flushed(&self) -> bool {
+        self.pending.iter().all(Vec::is_empty)
+    }
+
+    /// Discards every pending (unposted) message. The fabric's abort path
+    /// uses this: a worker leaving the round loop after a caught panic
+    /// must neither deliver half a round's traffic nor trip the
+    /// unflushed-drop check below.
+    pub fn discard_pending(&mut self) {
+        for batch in &mut self.pending {
+            batch.clear();
+        }
+    }
+}
+
+impl<M: Clone> Outbox<'_, M> {
     /// Queues one message for worker `dst`, posting the batch if it reached
     /// the limit.
     ///
@@ -124,11 +295,6 @@ impl<'m, M> Outbox<'m, M> {
             }
         }
     }
-
-    /// True when nothing is pending (everything sent has been posted).
-    pub fn is_flushed(&self) -> bool {
-        self.pending.iter().all(Vec::is_empty)
-    }
 }
 
 impl<M> Drop for Outbox<'_, M> {
@@ -140,6 +306,7 @@ impl<M> Drop for Outbox<'_, M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
 
     #[test]
     fn fifo_per_channel_under_interleaving() {
@@ -219,5 +386,100 @@ mod tests {
         mesh.drain_into(0, &mut inbox);
         assert_eq!(inbox, vec![3]);
         assert!(mesh.is_empty(0));
+    }
+
+    #[test]
+    fn poisoned_mailbox_recovers_instead_of_cascading() {
+        let plan = FaultPlan::new().with_poison(0, 1);
+        let inj = Arc::new(FaultInjector::new(&plan, 1));
+        let mesh: MailboxMesh<u32> = MailboxMesh::with_faults(1, Arc::clone(&inj));
+        let mut out = Outbox::new(&mesh, 4);
+        out.send(0, 1);
+        out.flush();
+        mesh.poison_slot(0);
+        // Delivery continues across the poisoned guard, in order.
+        out.send(0, 2);
+        out.flush();
+        let mut got = Vec::new();
+        mesh.drain_into(0, &mut got);
+        assert_eq!(got, vec![1, 2]);
+        let notes = inj.take_notes();
+        assert!(notes.iter().any(|n| !n.recovered), "injection noted");
+        assert!(notes.iter().any(|n| n.recovered), "recovery noted");
+    }
+
+    #[test]
+    fn dropped_batch_records_a_violation_without_recovery() {
+        let plan = FaultPlan::new().with_drop(0, 0);
+        let inj = Arc::new(FaultInjector::new(&plan, 2));
+        let mesh: MailboxMesh<u32> = MailboxMesh::with_faults(2, Arc::clone(&inj));
+        let mut out = Outbox::new(&mesh, 64);
+        out.send(0, 7);
+        out.flush();
+        assert!(mesh.is_empty(0), "the batch was dropped");
+        assert!(inj.take_violations().expect("violation recorded").contains("dropped"));
+        // The next batch (seq 1) is unaffected.
+        out.send(0, 8);
+        out.flush();
+        let mut got = Vec::new();
+        mesh.drain_into(0, &mut got);
+        assert_eq!(got, vec![8]);
+    }
+
+    #[test]
+    fn delayed_batch_is_released_after_its_rounds() {
+        let plan = FaultPlan::new().with_delay(0, 0, 2);
+        let inj = Arc::new(FaultInjector::new(&plan, 1));
+        let mesh: MailboxMesh<u32> = MailboxMesh::with_faults(1, Arc::clone(&inj));
+        inj.enter_round(1);
+        let mut out = Outbox::new(&mesh, 64);
+        out.send(0, 9);
+        out.flush();
+        let mut got = Vec::new();
+        mesh.drain_into(0, &mut got);
+        assert!(got.is_empty(), "held at round 1");
+        inj.enter_round(3);
+        mesh.drain_into(0, &mut got);
+        assert_eq!(got, vec![9], "released once the delay expired");
+        assert!(inj.take_violations().is_some(), "delay is a violation without recovery");
+    }
+
+    #[test]
+    fn duplicate_batch_is_delivered_twice_without_recovery() {
+        let plan = FaultPlan::new().with_duplicate(1, 0);
+        let inj = Arc::new(FaultInjector::new(&plan, 2));
+        let mesh: MailboxMesh<u32> = MailboxMesh::with_faults(2, Arc::clone(&inj));
+        let mut out = Outbox::new(&mesh, 64);
+        out.send(1, 5);
+        out.send(1, 6);
+        out.flush();
+        let mut got = Vec::new();
+        mesh.drain_into(1, &mut got);
+        assert_eq!(got, vec![5, 6, 5, 6]);
+        assert!(inj.take_violations().expect("violation recorded").contains("duplicated"));
+    }
+
+    #[test]
+    fn recovery_makes_every_delivery_fault_invisible() {
+        let plan = FaultPlan::new()
+            .with_drop(0, 0)
+            .with_delay(0, 1, 3)
+            .with_duplicate(0, 2)
+            .with_recovery(true);
+        let inj = Arc::new(FaultInjector::new(&plan, 1));
+        let mesh: MailboxMesh<u32> = MailboxMesh::with_faults(1, Arc::clone(&inj));
+        let mut out = Outbox::new(&mesh, 64);
+        for (i, v) in [10, 20, 30, 40].into_iter().enumerate() {
+            out.send(0, v);
+            out.flush();
+            let _ = i;
+        }
+        let mut got = Vec::new();
+        mesh.drain_into(0, &mut got);
+        assert_eq!(got, vec![10, 20, 30, 40], "recovered delivery is exactly-once, in order");
+        assert_eq!(inj.take_violations(), None);
+        let notes = inj.take_notes();
+        assert_eq!(notes.iter().filter(|n| !n.recovered).count(), 3);
+        assert_eq!(notes.iter().filter(|n| n.recovered).count(), 3);
     }
 }

@@ -1,0 +1,37 @@
+//! Poison-tolerant lock acquisition.
+//!
+//! A poisoned `Mutex` means *some* thread panicked while holding the
+//! guard. In the fabric every critical section is a plain data move (slot
+//! writes, `Vec::append`) with no unwind point mid-update, so the protected
+//! data is never left half-written; the panic itself is caught at the round
+//! boundary and surfaced as the run's `SimError`. Propagating the poison
+//! instead would turn one worker failure into a cascade of unrelated
+//! `expect("… lock")` panics with misleading messages on every other
+//! worker — exactly the failure mode this module removes.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Acquires `lock`, recovering the guard if a panicking thread poisoned it.
+#[inline]
+pub(crate) fn lock_recover<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_a_poisoned_mutex() {
+        let m = Mutex::new(7u32);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = m.lock().expect("first lock");
+            panic!("poison it");
+        }));
+        assert!(caught.is_err());
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_recover(&m), 7);
+        *lock_recover(&m) = 8;
+        assert_eq!(*lock_recover(&m), 8);
+    }
+}

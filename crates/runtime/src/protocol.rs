@@ -10,6 +10,7 @@
 //! merging, probe plumbing — lives in [`Fabric`](crate::Fabric).
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parsim_core::{SimStats, Waveform};
 use parsim_event::VirtualTime;
@@ -28,8 +29,49 @@ pub enum Decision<T> {
     /// The run is complete: workers finalize and exit.
     Stop,
     /// A protocol invariant broke. Every worker leaves the round loop (so
-    /// no one hangs at a barrier) and the fabric panics with the message.
+    /// no one hangs at a barrier), no worker contributes partial results,
+    /// and the run fails with
+    /// [`SimError::ProtocolAbort`](parsim_core::SimError) carrying the
+    /// message ([`Fabric::execute`](crate::Fabric::execute) panics with its
+    /// rendered form).
     Abort(String),
+}
+
+/// A worker's best-effort progress marks (last LP served, last virtual
+/// time reached), shared with the fabric so a failure diagnostic can say
+/// *where* the worker was — not just that it died.
+///
+/// `u64::MAX` encodes "never marked". Relaxed ordering is enough: the
+/// marks are heuristics read after the worker has already failed.
+#[derive(Debug)]
+pub(crate) struct WorkerProgress {
+    lp: AtomicU64,
+    vt: AtomicU64,
+}
+
+impl WorkerProgress {
+    pub(crate) fn new() -> Self {
+        WorkerProgress { lp: AtomicU64::new(u64::MAX), vt: AtomicU64::new(u64::MAX) }
+    }
+
+    fn mark(&self, lp: usize, vt: VirtualTime) {
+        self.lp.store(lp as u64, Ordering::Relaxed);
+        self.vt.store(vt.ticks(), Ordering::Relaxed);
+    }
+
+    pub(crate) fn lp(&self) -> Option<usize> {
+        match self.lp.load(Ordering::Relaxed) {
+            u64::MAX => None,
+            lp => Some(lp as usize),
+        }
+    }
+
+    pub(crate) fn virtual_time(&self) -> Option<VirtualTime> {
+        match self.vt.load(Ordering::Relaxed) {
+            u64::MAX => None,
+            vt => Some(VirtualTime::new(vt)),
+        }
+    }
 }
 
 /// What one worker hands back when its rounds are over.
@@ -65,13 +107,39 @@ pub struct RoundCx<'a, 'm, M> {
     /// LPs per worker: a message for LP `l` goes to worker
     /// `l / granularity`.
     pub granularity: usize,
+    /// This worker's shared progress marks (see [`RoundCx::note_progress`]).
+    pub(crate) progress: &'a WorkerProgress,
+    /// Shared processed-event counter feeding the run budget (see
+    /// [`RoundCx::charge_events`]).
+    pub(crate) events: &'a AtomicU64,
 }
 
-impl<M> RoundCx<'_, '_, M> {
+impl<M: Clone> RoundCx<'_, '_, M> {
     /// Sends `msg` to the worker owning LP `dst_lp`.
     #[inline]
     pub fn send_lp(&mut self, dst_lp: usize, msg: M) {
         self.outbox.send(dst_lp / self.granularity, msg);
+    }
+}
+
+impl<M> RoundCx<'_, '_, M> {
+    /// Marks that this worker is working on LP `lp` at virtual time `vt`.
+    /// Best effort: feeds the `WorkerDiagnostic` of a failure report, so a
+    /// crashed run can say where each worker was.
+    #[inline]
+    pub fn note_progress(&mut self, lp: usize, vt: VirtualTime) {
+        self.progress.mark(lp, vt);
+    }
+
+    /// Charges `n` processed events against the run budget
+    /// ([`RunBudget::max_events`](parsim_core::RunBudget)). Protocols call
+    /// this once per round with the round's event count; unreported work is
+    /// simply invisible to the budget.
+    #[inline]
+    pub fn charge_events(&mut self, n: u64) {
+        if n > 0 {
+            self.events.fetch_add(n, Ordering::Relaxed);
+        }
     }
 }
 
@@ -109,8 +177,9 @@ pub struct DecideCx<'a> {
 /// deadlock recovery, fossil collection), which is equivalent to acting
 /// after the second barrier since nothing happens in between.
 pub trait SyncProtocol<V: LogicValue>: Sync {
-    /// Inter-worker message (events, nulls, anti-messages…).
-    type Msg: Send;
+    /// Inter-worker message (events, nulls, anti-messages…). `Clone` lets
+    /// the mailbox mesh's fault-injection layer duplicate a batch.
+    type Msg: Send + Clone;
     /// Per-worker protocol state (LPs, queues, counters).
     type Worker: Send;
     /// What a worker reports after each round (flags, head times…).

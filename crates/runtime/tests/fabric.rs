@@ -4,13 +4,34 @@
 
 use std::collections::BTreeMap;
 
-use parsim_core::{Observe, SimStats, Stimulus};
+use parsim_core::{Observe, SimError, SimStats, Stimulus};
 use parsim_event::{Event, VirtualTime};
 use parsim_logic::Bit;
 use parsim_netlist::bench;
 use parsim_partition::Partition;
-use parsim_runtime::{DecideCx, Decision, Fabric, RoundCx, SyncProtocol, WorkerOutput};
+use parsim_runtime::{DecideCx, Decision, Fabric, RoundCx, RunOptions, SyncProtocol, WorkerOutput};
 use parsim_trace::Probe;
+
+/// Silences the default panic-hook backtrace chatter for the panics these
+/// tests deliberately provoke inside worker threads, chaining everything
+/// else to the previous hook.
+fn quiet_deliberate_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.contains("deliberate test panic") && !msg.contains("injected") {
+                prev(info);
+            }
+        }));
+    });
+}
 
 /// A protocol that ignores the circuit entirely: each worker passes one
 /// token per round to its successor for a fixed number of rounds. Exercises
@@ -194,6 +215,133 @@ fn abort_panics_with_the_protocol_message_instead_of_hanging() {
         .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
         .unwrap_or_default();
     assert!(msg.contains("protocol invariant violated"), "unexpected panic payload: {msg}");
+}
+
+#[test]
+fn run_surfaces_an_abort_as_a_structured_error_for_the_whole_run() {
+    let c = bench::c17();
+    let part = Partition::new(3, vec![0; c.len()]).expect("valid partition");
+    let fabric = Fabric::new(&c, &part, 1, Observe::Outputs);
+    let err = fabric
+        .run::<Bit, _>(
+            &Stimulus::quiet(100),
+            VirtualTime::new(100),
+            &Probe::disabled(),
+            &AbortImmediately,
+            &RunOptions::default(),
+        )
+        .expect_err("abort must fail the run");
+    match err {
+        SimError::ProtocolAbort { round, ref reason } => {
+            assert_eq!(round, 1);
+            assert!(reason.contains("protocol invariant violated"), "{reason}");
+        }
+        other => panic!("expected ProtocolAbort, got {other}"),
+    }
+}
+
+/// A protocol where one worker panics in a given round while the others
+/// keep exchanging tokens — the regression shape for the mid-round
+/// deadlock: without abort-safe barriers, the survivors would block
+/// forever waiting for the dead worker.
+struct PanicAt {
+    victim: usize,
+    round: u64,
+}
+
+impl SyncProtocol<Bit> for PanicAt {
+    type Msg = u64;
+    type Worker = u64;
+    type Report = ();
+    type Verdict = ();
+
+    fn worker(&self, _f: &Fabric<'_>, _w: usize, _p: Vec<Vec<Event<Bit>>>) -> u64 {
+        0
+    }
+
+    fn first_verdict(&self) {}
+
+    fn round(&self, fabric: &Fabric<'_>, state: &mut u64, _v: &(), cx: &mut RoundCx<'_, '_, u64>) {
+        *state += 1;
+        cx.inbox.clear();
+        cx.note_progress(cx.worker, VirtualTime::new(*state));
+        if cx.worker == self.victim && *state == self.round {
+            panic!("deliberate test panic (worker {})", cx.worker);
+        }
+        // Keep real traffic flowing so surviving workers genuinely wait on
+        // the mailbox/barrier path, not on an idle loop.
+        let next_lp = ((cx.worker + 1) % fabric.workers()) * cx.granularity;
+        cx.send_lp(next_lp, *state);
+    }
+
+    fn decide(
+        &self,
+        _f: &Fabric<'_>,
+        _r: &mut [Option<()>],
+        cx: &mut DecideCx<'_>,
+    ) -> Decision<()> {
+        if cx.round >= 50 {
+            Decision::Stop
+        } else {
+            Decision::Continue(())
+        }
+    }
+
+    fn finish(&self, _f: &Fabric<'_>, _w: usize, _s: u64) -> WorkerOutput<Bit> {
+        WorkerOutput {
+            owned_values: Vec::new(),
+            waveforms: BTreeMap::new(),
+            stats: SimStats::default(),
+        }
+    }
+}
+
+#[test]
+fn worker_panic_mid_round_errors_instead_of_hanging_or_aborting() {
+    quiet_deliberate_panics();
+    let c = bench::c17();
+    let part = Partition::new(4, vec![0; c.len()]).expect("valid partition");
+    let fabric = Fabric::new(&c, &part, 1, Observe::Outputs);
+    let err = fabric
+        .run::<Bit, _>(
+            &Stimulus::quiet(100),
+            VirtualTime::new(100),
+            &Probe::disabled(),
+            &PanicAt { victim: 2, round: 3 },
+            &RunOptions::default(),
+        )
+        .expect_err("a worker panic must fail the run");
+    match err {
+        SimError::WorkerPanic { diagnostic, ref message, .. } => {
+            assert_eq!(diagnostic.worker, 2);
+            assert_eq!(diagnostic.round, 3);
+            assert_eq!(diagnostic.lp, Some(2), "progress mark survives the panic");
+            assert_eq!(diagnostic.virtual_time, Some(VirtualTime::new(3)));
+            assert!(message.contains("deliberate test panic"), "{message}");
+        }
+        other => panic!("expected WorkerPanic, got {other}"),
+    }
+    assert_eq!(err.worker(), Some(2));
+    assert_eq!(err.round(), Some(3));
+}
+
+#[test]
+fn worker_panic_in_the_very_first_round_is_also_safe() {
+    quiet_deliberate_panics();
+    let c = bench::c17();
+    let part = Partition::new(2, vec![0; c.len()]).expect("valid partition");
+    let fabric = Fabric::new(&c, &part, 1, Observe::Outputs);
+    let err = fabric
+        .run::<Bit, _>(
+            &Stimulus::quiet(100),
+            VirtualTime::new(100),
+            &Probe::disabled(),
+            &PanicAt { victim: 0, round: 1 },
+            &RunOptions::default(),
+        )
+        .expect_err("a worker panic must fail the run");
+    assert_eq!(err.worker(), Some(0));
+    assert_eq!(err.round(), Some(1));
 }
 
 #[test]

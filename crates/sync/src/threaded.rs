@@ -2,12 +2,14 @@
 
 use std::marker::PhantomData;
 
-use parsim_core::{Observe, SimOutcome, SimStats, Simulator, Stimulus};
+use parsim_core::{Observe, RunBudget, SimError, SimOutcome, SimStats, Simulator, Stimulus};
 use parsim_event::{BinaryHeapQueue, Event, EventQueue, VirtualTime};
 use parsim_logic::LogicValue;
 use parsim_netlist::GateId;
 use parsim_partition::Partition;
-use parsim_runtime::{DecideCx, Decision, Fabric, LpCore, RoundCx, SyncProtocol, WorkerOutput};
+use parsim_runtime::{
+    DecideCx, Decision, Fabric, FaultPlan, LpCore, RoundCx, RunOptions, SyncProtocol, WorkerOutput,
+};
 use parsim_trace::{Probe, TraceKind};
 
 /// The synchronous kernel on real threads.
@@ -29,6 +31,7 @@ pub struct ThreadedSyncSimulator<V> {
     partition: Partition,
     observe: Observe,
     probe: Probe,
+    options: RunOptions,
     _values: PhantomData<V>,
 }
 
@@ -39,6 +42,7 @@ impl<V: LogicValue> ThreadedSyncSimulator<V> {
             partition,
             observe: Observe::Outputs,
             probe: Probe::disabled(),
+            options: RunOptions::default(),
             _values: PhantomData,
         }
     }
@@ -57,6 +61,31 @@ impl<V: LogicValue> ThreadedSyncSimulator<V> {
         self.probe = probe;
         self
     }
+
+    /// Bounds the run (rounds, events, wall clock); an exhausted budget
+    /// truncates gracefully instead of erroring.
+    pub fn with_budget(mut self, budget: RunBudget) -> Self {
+        self.options.budget = budget;
+        self
+    }
+
+    /// Attaches a fault-injection plan for [`try_run`](Self::try_run).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.options.faults = Some(plan);
+        self
+    }
+
+    /// Runs the kernel, returning a structured [`SimError`] instead of
+    /// panicking when a worker fails or the protocol aborts.
+    pub fn try_run(
+        &self,
+        circuit: &parsim_netlist::Circuit,
+        stimulus: &Stimulus,
+        until: VirtualTime,
+    ) -> Result<SimOutcome<V>, SimError> {
+        let fabric = Fabric::new(circuit, &self.partition, 1, self.observe);
+        fabric.run(stimulus, until, &self.probe, &BarrierProtocol, &self.options)
+    }
 }
 
 impl<V: LogicValue> Simulator<V> for ThreadedSyncSimulator<V> {
@@ -70,8 +99,7 @@ impl<V: LogicValue> Simulator<V> for ThreadedSyncSimulator<V> {
         stimulus: &Stimulus,
         until: VirtualTime,
     ) -> SimOutcome<V> {
-        let fabric = Fabric::new(circuit, &self.partition, 1, self.observe);
-        fabric.execute(stimulus, until, &self.probe, &BarrierProtocol)
+        self.try_run(circuit, stimulus, until).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -138,11 +166,14 @@ impl<V: LogicValue> SyncProtocol<V> for BarrierProtocol {
         let now = if state.first { VirtualTime::ZERO } else { *verdict };
 
         state.core.begin_batch();
+        cx.note_progress(me, now);
 
         // Phase 1: apply local events at `now`.
+        let mut popped = 0u64;
         while state.queue.peek_time() == Some(now) {
             let e = state.queue.pop().expect("peeked");
             state.stats.events_processed += 1;
+            popped += 1;
             if cx.probe.enabled() {
                 let t = cx.probe.now_ns();
                 cx.probe.emit(
@@ -162,6 +193,7 @@ impl<V: LogicValue> SyncProtocol<V> for BarrierProtocol {
             state.core.mark_owned_non_source(circuit, &state.owned);
             state.first = false;
         }
+        cx.charge_events(popped);
 
         // Phase 2: evaluate in id order and distribute.
         let mut sent_min: Option<VirtualTime> = None;

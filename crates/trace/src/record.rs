@@ -48,6 +48,12 @@ pub enum TraceKind {
     /// Idle time waiting for a message or barrier (span, virtual-machine
     /// kernels). `arg` = idle units.
     Idle,
+    /// A fault was injected into the run (kill, delivery fault, lock
+    /// poisoning). `arg` = the targeted worker or destination mailbox.
+    FaultInject,
+    /// An injected fault was recovered by the runtime (reliable delivery,
+    /// poison-tolerant locking). `arg` = the recovered worker or mailbox.
+    FaultRecover,
 }
 
 impl TraceKind {
@@ -71,11 +77,13 @@ impl TraceKind {
             TraceKind::GvtAdvance => "gvt_advance",
             TraceKind::Charge => "charge",
             TraceKind::Idle => "idle",
+            TraceKind::FaultInject => "fault_inject",
+            TraceKind::FaultRecover => "fault_recover",
         }
     }
 
     /// All kinds, in a stable order (report tables iterate this).
-    pub fn all() -> [TraceKind; 12] {
+    pub fn all() -> [TraceKind; 14] {
         [
             TraceKind::GateEval,
             TraceKind::Enqueue,
@@ -89,6 +97,8 @@ impl TraceKind {
             TraceKind::GvtAdvance,
             TraceKind::Charge,
             TraceKind::Idle,
+            TraceKind::FaultInject,
+            TraceKind::FaultRecover,
         ]
     }
 }

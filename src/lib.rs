@@ -67,8 +67,9 @@ pub mod prelude {
     };
     pub use parsim_core::{
         evaluate_gate, fault, parse_vcd_changes, pre_simulate, write_vcd, ActivityProfile,
-        CycleSimulator, GateRuntime, LpTopology, ObliviousSimulator, Observe, QueueKind,
-        SequentialSimulator, SimOutcome, SimStats, Simulator, Stimulus, Waveform,
+        BudgetExhausted, CycleSimulator, GateRuntime, LpTopology, ObliviousSimulator, Observe,
+        QueueKind, RunBudget, SequentialSimulator, SimError, SimOutcome, SimStats, Simulator,
+        Stimulus, Waveform, WorkerDiagnostic,
     };
     pub use parsim_event::{
         BinaryHeapQueue, CalendarQueue, Event, EventQueue, Message, PairingHeapQueue, VirtualTime,
@@ -92,7 +93,7 @@ pub mod prelude {
         Partition, PartitionQuality, Partitioner, RandomPartitioner, RoundRobinPartitioner,
         StringPartitioner,
     };
-    pub use parsim_runtime::{Decision, Fabric, SyncProtocol};
+    pub use parsim_runtime::{Decision, Fabric, FaultPlan, FaultSpec, RunOptions, SyncProtocol};
     pub use parsim_sync::{SyncSimulator, ThreadedSyncSimulator};
     pub use parsim_trace::{
         run_report, to_csv, to_perfetto_json, Metrics, Probe, Trace, TraceKind, TraceRecord,

@@ -1,0 +1,325 @@
+//! End-to-end fault tolerance of the threaded runtime fabric.
+//!
+//! These tests drive the fault-injection harness through the public kernel
+//! APIs and pin the failure model's guarantees:
+//!
+//! * an injected worker kill fails the run with a structured
+//!   [`SimError::WorkerPanic`] *within a deadline* — no hung barrier, no
+//!   process abort — on every threaded kernel;
+//! * unrecovered delivery faults (drop/delay/duplicate) fail fast with
+//!   [`SimError::DeliveryFault`] instead of silently corrupting results;
+//! * with recovery enabled, an injected run commits waveforms identical to
+//!   a fault-free run, and the trace records the injections/recoveries;
+//! * an attached but *empty* plan is bit-identical to no plan at all;
+//! * run budgets truncate deterministically and gracefully.
+
+use std::time::Duration;
+
+use parsim::prelude::*;
+
+/// Silences the default panic-hook chatter for panics injected on worker
+/// threads (libtest only captures the test thread's output); everything
+/// else chains to the previous hook.
+fn quiet_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.contains("injected") {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f` on a helper thread and fails the test if it does not finish
+/// within `secs` — the hang detector for the kill/abort paths.
+fn within<T: Send + 'static>(secs: u64, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    rx.recv_timeout(Duration::from_secs(secs)).expect("the run hung instead of failing cleanly")
+}
+
+const WORKERS: usize = 4;
+const UNTIL: u64 = 600;
+
+fn circuit() -> Circuit {
+    generate::ripple_adder(12, DelayModel::PerKind)
+}
+
+fn stimulus() -> Stimulus {
+    Stimulus::counting(30)
+}
+
+/// Round-robin on purpose: it interleaves the carry chain across all
+/// blocks, guaranteeing cross-worker message traffic for the delivery
+/// faults to hit (a min-cut partitioner can place this workload with an
+/// empty cut, which would make the campaigns vacuous).
+fn partition(c: &Circuit) -> Partition {
+    RoundRobinPartitioner.partition(c, WORKERS, &GateWeights::uniform(c.len()))
+}
+
+/// One delivery fault aimed at each worker's first inbound batch, so the
+/// campaign is guaranteed to hit real traffic regardless of how the
+/// partitioner routed the netlist.
+fn delivery_campaign() -> FaultPlan {
+    FaultPlan::new()
+        .with_drop(0, 0)
+        .with_delay(1, 0, 2)
+        .with_duplicate(2, 0)
+        .with_drop(3, 0)
+        .with_poison(1, 2)
+}
+
+type KillRun = Box<dyn Fn() -> Result<SimOutcome<Logic4>, SimError> + Send>;
+
+#[test]
+fn injected_kill_fails_within_a_deadline_on_every_kernel() {
+    quiet_injected_panics();
+    let plan = FaultPlan::new().with_kill(1, 2);
+    let kernels: Vec<(&str, KillRun)> = {
+        let mk = |plan: FaultPlan| {
+            let c = circuit();
+            let p = partition(&c);
+            vec![
+                ("sync", {
+                    let (p, plan) = (p.clone(), plan.clone());
+                    Box::new(move || {
+                        let c = circuit();
+                        ThreadedSyncSimulator::<Logic4>::new(p.clone())
+                            .with_faults(plan.clone())
+                            .try_run(&c, &stimulus(), VirtualTime::new(UNTIL))
+                    }) as Box<dyn Fn() -> _ + Send>
+                }),
+                ("conservative", {
+                    let (p, plan) = (p.clone(), plan.clone());
+                    Box::new(move || {
+                        let c = circuit();
+                        ThreadedConservativeSimulator::<Logic4>::new(p.clone())
+                            .with_faults(plan.clone())
+                            .try_run(&c, &stimulus(), VirtualTime::new(UNTIL))
+                    }) as Box<dyn Fn() -> _ + Send>
+                }),
+                ("time-warp", {
+                    let (p, plan) = (p.clone(), plan.clone());
+                    Box::new(move || {
+                        let c = circuit();
+                        ThreadedTimeWarpSimulator::<Logic4>::new(p.clone())
+                            .with_faults(plan.clone())
+                            .try_run(&c, &stimulus(), VirtualTime::new(UNTIL))
+                    }) as Box<dyn Fn() -> _ + Send>
+                }),
+            ]
+        };
+        mk(plan)
+    };
+    for (name, run) in kernels {
+        let err = within(60, move || run().expect_err("an injected kill must fail the run"));
+        match err {
+            SimError::WorkerPanic { diagnostic, ref message, .. } => {
+                assert_eq!(diagnostic.worker, 1, "{name}: wrong worker blamed");
+                assert_eq!(diagnostic.round, 2, "{name}: wrong round blamed");
+                assert!(message.contains("injected kill"), "{name}: {message}");
+            }
+            other => panic!("{name}: expected WorkerPanic, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn unrecovered_delivery_faults_fail_fast() {
+    quiet_injected_panics();
+    let c = circuit();
+    let p = partition(&c);
+    let sim = ThreadedSyncSimulator::<Logic4>::new(p)
+        .with_faults(delivery_campaign().with_recovery(false));
+    let err = within(60, move || {
+        let c = circuit();
+        sim.try_run(&c, &stimulus(), VirtualTime::new(UNTIL))
+            .expect_err("unrecovered delivery faults must fail the run")
+    });
+    match err {
+        SimError::DeliveryFault { round, ref detail } => {
+            assert!(round >= 1);
+            assert!(
+                detail.contains("dropped")
+                    || detail.contains("delayed")
+                    || detail.contains("duplicated"),
+                "{detail}"
+            );
+        }
+        other => panic!("expected DeliveryFault, got {other}"),
+    }
+}
+
+#[test]
+fn recovered_injection_campaign_is_waveform_identical_to_fault_free() {
+    quiet_injected_panics();
+    let c = circuit();
+    let stim = stimulus();
+    let until = VirtualTime::new(UNTIL);
+    let p = partition(&c);
+
+    let clean = ThreadedSyncSimulator::<Logic4>::new(p.clone())
+        .with_observe(Observe::AllNets)
+        .try_run(&c, &stim, until)
+        .expect("fault-free run succeeds");
+
+    let probe = Probe::enabled();
+    let injected = ThreadedSyncSimulator::<Logic4>::new(p)
+        .with_observe(Observe::AllNets)
+        .with_probe(probe.clone())
+        .with_faults(delivery_campaign().with_recovery(true))
+        .try_run(&c, &stim, until)
+        .expect("recovered run succeeds");
+
+    assert_eq!(injected.divergence_from(&clean), None, "recovery must hide every fault");
+    assert_eq!(injected.final_values, clean.final_values);
+    assert_eq!(injected.waveforms, clean.waveforms);
+    assert!(!injected.stats.truncated);
+
+    let trace = probe.take_trace();
+    assert!(trace.count(TraceKind::FaultInject) >= 4, "campaign injections are traced");
+    assert!(trace.count(TraceKind::FaultRecover) >= 4, "recoveries are traced");
+}
+
+#[test]
+fn lock_poisoning_is_always_absorbed() {
+    quiet_injected_panics();
+    let c = circuit();
+    let stim = stimulus();
+    let until = VirtualTime::new(UNTIL);
+    let p = partition(&c);
+    let clean = ThreadedSyncSimulator::<Logic4>::new(p.clone())
+        .with_observe(Observe::AllNets)
+        .try_run(&c, &stim, until)
+        .expect("fault-free run succeeds");
+    // Recovery disabled on purpose: poison-tolerant locking is not
+    // optional, so a poison-only plan still completes with exact results.
+    let poisoned = ThreadedSyncSimulator::<Logic4>::new(p)
+        .with_observe(Observe::AllNets)
+        .with_faults(FaultPlan::new().with_poison(0, 1).with_poison(2, 3))
+        .try_run(&c, &stim, until)
+        .expect("poisoned locks are recovered, not fatal");
+    assert_eq!(poisoned.divergence_from(&clean), None);
+}
+
+#[test]
+fn empty_fault_plan_is_bit_identical_to_no_plan() {
+    let c = circuit();
+    let stim = stimulus();
+    let until = VirtualTime::new(UNTIL);
+    let p = partition(&c);
+    let bare = ThreadedSyncSimulator::<Logic4>::new(p.clone())
+        .with_observe(Observe::AllNets)
+        .try_run(&c, &stim, until)
+        .expect("plain run succeeds");
+    let with_layer = ThreadedSyncSimulator::<Logic4>::new(p)
+        .with_observe(Observe::AllNets)
+        .with_faults(FaultPlan::new())
+        .try_run(&c, &stim, until)
+        .expect("run with inert injection layer succeeds");
+    assert_eq!(with_layer.final_values, bare.final_values);
+    assert_eq!(with_layer.waveforms, bare.waveforms);
+    assert_eq!(with_layer.stats, bare.stats);
+}
+
+#[test]
+fn random_fault_plans_are_reproducible() {
+    let a = FaultPlan::random(0xC0FFEE, WORKERS, 8);
+    let b = FaultPlan::random(0xC0FFEE, WORKERS, 8);
+    assert_eq!(a, b, "same seed, same campaign");
+}
+
+#[test]
+fn round_budget_truncates_deterministically() {
+    let c = circuit();
+    let stim = stimulus();
+    let until = VirtualTime::new(UNTIL);
+    let p = partition(&c);
+
+    let full = ThreadedSyncSimulator::<Logic4>::new(p.clone())
+        .with_observe(Observe::AllNets)
+        .try_run(&c, &stim, until)
+        .expect("unbudgeted run succeeds");
+    assert!(!full.stats.truncated);
+    assert!(full.stats.barriers > 3, "workload must outlast the budget for this test");
+
+    let run = || {
+        ThreadedSyncSimulator::<Logic4>::new(p.clone())
+            .with_observe(Observe::AllNets)
+            .with_budget(RunBudget::default().with_max_rounds(3))
+            .try_run(&c, &stim, until)
+            .expect("budget exhaustion is graceful, not an error")
+    };
+    let once = run();
+    let twice = run();
+    assert!(once.stats.truncated, "budgeted run is flagged truncated");
+    assert_eq!(once.stats.barriers, 3, "stops exactly at the round cap");
+    assert!(once.stats.events_processed < full.stats.events_processed);
+    assert_eq!(once.final_values, twice.final_values, "truncation is deterministic");
+    assert_eq!(once.waveforms, twice.waveforms);
+    assert_eq!(once.stats, twice.stats);
+}
+
+#[test]
+fn event_budget_truncates_deterministically() {
+    let c = circuit();
+    let stim = stimulus();
+    let until = VirtualTime::new(UNTIL);
+    let p = partition(&c);
+    let run = || {
+        ThreadedSyncSimulator::<Logic4>::new(p.clone())
+            .with_observe(Observe::AllNets)
+            .with_budget(RunBudget::default().with_max_events(40))
+            .try_run(&c, &stim, until)
+            .expect("budget exhaustion is graceful, not an error")
+    };
+    let once = run();
+    let twice = run();
+    assert!(once.stats.truncated);
+    assert!(once.stats.events_processed >= 40, "overshoot is at most one round, never under");
+    assert_eq!(once.final_values, twice.final_values);
+    assert_eq!(once.waveforms, twice.waveforms);
+    assert_eq!(once.stats, twice.stats);
+}
+
+#[test]
+fn zero_deadline_stops_after_one_round() {
+    let c = circuit();
+    let p = partition(&c);
+    let out = ThreadedSyncSimulator::<Logic4>::new(p)
+        .with_budget(RunBudget::default().with_deadline(Duration::ZERO))
+        .try_run(&c, &stimulus(), VirtualTime::new(UNTIL))
+        .expect("deadline exhaustion is graceful, not an error");
+    assert!(out.stats.truncated);
+    assert_eq!(out.stats.barriers, 1, "the round in flight completes, nothing more starts");
+}
+
+#[test]
+fn budgets_compose_with_kernels_other_than_sync() {
+    let c = circuit();
+    let stim = stimulus();
+    let until = VirtualTime::new(UNTIL);
+    let p = partition(&c);
+    let cons = ThreadedConservativeSimulator::<Logic4>::new(p.clone())
+        .with_budget(RunBudget::default().with_max_rounds(2))
+        .try_run(&c, &stim, until)
+        .expect("graceful truncation");
+    assert!(cons.stats.truncated);
+    assert_eq!(cons.stats.barriers, 2);
+    let tw = ThreadedTimeWarpSimulator::<Logic4>::new(p)
+        .with_budget(RunBudget::default().with_max_rounds(2))
+        .try_run(&c, &stim, until)
+        .expect("graceful truncation");
+    assert!(tw.stats.truncated);
+    assert_eq!(tw.stats.barriers, 2);
+}
