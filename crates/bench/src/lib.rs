@@ -194,13 +194,19 @@ impl Table {
     }
 
     /// Renders the rows as a machine-readable JSON document: an object with
-    /// an `experiment` name and a `rows` array of header-keyed objects.
-    /// Cells that parse as integers or floats become JSON numbers; anything
-    /// else stays a string.
+    /// an `experiment` name, a provenance [`meta`](run_meta) block (git
+    /// commit, thread count, rustc version), and a `rows` array of
+    /// header-keyed objects. Cells that parse as integers or floats become
+    /// JSON numbers; anything else stays a string.
     pub fn to_json(&self, name: &str) -> String {
+        let meta = run_meta();
         let mut out = String::from("{\n  \"experiment\": ");
         json_string(name, &mut out);
-        out.push_str(",\n  \"rows\": [");
+        out.push_str(",\n  \"meta\": {\"git_commit\": ");
+        json_string(&meta.git_commit, &mut out);
+        out.push_str(&format!(", \"threads\": {}, \"rustc\": ", meta.threads));
+        json_string(&meta.rustc, &mut out);
+        out.push_str("},\n  \"rows\": [");
         for (i, row) in self.rows.iter().enumerate() {
             out.push_str(if i == 0 { "\n    {" } else { ",\n    {" });
             for (j, (h, c)) in self.headers.iter().zip(row).enumerate() {
@@ -236,6 +242,47 @@ impl Table {
             }
         }
     }
+}
+
+/// Provenance of one benchmark invocation, stamped into every emitted JSON
+/// document so a `results/exp_*.json` file is attributable to the exact
+/// code, toolchain and machine shape that produced it.
+#[derive(Debug, Clone)]
+pub struct RunMeta {
+    /// `git rev-parse HEAD` of the working tree, or `"unknown"` outside a
+    /// checkout (e.g. a bare tarball build).
+    pub git_commit: String,
+    /// Host threads available to the run (`std::thread::available_parallelism`),
+    /// or 0 when the host will not say.
+    pub threads: usize,
+    /// `rustc --version` of the toolchain on `PATH`, or `"unknown"`.
+    pub rustc: String,
+}
+
+/// Collects the run provenance, once per process (the git/rustc
+/// subprocesses are spawned on first use and cached).
+pub fn run_meta() -> &'static RunMeta {
+    static META: std::sync::OnceLock<RunMeta> = std::sync::OnceLock::new();
+    META.get_or_init(|| RunMeta {
+        git_commit: command_line("git", &["rev-parse", "HEAD"]),
+        threads: std::thread::available_parallelism().map_or(0, std::num::NonZero::get),
+        rustc: command_line("rustc", &["--version"]),
+    })
+}
+
+/// First stdout line of `cmd args…`, or `"unknown"` when the command is
+/// missing, fails, or prints nothing.
+fn command_line(cmd: &str, args: &[&str]) -> String {
+    std::process::Command::new(cmd)
+        .args(args)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| {
+            let text = String::from_utf8_lossy(&o.stdout);
+            text.lines().next().map(|l| l.trim().to_string()).filter(|l| !l.is_empty())
+        })
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// Appends `s` as a JSON string literal (quoted, escaped).
@@ -296,6 +343,20 @@ mod tests {
         assert!(json.contains("\"gates\": 256"));
         assert!(json.contains("\"speedup\": 3.5"));
         assert!(json.contains("\"strategy\": \"recovery(3)\""));
+        assert!(json.contains("\"meta\": {\"git_commit\": "));
+        assert!(json.contains("\"threads\": "));
+        assert!(json.contains("\"rustc\": "));
+    }
+
+    #[test]
+    fn run_meta_is_populated_and_cached() {
+        let a = run_meta();
+        let b = run_meta();
+        assert!(std::ptr::eq(a, b), "meta is collected once per process");
+        // In this repo's CI and dev environments both tools exist; the
+        // "unknown" fallback is for detached tarball builds only.
+        assert!(!a.git_commit.is_empty());
+        assert!(a.rustc == "unknown" || a.rustc.starts_with("rustc "), "{}", a.rustc);
     }
 
     #[test]

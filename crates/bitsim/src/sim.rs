@@ -3,12 +3,13 @@
 use std::collections::BTreeMap;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Barrier, Mutex, RwLock};
+use std::sync::{Mutex, RwLock};
 
 use parsim_core::{Observe, SimStats};
 use parsim_event::VirtualTime;
 use parsim_logic::{GateKind, LogicValue};
 use parsim_netlist::{Circuit, GateId};
+use parsim_runtime::{lock_recover, RoundBarrier};
 use parsim_trace::{Probe, ProbeHandle, TraceKind, NO_LP};
 
 use crate::compile::{CompiledCircuit, CompiledOp};
@@ -324,16 +325,26 @@ impl<P: PackedValue> BitSimulator<P> {
         }
         let apply: Mutex<Option<ApplyState<P>>> =
             Mutex::new(Some(ApplyState { waveforms, next_input: 0, stats: SimStats::default() }));
-        let barrier = Barrier::new(workers);
+        let barrier = RoundBarrier::new(workers);
         let stop = AtomicBool::new(false);
 
+        // A worker that unwinds mid-round would leave its peers blocked on
+        // the round barrier forever; abort the barrier on the way out so
+        // they fail fast (and the original panic propagates) instead.
+        struct AbortOnUnwind<'a>(&'a RoundBarrier);
+        impl Drop for AbortOnUnwind<'_> {
+            fn drop(&mut self) {
+                if std::thread::panicking() {
+                    self.0.abort();
+                }
+            }
+        }
+
         let mut results = parsim_runtime::run_workers(workers, |w| {
+            let _abort_guard = AbortOnUnwind(&barrier);
             let mut ph = self.probe.handle();
-            let mut state = if w == 0 {
-                Some(apply.lock().expect("apply state lock").take().expect("apply state"))
-            } else {
-                None
-            };
+            let mut state =
+                if w == 0 { Some(lock_recover(&apply).take().expect("apply state")) } else { None };
             let mut evals = 0u64;
             let mut t = 0u64;
             loop {
@@ -344,8 +355,7 @@ impl<P: PackedValue> BitSimulator<P> {
                     let mut vals = values.write().expect("values lock");
                     let now = VirtualTime::new(t);
                     {
-                        let shards: Vec<_> =
-                            shards.iter().map(|s| s.lock().expect("shard lock")).collect();
+                        let shards: Vec<_> = shards.iter().map(lock_recover).collect();
                         for (i, op) in cc.ops().iter().enumerate() {
                             let g = op.gate.index();
                             let v = shards[owner_of[i]].pending[g];
@@ -372,13 +382,14 @@ impl<P: PackedValue> BitSimulator<P> {
                     }
                 }
                 // Round phase 2 — everyone sees the applied values.
-                ph.barrier_wait(&barrier, w as u32, t);
+                ph.barrier_span(w as u32, t, || barrier.wait(None))
+                    .expect("barrier aborted: a peer worker failed");
                 if stop.load(Ordering::Acquire) {
                     break;
                 }
                 {
                     let vals = values.read().expect("values lock");
-                    let mut shard = shards[w].lock().expect("shard lock");
+                    let mut shard = lock_recover(&shards[w]);
                     let shard = &mut *shard;
                     for (level, range) in &chunks[w] {
                         let span_start = if ph.enabled() { ph.now_ns() } else { 0 };
@@ -394,7 +405,8 @@ impl<P: PackedValue> BitSimulator<P> {
                     }
                 }
                 // Round phase 3 — eval done, shard locks released.
-                ph.barrier_wait(&barrier, w as u32, t);
+                ph.barrier_span(w as u32, t, || barrier.wait(None))
+                    .expect("barrier aborted: a peer worker failed");
                 t += 1;
             }
             (state, evals)

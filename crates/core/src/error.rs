@@ -49,8 +49,9 @@ impl Display for WorkerDiagnostic {
 /// worker failed, where it was, and why — without taking the process down.
 ///
 /// Returned by the fallible kernel entry points (`Fabric::run` and the
-/// threaded simulators' `try_run`). The infallible [`Simulator::run`]
-/// (crate::Simulator::run) wrappers panic with the [`Display`] form.
+/// threaded simulators' `try_run`). The infallible
+/// [`Simulator::run`](crate::Simulator::run) wrappers panic with the
+/// [`Display`] form.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum SimError {
@@ -104,6 +105,10 @@ pub enum SimError {
         round: u64,
         /// How long the worker waited.
         waited: Duration,
+        /// The workers that never arrived at the barrier, with their
+        /// best-effort progress marks — the hang's likely culprits. Empty
+        /// only when the runtime could not attribute the stall.
+        stalled: Vec<WorkerDiagnostic>,
     },
 }
 
@@ -151,12 +156,19 @@ impl Display for SimError {
             SimError::LockPoisoned { what, context } => {
                 write!(f, "{what} lock poisoned ({context})")
             }
-            SimError::BarrierTimeout { worker, round, waited } => {
+            SimError::BarrierTimeout { worker, round, waited, stalled } => {
                 write!(
                     f,
                     "worker {worker} timed out after {waited:?} at the round-{round} barrier \
                      (a peer stopped participating)"
-                )
+                )?;
+                if !stalled.is_empty() {
+                    write!(f, "; stalled:")?;
+                    for d in stalled {
+                        write!(f, " {d}")?;
+                    }
+                }
+                Ok(())
             }
         }
     }
@@ -281,6 +293,29 @@ mod tests {
         assert!(s.contains("worker 3"), "{s}");
         assert_eq!(e.round(), Some(5));
         assert_eq!(e.worker(), Some(2));
+    }
+
+    #[test]
+    fn barrier_timeout_names_the_stalled_workers() {
+        let e = SimError::BarrierTimeout {
+            worker: 0,
+            round: 4,
+            waited: Duration::from_millis(250),
+            stalled: vec![WorkerDiagnostic {
+                worker: 3,
+                lp: Some(9),
+                virtual_time: Some(VirtualTime::new(120)),
+                round: 4,
+            }],
+        };
+        let s = e.to_string();
+        assert!(s.contains("worker 0 timed out"), "{s}");
+        assert!(s.contains("round-4 barrier"), "{s}");
+        assert!(s.contains("stalled:"), "{s}");
+        assert!(s.contains("worker 3"), "{s}");
+        assert!(s.contains("lp 9"), "{s}");
+        assert_eq!(e.round(), Some(4));
+        assert_eq!(e.worker(), Some(0));
     }
 
     #[test]

@@ -111,6 +111,15 @@ impl<V: LogicValue> ThreadedTimeWarpSimulator<V> {
         self
     }
 
+    /// Bounds every barrier wait: a worker that stops participating
+    /// without panicking (a hang, not a crash) fails the run with
+    /// [`SimError::BarrierTimeout`] naming the stalled workers, instead of
+    /// blocking its peers forever.
+    pub fn with_barrier_timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.options.barrier_timeout = Some(timeout);
+        self
+    }
+
     /// Runs the kernel, returning a structured [`SimError`] instead of
     /// panicking when a worker fails or the protocol aborts.
     pub fn try_run(

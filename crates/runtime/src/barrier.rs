@@ -9,7 +9,7 @@
 //! a peer that silently stops participating (a hang, not a crash) surfaces
 //! as an error instead of a stalled process.
 
-use std::sync::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::poison::lock_recover;
@@ -82,7 +82,7 @@ impl RoundBarrier {
         let deadline = timeout.map(|t| Instant::now() + t);
         while state.generation == generation && !state.aborted {
             state = match deadline {
-                None => self.cvar.wait(state).unwrap_or_else(std::sync::PoisonError::into_inner),
+                None => self.cvar.wait(state).unwrap_or_else(crate::sync::PoisonError::into_inner),
                 Some(d) => {
                     let now = Instant::now();
                     let remaining = d.saturating_duration_since(now);
@@ -96,7 +96,7 @@ impl RoundBarrier {
                     let (guard, _) = self
                         .cvar
                         .wait_timeout(state, remaining)
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        .unwrap_or_else(crate::sync::PoisonError::into_inner);
                     guard
                 }
             };

@@ -1,8 +1,7 @@
 //! The shared threaded LP execution fabric.
 
+use crate::sync::{Arc, AtomicBool, AtomicU64, Mutex, Ordering};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use parsim_core::{
@@ -83,6 +82,10 @@ struct RunShared<M, R, T> {
     /// First coordinator-detected fatal error (abort, delivery fault,
     /// barrier timeout).
     fatal: Mutex<Option<SimError>>,
+    /// Per-worker count of barrier arrivals (both barriers of every round),
+    /// bumped just before each wait. On a timeout this attributes the hang:
+    /// any worker whose count lags the timed-out worker's never arrived.
+    arrivals: Vec<AtomicU64>,
     /// Total events charged by the protocols, for the event budget.
     events: AtomicU64,
     /// Set when the budget stopped the run early.
@@ -126,6 +129,9 @@ impl<M, R, T> RunShared<M, R, T> {
         round: u64,
         timeout: Option<Duration>,
     ) -> bool {
+        // relaxed: diagnostics-only watermark; a stale read on the timeout
+        // path can at worst omit a culprit from the stalled list.
+        let mine = self.arrivals[worker].fetch_add(1, Ordering::Relaxed) + 1;
         let result = if ph.enabled() {
             let start = ph.now_ns();
             let r = self.barrier.wait(timeout);
@@ -139,10 +145,24 @@ impl<M, R, T> RunShared<M, R, T> {
             Ok(_) => true,
             Err(BarrierError::Aborted) => false,
             Err(BarrierError::TimedOut) => {
+                let stalled = self
+                    .arrivals
+                    .iter()
+                    .enumerate()
+                    // relaxed: same diagnostics-only argument as the bump.
+                    .filter(|(w, a)| *w != worker && a.load(Ordering::Relaxed) < mine)
+                    .map(|(w, _)| WorkerDiagnostic {
+                        worker: w,
+                        lp: self.progress[w].lp(),
+                        virtual_time: self.progress[w].virtual_time(),
+                        round,
+                    })
+                    .collect();
                 self.set_fatal(SimError::BarrierTimeout {
                     worker,
                     round,
                     waited: timeout.unwrap_or_default(),
+                    stalled,
                 });
                 false
             }
@@ -352,6 +372,7 @@ impl<'c> Fabric<'c> {
             directive: Mutex::new(None),
             failures: Mutex::new(Vec::new()),
             fatal: Mutex::new(None),
+            arrivals: (0..self.workers).map(|_| AtomicU64::new(0)).collect(),
             events: AtomicU64::new(0),
             truncated: AtomicBool::new(false),
             progress: (0..self.workers).map(|_| WorkerProgress::new()).collect(),
@@ -409,6 +430,8 @@ impl<'c> Fabric<'c> {
             rounds = rounds.max(worker_rounds);
         }
         stats.barriers = stats.barriers.max(rounds);
+        // relaxed: the flag is set strictly before the barrier every worker
+        // crossed on its way out; the barrier orders it, not the load.
         stats.truncated = shared.truncated.load(Ordering::Relaxed);
         Ok(SimOutcome { final_values, waveforms, end_time: until, stats })
     }
@@ -451,6 +474,20 @@ impl<'c> Fabric<'c> {
                 inj.enter_round(rounds);
                 if inj.should_poison(p, rounds) {
                     shared.mesh.poison_slot(p);
+                }
+                if inj.should_stall(p, rounds) {
+                    // A hang, not a crash: stop participating (in particular,
+                    // never bump the arrival counter or touch the barrier)
+                    // until the run fails around us — the peer whose wait
+                    // times out aborts the barrier. Without a barrier
+                    // timeout this stalls forever, which is exactly the
+                    // unguarded hang the option exists to catch.
+                    inj.note_injected(p);
+                    while !shared.barrier.is_aborted() {
+                        crate::sync::thread::sleep(Duration::from_millis(1));
+                    }
+                    outbox.discard_pending();
+                    return None;
                 }
             }
             let round_result = catch_unwind(AssertUnwindSafe(|| {
@@ -581,8 +618,12 @@ impl<'c> Fabric<'c> {
             }
             Ok(Decision::Stop) => Directive::Stop,
             Ok(Decision::Continue(v)) => {
+                // relaxed: both cells are ordered by the round barrier the
+                // coordinator sits behind; the counter is monotonic and the
+                // flag is one-shot, so no weaker guarantee is consumed.
                 let events = shared.events.load(Ordering::Relaxed);
                 if options.budget.exceeded_by(round, events, shared.start.elapsed()).is_some() {
+                    // relaxed: one-shot flag, ordered by the round barrier.
                     shared.truncated.store(true, Ordering::Relaxed);
                     Directive::Stop
                 } else {

@@ -25,9 +25,8 @@
 //! (`TraceKind::FaultInject` / `TraceKind::FaultRecover`), so a Perfetto
 //! export of an injection campaign shows exactly where the run was hit.
 
+use crate::sync::{AtomicU64, Mutex, Ordering};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 use crate::poison::lock_recover;
 
@@ -79,6 +78,18 @@ pub enum FaultSpec {
         /// The round to poison it in (1-based).
         round: u64,
     },
+    /// Stall worker `worker` at the start of round `round` (1-based): the
+    /// worker stops participating — no panic, no progress — until the run
+    /// fails around it. This is the hang
+    /// [`RunOptions::barrier_timeout`](crate::RunOptions::barrier_timeout)
+    /// exists to catch; a plan with a stall but no barrier timeout
+    /// reproduces the unguarded hang itself, so pair them.
+    StallWorker {
+        /// The worker to stall.
+        worker: usize,
+        /// The round to stall it in (1-based).
+        round: u64,
+    },
 }
 
 /// A deterministic fault-injection campaign for one run.
@@ -128,6 +139,13 @@ impl FaultPlan {
     /// Poisons `worker`'s mailbox lock at round `round`.
     pub fn with_poison(self, worker: usize, round: u64) -> Self {
         self.with(FaultSpec::PoisonLock { worker, round })
+    }
+
+    /// Stalls `worker` at round `round` (a hang, not a crash). Pair with
+    /// [`RunOptions::barrier_timeout`](crate::RunOptions::barrier_timeout),
+    /// which is the guard this fault exercises.
+    pub fn with_stall(self, worker: usize, round: u64) -> Self {
+        self.with(FaultSpec::StallWorker { worker, round })
     }
 
     /// Enables or disables recovery for the delivery faults (see the
@@ -225,6 +243,7 @@ pub(crate) struct FaultNote {
 pub(crate) struct FaultInjector {
     kills: Vec<(usize, u64)>,
     poisons: Vec<(usize, u64)>,
+    stalls: Vec<(usize, u64)>,
     batch_faults: BTreeMap<(usize, u64), BatchFault>,
     recover: bool,
     round: AtomicU64,
@@ -237,11 +256,13 @@ impl FaultInjector {
     pub(crate) fn new(plan: &FaultPlan, workers: usize) -> Self {
         let mut kills = Vec::new();
         let mut poisons = Vec::new();
+        let mut stalls = Vec::new();
         let mut batch_faults = BTreeMap::new();
         for spec in &plan.specs {
             match *spec {
                 FaultSpec::KillWorker { worker, round } => kills.push((worker, round)),
                 FaultSpec::PoisonLock { worker, round } => poisons.push((worker, round)),
+                FaultSpec::StallWorker { worker, round } => stalls.push((worker, round)),
                 FaultSpec::DelayBatch { dst, seq, rounds } => {
                     batch_faults.insert((dst, seq), BatchFault::Delay(rounds));
                 }
@@ -256,6 +277,7 @@ impl FaultInjector {
         FaultInjector {
             kills,
             poisons,
+            stalls,
             batch_faults,
             recover: plan.recover,
             round: AtomicU64::new(0),
@@ -273,11 +295,14 @@ impl FaultInjector {
     /// Called by every worker at the start of each round; the injector
     /// keeps the maximum (workers are barrier-aligned, so they agree).
     pub(crate) fn enter_round(&self, round: u64) {
+        // relaxed: monotonic round watermark; workers are barrier-aligned
+        // when they call this, so every ordering constraint is external.
         self.round.fetch_max(round, Ordering::Relaxed);
     }
 
     /// The current round (0 before the first).
     pub(crate) fn round(&self) -> u64 {
+        // relaxed: see enter_round — the barrier orders the watermark.
         self.round.load(Ordering::Relaxed)
     }
 
@@ -292,8 +317,15 @@ impl FaultInjector {
         self.poisons.iter().any(|&(w, r)| w == worker && r == round)
     }
 
+    /// True when `worker` is scheduled to stall (hang) in `round`.
+    pub(crate) fn should_stall(&self, worker: usize, round: u64) -> bool {
+        self.stalls.iter().any(|&(w, r)| w == worker && r == round)
+    }
+
     /// Claims the next per-destination batch sequence number.
     pub(crate) fn next_seq(&self, dst: usize) -> u64 {
+        // relaxed: unique-ticket counter; only atomicity of the increment
+        // matters, no payload is published through it.
         self.seqs[dst].fetch_add(1, Ordering::Relaxed)
     }
 

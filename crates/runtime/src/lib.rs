@@ -52,11 +52,13 @@ mod poison;
 mod pool;
 mod protocol;
 mod state;
+pub mod sync;
 
 pub use barrier::{BarrierError, RoundBarrier};
 pub use fabric::{Fabric, RunOptions};
 pub use fault::{FaultPlan, FaultSpec};
 pub use mailbox::{MailboxMesh, Outbox, DEFAULT_BATCH_LIMIT};
+pub use poison::lock_recover;
 pub use pool::run_workers;
 pub use protocol::{DecideCx, Decision, RoundCx, SyncProtocol, WorkerOutput};
 pub use state::{GateStateSoa, LpCore};

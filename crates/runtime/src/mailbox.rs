@@ -27,8 +27,7 @@
 //! recovered in place (reliable-delivery mode) or recorded as a delivery
 //! violation the fabric fails fast on.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use crate::sync::{Arc, AtomicBool, Mutex, MutexGuard, Ordering};
 
 use crate::fault::{BatchFault, FaultInjector};
 use crate::poison::lock_recover;
@@ -93,6 +92,9 @@ impl<M> MailboxMesh<M> {
             Ok(guard) => guard,
             Err(poisoned) => {
                 if let Some(f) = &self.faults {
+                    // relaxed: one-shot note-once flag; the injector note it
+                    // gates is itself lock-protected, so no data rides on
+                    // this ordering.
                     if !f.poison_noted[w].swap(true, Ordering::Relaxed) {
                         f.injector.note_recovered(w);
                     }

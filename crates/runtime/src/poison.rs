@@ -9,11 +9,16 @@
 //! `expect("… lock")` panics with misleading messages on every other
 //! worker — exactly the failure mode this module removes.
 
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use crate::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Acquires `lock`, recovering the guard if a panicking thread poisoned it.
+///
+/// This is the only sanctioned way to lock a mutex in the workspace's
+/// simulation crates — `xtask lint-concurrency` rejects bare
+/// `.lock().unwrap()` / `.expect(...)` call sites anywhere outside this
+/// module.
 #[inline]
-pub(crate) fn lock_recover<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+pub fn lock_recover<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
     lock.lock().unwrap_or_else(PoisonError::into_inner)
 }
 

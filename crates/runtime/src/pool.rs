@@ -25,7 +25,7 @@ where
     F: Fn(usize) -> R + Sync,
 {
     assert!(workers >= 1, "worker pool needs at least one worker");
-    std::thread::scope(|scope| {
+    crate::sync::thread::scope(|scope| {
         let f = &f;
         let handles: Vec<_> = (0..workers).map(|p| scope.spawn(move || f(p))).collect();
         handles

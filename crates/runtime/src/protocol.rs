@@ -9,8 +9,8 @@
 //! does *not* vary — thread pool, mailbox mesh, barrier cadence, result
 //! merging, probe plumbing — lives in [`Fabric`](crate::Fabric).
 
+use crate::sync::{AtomicU64, Ordering};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use parsim_core::{SimStats, Waveform};
 use parsim_event::VirtualTime;
@@ -55,11 +55,16 @@ impl WorkerProgress {
     }
 
     fn mark(&self, lp: usize, vt: VirtualTime) {
+        // relaxed: progress beacons read only for post-mortem diagnostics
+        // (WorkerDiagnostic); the reader tolerates any stale value and no
+        // other data is published through these cells.
         self.lp.store(lp as u64, Ordering::Relaxed);
+        // relaxed: same diagnostics-beacon argument as the store above.
         self.vt.store(vt.ticks(), Ordering::Relaxed);
     }
 
     pub(crate) fn lp(&self) -> Option<usize> {
+        // relaxed: diagnostics-only read; staleness is acceptable.
         match self.lp.load(Ordering::Relaxed) {
             u64::MAX => None,
             lp => Some(lp as usize),
@@ -67,6 +72,7 @@ impl WorkerProgress {
     }
 
     pub(crate) fn virtual_time(&self) -> Option<VirtualTime> {
+        // relaxed: diagnostics-only read; staleness is acceptable.
         match self.vt.load(Ordering::Relaxed) {
             u64::MAX => None,
             vt => Some(VirtualTime::new(vt)),
@@ -138,6 +144,8 @@ impl<M> RoundCx<'_, '_, M> {
     #[inline]
     pub fn charge_events(&mut self, n: u64) {
         if n > 0 {
+            // relaxed: monotonic statistics counter; the budget check reads
+            // it after a barrier, which already orders the updates.
             self.events.fetch_add(n, Ordering::Relaxed);
         }
     }

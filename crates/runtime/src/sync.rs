@@ -1,0 +1,29 @@
+//! Synchronization facade: the single import point for every lock, atomic
+//! and thread primitive in the runtime fabric.
+//!
+//! Under a normal build this re-exports `std`; under `--cfg loom` (set by
+//! the loom CI job via `RUSTFLAGS`) the same names resolve to the vendored
+//! loom model checker's shims, so the whole fabric — barrier, mailboxes,
+//! worker pool, poison recovery — can be exhaustively model-checked
+//! without a single source change. `xtask lint-concurrency` enforces that
+//! no code in this crate imports `std::sync::atomic` (or `std::thread` for
+//! spawning) directly: everything goes through here, so nothing silently
+//! escapes the model.
+
+#[cfg(not(loom))]
+pub use std::sync::{
+    atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering},
+    Arc, Condvar, Mutex, MutexGuard, PoisonError, WaitTimeoutResult,
+};
+
+#[cfg(not(loom))]
+pub use std::thread;
+
+#[cfg(loom)]
+pub use loom::sync::{
+    atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering},
+    Arc, Condvar, Mutex, MutexGuard, PoisonError, WaitTimeoutResult,
+};
+
+#[cfg(loom)]
+pub use loom::thread;

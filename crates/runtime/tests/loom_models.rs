@@ -1,0 +1,167 @@
+//! Loom models for the fabric's core synchronization invariants.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"` (the loom CI job):
+//!
+//! ```sh
+//! RUSTFLAGS="--cfg loom" cargo test -p parsim-runtime --test loom_models
+//! ```
+//!
+//! Each model is explored exhaustively within the configured preemption
+//! bound: every schedule-distinguishable interleaving of its
+//! synchronization operations is executed, and a lost wakeup, double
+//! release, torn read or deadlock in *any* of them fails the test with
+//! the offending schedule. These are the invariants the fabric's failure
+//! model (PR 5) established by argument; here they are established by
+//! search.
+#![cfg(loom)]
+
+use parsim_runtime::sync::{Arc, AtomicUsize, Mutex, Ordering};
+use parsim_runtime::{lock_recover, BarrierError, MailboxMesh, Outbox, RoundBarrier};
+
+/// RoundBarrier completion: with every participant arriving, every wait
+/// returns and exactly one participant per generation is the leader — in
+/// every interleaving of arrivals.
+#[test]
+fn barrier_release_is_exactly_once() {
+    loom::model(|| {
+        let barrier = Arc::new(RoundBarrier::new(2));
+        let leaders = Arc::new(AtomicUsize::new(0));
+        let (b2, l2) = (Arc::clone(&barrier), Arc::clone(&leaders));
+        let peer = loom::thread::spawn(move || {
+            if b2.wait(None).expect("barrier completes") {
+                l2.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        if barrier.wait(None).expect("barrier completes") {
+            leaders.fetch_add(1, Ordering::SeqCst);
+        }
+        peer.join().expect("no panic");
+        // Exactly one release: one leader, and (since both waits returned)
+        // no lost wakeup — a lost wakeup would deadlock the model instead.
+        assert_eq!(leaders.load(Ordering::SeqCst), 1);
+    });
+}
+
+/// RoundBarrier abort: an abort racing two blocked waiters releases both
+/// exactly once (each observes `Aborted` and returns), and every future
+/// wait fails fast instead of blocking on a set that can never complete.
+#[test]
+fn barrier_abort_releases_all_waiters() {
+    loom::model(|| {
+        // 3 participants, only 2 ever arrive: without the abort this set
+        // can never complete, so a lost abort wakeup is a model deadlock.
+        let barrier = Arc::new(RoundBarrier::new(3));
+        let b1 = Arc::clone(&barrier);
+        let b2 = Arc::clone(&barrier);
+        let w1 = loom::thread::spawn(move || b1.wait(None));
+        let w2 = loom::thread::spawn(move || b2.wait(None));
+        barrier.abort();
+        assert_eq!(w1.join().expect("no panic"), Err(BarrierError::Aborted));
+        assert_eq!(w2.join().expect("no panic"), Err(BarrierError::Aborted));
+        // Double-release safety: a second abort is idempotent and a late
+        // arrival fails immediately rather than waiting.
+        barrier.abort();
+        assert_eq!(barrier.wait(None), Err(BarrierError::Aborted));
+    });
+}
+
+/// The fabric's panic→abort path: a worker that panics mid-round (caught
+/// at the round boundary, exactly as `worker_loop` does) aborts the
+/// barrier, and a peer already blocked in `wait` is released with
+/// `Aborted` in every interleaving — the no-hung-peer guarantee.
+#[test]
+fn barrier_abort_after_worker_panic_releases_peer() {
+    loom::model(|| {
+        let barrier = Arc::new(RoundBarrier::new(2));
+        let b2 = Arc::clone(&barrier);
+        let failing = loom::thread::spawn(move || {
+            let caught = std::panic::catch_unwind(|| panic!("worker died mid-round"));
+            assert!(caught.is_err());
+            b2.abort();
+        });
+        assert_eq!(barrier.wait(None), Err(BarrierError::Aborted));
+        failing.join().expect("no panic");
+    });
+}
+
+/// MailboxMesh: two senders posting concurrently into one mailbox, with a
+/// drain racing both. Every message is delivered exactly once and each
+/// sender's subsequence arrives in send order, across all interleavings
+/// of post, early-post (batch limit) and drain.
+#[test]
+fn mailbox_fifo_and_exactly_once_under_race() {
+    loom::model(|| {
+        let mesh = Arc::new(MailboxMesh::new(1));
+        let senders: Vec<_> = (0..2u64)
+            .map(|s| {
+                let mesh = Arc::clone(&mesh);
+                loom::thread::spawn(move || {
+                    // batch_limit 1: the first send posts immediately; the
+                    // second sits pending until the flush — covering both
+                    // delivery paths.
+                    let mut out = Outbox::new(&mesh, 1);
+                    out.send(0, (s, 0u64));
+                    let mut pending = Outbox::new(&mesh, 8);
+                    pending.send(0, (s, 1u64));
+                    pending.flush();
+                    out.flush();
+                })
+            })
+            .collect();
+        // Drain concurrently with the senders: whatever has arrived so far
+        // must already respect per-sender FIFO.
+        let mut got: Vec<(u64, u64)> = Vec::new();
+        mesh.drain_into(0, &mut got);
+        for h in senders {
+            h.join().expect("no panic");
+        }
+        // Final drain: everything not seen by the racing drain.
+        mesh.drain_into(0, &mut got);
+        assert_eq!(got.len(), 4, "exactly-once delivery: {got:?}");
+        let mut next = [0u64; 2];
+        for (s, i) in got {
+            assert_eq!(i, next[s as usize], "sender {s} reordered");
+            next[s as usize] += 1;
+        }
+        assert_eq!(next, [2, 2]);
+    });
+}
+
+/// `lock_recover` after poisoning: a thread panicking while holding the
+/// guard races a writer and a reader; recovery never observes torn state
+/// (the two halves of the invariant always agree) in any interleaving.
+#[test]
+fn lock_recover_never_observes_torn_state() {
+    loom::model(|| {
+        let cell = Arc::new(Mutex::new((0u64, 0u64)));
+        let poisoner = {
+            let cell = Arc::clone(&cell);
+            loom::thread::spawn(move || {
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let _guard = lock_recover(&cell);
+                    panic!("die while holding the lock");
+                }));
+                assert!(caught.is_err());
+            })
+        };
+        let writer = {
+            let cell = Arc::clone(&cell);
+            loom::thread::spawn(move || {
+                // The fabric's critical-section discipline: a plain data
+                // move with no unwind point between the two halves.
+                let mut g = lock_recover(&cell);
+                g.0 += 1;
+                g.1 += 1;
+            })
+        };
+        {
+            let g = lock_recover(&cell);
+            assert_eq!(g.0, g.1, "torn read through a recovered guard");
+        }
+        poisoner.join().expect("no panic");
+        writer.join().expect("no panic");
+        let g = lock_recover(&cell);
+        assert_eq!(g.0, g.1);
+        assert_eq!(g.0 + g.1, 2, "writer's update survived the poisoning");
+    });
+}

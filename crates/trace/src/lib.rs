@@ -48,6 +48,7 @@
 pub mod analysis;
 mod metrics;
 mod perfetto;
+mod poison;
 mod probe;
 mod record;
 mod report;

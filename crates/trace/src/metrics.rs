@@ -8,6 +8,8 @@ use std::collections::BTreeMap;
 use std::fmt::{self, Display};
 use std::sync::Mutex;
 
+use crate::poison::lock_recover;
+
 /// A power-of-two-bucketed histogram of `u64` samples.
 ///
 /// Bucket `i` counts samples in `[2^i, 2^(i+1))` (bucket 0 counts zeros and
@@ -104,30 +106,24 @@ impl Metrics {
 
     /// Adds `n` to the named counter (created at zero on first use).
     pub fn counter_add(&self, name: &str, n: u64) {
-        let mut inner = self.inner.lock().expect("metrics lock");
+        let mut inner = lock_recover(&self.inner);
         let c = inner.counters.entry(name.to_owned()).or_insert(0);
         *c = c.saturating_add(n);
     }
 
     /// Sets the named gauge.
     pub fn gauge_set(&self, name: &str, v: f64) {
-        self.inner.lock().expect("metrics lock").gauges.insert(name.to_owned(), v);
+        lock_recover(&self.inner).gauges.insert(name.to_owned(), v);
     }
 
     /// Records a sample into the named histogram.
     pub fn observe(&self, name: &str, v: u64) {
-        self.inner
-            .lock()
-            .expect("metrics lock")
-            .histograms
-            .entry(name.to_owned())
-            .or_default()
-            .observe(v);
+        lock_recover(&self.inner).histograms.entry(name.to_owned()).or_default().observe(v);
     }
 
     /// A point-in-time copy of every metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let inner = self.inner.lock().expect("metrics lock");
+        let inner = lock_recover(&self.inner);
         MetricsSnapshot {
             counters: inner.counters.clone(),
             gauges: inner.gauges.clone(),

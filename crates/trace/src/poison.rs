@@ -1,0 +1,17 @@
+//! Poison-tolerant lock acquisition for the trace crate.
+//!
+//! Instrumentation must never turn a worker panic elsewhere into a
+//! cascade of `expect("… lock")` panics while the runtime winds a failed
+//! run down: every critical section in this crate is a plain data move
+//! (buffer push, map insert) with no unwind point mid-update, so a
+//! poisoned guard is always safe to recover. This is the trace-side twin
+//! of `parsim_runtime::lock_recover` — the runtime crate depends on this
+//! one, so the helper cannot be shared.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Acquires `lock`, recovering the guard if a panicking thread poisoned it.
+#[inline]
+pub(crate) fn lock_recover<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(PoisonError::into_inner)
+}

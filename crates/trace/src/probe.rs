@@ -3,6 +3,7 @@
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use crate::poison::lock_recover;
 use crate::{Metrics, Trace, TraceKind, TraceRecord, NO_LP};
 
 /// Default per-thread ring capacity (records). At 48 bytes per record this
@@ -117,7 +118,7 @@ impl Probe {
     /// the metric registry is left in place for [`Probe::metrics`].
     pub fn take_trace(&self) -> Trace {
         let Some(s) = &self.shared else { return Trace::default() };
-        let mut flushed = s.flushed.lock().expect("probe flush lock");
+        let mut flushed = lock_recover(&s.flushed);
         let mut records = Vec::with_capacity(flushed.iter().map(|b| b.records.len()).sum());
         let mut dropped = 0u64;
         for buf in flushed.drain(..) {
@@ -177,22 +178,25 @@ impl ProbeHandle {
         self.buf.push(TraceRecord { t, vt, processor, lp, kind, arg });
     }
 
-    /// Waits on `barrier`, recording the measured wait span as a
-    /// [`TraceKind::BarrierWait`] record attributed to `processor` at
-    /// virtual time `vt` (no LP). When disabled this is exactly
-    /// `barrier.wait()` — no clock reads.
+    /// Runs `wait` (a barrier wait, typically
+    /// `parsim_runtime::RoundBarrier::wait`), recording the measured span
+    /// as a [`TraceKind::BarrierWait`] record attributed to `processor` at
+    /// virtual time `vt` (no LP). When disabled this is exactly `wait()` —
+    /// no clock reads.
     ///
-    /// Every threaded kernel synchronizes through this helper; it replaces
-    /// the per-kernel timed-wait closures that used to be copy-pasted.
-    pub fn barrier_wait(&mut self, barrier: &std::sync::Barrier, processor: u32, vt: u64) {
+    /// Every threaded kernel synchronizes through this helper; taking a
+    /// closure instead of a concrete barrier type keeps this crate free of
+    /// any synchronization primitive choice (`std::sync::Barrier` is
+    /// banned workspace-wide: it hangs peers when a participant dies).
+    pub fn barrier_span<T>(&mut self, processor: u32, vt: u64, wait: impl FnOnce() -> T) -> T {
         if self.shared.is_none() {
-            barrier.wait();
-            return;
+            return wait();
         }
         let start = self.now_ns();
-        barrier.wait();
+        let out = wait();
         let end = self.now_ns();
         self.emit(start, vt, processor, NO_LP, TraceKind::BarrierWait, end - start);
+        out
     }
 
     /// A sibling handle feeding the same probe, starting with an empty
@@ -226,10 +230,7 @@ impl Drop for ProbeHandle {
             return;
         }
         let records = std::mem::take(&mut self.buf);
-        s.flushed
-            .lock()
-            .expect("probe flush lock")
-            .push(FlushedBuffer { records, dropped: self.dropped });
+        lock_recover(&s.flushed).push(FlushedBuffer { records, dropped: self.dropped });
     }
 }
 

@@ -1,0 +1,168 @@
+//! Offline, API-compatible subset of the [loom] model checker, vendored so
+//! the workspace can model-check `parsim-runtime` without network access.
+//!
+//! The shim runs a user closure many times under a cooperative scheduler
+//! (`rt`) that permutes the order of synchronization operations
+//! (mutexes, condvars, atomics, spawns/joins), driving a depth-first
+//! search over every scheduling decision within a configurable preemption
+//! bound (CHESS-style context bounding). Within that bound the search is
+//! exhaustive: every schedule-distinguishable interleaving of the model's
+//! synchronization operations is executed, and assertion failures,
+//! unclaimed panics, and deadlocks (including lost wakeups) fail the run
+//! with the schedule that produced them.
+//!
+//! Known divergences from real loom, by design:
+//!
+//! - **No weak-memory modeling.** `Ordering` arguments are accepted and
+//!   ignored; every atomic behaves sequentially consistently. The shim
+//!   finds interleaving bugs (races on invariants, lost wakeups, double
+//!   releases), not `Relaxed`-vs-`Acquire` reordering bugs.
+//! - **Timeouts never fire.** `Condvar::wait_timeout` waits like `wait`;
+//!   a wait that nothing will ever notify is reported as a deadlock,
+//!   which is the model-level meaning of "this would have timed out".
+//! - **`notify_one` wakes all waiters** — sound, since condvars permit
+//!   spurious wakeups, and it explores a superset of single-wakeup
+//!   behaviors.
+//!
+//! [loom]: https://docs.rs/loom
+
+mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use model::model;
+
+pub mod model {
+    //! The exploration driver: [`model`] and [`Builder`].
+
+    use std::panic::resume_unwind;
+    use std::sync::{Arc, Mutex as HostMutex, PoisonError};
+
+    use crate::rt::{ChoiceRec, Execution, ExecutionFailed};
+    use crate::thread::spawn_model;
+
+    /// Exploration configuration, mirroring `loom::model::Builder`.
+    #[derive(Debug, Clone)]
+    #[non_exhaustive]
+    pub struct Builder {
+        /// Maximum number of forced preemptions per execution (`None` =
+        /// unbounded). Defaults to 2, overridable with
+        /// `LOOM_MAX_PREEMPTIONS`.
+        pub preemption_bound: Option<usize>,
+        /// Hard cap on explored executions, overridable with
+        /// `LOOM_MAX_ITERATIONS`; exceeding it fails the model rather than
+        /// silently truncating the search.
+        pub max_iterations: usize,
+    }
+
+    impl Default for Builder {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    fn env_usize(name: &str) -> Option<usize> {
+        std::env::var(name).ok()?.parse().ok()
+    }
+
+    impl Builder {
+        /// A builder with the default bounds (see the field docs).
+        pub fn new() -> Self {
+            Builder {
+                preemption_bound: Some(env_usize("LOOM_MAX_PREEMPTIONS").unwrap_or(2)),
+                max_iterations: env_usize("LOOM_MAX_ITERATIONS").unwrap_or(200_000),
+            }
+        }
+
+        /// Explores every schedule of `f` within the configured bounds.
+        /// Panics (failing the enclosing test) on the first assertion
+        /// failure, unclaimed panic, deadlock, or bound overrun.
+        pub fn check<F>(&self, f: F)
+        where
+            F: Fn() + Sync + Send + 'static,
+        {
+            let f = Arc::new(f);
+            let budget = self.preemption_bound.unwrap_or(usize::MAX);
+            let mut replay: Vec<usize> = Vec::new();
+            let mut iterations = 0usize;
+            loop {
+                iterations += 1;
+                assert!(
+                    iterations <= self.max_iterations,
+                    "loom: exceeded {} iterations; raise LOOM_MAX_ITERATIONS or \
+                     shrink the model",
+                    self.max_iterations
+                );
+                let exec = Execution::new(replay.clone(), budget);
+                let body = Arc::clone(&f);
+                let (_root, root_slot) = spawn_model(
+                    &exec,
+                    Box::new(move || {
+                        body();
+                        Box::new(()) as _
+                    }),
+                );
+                // Join every host thread; model threads spawned while we
+                // join keep appending handles, so drain until quiescent.
+                loop {
+                    let handles = exec.take_handles();
+                    if handles.is_empty() {
+                        break;
+                    }
+                    for h in handles {
+                        let _ = h.join();
+                    }
+                }
+                if let Some(msg) = exec.failure() {
+                    panic!("loom: model failed after {iterations} executions: {msg}");
+                }
+                if let Some(Err(payload)) = take_slot(&root_slot) {
+                    if !payload.is::<ExecutionFailed>() {
+                        eprintln!("loom: model panicked on execution {iterations}");
+                        resume_unwind(payload);
+                    }
+                }
+                let unclaimed = exec.unclaimed_panics();
+                if let Some((tid, msg)) = unclaimed.into_iter().next() {
+                    panic!(
+                        "loom: thread {tid} panicked (never joined) on execution \
+                         {iterations}: {msg}"
+                    );
+                }
+                match advance(exec.taken()) {
+                    Some(next) => replay = next,
+                    None => break,
+                }
+            }
+        }
+    }
+
+    type Slot =
+        Arc<HostMutex<Option<std::thread::Result<Box<dyn std::any::Any + Send + 'static>>>>>;
+
+    fn take_slot(slot: &Slot) -> Option<std::thread::Result<Box<dyn std::any::Any + Send>>> {
+        slot.lock().unwrap_or_else(PoisonError::into_inner).take()
+    }
+
+    /// Computes the next replay prefix from the choices the last execution
+    /// took: backtrack to the deepest decision with an unexplored branch
+    /// and take its next option. `None` when the space is exhausted.
+    fn advance(mut taken: Vec<ChoiceRec>) -> Option<Vec<usize>> {
+        while let Some(last) = taken.pop() {
+            if last.chosen + 1 < last.total {
+                let mut replay: Vec<usize> = taken.iter().map(|c| c.chosen).collect();
+                replay.push(last.chosen + 1);
+                return Some(replay);
+            }
+        }
+        None
+    }
+
+    /// Explores every schedule of `f` with the default [`Builder`] bounds.
+    pub fn model<F>(f: F)
+    where
+        F: Fn() + Sync + Send + 'static,
+    {
+        Builder::new().check(f);
+    }
+}

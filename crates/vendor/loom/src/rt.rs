@@ -1,0 +1,315 @@
+//! The execution engine: a cooperative scheduler over real OS threads.
+//!
+//! Exactly one model thread runs at any instant; every synchronization
+//! operation in the shimmed primitives calls back into the scheduler, which
+//! either lets the thread continue or hands the baton to a peer. Each such
+//! decision among >1 candidates is a *choice point*; the explorer in
+//! `lib.rs` drives a depth-first search over all choice sequences (within
+//! the configured preemption bound), so a model run visits every
+//! schedule-distinguishable interleaving of its synchronization operations.
+//!
+//! Cross-thread memory safety: model threads only touch shared model state
+//! (the `UnsafeCell` payloads of the shimmed primitives) while holding the
+//! baton, and the baton itself is handed over through a host mutex/condvar
+//! pair — every access is therefore ordered by a happens-before edge
+//! through the scheduler lock.
+
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar as HostCondvar, Mutex as HostMutex, PoisonError};
+
+/// What a model thread can be blocked on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Block {
+    /// Waiting to acquire the shim mutex with this id.
+    Mutex(usize),
+    /// Waiting for a notification on the shim condvar with this id.
+    Condvar(usize),
+    /// Waiting for the model thread with this id to finish.
+    Join(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThState {
+    /// Schedulable (possibly running, when `current` points at it).
+    Ready,
+    /// Parked until the blocking resource is released.
+    Blocked(Block),
+    /// The thread body returned (or panicked and was caught).
+    Done,
+}
+
+/// One decision the scheduler made: how many candidates there were and
+/// which index was taken. The explorer backtracks over these.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ChoiceRec {
+    pub(crate) total: usize,
+    pub(crate) chosen: usize,
+}
+
+#[derive(Debug)]
+struct Sched {
+    threads: Vec<ThState>,
+    /// The thread holding the baton (`usize::MAX` when the execution is
+    /// over or failed).
+    current: usize,
+    /// Choice prefix to replay (from the explorer).
+    replay: Vec<usize>,
+    /// Choices actually taken this execution.
+    taken: Vec<ChoiceRec>,
+    pos: usize,
+    preemptions_left: usize,
+    objs: usize,
+    /// Fatal model failure (deadlock); set once, ends the execution.
+    failure: Option<String>,
+    /// Panic messages of threads whose panic was not consumed by `join`.
+    panics: Vec<(usize, String)>,
+    claimed: Vec<usize>,
+}
+
+/// One model execution: the scheduler plus the host-thread handles of
+/// every model thread spawned during it.
+pub(crate) struct Execution {
+    sched: HostMutex<Sched>,
+    cv: HostCondvar,
+    handles: HostMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with the current model thread's execution and id. Panics when
+/// called from outside a `loom::model` run.
+pub(crate) fn with_ctx<R>(f: impl FnOnce(&Arc<Execution>, usize) -> R) -> R {
+    CTX.with(|c| {
+        let b = c.borrow();
+        let (exec, tid) = b.as_ref().expect("loom primitive used outside loom::model");
+        f(exec, *tid)
+    })
+}
+
+pub(crate) fn set_ctx(exec: Arc<Execution>, tid: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some((exec, tid)));
+}
+
+fn lock(m: &HostMutex<Sched>) -> std::sync::MutexGuard<'_, Sched> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Execution {
+    pub(crate) fn new(replay: Vec<usize>, preemption_budget: usize) -> Arc<Self> {
+        Arc::new(Execution {
+            sched: HostMutex::new(Sched {
+                threads: Vec::new(),
+                current: 0,
+                replay,
+                taken: Vec::new(),
+                pos: 0,
+                preemptions_left: preemption_budget,
+                objs: 0,
+                failure: None,
+                panics: Vec::new(),
+                claimed: Vec::new(),
+            }),
+            cv: HostCondvar::new(),
+            handles: HostMutex::new(Vec::new()),
+        })
+    }
+
+    pub(crate) fn next_obj_id(&self) -> usize {
+        let mut s = lock(&self.sched);
+        s.objs += 1;
+        s.objs
+    }
+
+    /// Registers a new model thread and returns its id. The thread starts
+    /// `Ready` but does not run until scheduled.
+    pub(crate) fn register(&self) -> usize {
+        let mut s = lock(&self.sched);
+        s.threads.push(ThState::Ready);
+        s.threads.len() - 1
+    }
+
+    pub(crate) fn add_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.handles.lock().unwrap_or_else(PoisonError::into_inner).push(h);
+    }
+
+    pub(crate) fn take_handles(&self) -> Vec<std::thread::JoinHandle<()>> {
+        std::mem::take(&mut *self.handles.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Picks `options[i]` per the replay prefix (or the first option past
+    /// it) and records the decision. Single-option calls record nothing.
+    fn choose(s: &mut Sched, total: usize) -> usize {
+        if total <= 1 {
+            return 0;
+        }
+        let idx = if s.pos < s.replay.len() { s.replay[s.pos] } else { 0 };
+        debug_assert!(idx < total, "replay index out of range");
+        s.taken.push(ChoiceRec { total, chosen: idx });
+        s.pos += 1;
+        idx
+    }
+
+    fn runnable_except(s: &Sched, me: usize) -> Vec<usize> {
+        (0..s.threads.len()).filter(|&t| t != me && s.threads[t] == ThState::Ready).collect()
+    }
+
+    /// A preemption point: the running thread offers the scheduler the
+    /// chance to switch to any other runnable thread (spending one unit of
+    /// the preemption budget). Called at the start of every shimmed
+    /// synchronization operation.
+    pub(crate) fn preemption_point(&self, me: usize) {
+        let mut s = lock(&self.sched);
+        self.check_failure(&s);
+        let others = Self::runnable_except(&s, me);
+        if others.is_empty() || s.preemptions_left == 0 {
+            return;
+        }
+        let mut options = vec![me];
+        options.extend(others);
+        let idx = Self::choose(&mut s, options.len());
+        let next = options[idx];
+        if next != me {
+            s.preemptions_left -= 1;
+            s.current = next;
+            self.cv.notify_all();
+            self.wait_turn(s, me);
+        }
+    }
+
+    /// Blocks the running thread on `b` and hands the baton over. Returns
+    /// once the thread has been unblocked *and* rescheduled.
+    pub(crate) fn block_on(&self, me: usize, b: Block) {
+        let mut s = lock(&self.sched);
+        s.threads[me] = ThState::Blocked(b);
+        self.schedule_next(&mut s);
+        self.wait_turn(s, me);
+    }
+
+    /// Marks every thread blocked on `b` runnable (they still need to be
+    /// scheduled before they run). The caller keeps the baton.
+    pub(crate) fn unblock_all(&self, b: Block) {
+        let mut s = lock(&self.sched);
+        for t in &mut s.threads {
+            if *t == ThState::Blocked(b) {
+                *t = ThState::Ready;
+            }
+        }
+    }
+
+    /// Marks the running thread finished, wakes its joiners and hands the
+    /// baton to a successor. `panic_msg` carries the rendered payload when
+    /// the body panicked; `join` claims it, and unclaimed panics fail the
+    /// model.
+    pub(crate) fn finish(&self, me: usize, panic_msg: Option<String>) {
+        let mut s = lock(&self.sched);
+        s.threads[me] = ThState::Done;
+        if let Some(msg) = panic_msg {
+            s.panics.push((me, msg));
+        }
+        for t in 0..s.threads.len() {
+            if s.threads[t] == ThState::Blocked(Block::Join(me)) {
+                s.threads[t] = ThState::Ready;
+            }
+        }
+        self.schedule_next(&mut s);
+    }
+
+    /// True once the thread with id `tid` has finished.
+    pub(crate) fn is_done(&self, tid: usize) -> bool {
+        lock(&self.sched).threads[tid] == ThState::Done
+    }
+
+    /// Marks thread `tid`'s panic as consumed by a `join`.
+    pub(crate) fn claim_panic(&self, tid: usize) {
+        lock(&self.sched).claimed.push(tid);
+    }
+
+    /// Hands the baton to a runnable thread (a scheduling choice when
+    /// several are), or ends/fails the execution when none is.
+    fn schedule_next(&self, s: &mut Sched) {
+        if s.failure.is_some() {
+            self.cv.notify_all();
+            return;
+        }
+        let runnable: Vec<usize> =
+            (0..s.threads.len()).filter(|&t| s.threads[t] == ThState::Ready).collect();
+        if runnable.is_empty() {
+            if s.threads.iter().any(|t| matches!(t, ThState::Blocked(_))) {
+                // Every live thread is blocked: a real deadlock in the
+                // model. Wake everyone so they can unwind out.
+                let detail: Vec<String> = s
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(t, st)| match st {
+                        ThState::Blocked(b) => Some(format!("thread {t} blocked on {b:?}")),
+                        _ => None,
+                    })
+                    .collect();
+                s.failure = Some(format!("deadlock: {}", detail.join(", ")));
+                for t in &mut s.threads {
+                    if matches!(t, ThState::Blocked(_)) {
+                        *t = ThState::Ready;
+                    }
+                }
+            }
+            s.current = usize::MAX;
+            self.cv.notify_all();
+            return;
+        }
+        let idx = Self::choose(s, runnable.len());
+        s.current = runnable[idx];
+        self.cv.notify_all();
+    }
+
+    /// Parks the calling host thread until the scheduler hands it the
+    /// baton. Panics (unwinding the model thread) when the execution has
+    /// failed.
+    fn wait_turn(&self, mut s: std::sync::MutexGuard<'_, Sched>, me: usize) {
+        loop {
+            self.check_failure(&s);
+            if s.current == me && s.threads[me] == ThState::Ready {
+                return;
+            }
+            s = self.cv.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn check_failure(&self, s: &Sched) {
+        if let Some(msg) = &s.failure {
+            let msg = msg.clone();
+            // The panic unwinds the model thread's user stack; shim guards
+            // dropped on the way out only mutate scheduler state.
+            std::panic::panic_any(ExecutionFailed(msg));
+        }
+    }
+
+    /// Called by a freshly spawned model thread before running its body.
+    pub(crate) fn wait_first_turn(&self, me: usize) {
+        let s = lock(&self.sched);
+        self.wait_turn(s, me);
+    }
+
+    /// The model failure recorded this execution, if any.
+    pub(crate) fn failure(&self) -> Option<String> {
+        lock(&self.sched).failure.clone()
+    }
+
+    /// Panic messages of threads whose panic was never claimed by a join.
+    pub(crate) fn unclaimed_panics(&self) -> Vec<(usize, String)> {
+        let s = lock(&self.sched);
+        s.panics.iter().filter(|(t, _)| !s.claimed.contains(t)).cloned().collect()
+    }
+
+    /// The choice sequence this execution took (for the explorer).
+    pub(crate) fn taken(&self) -> Vec<ChoiceRec> {
+        lock(&self.sched).taken.clone()
+    }
+}
+
+/// The payload `check_failure` unwinds model threads with; recognized (and
+/// swallowed) by the thread wrapper so a deadlock is reported once, as the
+/// model's failure, not as dozens of secondary panics.
+pub(crate) struct ExecutionFailed(#[allow(dead_code)] pub(crate) String);

@@ -1,0 +1,203 @@
+//! Model-checked synchronization primitives: `Mutex`, `Condvar` and the
+//! atomics, API-compatible with their `std::sync` counterparts.
+//!
+//! Every operation is a scheduling point, so the explorer can interleave
+//! threads at exactly the places real hardware can. Memory orderings are
+//! accepted and *ignored*: the shim explores interleavings of sequentially
+//! consistent operations (it finds lost wakeups, double releases, ordering
+//! and atomicity violations, but not weak-memory reorderings — see the
+//! crate docs).
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::AtomicBool as HostAtomicBool;
+use std::sync::atomic::Ordering as HostOrdering;
+use std::time::Duration;
+
+use crate::rt::{self, Block};
+
+/// Re-exports shared with `std`: reference counting needs no modeling
+/// beyond the scheduling points of the operations on the shared value.
+pub use std::sync::{Arc, LockResult, PoisonError};
+
+pub mod atomic;
+
+/// A model-checked mutual-exclusion lock with `std`-style poisoning.
+pub struct Mutex<T: ?Sized> {
+    id: usize,
+    /// Host atomics for the bookkeeping bits: the scheduler serializes all
+    /// access, the atomics just avoid `unsafe` on the flags themselves.
+    locked: HostAtomicBool,
+    poisoned: HostAtomicBool,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the scheduler runs exactly one model thread at a time and hands
+// the baton over through a host mutex/condvar pair, so all access to
+// `data` is serialized and ordered; the lock discipline additionally
+// guarantees exclusive references are unique.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Creates the lock. Must be called inside `loom::model`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            id: rt::with_ctx(|exec, _| exec.next_obj_id()),
+            locked: HostAtomicBool::new(false),
+            poisoned: HostAtomicBool::new(false),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> LockResult<T> {
+        let value = self.data.into_inner();
+        if self.poisoned.load(HostOrdering::Relaxed) {
+            Err(PoisonError::new(value))
+        } else {
+            Ok(value)
+        }
+    }
+
+    /// Acquires the lock, blocking (in model time) until it is free.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        rt::with_ctx(|exec, me| {
+            exec.preemption_point(me);
+            while self.locked.swap(true, HostOrdering::Relaxed) {
+                exec.block_on(me, Block::Mutex(self.id));
+            }
+        });
+        let guard = MutexGuard { lock: self };
+        if self.poisoned.load(HostOrdering::Relaxed) {
+            Err(PoisonError::new(guard))
+        } else {
+            Ok(guard)
+        }
+    }
+
+    /// Whether a thread panicked while holding the lock.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(HostOrdering::Relaxed)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn release(&self) {
+        if std::thread::panicking() {
+            self.poisoned.store(true, HostOrdering::Relaxed);
+        }
+        self.locked.store(false, HostOrdering::Relaxed);
+        rt::with_ctx(|exec, _| exec.unblock_all(Block::Mutex(self.id)));
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").field("id", &self.id).finish_non_exhaustive()
+    }
+}
+
+/// The guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard proves exclusive scheduler-granted ownership.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above; `&mut self` makes the exclusive borrow unique.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.release();
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// The result of a [`Condvar::wait_timeout`] model wait. The shim never
+/// reports a timeout (durations are not modeled; a wait nobody will ever
+/// notify is reported as a model deadlock instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait timed out (always false in the model).
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A model-checked condition variable.
+///
+/// `notify_one` is modeled as `notify_all`: condition variables permit
+/// spurious wakeups, so waking more waiters than strictly necessary is a
+/// legal (conservative) implementation that explores a superset of the
+/// single-wakeup behaviors.
+pub struct Condvar {
+    id: usize,
+}
+
+impl Condvar {
+    /// Creates the condvar. Must be called inside `loom::model`.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Condvar { id: rt::with_ctx(|exec, _| exec.next_obj_id()) }
+    }
+
+    /// Releases the guard's lock, waits for a notification, reacquires.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let lock = guard.lock;
+        // Release and register atomically with respect to other model
+        // threads: no scheduling point separates the drop from the block.
+        drop(guard);
+        rt::with_ctx(|exec, me| exec.block_on(me, Block::Condvar(self.id)));
+        lock.lock()
+    }
+
+    /// Like [`Condvar::wait`], but with a (non-modeled) timeout: the shim
+    /// waits exactly like `wait` and never reports a timeout.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        _dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        match self.wait(guard) {
+            Ok(g) => Ok((g, WaitTimeoutResult(false))),
+            Err(p) => Err(PoisonError::new((p.into_inner(), WaitTimeoutResult(false)))),
+        }
+    }
+
+    /// Wakes every waiter (they still contend to reacquire the mutex).
+    pub fn notify_all(&self) {
+        rt::with_ctx(|exec, _| exec.unblock_all(Block::Condvar(self.id)));
+    }
+
+    /// Wakes at least one waiter (modeled as `notify_all`, see the type
+    /// docs).
+    pub fn notify_one(&self) {
+        self.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").field("id", &self.id).finish()
+    }
+}

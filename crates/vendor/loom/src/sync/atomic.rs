@@ -1,0 +1,253 @@
+//! Model-checked atomic types.
+//!
+//! Each operation is a scheduling point, so the explorer interleaves them
+//! with every other synchronization operation. The `Ordering` argument is
+//! accepted for API compatibility and ignored: all atomics behave
+//! sequentially consistently in the model (interleaving exploration, not
+//! weak-memory exploration).
+
+use std::cell::UnsafeCell;
+use std::fmt;
+
+use crate::rt;
+
+pub use std::sync::atomic::Ordering;
+
+fn point() {
+    rt::with_ctx(|exec, me| exec.preemption_point(me));
+}
+
+macro_rules! atomic_int {
+    ($name:ident, $ty:ty) => {
+        /// Model-checked counterpart of the matching `std::sync::atomic`
+        /// type.
+        pub struct $name {
+            v: UnsafeCell<$ty>,
+        }
+
+        // SAFETY: every access goes through a scheduling point and runs
+        // while the calling model thread holds the scheduler baton, so all
+        // accesses are serialized and ordered through the scheduler lock.
+        unsafe impl Send for $name {}
+        unsafe impl Sync for $name {}
+
+        impl $name {
+            /// Creates the atomic (usable outside a model; operations on it
+            /// are not).
+            pub const fn new(v: $ty) -> Self {
+                Self { v: UnsafeCell::new(v) }
+            }
+
+            fn with<R>(&self, f: impl FnOnce(&mut $ty) -> R) -> R {
+                point();
+                // SAFETY: the baton serializes all access (see the type's
+                // Send/Sync justification).
+                f(unsafe { &mut *self.v.get() })
+            }
+
+            pub fn load(&self, _o: Ordering) -> $ty {
+                self.with(|v| *v)
+            }
+
+            pub fn store(&self, val: $ty, _o: Ordering) {
+                self.with(|v| *v = val);
+            }
+
+            pub fn swap(&self, val: $ty, _o: Ordering) -> $ty {
+                self.with(|v| std::mem::replace(v, val))
+            }
+
+            pub fn fetch_add(&self, d: $ty, _o: Ordering) -> $ty {
+                self.with(|v| {
+                    let old = *v;
+                    *v = v.wrapping_add(d);
+                    old
+                })
+            }
+
+            pub fn fetch_sub(&self, d: $ty, _o: Ordering) -> $ty {
+                self.with(|v| {
+                    let old = *v;
+                    *v = v.wrapping_sub(d);
+                    old
+                })
+            }
+
+            pub fn fetch_max(&self, val: $ty, _o: Ordering) -> $ty {
+                self.with(|v| {
+                    let old = *v;
+                    *v = old.max(val);
+                    old
+                })
+            }
+
+            pub fn fetch_min(&self, val: $ty, _o: Ordering) -> $ty {
+                self.with(|v| {
+                    let old = *v;
+                    *v = old.min(val);
+                    old
+                })
+            }
+
+            pub fn fetch_or(&self, val: $ty, _o: Ordering) -> $ty {
+                self.with(|v| {
+                    let old = *v;
+                    *v = old | val;
+                    old
+                })
+            }
+
+            pub fn fetch_and(&self, val: $ty, _o: Ordering) -> $ty {
+                self.with(|v| {
+                    let old = *v;
+                    *v = old & val;
+                    old
+                })
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                _success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.with(|v| {
+                    if *v == current {
+                        *v = new;
+                        Ok(current)
+                    } else {
+                        Err(*v)
+                    }
+                })
+            }
+
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                // The model never fails spuriously.
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            pub fn into_inner(self) -> $ty {
+                self.v.into_inner()
+            }
+
+            pub fn get_mut(&mut self) -> &mut $ty {
+                self.v.get_mut()
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(<$ty>::default())
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                // No scheduling point: Debug may run outside the model
+                // (e.g. while rendering a failure).
+                // SAFETY: a shared debug read of the cell; the model is
+                // either quiescent or the caller holds the baton.
+                f.debug_tuple(stringify!($name)).field(unsafe { &*self.v.get() }).finish()
+            }
+        }
+    };
+}
+
+atomic_int!(AtomicU32, u32);
+atomic_int!(AtomicU64, u64);
+atomic_int!(AtomicUsize, usize);
+atomic_int!(AtomicI64, i64);
+
+/// Model-checked counterpart of `std::sync::atomic::AtomicBool`.
+pub struct AtomicBool {
+    v: UnsafeCell<bool>,
+}
+
+// SAFETY: as for the integer atomics above.
+unsafe impl Send for AtomicBool {}
+unsafe impl Sync for AtomicBool {}
+
+impl AtomicBool {
+    pub const fn new(v: bool) -> Self {
+        Self { v: UnsafeCell::new(v) }
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut bool) -> R) -> R {
+        point();
+        // SAFETY: the baton serializes all access.
+        f(unsafe { &mut *self.v.get() })
+    }
+
+    pub fn load(&self, _o: Ordering) -> bool {
+        self.with(|v| *v)
+    }
+
+    pub fn store(&self, val: bool, _o: Ordering) {
+        self.with(|v| *v = val);
+    }
+
+    pub fn swap(&self, val: bool, _o: Ordering) -> bool {
+        self.with(|v| std::mem::replace(v, val))
+    }
+
+    pub fn fetch_or(&self, val: bool, _o: Ordering) -> bool {
+        self.with(|v| {
+            let old = *v;
+            *v = old | val;
+            old
+        })
+    }
+
+    pub fn fetch_and(&self, val: bool, _o: Ordering) -> bool {
+        self.with(|v| {
+            let old = *v;
+            *v = old & val;
+            old
+        })
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.with(|v| {
+            if *v == current {
+                *v = new;
+                Ok(current)
+            } else {
+                Err(*v)
+            }
+        })
+    }
+
+    pub fn into_inner(self) -> bool {
+        self.v.into_inner()
+    }
+
+    pub fn get_mut(&mut self) -> &mut bool {
+        self.v.get_mut()
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> Self {
+        Self::new(false)
+    }
+}
+
+impl fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // SAFETY: shared debug read, as for the integer atomics.
+        f.debug_tuple("AtomicBool").field(unsafe { &*self.v.get() }).finish()
+    }
+}

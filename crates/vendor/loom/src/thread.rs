@@ -1,0 +1,235 @@
+//! Model-thread management: `spawn`, `JoinHandle`, and a mirror of
+//! `std::thread::scope` so scoped worker pools run unchanged under the
+//! model checker.
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as HostMutex, PoisonError};
+
+use crate::rt::{self, Block, Execution, ExecutionFailed};
+
+/// Re-export of the host result type (`Err` carries the panic payload).
+pub use std::thread::Result;
+
+type Payload = Box<dyn Any + Send + 'static>;
+type Erased = Box<dyn Any + Send + 'static>;
+type Slot = Arc<HostMutex<Option<std::result::Result<Erased, Payload>>>>;
+
+/// Renders a panic payload for the unclaimed-panic report.
+fn render(payload: &Payload) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Spawns `body` as a new model thread (shared plumbing for `spawn`,
+/// `Scope::spawn` and the root thread). Returns the model-thread id and
+/// the type-erased result slot.
+pub(crate) fn spawn_model(
+    exec: &Arc<Execution>,
+    body: Box<dyn FnOnce() -> Erased + Send + 'static>,
+) -> (usize, Slot) {
+    let tid = exec.register();
+    let slot: Slot = Arc::new(HostMutex::new(None));
+    let exec2 = Arc::clone(exec);
+    let slot2 = Arc::clone(&slot);
+    let host = std::thread::Builder::new()
+        .name(format!("loom-{tid}"))
+        .spawn(move || {
+            rt::set_ctx(Arc::clone(&exec2), tid);
+            exec2.wait_first_turn(tid);
+            let result = catch_unwind(AssertUnwindSafe(body));
+            let panic_msg = match &result {
+                Ok(_) => None,
+                // A teardown unwind after a recorded model failure is not a
+                // user panic; the model reports the failure itself.
+                Err(p) if p.is::<ExecutionFailed>() => None,
+                Err(p) => Some(render(p)),
+            };
+            *slot2.lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+            exec2.finish(tid, panic_msg);
+        })
+        .expect("host thread spawn");
+    exec.add_handle(host);
+    (tid, slot)
+}
+
+/// Blocks the calling model thread until `tid` finishes, then takes its
+/// result. A panicked result is marked claimed (so the model does not
+/// re-report it).
+fn join_model(tid: usize, slot: &Slot) -> std::result::Result<Erased, Payload> {
+    rt::with_ctx(|exec, me| {
+        exec.preemption_point(me);
+        while !exec.is_done(tid) {
+            exec.block_on(me, Block::Join(tid));
+        }
+        let result = slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .expect("model thread finished without a result");
+        if result.is_err() {
+            exec.claim_panic(tid);
+        }
+        result
+    })
+}
+
+fn downcast<T: 'static>(r: std::result::Result<Erased, Payload>) -> Result<T> {
+    r.map(|b| *b.downcast::<T>().expect("model thread result type"))
+}
+
+/// The model counterpart of `std::thread::JoinHandle`.
+#[derive(Debug)]
+pub struct JoinHandle<T> {
+    tid: usize,
+    slot: Slot,
+    _t: PhantomData<fn() -> T>,
+}
+
+impl<T: 'static> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result (`Err` is the
+    /// panic payload, exactly like `std`).
+    pub fn join(self) -> Result<T> {
+        downcast(join_model(self.tid, &self.slot))
+    }
+}
+
+/// Spawns a model thread. Must be called inside `loom::model`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    rt::with_ctx(|exec, me| {
+        let (tid, slot) = spawn_model(exec, Box::new(move || Box::new(f()) as Erased));
+        // The child is now schedulable; give the explorer the chance to
+        // run it before the parent continues.
+        exec.preemption_point(me);
+        JoinHandle { tid, slot, _t: PhantomData }
+    })
+}
+
+/// A scheduling point: offers the scheduler the chance to run another
+/// thread.
+pub fn yield_now() {
+    rt::with_ctx(|exec, me| exec.preemption_point(me));
+}
+
+/// Model "sleep": durations are not modeled, so this is just a scheduling
+/// point.
+pub fn sleep(_dur: std::time::Duration) {
+    yield_now();
+}
+
+/// The model counterpart of `std::thread::Scope`.
+///
+/// Every thread spawned through it is joined before [`scope`] returns
+/// (explicitly via [`ScopedJoinHandle::join`], or implicitly at scope
+/// exit), which is what makes the lifetime erasure inside sound.
+pub struct Scope<'scope, 'env: 'scope> {
+    exec: Arc<Execution>,
+    /// Spawned threads not yet claimed by an explicit join.
+    unjoined: HostMutex<Vec<(usize, Slot)>>,
+    _scope: PhantomData<&'scope mut &'scope ()>,
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+/// The model counterpart of `std::thread::ScopedJoinHandle`.
+///
+/// The value travels through a typed side-slot rather than the `Any`
+/// erasure `JoinHandle` uses, because scoped results need not be
+/// `'static`.
+pub struct ScopedJoinHandle<'scope, T> {
+    tid: usize,
+    slot: Slot,
+    value: Arc<HostMutex<Option<T>>>,
+    scope_unjoined: &'scope HostMutex<Vec<(usize, Slot)>>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish and returns its result.
+    pub fn join(self) -> Result<T> {
+        self.scope_unjoined
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .retain(|(t, _)| *t != self.tid);
+        join_model(self.tid, &self.slot).map(|_| {
+            self.value
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take()
+                .expect("scoped model thread finished without a value")
+        })
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped model thread; the closure may borrow from the
+    /// enclosing scope exactly as with `std::thread::scope`.
+    pub fn spawn<F, T>(&'scope self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let value: Arc<HostMutex<Option<T>>> = Arc::new(HostMutex::new(None));
+        let value2 = Arc::clone(&value);
+        let boxed: Box<dyn FnOnce() -> Erased + Send + 'scope> = Box::new(move || {
+            let v = f();
+            *value2.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+            Box::new(()) as Erased
+        });
+        // SAFETY: the scope joins every spawned thread before `scope`
+        // returns (explicit join or the exit loop below), so the closure
+        // and its captures outlive the thread despite the erased lifetime
+        // — the same argument `std::thread::scope` makes.
+        let boxed: Box<dyn FnOnce() -> Erased + Send + 'static> =
+            unsafe { std::mem::transmute(boxed) };
+        let (tid, slot) = spawn_model(&self.exec, boxed);
+        self.unjoined.lock().unwrap_or_else(PoisonError::into_inner).push((tid, Arc::clone(&slot)));
+        rt::with_ctx(|exec, me| exec.preemption_point(me));
+        ScopedJoinHandle { tid, slot, value, scope_unjoined: &self.unjoined }
+    }
+}
+
+/// Mirror of `std::thread::scope`: runs `f` with a [`Scope`], joins every
+/// still-unjoined spawned thread on exit, and re-raises the first panic of
+/// an implicitly joined thread.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> T,
+{
+    let exec = rt::with_ctx(|exec, _| Arc::clone(exec));
+    let scope = Scope {
+        exec,
+        unjoined: HostMutex::new(Vec::new()),
+        _scope: PhantomData,
+        _env: PhantomData,
+    };
+    // The scope body may itself panic (e.g. a worker panic re-raised at an
+    // explicit join); every spawned thread must still be joined before the
+    // borrowed environment is released.
+    let out = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+    let unjoined =
+        std::mem::take(&mut *scope.unjoined.lock().unwrap_or_else(PoisonError::into_inner));
+    let mut first_panic: Option<Payload> = None;
+    for (tid, slot) in unjoined {
+        if let Err(p) = join_model(tid, &slot) {
+            first_panic.get_or_insert(p);
+        }
+    }
+    match out {
+        Err(p) => std::panic::resume_unwind(p),
+        Ok(v) => {
+            if let Some(p) = first_panic {
+                std::panic::resume_unwind(p);
+            }
+            v
+        }
+    }
+}

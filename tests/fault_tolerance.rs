@@ -135,6 +135,66 @@ fn injected_kill_fails_within_a_deadline_on_every_kernel() {
 }
 
 #[test]
+fn stalled_worker_times_out_with_diagnostics_instead_of_hanging() {
+    quiet_injected_panics();
+    let c = circuit();
+    let p = partition(&c);
+    // Worker 2 hangs (no panic, no progress) at the start of round 2; the
+    // barrier timeout must convert that into a structured error naming it.
+    let sim = ThreadedSyncSimulator::<Logic4>::new(p)
+        .with_faults(FaultPlan::new().with_stall(2, 2))
+        .with_barrier_timeout(Duration::from_millis(200));
+    let err = within(60, move || {
+        let c = circuit();
+        sim.try_run(&c, &stimulus(), VirtualTime::new(UNTIL))
+            .expect_err("a stalled worker must time the run out")
+    });
+    match err {
+        SimError::BarrierTimeout { round, waited, ref stalled, .. } => {
+            assert_eq!(round, 2, "timeout blamed on the wrong round");
+            assert_eq!(waited, Duration::from_millis(200));
+            assert!(
+                stalled.iter().any(|d| d.worker == 2),
+                "stalled list must name worker 2, got {stalled:?}"
+            );
+            assert!(
+                stalled.iter().all(|d| d.worker == 2),
+                "only the stalled worker failed to arrive, got {stalled:?}"
+            );
+        }
+        other => panic!("expected BarrierTimeout, got {other}"),
+    }
+}
+
+#[test]
+fn barrier_timeout_on_every_kernel_is_inert_for_healthy_runs() {
+    let c = circuit();
+    let stim = stimulus();
+    let until = VirtualTime::new(UNTIL);
+    let p = partition(&c);
+    let generous = Duration::from_secs(60);
+    let baseline = ThreadedSyncSimulator::<Logic4>::new(p.clone())
+        .with_observe(Observe::AllNets)
+        .try_run(&c, &stim, until)
+        .expect("unguarded run succeeds");
+    let sync = ThreadedSyncSimulator::<Logic4>::new(p.clone())
+        .with_observe(Observe::AllNets)
+        .with_barrier_timeout(generous)
+        .try_run(&c, &stim, until)
+        .expect("a generous hang guard never fires on a healthy run");
+    assert_eq!(sync.final_values, baseline.final_values);
+    assert_eq!(sync.waveforms, baseline.waveforms);
+    ThreadedConservativeSimulator::<Logic4>::new(p.clone())
+        .with_barrier_timeout(generous)
+        .try_run(&c, &stim, until)
+        .expect("conservative kernel accepts the hang guard");
+    ThreadedTimeWarpSimulator::<Logic4>::new(p)
+        .with_barrier_timeout(generous)
+        .try_run(&c, &stim, until)
+        .expect("time-warp kernel accepts the hang guard");
+}
+
+#[test]
 fn unrecovered_delivery_faults_fail_fast() {
     quiet_injected_panics();
     let c = circuit();
