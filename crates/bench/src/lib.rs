@@ -19,6 +19,7 @@
 //! | `exp_threaded` | E11 | wall-clock throughput of the threaded kernels on the runtime fabric |
 //! | `exp_bitparallel` | E12 | §II bit parallelism: packed 64-lane throughput vs scalar kernels |
 //! | `exp_faults` | E13 | fault-injection campaign: recovery transparency and fail-fast overhead |
+//! | `exp_compile` | E14 | compiled bytecode vs interpreted execution; artifact-cache cold/warm split |
 //!
 //! Criterion micro-benchmarks live in `benches/`.
 //!

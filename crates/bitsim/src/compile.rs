@@ -1,40 +1,35 @@
-//! Compiling a circuit into a levelized straight-line evaluation schedule.
+//! The bit-parallel specialization of the workspace compiler.
+//!
+//! The netlist-to-bytecode lowering lives in `parsim-compile` (one
+//! compiler, every backend); this module adds the oblivious bit-parallel
+//! precondition — unit gate delays — and re-exposes the block under the
+//! names the kernel grew up with.
 
-use parsim_logic::GateKind;
-use parsim_netlist::{Circuit, GateId, Levelization};
+use parsim_netlist::Circuit;
 
-/// One compiled evaluation: a gate, its kind, and a slice of the flat
-/// fanin array.
-#[derive(Debug, Clone, Copy)]
-pub struct CompiledOp {
-    /// The gate (and the net it drives).
-    pub gate: GateId,
-    /// What to evaluate.
-    pub kind: GateKind,
-    /// For sequential ops, the index of this op's `(prev_clk, q)` slot;
-    /// `usize::MAX` for combinational ops.
-    pub seq_slot: usize,
-    fanin_start: u32,
-    fanin_len: u32,
-}
+pub use parsim_compile::{CompiledBlock, Op as CompiledOp};
 
-/// A circuit compiled for oblivious bit-parallel evaluation: every
-/// non-source gate exactly once, grouped by topological level.
+/// A circuit compiled for oblivious bit-parallel evaluation: the
+/// whole-circuit [`CompiledBlock`] (every non-source gate exactly once,
+/// sequential section first, then combinational levels, kind-sorted within
+/// each section), checked against the kernel's unit-delay precondition.
 ///
 /// The kernel is double-buffered (tick `t` values are a pure function of
-/// tick `t − 1` values), so the level grouping is not needed for
+/// tick `t − 1` values), so the schedule order is not needed for
 /// correctness — it provides cache-friendly straight-line order, the unit
 /// of work for thread sharding, and the span boundaries the trace probes
 /// charge.
+///
+/// Derefs to [`CompiledBlock`], so all block accessors ([`ops`],
+/// [`levels`], [`fanin`], [`seq_ops`], [`nets`]) are available directly.
+///
+/// [`ops`]: CompiledBlock::ops
+/// [`levels`]: CompiledBlock::levels
+/// [`fanin`]: CompiledBlock::fanin
+/// [`seq_ops`]: CompiledBlock::seq_ops
+/// [`nets`]: CompiledBlock::nets
 #[derive(Debug, Clone)]
-pub struct CompiledCircuit {
-    ops: Vec<CompiledOp>,
-    fanins: Vec<GateId>,
-    /// `ops` index range of each level, ascending.
-    levels: Vec<std::ops::Range<usize>>,
-    seq_ops: usize,
-    nets: usize,
-}
+pub struct CompiledCircuit(CompiledBlock);
 
 impl CompiledCircuit {
     /// Compiles `circuit` into a levelized straight-line schedule.
@@ -53,64 +48,15 @@ impl CompiledCircuit {
                 g.kind()
             );
         }
-        let lv = Levelization::of(circuit);
-        let mut ops = Vec::new();
-        let mut fanins: Vec<GateId> = Vec::new();
-        let mut levels = Vec::new();
-        let mut seq_ops = 0usize;
-        for level in lv.by_level() {
-            let start = ops.len();
-            for id in level {
-                let g = circuit.gate(id);
-                if g.kind().is_source() {
-                    continue;
-                }
-                let fanin_start = fanins.len() as u32;
-                fanins.extend_from_slice(g.fanin());
-                let seq_slot = if g.kind().is_sequential() {
-                    seq_ops += 1;
-                    seq_ops - 1
-                } else {
-                    usize::MAX
-                };
-                ops.push(CompiledOp {
-                    gate: id,
-                    kind: g.kind(),
-                    seq_slot,
-                    fanin_start,
-                    fanin_len: g.fanin().len() as u32,
-                });
-            }
-            if ops.len() > start {
-                levels.push(start..ops.len());
-            }
-        }
-        CompiledCircuit { ops, fanins, levels, seq_ops, nets: circuit.len() }
+        CompiledCircuit(CompiledBlock::compile(circuit))
     }
+}
 
-    /// The straight-line schedule, in level order.
-    pub fn ops(&self) -> &[CompiledOp] {
-        &self.ops
-    }
+impl std::ops::Deref for CompiledCircuit {
+    type Target = CompiledBlock;
 
-    /// Per-level `ops` index ranges, ascending by level.
-    pub fn levels(&self) -> &[std::ops::Range<usize>] {
-        &self.levels
-    }
-
-    /// The fanin nets of `op`.
-    pub fn fanin(&self, op: &CompiledOp) -> &[GateId] {
-        &self.fanins[op.fanin_start as usize..(op.fanin_start + op.fanin_len) as usize]
-    }
-
-    /// Number of sequential (state-carrying) ops.
-    pub fn seq_ops(&self) -> usize {
-        self.seq_ops
-    }
-
-    /// Number of nets in the source circuit.
-    pub fn nets(&self) -> usize {
-        self.nets
+    fn deref(&self) -> &CompiledBlock {
+        &self.0
     }
 }
 
@@ -146,7 +92,8 @@ mod tests {
         let c = bench::c17();
         let cc = CompiledCircuit::compile(&c);
         // Within the schedule, a combinational gate appears after all of
-        // its non-source fanins.
+        // its scheduled fanins (sequential fanins sit in the up-front
+        // sequential section, so they are always earlier).
         let mut pos = vec![usize::MAX; c.len()];
         for (i, op) in cc.ops().iter().enumerate() {
             pos[op.gate.index()] = i;

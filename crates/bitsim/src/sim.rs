@@ -188,7 +188,7 @@ impl<P: PackedValue> BitSimulator<P> {
             .map(|id| (id, PackedWaveform::new(P::ALL_ZERO)))
             .collect();
         let run = if self.threads > 1 {
-            self.run_sharded(&cc, &events, forces, waveforms, until)
+            self.run_sharded(cc, events, forces.to_vec(), waveforms, until)
         } else {
             self.run_inline(&cc, &events, forces, waveforms, until)
         };
@@ -262,15 +262,18 @@ impl<P: PackedValue> BitSimulator<P> {
         (values, waveforms, stats)
     }
 
-    /// The level-sharded loop: `threads` workers from the runtime pool
-    /// evaluate disjoint chunks of every level against a frozen snapshot
-    /// of the tick's values; worker 0 applies all results in schedule
-    /// order, so the outcome is bit-identical to [`run_inline`].
+    /// The level-sharded loop: `threads` workers on the **persistent**
+    /// runtime pool ([`parsim_runtime::global_pool`]) evaluate disjoint
+    /// chunks of every level against a frozen snapshot of the tick's
+    /// values; worker 0 applies all results in schedule order, so the
+    /// outcome is bit-identical to [`run_inline`]. Repeated sharded runs
+    /// (a bench sweep, a fault campaign) reuse the pool's threads instead
+    /// of spawning a fresh set per run.
     fn run_sharded(
         &self,
-        cc: &CompiledCircuit,
-        events: &[PackedEvent<P>],
-        forces: &[PackedForce<P>],
+        cc: CompiledCircuit,
+        events: Vec<PackedEvent<P>>,
+        forces: Vec<PackedForce<P>>,
         waveforms: BTreeMap<GateId, PackedWaveform<P>>,
         until: VirtualTime,
     ) -> (Vec<P>, BTreeMap<GateId, PackedWaveform<P>>, SimStats) {
@@ -300,13 +303,34 @@ impl<P: PackedValue> BitSimulator<P> {
             owner
         };
 
-        let values = RwLock::new(vec![P::ALL_ZERO; n]);
         // Each worker owns a full-width pending buffer plus the sequential
         // state of its ops (globally indexed; only owned slots are used).
         struct Shard<P> {
             pending: Vec<P>,
             seq_prev: Vec<P>,
             seq_q: Vec<P>,
+        }
+        // Worker 0 owns the apply phase: waveforms, input cursor, stats.
+        struct ApplyState<P> {
+            waveforms: BTreeMap<GateId, PackedWaveform<P>>,
+            next_input: usize,
+            stats: SimStats,
+        }
+        // Everything the workers touch, owned (`'static`) and shared via
+        // `Arc` — persistent pool threads outlive this call's borrows.
+        struct Shared<P: PackedValue> {
+            cc: CompiledCircuit,
+            events: Vec<PackedEvent<P>>,
+            forces: Vec<PackedForce<P>>,
+            chunks: Vec<Vec<(usize, std::ops::Range<usize>)>>,
+            owner_of: Vec<usize>,
+            values: RwLock<Vec<P>>,
+            shards: Vec<Mutex<Shard<P>>>,
+            apply: Mutex<Option<ApplyState<P>>>,
+            barrier: RoundBarrier,
+            stop: AtomicBool,
+            until: VirtualTime,
+            probe: Probe,
         }
         let shards: Vec<Mutex<Shard<P>>> = (0..workers)
             .map(|_| {
@@ -317,16 +341,24 @@ impl<P: PackedValue> BitSimulator<P> {
                 })
             })
             .collect();
-        // Worker 0 owns the apply phase: waveforms, input cursor, stats.
-        struct ApplyState<P> {
-            waveforms: BTreeMap<GateId, PackedWaveform<P>>,
-            next_input: usize,
-            stats: SimStats,
-        }
-        let apply: Mutex<Option<ApplyState<P>>> =
-            Mutex::new(Some(ApplyState { waveforms, next_input: 0, stats: SimStats::default() }));
-        let barrier = RoundBarrier::new(workers);
-        let stop = AtomicBool::new(false);
+        let shared = std::sync::Arc::new(Shared {
+            cc,
+            events,
+            forces,
+            chunks,
+            owner_of,
+            values: RwLock::new(vec![P::ALL_ZERO; n]),
+            shards,
+            apply: Mutex::new(Some(ApplyState {
+                waveforms,
+                next_input: 0,
+                stats: SimStats::default(),
+            })),
+            barrier: RoundBarrier::new(workers),
+            stop: AtomicBool::new(false),
+            until,
+            probe: self.probe.clone(),
+        });
 
         // A worker that unwinds mid-round would leave its peers blocked on
         // the round barrier forever; abort the barrier on the way out so
@@ -340,11 +372,16 @@ impl<P: PackedValue> BitSimulator<P> {
             }
         }
 
-        let mut results = parsim_runtime::run_workers(workers, |w| {
-            let _abort_guard = AbortOnUnwind(&barrier);
-            let mut ph = self.probe.handle();
-            let mut state =
-                if w == 0 { Some(lock_recover(&apply).take().expect("apply state")) } else { None };
+        let worker_shared = std::sync::Arc::clone(&shared);
+        let mut results = parsim_runtime::global_pool().run_static(workers, move |w| {
+            let sh = &*worker_shared;
+            let _abort_guard = AbortOnUnwind(&sh.barrier);
+            let mut ph = sh.probe.handle();
+            let mut state = if w == 0 {
+                Some(lock_recover(&sh.apply).take().expect("apply state"))
+            } else {
+                None
+            };
             let mut evals = 0u64;
             let mut t = 0u64;
             loop {
@@ -352,13 +389,13 @@ impl<P: PackedValue> BitSimulator<P> {
                 // pending buffer into the shared values, in schedule order.
                 if w == 0 {
                     let st = state.as_mut().expect("worker 0 owns the apply state");
-                    let mut vals = values.write().expect("values lock");
+                    let mut vals = sh.values.write().expect("values lock");
                     let now = VirtualTime::new(t);
                     {
-                        let shards: Vec<_> = shards.iter().map(lock_recover).collect();
-                        for (i, op) in cc.ops().iter().enumerate() {
+                        let shards: Vec<_> = sh.shards.iter().map(lock_recover).collect();
+                        for (i, op) in sh.cc.ops().iter().enumerate() {
                             let g = op.gate.index();
-                            let v = shards[owner_of[i]].pending[g];
+                            let v = shards[sh.owner_of[i]].pending[g];
                             if v != vals[g] {
                                 vals[g] = v;
                                 if let Some(wave) = st.waveforms.get_mut(&op.gate) {
@@ -368,7 +405,7 @@ impl<P: PackedValue> BitSimulator<P> {
                         }
                     }
                     apply_inputs(
-                        events,
+                        &sh.events,
                         &mut st.next_input,
                         now,
                         &mut vals,
@@ -376,26 +413,26 @@ impl<P: PackedValue> BitSimulator<P> {
                         &mut st.stats,
                         &mut ph,
                     );
-                    apply_forces(forces, now, &mut vals, &mut st.waveforms);
-                    if now >= until {
-                        stop.store(true, Ordering::Release);
+                    apply_forces(&sh.forces, now, &mut vals, &mut st.waveforms);
+                    if now >= sh.until {
+                        sh.stop.store(true, Ordering::Release);
                     }
                 }
                 // Round phase 2 — everyone sees the applied values.
-                ph.barrier_span(w as u32, t, || barrier.wait(None))
+                ph.barrier_span(w as u32, t, || sh.barrier.wait(None))
                     .expect("barrier aborted: a peer worker failed");
-                if stop.load(Ordering::Acquire) {
+                if sh.stop.load(Ordering::Acquire) {
                     break;
                 }
                 {
-                    let vals = values.read().expect("values lock");
-                    let mut shard = lock_recover(&shards[w]);
+                    let vals = sh.values.read().expect("values lock");
+                    let mut shard = lock_recover(&sh.shards[w]);
                     let shard = &mut *shard;
-                    for (level, range) in &chunks[w] {
+                    for (level, range) in &sh.chunks[w] {
                         let span_start = if ph.enabled() { ph.now_ns() } else { 0 };
-                        for op in &cc.ops()[range.clone()] {
+                        for op in &sh.cc.ops()[range.clone()] {
                             shard.pending[op.gate.index()] =
-                                eval_op(cc, op, &vals, &mut shard.seq_prev, &mut shard.seq_q);
+                                eval_op(&sh.cc, op, &vals, &mut shard.seq_prev, &mut shard.seq_q);
                         }
                         evals += range.len() as u64;
                         if ph.enabled() {
@@ -405,7 +442,7 @@ impl<P: PackedValue> BitSimulator<P> {
                     }
                 }
                 // Round phase 3 — eval done, shard locks released.
-                ph.barrier_span(w as u32, t, || barrier.wait(None))
+                ph.barrier_span(w as u32, t, || sh.barrier.wait(None))
                     .expect("barrier aborted: a peer worker failed");
                 t += 1;
             }
@@ -418,7 +455,7 @@ impl<P: PackedValue> BitSimulator<P> {
             .expect("worker 0 returns the apply state");
         st.stats.gate_evaluations += results.iter().map(|&(_, e)| e).sum::<u64>();
         st.stats.barriers = until.ticks() + 1;
-        let values = values.into_inner().expect("values lock");
+        let values = shared.values.read().expect("values lock").clone();
         (values, st.waveforms, st.stats)
     }
 }
@@ -545,7 +582,7 @@ fn eval_op<P: PackedValue>(
         GateKind::Tribuf => P::tribuf(read(0), read(1)),
         GateKind::Bus => fold(values, fanin, P::splat(P::Scalar::HIGH_Z), P::resolve),
         GateKind::Dff => {
-            let s = op.seq_slot;
+            let s = op.seq_slot as usize;
             let clk = read(0);
             let q = P::dff(seq_prev[s], clk, read(1), seq_q[s]);
             seq_prev[s] = clk;
@@ -553,7 +590,7 @@ fn eval_op<P: PackedValue>(
             q
         }
         GateKind::Latch => {
-            let s = op.seq_slot;
+            let s = op.seq_slot as usize;
             let en = read(0);
             let q = P::latch(en, read(1), seq_q[s]);
             seq_prev[s] = en;

@@ -1,0 +1,374 @@
+//! The on-disk compiled-artifact store.
+//!
+//! A compiled block set is serialized to a single little-endian binary
+//! file (see `DESIGN.md` §8 for the byte layout): a magic tag, a format
+//! version, the content key it was compiled for, the per-block core
+//! arrays, and an FNV-1a checksum over everything before it. Derived
+//! lookup structures (gate→op map, kind runs) are *not* stored — they are
+//! rebuilt on load, so the format stays small and the derivation code has
+//! a single home.
+//!
+//! Every load failure — missing file, short file, bad magic, unknown
+//! version, checksum mismatch, inconsistent array bounds — degrades to
+//! "cache miss": the caller recompiles and overwrites the entry. A
+//! corrupt cache can cost time, never correctness.
+
+use std::fs;
+use std::io;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+use parsim_netlist::{Circuit, Fnv1a, GateId};
+
+use crate::block::{kind_code, kind_from_code, CompiledBlock, Op};
+use crate::compile_blocks;
+
+/// Bytecode format version; bump on any layout or semantics change (kind
+/// codes, hash function, array meaning). Old-version files are treated as
+/// misses, never migrated.
+pub const FORMAT_VERSION: u32 = 1;
+
+const MAGIC: [u8; 8] = *b"PARSIMC\0";
+
+/// How a [`ArtifactStore::load_or_compile`] request was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// A valid artifact was loaded; compilation was skipped entirely.
+    Hit,
+    /// No artifact existed; the circuit was compiled and the store
+    /// populated.
+    MissCompiled,
+    /// An artifact existed but failed validation (truncation, bad
+    /// checksum, version skew); it was recompiled and rewritten.
+    RecompiledCorrupt,
+}
+
+impl CacheOutcome {
+    /// `true` when compilation was skipped.
+    pub fn is_hit(self) -> bool {
+        matches!(self, CacheOutcome::Hit)
+    }
+
+    /// A short stable label for bench JSON and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::MissCompiled => "miss",
+            CacheOutcome::RecompiledCorrupt => "recompiled_corrupt",
+        }
+    }
+}
+
+/// An on-disk store of compiled block sets, keyed by netlist + partition
+/// content hash.
+#[derive(Debug, Clone)]
+pub struct ArtifactStore {
+    dir: PathBuf,
+}
+
+impl ArtifactStore {
+    /// A store rooted at `dir` (created on first write).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ArtifactStore { dir: dir.into() }
+    }
+
+    /// The content key for compiling `circuit` under the given per-gate
+    /// LP assignment: mixes the order-independent
+    /// [`netlist_hash`](Circuit::netlist_hash), the assignment, the LP
+    /// count and the format version — any of them changing yields a
+    /// different artifact file.
+    pub fn cache_key(circuit: &Circuit, lp_of: &[usize], n_lps: usize) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_u64(u64::from(FORMAT_VERSION));
+        h.write_u64(circuit.netlist_hash());
+        h.write_u64(n_lps as u64);
+        h.write_u64(lp_of.len() as u64);
+        for &lp in lp_of {
+            h.write_u64(lp as u64);
+        }
+        h.finish()
+    }
+
+    /// The file an artifact with `key` lives at.
+    pub fn path_of(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.parsimc"))
+    }
+
+    /// Loads and validates the artifact for `key`; `None` on any miss
+    /// (absent, corrupt, version skew, or a key mismatch inside the file).
+    pub fn load(&self, key: u64) -> Option<Vec<CompiledBlock>> {
+        let bytes = fs::read(self.path_of(key)).ok()?;
+        let (stored_key, blocks) = deserialize_blocks(&bytes)?;
+        (stored_key == key).then_some(blocks)
+    }
+
+    /// Serializes `blocks` under `key`, atomically (write to a temporary
+    /// sibling, then rename): a crash mid-write can leave a stale temp
+    /// file, never a torn artifact.
+    pub fn store(&self, key: u64, blocks: &[CompiledBlock]) -> io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        let bytes = serialize_blocks(key, blocks);
+        let tmp = self.dir.join(format!(".{key:016x}.tmp"));
+        fs::write(&tmp, &bytes)?;
+        fs::rename(&tmp, self.path_of(key))?;
+        Ok(())
+    }
+
+    /// The cache-or-compile front door: returns the per-LP blocks for
+    /// `circuit` under `lp_of`, loading a valid cached artifact when one
+    /// exists and compiling (then populating the store) otherwise. Store
+    /// I/O errors are swallowed — the compiled blocks are correct either
+    /// way; the cache is an optimization, not a dependency.
+    pub fn load_or_compile(
+        &self,
+        circuit: &Circuit,
+        lp_of: &[usize],
+        n_lps: usize,
+    ) -> (Vec<CompiledBlock>, CacheOutcome) {
+        let key = Self::cache_key(circuit, lp_of, n_lps);
+        let existed = self.path_of(key).exists();
+        if let Some(blocks) = self.load(key) {
+            return (blocks, CacheOutcome::Hit);
+        }
+        let blocks = compile_blocks(circuit, lp_of, n_lps);
+        let _ = self.store(key, &blocks);
+        let outcome =
+            if existed { CacheOutcome::RecompiledCorrupt } else { CacheOutcome::MissCompiled };
+        (blocks, outcome)
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Serializes a block set into the versioned, checksummed artifact format.
+pub fn serialize_blocks(key: u64, blocks: &[CompiledBlock]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    push_u32(&mut out, FORMAT_VERSION);
+    push_u64(&mut out, key);
+    push_u32(&mut out, blocks.len() as u32);
+    for b in blocks {
+        push_u64(&mut out, b.nets() as u64);
+        push_u32(&mut out, b.seq_ops() as u32);
+        push_u32(&mut out, b.ops().len() as u32);
+        push_u32(&mut out, b.fanins_raw().len() as u32);
+        push_u32(&mut out, b.levels().len() as u32);
+        for op in b.ops() {
+            push_u32(&mut out, op.gate.index() as u32);
+            out.push(kind_code(op.kind));
+            push_u32(&mut out, op.delay);
+            push_u32(&mut out, op.seq_slot);
+            push_u32(&mut out, op.fanin_start);
+            push_u32(&mut out, op.fanin_len);
+        }
+        for &f in b.fanins_raw() {
+            push_u32(&mut out, f.index() as u32);
+        }
+        for r in b.levels() {
+            push_u32(&mut out, r.start as u32);
+            push_u32(&mut out, r.end as u32);
+        }
+    }
+    let mut h = Fnv1a::new();
+    h.write(&out);
+    push_u64(&mut out, h.finish());
+    out
+}
+
+/// A bounds-checked little-endian reader over the artifact bytes.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(|s| u32::from_le_bytes(s.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
+    }
+}
+
+/// Parses and validates an artifact: magic, version, checksum, and every
+/// structural bound (op/fanin/level indices). Returns the stored key and
+/// the blocks with their derived structures rebuilt; `None` on any
+/// violation.
+pub fn deserialize_blocks(bytes: &[u8]) -> Option<(u64, Vec<CompiledBlock>)> {
+    if bytes.len() < MAGIC.len() + 4 + 8 + 4 + 8 {
+        return None;
+    }
+    let (payload, checksum_bytes) = bytes.split_at(bytes.len() - 8);
+    let mut h = Fnv1a::new();
+    h.write(payload);
+    if h.finish() != u64::from_le_bytes(checksum_bytes.try_into().expect("8 bytes")) {
+        return None;
+    }
+    let mut r = Reader { bytes: payload, pos: 0 };
+    if r.take(MAGIC.len())? != MAGIC {
+        return None;
+    }
+    if r.u32()? != FORMAT_VERSION {
+        return None;
+    }
+    let key = r.u64()?;
+    let n_blocks = r.u32()? as usize;
+    let mut blocks = Vec::with_capacity(n_blocks.min(1 << 16));
+    for _ in 0..n_blocks {
+        let nets = usize::try_from(r.u64()?).ok()?;
+        let seq_ops = r.u32()? as usize;
+        let n_ops = r.u32()? as usize;
+        let n_fanins = r.u32()? as usize;
+        let n_levels = r.u32()? as usize;
+        let mut ops = Vec::with_capacity(n_ops.min(1 << 20));
+        for _ in 0..n_ops {
+            let gate = r.u32()? as usize;
+            let kind = kind_from_code(r.u8()?)?;
+            let delay = r.u32()?;
+            let seq_slot = r.u32()?;
+            let fanin_start = r.u32()?;
+            let fanin_len = r.u32()?;
+            if gate >= nets
+                || kind.is_source()
+                || (fanin_start as usize).checked_add(fanin_len as usize)? > n_fanins
+            {
+                return None;
+            }
+            ops.push(Op { gate: GateId::new(gate), kind, delay, seq_slot, fanin_start, fanin_len });
+        }
+        let mut fanins = Vec::with_capacity(n_fanins.min(1 << 22));
+        for _ in 0..n_fanins {
+            let f = r.u32()? as usize;
+            if f >= nets {
+                return None;
+            }
+            fanins.push(GateId::new(f));
+        }
+        let mut levels: Vec<Range<usize>> = Vec::with_capacity(n_levels.min(1 << 16));
+        let mut prev_end = 0usize;
+        for _ in 0..n_levels {
+            let start = r.u32()? as usize;
+            let end = r.u32()? as usize;
+            if start != prev_end || end < start || end > n_ops {
+                return None;
+            }
+            prev_end = end;
+            levels.push(start..end);
+        }
+        if prev_end != n_ops || seq_ops > n_ops {
+            return None;
+        }
+        blocks.push(CompiledBlock::assemble(ops, fanins, levels, seq_ops, nets));
+    }
+    if r.pos != payload.len() {
+        return None;
+    }
+    Some((key, blocks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim_netlist::generate;
+
+    fn zoo_blocks() -> (parsim_netlist::Circuit, Vec<usize>, Vec<CompiledBlock>) {
+        let c = generate::random_dag(&generate::RandomDagConfig {
+            gates: 240,
+            seq_fraction: 0.2,
+            seed: 21,
+            ..Default::default()
+        });
+        let lp_of: Vec<usize> = (0..c.len()).map(|i| i % 4).collect();
+        let blocks = compile_blocks(&c, &lp_of, 4);
+        (c, lp_of, blocks)
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let (c, lp_of, blocks) = zoo_blocks();
+        let key = ArtifactStore::cache_key(&c, &lp_of, 4);
+        let bytes = serialize_blocks(key, &blocks);
+        let (stored_key, loaded) = deserialize_blocks(&bytes).expect("valid artifact");
+        assert_eq!(stored_key, key);
+        assert_eq!(loaded, blocks, "derived structures rebuilt identically");
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_detected() {
+        let (c, lp_of, blocks) = zoo_blocks();
+        let key = ArtifactStore::cache_key(&c, &lp_of, 4);
+        let bytes = serialize_blocks(key, &blocks);
+        // Flip one byte at a sample of positions across the whole file
+        // (including the checksum itself): each must fail validation.
+        for pos in (0..bytes.len()).step_by(37).chain([bytes.len() - 1]) {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0x5A;
+            assert!(deserialize_blocks(&corrupt).is_none(), "corruption at byte {pos} accepted");
+        }
+        // Truncation at any point must fail too.
+        for cut in [0, 7, bytes.len() / 2, bytes.len() - 1] {
+            assert!(deserialize_blocks(&bytes[..cut]).is_none(), "truncation at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn store_cold_warm_and_corrupt_cycle() {
+        let dir = std::env::temp_dir().join(format!("parsimc-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = ArtifactStore::new(&dir);
+        let (c, lp_of, _) = zoo_blocks();
+
+        let (cold, outcome) = store.load_or_compile(&c, &lp_of, 4);
+        assert_eq!(outcome, CacheOutcome::MissCompiled);
+        let (warm, outcome) = store.load_or_compile(&c, &lp_of, 4);
+        assert_eq!(outcome, CacheOutcome::Hit);
+        assert_eq!(cold, warm, "cache hit returns identical blocks");
+
+        // Scribble over the artifact: the next request must detect it,
+        // recompile, and heal the entry.
+        let key = ArtifactStore::cache_key(&c, &lp_of, 4);
+        fs::write(store.path_of(key), b"definitely not bytecode").unwrap();
+        let (healed, outcome) = store.load_or_compile(&c, &lp_of, 4);
+        assert_eq!(outcome, CacheOutcome::RecompiledCorrupt);
+        assert_eq!(healed, cold);
+        let (warm2, outcome) = store.load_or_compile(&c, &lp_of, 4);
+        assert_eq!(outcome, CacheOutcome::Hit);
+        assert_eq!(warm2, cold);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn different_partitions_key_differently() {
+        let (c, lp_of, _) = zoo_blocks();
+        let base = ArtifactStore::cache_key(&c, &lp_of, 4);
+        let mut other = lp_of.clone();
+        let movable = (0..other.len()).find(|&i| other[i] != 0).unwrap();
+        other[movable] = 0;
+        assert_ne!(base, ArtifactStore::cache_key(&c, &other, 4));
+        assert_ne!(base, ArtifactStore::cache_key(&c, &lp_of, 5), "LP count is part of the key");
+    }
+}

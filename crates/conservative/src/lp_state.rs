@@ -5,8 +5,8 @@ use std::collections::BTreeMap;
 use parsim_core::{LpTopology, Waveform};
 use parsim_event::{BinaryHeapQueue, Event, EventQueue, VirtualTime};
 use parsim_logic::LogicValue;
-use parsim_netlist::{Circuit, GateId};
-use parsim_runtime::LpCore;
+use parsim_netlist::{Circuit, Delay, GateId};
+use parsim_runtime::{CompiledBlock, LpCore};
 
 /// A protocol action emitted by an LP activation, for the driver to route.
 #[derive(Debug, Clone, Copy)]
@@ -34,6 +34,36 @@ pub(crate) struct ActivationWork {
     pub events_popped: u64,
     pub evaluations: u64,
     pub events_scheduled: u64,
+}
+
+/// Routes one freshly scheduled output event: local queue if this LP is
+/// among the destinations (or has no local fanout at all), `out` for
+/// remote LPs. Shared verbatim by the interpreted and compiled evaluation
+/// paths so they cannot drift apart.
+fn route_output<V: LogicValue>(
+    topo: &LpTopology,
+    my_index: usize,
+    e: Event<V>,
+    queue: &mut BinaryHeapQueue<V>,
+    work: &mut ActivationWork,
+    out: &mut impl FnMut(Outgoing<V>),
+) {
+    work.events_scheduled += 1;
+    let mut to_self = false;
+    for &dst in topo.destinations(e.net) {
+        if dst == my_index {
+            to_self = true;
+            queue.push(e);
+        } else {
+            out(Outgoing::Event { dst, event: e });
+        }
+    }
+    // A driver whose own LP is not among the destinations (no local
+    // fanout) still tracks its output value locally for final-value
+    // reporting.
+    if !to_self {
+        queue.push(e);
+    }
 }
 
 /// The state of one conservative logical process: the kernel-independent
@@ -120,13 +150,16 @@ impl<V: LogicValue> LpState<V> {
 
     /// Runs the LP: processes every safe timestamp (`< safe_time`, `≤
     /// until`), emitting outgoing messages through `out`. Returns the work
-    /// performed (for cost accounting).
+    /// performed (for cost accounting). When `compiled` carries this LP's
+    /// bytecode, gate evaluation runs dispatch-free through it instead of
+    /// the interpreted walk (bit-identical results).
     pub(crate) fn activate(
         &mut self,
         circuit: &Circuit,
         topo: &LpTopology,
         until: VirtualTime,
         send_nulls: bool,
+        compiled: Option<&CompiledBlock>,
         out: &mut impl FnMut(Outgoing<V>),
     ) -> ActivationWork {
         let mut work = ActivationWork::default();
@@ -142,9 +175,9 @@ impl<V: LogicValue> LpState<V> {
             };
             let initial = !self.did_initial;
             self.did_initial = true;
-            self.step(circuit, topo, now, initial, &mut work, out);
+            self.step(circuit, topo, now, initial, compiled, &mut work, out);
         }
-        self.frontier = safe.min(until + parsim_netlist::Delay::UNIT);
+        self.frontier = safe.min(until + Delay::UNIT);
 
         if send_nulls {
             let spec = &topo.lps()[self.index];
@@ -153,7 +186,7 @@ impl<V: LogicValue> LpState<V> {
                 // than min(next local event, input safe time), each passing
                 // a boundary gate of delay ≥ lookahead.
                 let horizon = self.queue.peek_time().unwrap_or(VirtualTime::INFINITY).min(safe);
-                let bound = (horizon + spec.lookahead).min(until + parsim_netlist::Delay::UNIT);
+                let bound = (horizon + spec.lookahead).min(until + Delay::UNIT);
                 for &dst in &spec.out_channels {
                     let last = self.last_null.get_mut(&dst).expect("known channel");
                     if bound > *last {
@@ -167,12 +200,14 @@ impl<V: LogicValue> LpState<V> {
     }
 
     /// Processes one timestamp batch.
+    #[allow(clippy::too_many_arguments)]
     fn step(
         &mut self,
         circuit: &Circuit,
         topo: &LpTopology,
         now: VirtualTime,
         initial: bool,
+        compiled: Option<&CompiledBlock>,
         work: &mut ActivationWork,
         out: &mut impl FnMut(Outgoing<V>),
     ) {
@@ -191,26 +226,24 @@ impl<V: LogicValue> LpState<V> {
             self.core.mark_owned_non_source(circuit, &topo.lps()[self.index].gates);
         }
 
-        // Phase 2: evaluate once each, in id order; transmit boundary
-        // events at scheduling time.
+        // Phase 2: evaluate once each; transmit boundary events at
+        // scheduling time. The compiled path runs the dirty batch through
+        // the LP's bytecode (one dispatch per same-kind run); both paths
+        // route through `route_output`, so they cannot drift apart, and
+        // both are order-insensitive (the queue orders by time and net).
         let dirty = self.core.take_dirty_sorted();
-        for &id in &dirty {
-            work.evaluations += 1;
-            if let Some(v) = self.core.evaluate(circuit, id) {
-                let e = Event::new(now + circuit.delay(id), id, v);
-                work.events_scheduled += 1;
-                for &dst in topo.destinations(id) {
-                    if dst == self.index {
-                        self.queue.push(e);
-                    } else {
-                        out(Outgoing::Event { dst, event: e });
-                    }
-                }
-                // A driver whose own LP is not among the destinations (no
-                // local fanout) still tracks its output value locally for
-                // final-value reporting.
-                if !topo.destinations(id).contains(&self.index) {
-                    self.queue.push(e);
+        work.evaluations += dirty.len() as u64;
+        if let Some(block) = compiled {
+            let LpState { core, queue, .. } = self;
+            core.evaluate_compiled(block, &dirty, &mut |id, v, delay| {
+                let e = Event::new(now + Delay::new(u64::from(delay)), id, v);
+                route_output(topo, my_index, e, queue, work, out);
+            });
+        } else {
+            for &id in &dirty {
+                if let Some(v) = self.core.evaluate(circuit, id) {
+                    let e = Event::new(now + circuit.delay(id), id, v);
+                    route_output(topo, my_index, e, &mut self.queue, work, out);
                 }
             }
         }

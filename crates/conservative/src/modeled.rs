@@ -203,7 +203,10 @@ impl<V: LogicValue> Simulator<V> for ConservativeSimulator<V> {
                     }
                 }
                 // Run the LP.
-                let work = lp.activate(circuit, &topo, until, send_nulls, &mut |out| {
+                // The modeled driver stays interpreted: it is the
+                // differential reference the compiled paths are checked
+                // against.
+                let work = lp.activate(circuit, &topo, until, send_nulls, None, &mut |out| {
                     match out {
                         Outgoing::Event { dst, event } => {
                             let ready = vm.send(p, proc_of(dst));

@@ -8,7 +8,8 @@ use parsim_logic::LogicValue;
 use parsim_netlist::{Circuit, Delay};
 use parsim_partition::Partition;
 use parsim_runtime::{
-    DecideCx, Decision, Fabric, FaultPlan, RoundCx, RunOptions, SyncProtocol, WorkerOutput,
+    CompiledMode, DecideCx, Decision, Fabric, FaultPlan, RoundCx, RunOptions, SyncProtocol,
+    WorkerOutput,
 };
 use parsim_trace::{Probe, TraceKind, NO_LP};
 
@@ -35,6 +36,7 @@ pub struct ThreadedConservativeSimulator<V> {
     observe: Observe,
     probe: Probe,
     options: RunOptions,
+    compiled: CompiledMode,
     _values: PhantomData<V>,
 }
 
@@ -48,8 +50,25 @@ impl<V: LogicValue> ThreadedConservativeSimulator<V> {
             observe: Observe::Outputs,
             probe: Probe::disabled(),
             options: RunOptions::default(),
+            compiled: CompiledMode::Off,
             _values: PhantomData,
         }
+    }
+
+    /// Switches gate evaluation to compiled bytecode: each LP's gate block
+    /// is lowered once, up front, and activations run their dirty batches
+    /// through the dispatch-free executors. Results are bit-identical to
+    /// the interpreted default.
+    pub fn with_compiled(mut self) -> Self {
+        self.compiled = CompiledMode::InMemory;
+        self
+    }
+
+    /// Compiled evaluation through the on-disk artifact store rooted at
+    /// `dir`: a warm cache skips compilation entirely.
+    pub fn with_compiled_cache(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.compiled = CompiledMode::Cached(dir.into());
+        self
     }
 
     /// Attaches a trace probe. Workers record on per-thread handles with a
@@ -115,7 +134,12 @@ impl<V: LogicValue> ThreadedConservativeSimulator<V> {
         stimulus: &Stimulus,
         until: VirtualTime,
     ) -> Result<SimOutcome<V>, SimError> {
-        let fabric = Fabric::new(circuit, &self.partition, self.granularity, self.observe);
+        let fabric = self.compiled.apply(Fabric::new(
+            circuit,
+            &self.partition,
+            self.granularity,
+            self.observe,
+        ));
         let protocol = CmbProtocol { strategy: self.strategy };
         fabric.run(stimulus, until, &self.probe, &protocol, &self.options)
     }
@@ -254,7 +278,8 @@ impl<V: LogicValue> SyncProtocol<V> for CmbProtocol {
                 let probe = &mut *cx.probe;
                 let outbox = &mut *cx.outbox;
                 let granularity = cx.granularity;
-                lp.activate(circuit, topo, cx.until, send_nulls, &mut |out| {
+                let block = fabric.compiled_block(lp_idx);
+                lp.activate(circuit, topo, cx.until, send_nulls, block, &mut |out| {
                     sent = true;
                     match out {
                         Outgoing::Event { dst, event } => {
@@ -450,6 +475,31 @@ mod tests {
                 4,
                 DeadlockStrategy::NullMessages,
             );
+        }
+    }
+
+    #[test]
+    fn compiled_execution_is_bit_identical() {
+        let c = generate::random_dag(&generate::RandomDagConfig {
+            gates: 220,
+            seq_fraction: 0.15,
+            delays: DelayModel::Uniform { min: 1, max: 6, seed: 11 },
+            seed: 11,
+            ..Default::default()
+        });
+        let stim = Stimulus::random(11, 10).with_clock(6);
+        let part = FiducciaMattheyses::default().partition(&c, 3, &GateWeights::uniform(c.len()));
+        let until = VirtualTime::new(250);
+        let interpreted = ThreadedConservativeSimulator::<Logic4>::new(part.clone())
+            .with_observe(Observe::AllNets)
+            .run(&c, &stim, until);
+        let compiled = ThreadedConservativeSimulator::<Logic4>::new(part)
+            .with_compiled()
+            .with_granularity(2)
+            .with_observe(Observe::AllNets)
+            .run(&c, &stim, until);
+        if let Some(d) = compiled.divergence_from(&interpreted) {
+            panic!("compiled conservative kernel diverged: {d}");
         }
     }
 

@@ -50,6 +50,7 @@ mod circuit;
 mod delay;
 pub mod dot;
 pub mod generate;
+mod hash;
 mod ids;
 mod levelize;
 mod stats;
@@ -57,6 +58,7 @@ mod stats;
 pub use builder::{CircuitBuilder, NetlistError, StructuralIssue, StructuralReport};
 pub use circuit::{Circuit, FanoutEntry, Gate};
 pub use delay::{Delay, DelayModel};
+pub use hash::Fnv1a;
 pub use ids::GateId;
 pub use levelize::Levelization;
 pub use stats::CircuitStats;

@@ -201,18 +201,22 @@ impl<V: LogicValue> Simulator<V> for BtbSimulator<V> {
                         _ => break,
                     }
                     let mut work = TwWork::default();
-                    let processed =
-                        lps[lp_idx].process_next(circuit, &topo, until, &mut work, &mut |out| {
-                            match out {
-                                TwOutgoing::Event { dst, event } => {
-                                    horizon_estimate = horizon_estimate.min(event.time);
-                                    buffer.push((lp_idx, dst, event));
-                                }
-                                TwOutgoing::Anti { .. } => {
-                                    unreachable!("no rollback during forward processing")
-                                }
+                    let processed = lps[lp_idx].process_next(
+                        circuit,
+                        &topo,
+                        until,
+                        None,
+                        &mut work,
+                        &mut |out| match out {
+                            TwOutgoing::Event { dst, event } => {
+                                horizon_estimate = horizon_estimate.min(event.time);
+                                buffer.push((lp_idx, dst, event));
                             }
-                        });
+                            TwOutgoing::Anti { .. } => {
+                                unreachable!("no rollback during forward processing")
+                            }
+                        },
+                    );
                     debug_assert!(processed, "next_time was checked above");
                     charge(&mut vm, p, &work, &self.machine);
                     accumulate(&mut total, &work);

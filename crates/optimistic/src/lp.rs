@@ -6,8 +6,8 @@ use std::collections::BTreeMap;
 use parsim_core::{GateRuntime, LpTopology, Waveform};
 use parsim_event::{Event, VirtualTime};
 use parsim_logic::LogicValue;
-use parsim_netlist::{Circuit, GateId};
-use parsim_runtime::LpCore;
+use parsim_netlist::{Circuit, Delay, GateId};
+use parsim_runtime::{CompiledBlock, LpCore};
 
 use crate::{Cancellation, StateSaving};
 
@@ -50,6 +50,42 @@ pub(crate) struct TwWork {
     pub events_rolled_back: u64,
     pub evaluations_rolled_back: u64,
     pub anti_messages: u64,
+}
+
+/// Records one freshly scheduled output event: self-delivery into the
+/// local event set, transmission (or lazy-cancellation regeneration) for
+/// remote destinations. Shared verbatim by the interpreted and compiled
+/// evaluation paths so they cannot drift apart.
+#[allow(clippy::too_many_arguments)]
+fn record_output<V: LogicValue>(
+    topo: &LpTopology,
+    my_index: usize,
+    e: Event<V>,
+    events: &mut BTreeMap<VirtualTime, Vec<Event<V>>>,
+    pending_cancel: &mut Vec<(VirtualTime, usize, Event<V>)>,
+    sent: &mut Vec<(usize, Event<V>)>,
+    scheduled: &mut Vec<Event<V>>,
+    work: &mut TwWork,
+    out: &mut impl FnMut(TwOutgoing<V>),
+) {
+    work.events_scheduled += 1;
+    // Self-delivery into the local event set (also covers final-value
+    // tracking for nets with no local fanout).
+    events.entry(e.time).or_default().push(e);
+    scheduled.push(e);
+    for &dst in topo.destinations(e.net) {
+        if dst == my_index {
+            continue;
+        }
+        // Lazy cancellation: an identical rolled-back message is still
+        // valid at the receiver — regenerate silently.
+        if let Some(pos) = pending_cancel.iter().position(|(_, d, pe)| *d == dst && *pe == e) {
+            pending_cancel.remove(pos);
+        } else {
+            out(TwOutgoing::Event { dst, event: e });
+        }
+        sent.push((dst, e));
+    }
 }
 
 /// Full-copy snapshot of LP state after a batch.
@@ -234,12 +270,15 @@ impl<V: LogicValue> TwLp<V> {
     }
 
     /// Optimistically processes the next batch (if any at `≤ limit`).
-    /// Returns `false` if there was nothing to do.
+    /// Returns `false` if there was nothing to do. When `compiled` carries
+    /// this LP's bytecode, gate evaluation runs dispatch-free through it
+    /// instead of the interpreted walk (bit-identical results).
     pub(crate) fn process_next(
         &mut self,
         circuit: &Circuit,
         topo: &LpTopology,
         limit: VirtualTime,
+        compiled: Option<&CompiledBlock>,
         work: &mut TwWork,
         out: &mut impl FnMut(TwOutgoing<V>),
     ) -> bool {
@@ -268,36 +307,52 @@ impl<V: LogicValue> TwLp<V> {
             self.core.mark_owned_non_source(circuit, &topo.lps()[self.index].gates);
         }
 
-        // Phase 2: evaluate each affected gate once, in id order.
+        // Phase 2: evaluate each affected gate once. Incremental saving
+        // snapshots every dirty gate's sequential state up front — gates
+        // only ever mutate their own state, so pre-batch and
+        // pre-evaluation snapshots are identical. The compiled path then
+        // runs the whole batch through the LP's bytecode (one dispatch
+        // per same-kind run); both paths record through `record_output`.
         let dirty = self.core.take_dirty_sorted();
-        let mut sent: Vec<(usize, Event<V>)> = Vec::new();
-        let mut scheduled: Vec<Event<V>> = Vec::new();
-        for &id in &dirty {
-            work.evaluations += 1;
-            if self.saving == StateSaving::Incremental {
+        work.evaluations += dirty.len() as u64;
+        if self.saving == StateSaving::Incremental {
+            for &id in &dirty {
                 delta.runtimes.push((id, self.core.runtime(id)));
             }
-            if let Some(v) = self.core.evaluate(circuit, id) {
-                let e = Event::new(now + circuit.delay(id), id, v);
-                work.events_scheduled += 1;
-                // Self-delivery into the local event set (also covers
-                // final-value tracking for nets with no local fanout).
-                self.events.entry(e.time).or_default().push(e);
-                scheduled.push(e);
-                for &dst in topo.destinations(id) {
-                    if dst == self.index {
-                        continue;
-                    }
-                    // Lazy cancellation: an identical rolled-back message is
-                    // still valid at the receiver — regenerate silently.
-                    if let Some(pos) =
-                        self.pending_cancel.iter().position(|(_, d, pe)| *d == dst && *pe == e)
-                    {
-                        self.pending_cancel.remove(pos);
-                    } else {
-                        out(TwOutgoing::Event { dst, event: e });
-                    }
-                    sent.push((dst, e));
+        }
+        let mut sent: Vec<(usize, Event<V>)> = Vec::new();
+        let mut scheduled: Vec<Event<V>> = Vec::new();
+        if let Some(block) = compiled {
+            let TwLp { core, events, pending_cancel, .. } = self;
+            core.evaluate_compiled(block, &dirty, &mut |id, v, delay| {
+                let e = Event::new(now + Delay::new(u64::from(delay)), id, v);
+                record_output(
+                    topo,
+                    my_index,
+                    e,
+                    events,
+                    pending_cancel,
+                    &mut sent,
+                    &mut scheduled,
+                    work,
+                    out,
+                );
+            });
+        } else {
+            for &id in &dirty {
+                if let Some(v) = self.core.evaluate(circuit, id) {
+                    let e = Event::new(now + circuit.delay(id), id, v);
+                    record_output(
+                        topo,
+                        my_index,
+                        e,
+                        &mut self.events,
+                        &mut self.pending_cancel,
+                        &mut sent,
+                        &mut scheduled,
+                        work,
+                        out,
+                    );
                 }
             }
         }

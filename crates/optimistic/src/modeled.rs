@@ -394,8 +394,10 @@ impl<V: LogicValue> Simulator<V> for TimeWarpSimulator<V> {
                                 sends.push((dst, TwMsg::Anti(event)));
                             }
                         };
-                        let processed =
-                            lps[lp_idx].process_next(circuit, &topo, limit, &mut work, collect);
+                        // The modeled driver stays interpreted: it is the
+                        // differential reference for the compiled paths.
+                        let processed = lps[lp_idx]
+                            .process_next(circuit, &topo, limit, None, &mut work, collect);
                         debug_assert!(processed, "candidate had work");
                     }
                     batches_since_gvt += 1;

@@ -9,7 +9,8 @@ use parsim_logic::LogicValue;
 use parsim_netlist::Circuit;
 use parsim_partition::Partition;
 use parsim_runtime::{
-    DecideCx, Decision, Fabric, FaultPlan, RoundCx, RunOptions, SyncProtocol, WorkerOutput,
+    CompiledMode, DecideCx, Decision, Fabric, FaultPlan, RoundCx, RunOptions, SyncProtocol,
+    WorkerOutput,
 };
 use parsim_trace::{Probe, ProbeHandle, TraceKind, NO_LP};
 
@@ -42,6 +43,7 @@ pub struct ThreadedTimeWarpSimulator<V> {
     observe: Observe,
     probe: Probe,
     options: RunOptions,
+    compiled: CompiledMode,
     _values: PhantomData<V>,
 }
 
@@ -56,8 +58,25 @@ impl<V: LogicValue> ThreadedTimeWarpSimulator<V> {
             observe: Observe::Outputs,
             probe: Probe::disabled(),
             options: RunOptions::default(),
+            compiled: CompiledMode::Off,
             _values: PhantomData,
         }
+    }
+
+    /// Switches gate evaluation to compiled bytecode: each LP's gate block
+    /// is lowered once, up front, and speculative batches run through the
+    /// dispatch-free executors (state saving and rollback are untouched).
+    /// Committed results are bit-identical to the interpreted default.
+    pub fn with_compiled(mut self) -> Self {
+        self.compiled = CompiledMode::InMemory;
+        self
+    }
+
+    /// Compiled evaluation through the on-disk artifact store rooted at
+    /// `dir`: a warm cache skips compilation entirely.
+    pub fn with_compiled_cache(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.compiled = CompiledMode::Cached(dir.into());
+        self
     }
 
     /// Attaches a trace probe. Workers record wall-clock `BarrierWait`
@@ -128,7 +147,12 @@ impl<V: LogicValue> ThreadedTimeWarpSimulator<V> {
         stimulus: &Stimulus,
         until: VirtualTime,
     ) -> Result<SimOutcome<V>, SimError> {
-        let fabric = Fabric::new(circuit, &self.partition, self.granularity, self.observe);
+        let fabric = self.compiled.apply(Fabric::new(
+            circuit,
+            &self.partition,
+            self.granularity,
+            self.observe,
+        ));
         let protocol = TwProtocol { saving: self.saving, cancellation: self.cancellation };
         fabric.run(stimulus, until, &self.probe, &protocol, &self.options)
     }
@@ -331,8 +355,10 @@ impl<V: LogicValue> SyncProtocol<V> for TwProtocol {
             let lp_idx = me * granularity + slot;
             for _ in 0..BATCH_BUDGET {
                 let mut work = TwWork::default();
-                let processed =
-                    lp.process_next(circuit, topo, until, &mut work, &mut |o| route!(lp_idx, o));
+                let block = fabric.compiled_block(lp_idx);
+                let processed = lp.process_next(circuit, topo, until, block, &mut work, &mut |o| {
+                    route!(lp_idx, o);
+                });
                 accumulate(total, &work);
                 emit_work(probe, me, lp_idx, &work);
                 if !processed {
@@ -452,6 +478,31 @@ mod tests {
             &Stimulus::random(2, 8),
             200,
         );
+    }
+
+    #[test]
+    fn compiled_execution_matches_sequential() {
+        // Compiled bytecode under genuine rollback pressure, both saving
+        // disciplines: committed results must stay bit-identical to the
+        // sequential reference.
+        let c = generate::random_dag(&generate::RandomDagConfig {
+            gates: 200,
+            seq_fraction: 0.15,
+            delays: DelayModel::Uniform { min: 1, max: 6, seed: 3 },
+            seed: 3,
+            ..Default::default()
+        });
+        let stim = Stimulus::random(3, 10).with_clock(6);
+        for saving in [StateSaving::Incremental, StateSaving::Copy] {
+            check_equivalent(
+                &ThreadedTimeWarpSimulator::<Logic4>::new(partition(&c, 3))
+                    .with_state_saving(saving)
+                    .with_compiled(),
+                &c,
+                &stim,
+                250,
+            );
+        }
     }
 
     #[test]

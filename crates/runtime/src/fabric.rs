@@ -4,6 +4,7 @@ use crate::sync::{Arc, AtomicBool, AtomicU64, Mutex, Ordering};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
+use parsim_compile::{compile_blocks, ArtifactStore, CacheOutcome, CompiledBlock};
 use parsim_core::{
     LpTopology, Observe, RunBudget, SimError, SimOutcome, SimStats, Stimulus, WorkerDiagnostic,
 };
@@ -181,6 +182,43 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// How a kernel obtains compiled bytecode for its fabric, if at all. The
+/// kernels expose this through `with_compiled` / `with_compiled_cache`
+/// builders; [`CompiledMode::apply`] translates the choice into the
+/// matching [`Fabric`] builder call.
+#[derive(Debug, Clone, Default)]
+pub enum CompiledMode {
+    /// Interpreted evaluation (the default).
+    #[default]
+    Off,
+    /// Compile to in-memory bytecode at fabric construction.
+    InMemory,
+    /// Compile through the on-disk artifact store rooted at this
+    /// directory (cache hits skip compilation).
+    Cached(std::path::PathBuf),
+}
+
+impl CompiledMode {
+    /// Applies the mode to a freshly built fabric.
+    pub fn apply<'c>(&self, fabric: Fabric<'c>) -> Fabric<'c> {
+        match self {
+            CompiledMode::Off => fabric,
+            CompiledMode::InMemory => fabric.with_compiled(),
+            CompiledMode::Cached(dir) => fabric.with_compiled_cache(dir),
+        }
+    }
+}
+
+/// The compiled-bytecode attachment of a fabric: one [`CompiledBlock`]
+/// per LP plus the provenance of how the blocks were obtained.
+#[derive(Debug)]
+struct CompiledPlan {
+    blocks: Vec<CompiledBlock>,
+    outcome: CacheOutcome,
+    compile_ns: u64,
+    artifact_bytes: u64,
+}
+
 /// The compiled execution plan for one run: LP topology, worker mapping
 /// and preload routing, shared by every threaded kernel.
 ///
@@ -200,6 +238,7 @@ pub struct Fabric<'c> {
     workers: usize,
     granularity: usize,
     observe: Observe,
+    compiled: Option<CompiledPlan>,
 }
 
 impl<'c> Fabric<'c> {
@@ -225,7 +264,72 @@ impl<'c> Fabric<'c> {
         let workers = partition.blocks();
         let coarse: Vec<usize> = circuit.ids().map(|id| partition.block_of(id)).collect();
         let topo = LpTopology::with_granularity(circuit, &coarse, workers, granularity);
-        Fabric { circuit, topo, workers, granularity, observe }
+        Fabric { circuit, topo, workers, granularity, observe, compiled: None }
+    }
+
+    /// The circuit's per-gate LP assignment, in gate-id order (the shape
+    /// the compiler and artifact keys consume).
+    fn lp_assignment(&self) -> Vec<usize> {
+        self.circuit.ids().map(|id| self.topo.lp_of(id)).collect()
+    }
+
+    /// Lowers every LP's gate block to compiled bytecode (`parsim-compile`),
+    /// enabling the dispatch-free execution path in protocols that consult
+    /// [`Fabric::compiled_block`]. Compilation happens here, once, before
+    /// any worker starts; results are bit-identical to the interpreted
+    /// walk.
+    pub fn with_compiled(mut self) -> Self {
+        let start = Instant::now();
+        let lp_of = self.lp_assignment();
+        let blocks = compile_blocks(self.circuit, &lp_of, self.topo.lps().len());
+        self.compiled = Some(CompiledPlan {
+            blocks,
+            outcome: CacheOutcome::MissCompiled,
+            compile_ns: start.elapsed().as_nanos() as u64,
+            artifact_bytes: 0,
+        });
+        self
+    }
+
+    /// Like [`Fabric::with_compiled`], but through the on-disk
+    /// [`ArtifactStore`] rooted at `dir`: a valid cached artifact for this
+    /// circuit + LP assignment skips compilation entirely; a miss (or a
+    /// corrupt entry) compiles and repopulates the store. The outcome is
+    /// reported via [`Fabric::cache_outcome`] and traced as a
+    /// [`TraceKind::CacheHit`] instant on hits.
+    pub fn with_compiled_cache(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        let start = Instant::now();
+        let store = ArtifactStore::new(dir);
+        let lp_of = self.lp_assignment();
+        let n_lps = self.topo.lps().len();
+        let (blocks, outcome) = store.load_or_compile(self.circuit, &lp_of, n_lps);
+        let key = ArtifactStore::cache_key(self.circuit, &lp_of, n_lps);
+        let artifact_bytes = std::fs::metadata(store.path_of(key)).map_or(0, |m| m.len());
+        self.compiled = Some(CompiledPlan {
+            blocks,
+            outcome,
+            compile_ns: start.elapsed().as_nanos() as u64,
+            artifact_bytes,
+        });
+        self
+    }
+
+    /// LP `lp`'s compiled bytecode, when compiled execution is enabled.
+    pub fn compiled_block(&self, lp: usize) -> Option<&CompiledBlock> {
+        self.compiled.as_ref().map(|p| &p.blocks[lp])
+    }
+
+    /// How the compiled blocks were obtained (cache hit / miss / corrupt
+    /// recompile), when compiled execution is enabled.
+    pub fn cache_outcome(&self) -> Option<CacheOutcome> {
+        self.compiled.as_ref().map(|p| p.outcome)
+    }
+
+    /// Wall-clock nanoseconds spent obtaining the compiled blocks
+    /// (compilation, or artifact load on a cache hit), when compiled
+    /// execution is enabled.
+    pub fn compile_ns(&self) -> Option<u64> {
+        self.compiled.as_ref().map(|p| p.compile_ns)
     }
 
     /// The circuit this fabric simulates.
@@ -357,6 +461,16 @@ impl<'c> Fabric<'c> {
         V: LogicValue,
         P: SyncProtocol<V>,
     {
+        if let Some(plan) = &self.compiled {
+            let mut ph = probe.handle();
+            if ph.enabled() {
+                let t = ph.now_ns();
+                ph.emit(t, 0, 0, NO_LP, TraceKind::Compile, plan.compile_ns);
+                if plan.outcome.is_hit() {
+                    ph.emit(t, 0, 0, NO_LP, TraceKind::CacheHit, plan.artifact_bytes);
+                }
+            }
+        }
         let preloads: Vec<Mutex<Vec<Event<V>>>> =
             self.preloads::<V>(stimulus, until).into_iter().map(Mutex::new).collect();
         let injector =

@@ -55,10 +55,13 @@ mod state;
 pub mod sync;
 
 pub use barrier::{BarrierError, RoundBarrier};
-pub use fabric::{Fabric, RunOptions};
+pub use fabric::{CompiledMode, Fabric, RunOptions};
+// Re-exported so the kernels can consume compiled blocks without a direct
+// `parsim-compile` dependency edge.
 pub use fault::{FaultPlan, FaultSpec};
 pub use mailbox::{MailboxMesh, Outbox, DEFAULT_BATCH_LIMIT};
+pub use parsim_compile::{ArtifactStore, CacheOutcome, CompiledBlock};
 pub use poison::lock_recover;
-pub use pool::run_workers;
+pub use pool::{global_pool, run_workers, WorkerPool};
 pub use protocol::{DecideCx, Decision, RoundCx, SyncProtocol, WorkerOutput};
 pub use state::{GateStateSoa, LpCore};

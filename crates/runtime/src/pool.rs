@@ -1,4 +1,7 @@
-//! The scoped worker pool shared by everything that runs on real threads.
+//! The worker pools shared by everything that runs on real threads:
+//! [`run_workers`] (scoped, borrows allowed, threads per call) and
+//! [`WorkerPool`] (persistent, `'static` jobs, threads reused across
+//! runs).
 
 /// Runs `workers` copies of `f` on a scoped thread pool — `f(p)` on worker
 /// `p` — and collects the results in worker order.
@@ -35,6 +38,213 @@ where
     })
 }
 
+/// A persistent worker pool: OS threads are spawned lazily, kept parked on
+/// a condition variable between runs, and reused across
+/// [`run_static`](WorkerPool::run_static) calls — so a caller that shards
+/// many short runs (the bit-parallel kernel benchmarked per circuit, a
+/// fault campaign with hundreds of packed passes) pays the thread-spawn
+/// cost once per process instead of once per run.
+///
+/// Jobs within one run may rendezvous with each other (the bit-parallel
+/// round barrier does), so every job of a run is guaranteed a thread of
+/// its own: the pool grows until its idle surplus covers the batch and
+/// never multiplexes two jobs of the same run onto one thread.
+///
+/// Unlike [`run_workers`], the closure must be `'static` (persistent
+/// threads outlive any borrow): share state via `Arc` instead of
+/// references. A panicking job is caught on the pool thread (the thread
+/// survives for the next run) and re-raised on the calling thread once
+/// the whole batch has finished.
+///
+/// Under `--cfg loom` the pool degrades to the scoped [`run_workers`]
+/// (global detached threads are invisible to the model checker).
+#[cfg(not(loom))]
+pub struct WorkerPool {
+    inner: crate::sync::Arc<PoolInner>,
+}
+
+#[cfg(not(loom))]
+mod persistent {
+    use std::collections::VecDeque;
+    use std::panic::AssertUnwindSafe;
+
+    use super::WorkerPool;
+    use crate::poison::lock_recover;
+    use crate::sync::{thread, Arc, Condvar, Mutex, PoisonError};
+
+    /// One queued unit: `work` runs the job and stores its result; `after`
+    /// signals batch completion. They are separate so the worker can
+    /// decrement `busy` *between* them — by the time a caller observes its
+    /// batch finished, every thread the batch used is already accounted
+    /// idle again, and the next batch reuses them instead of growing the
+    /// pool.
+    struct QueuedJob {
+        work: Box<dyn FnOnce() + Send + 'static>,
+        after: Box<dyn FnOnce() + Send + 'static>,
+    }
+
+    pub struct PoolInner {
+        state: Mutex<PoolState>,
+        job_ready: Condvar,
+    }
+
+    struct PoolState {
+        jobs: VecDeque<QueuedJob>,
+        /// Threads spawned so far.
+        threads: usize,
+        /// Threads currently executing a job.
+        busy: usize,
+    }
+
+    fn worker_loop(inner: &Arc<PoolInner>) {
+        loop {
+            let job = {
+                let mut st = lock_recover(&inner.state);
+                loop {
+                    if let Some(j) = st.jobs.pop_front() {
+                        st.busy += 1;
+                        break j;
+                    }
+                    st = inner.job_ready.wait(st).unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            (job.work)();
+            lock_recover(&inner.state).busy -= 1;
+            (job.after)();
+        }
+    }
+
+    impl WorkerPool {
+        /// Creates an empty pool; threads are spawned on first use.
+        pub fn new() -> Self {
+            WorkerPool {
+                inner: Arc::new(PoolInner {
+                    state: Mutex::new(PoolState { jobs: VecDeque::new(), threads: 0, busy: 0 }),
+                    job_ready: Condvar::new(),
+                }),
+            }
+        }
+
+        /// Runs `workers` copies of `f` on pool threads — `f(p)` on worker
+        /// `p` — and collects the results in worker order, like
+        /// [`run_workers`](super::run_workers) but on persistent threads.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `workers` is zero. A panic in any job is re-raised on
+        /// the calling thread once every job of the batch has finished.
+        pub fn run_static<R, F>(&self, workers: usize, f: F) -> Vec<R>
+        where
+            R: Send + 'static,
+            F: Fn(usize) -> R + Send + Sync + 'static,
+        {
+            assert!(workers >= 1, "worker pool needs at least one worker");
+            struct RunState<R> {
+                slots: Vec<Option<thread::Result<R>>>,
+                finished: usize,
+            }
+            let f = Arc::new(f);
+            let done = Arc::new((
+                Mutex::new(RunState { slots: (0..workers).map(|_| None).collect(), finished: 0 }),
+                Condvar::new(),
+            ));
+            {
+                let mut st = lock_recover(&self.inner.state);
+                // Every job of this batch needs a dedicated thread (jobs
+                // may block on a shared barrier): grow the pool until the
+                // uncommitted surplus covers the batch.
+                let committed = st.busy + st.jobs.len();
+                for _ in st.threads..committed + workers {
+                    let inner = Arc::clone(&self.inner);
+                    thread::Builder::new()
+                        .name(format!("parsim-pool-{}", st.threads))
+                        .spawn(move || worker_loop(&inner))
+                        .expect("spawn pool worker");
+                    st.threads += 1;
+                }
+                for p in 0..workers {
+                    let f = Arc::clone(&f);
+                    let work_done = Arc::clone(&done);
+                    let after_done = Arc::clone(&done);
+                    st.jobs.push_back(QueuedJob {
+                        work: Box::new(move || {
+                            let out = std::panic::catch_unwind(AssertUnwindSafe(|| f(p)));
+                            lock_recover(&work_done.0).slots[p] = Some(out);
+                        }),
+                        after: Box::new(move || {
+                            let (lock, cv) = &*after_done;
+                            lock_recover(lock).finished += 1;
+                            cv.notify_all();
+                        }),
+                    });
+                }
+                self.inner.job_ready.notify_all();
+            }
+            let (lock, cv) = &*done;
+            let mut run = lock_recover(lock);
+            while run.finished < workers {
+                run = cv.wait(run).unwrap_or_else(PoisonError::into_inner);
+            }
+            let slots = std::mem::take(&mut run.slots);
+            drop(run);
+            slots
+                .into_iter()
+                .map(|s| {
+                    s.expect("every job reports a result")
+                        .unwrap_or_else(|e| std::panic::resume_unwind(e))
+                })
+                .collect()
+        }
+    }
+
+    impl Default for WorkerPool {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    /// The process-wide shared pool.
+    pub fn global_pool() -> &'static WorkerPool {
+        static POOL: std::sync::OnceLock<WorkerPool> = std::sync::OnceLock::new();
+        POOL.get_or_init(WorkerPool::new)
+    }
+}
+
+#[cfg(not(loom))]
+pub use persistent::global_pool;
+#[cfg(not(loom))]
+use persistent::PoolInner;
+
+/// Loom shim: the model checker cannot see detached global threads, so the
+/// "persistent" pool degrades to the scoped [`run_workers`].
+#[cfg(loom)]
+#[derive(Default)]
+pub struct WorkerPool {}
+
+#[cfg(loom)]
+impl WorkerPool {
+    /// Creates the (stateless) loom shim.
+    pub fn new() -> Self {
+        WorkerPool {}
+    }
+
+    /// Scoped fallback for [`run_static`](WorkerPool::run_static).
+    pub fn run_static<R, F>(&self, workers: usize, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(usize) -> R + Send + Sync + 'static,
+    {
+        run_workers(workers, f)
+    }
+}
+
+/// The process-wide shared pool (loom shim).
+#[cfg(loom)]
+pub fn global_pool() -> &'static WorkerPool {
+    static POOL: WorkerPool = WorkerPool {};
+    &POOL
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -43,6 +253,53 @@ mod tests {
     fn results_come_back_in_worker_order() {
         let out = run_workers(8, |p| p * 10);
         assert_eq!(out, (0..8).map(|p| p * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn persistent_pool_reuses_threads_across_runs() {
+        let pool = WorkerPool::new();
+        // Four threads cover a 4-wide batch; repeated back-to-back runs
+        // reuse them — only threads 0..4 ever serve, however the jobs are
+        // distributed among them.
+        for _ in 0..4 {
+            let out = pool.run_static(4, |p| (p, std::thread::current().name().map(str::to_owned)));
+            assert_eq!(out.iter().map(|&(p, _)| p).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+            for (_, name) in out {
+                let name = name.expect("pool threads are named");
+                let index: usize = name
+                    .strip_prefix("parsim-pool-")
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("unexpected thread {name}"));
+                assert!(index < 4, "pool grew beyond the batch width: {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn persistent_pool_supports_rendezvous_batches() {
+        // All jobs of one batch must run concurrently: a batch-wide
+        // barrier would deadlock if two jobs shared a thread.
+        let pool = WorkerPool::new();
+        let barrier = std::sync::Arc::new(crate::RoundBarrier::new(6));
+        for _ in 0..2 {
+            let b = std::sync::Arc::clone(&barrier);
+            let out = pool.run_static(6, move |p| {
+                b.wait(None).expect("all six jobs reach the barrier");
+                p
+            });
+            assert_eq!(out, (0..6).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn persistent_pool_job_panic_propagates_and_pool_survives() {
+        let pool = WorkerPool::new();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_static(3, |p| assert!(p != 1, "job 1 exploded"));
+        }));
+        assert!(caught.is_err());
+        // The pool threads survive the panic and serve the next run.
+        assert_eq!(pool.run_static(3, |p| p + 1), vec![1, 2, 3]);
     }
 
     #[test]

@@ -50,6 +50,17 @@ impl<V: LogicValue> GateStateSoa<V> {
         self.prev_clk[i] = rt.prev_clk;
         self.last_driven[i] = rt.last_driven;
     }
+
+    /// Mutable views of the three state arrays, in the shape the compiled
+    /// executors consume.
+    #[inline]
+    pub fn slices_mut(&mut self) -> parsim_compile::GateSlices<'_, V> {
+        parsim_compile::GateSlices {
+            q: &mut self.q,
+            prev_clk: &mut self.prev_clk,
+            last_driven: &mut self.last_driven,
+        }
+    }
 }
 
 /// The kernel-independent state of one logical process: local net values,
@@ -137,6 +148,23 @@ impl<V: LogicValue> LpCore<V> {
         let out = evaluate_gate(circuit, id, &mut |f| values[f.index()], &mut rt);
         self.soa.store(id, rt);
         out
+    }
+
+    /// Evaluates exactly the gates of `dirty` through `block`'s compiled
+    /// bytecode instead of the interpreted [`Self::evaluate`] walk,
+    /// updating sequential state in place. `emit(gate, value, delay)` is
+    /// called for each gate whose output changed — "schedule `value` at
+    /// `now + delay`". Bit-identical to calling [`Self::evaluate`] on each
+    /// dirty gate in order; the inner loops dispatch once per same-kind
+    /// run instead of once per gate.
+    #[inline]
+    pub fn evaluate_compiled<F: FnMut(GateId, V, u32)>(
+        &mut self,
+        block: &parsim_compile::CompiledBlock,
+        dirty: &[GateId],
+        emit: &mut F,
+    ) {
+        parsim_compile::execute_sparse(block, dirty, &self.values, self.soa.slices_mut(), emit);
     }
 
     /// Opens a new timestamp batch: subsequent [`Self::mark_dirty`] /

@@ -2,13 +2,16 @@
 
 use std::marker::PhantomData;
 
-use parsim_core::{Observe, RunBudget, SimError, SimOutcome, SimStats, Simulator, Stimulus};
+use parsim_core::{
+    LpTopology, Observe, RunBudget, SimError, SimOutcome, SimStats, Simulator, Stimulus,
+};
 use parsim_event::{BinaryHeapQueue, Event, EventQueue, VirtualTime};
 use parsim_logic::LogicValue;
-use parsim_netlist::GateId;
+use parsim_netlist::{Delay, GateId};
 use parsim_partition::Partition;
 use parsim_runtime::{
-    DecideCx, Decision, Fabric, FaultPlan, LpCore, RoundCx, RunOptions, SyncProtocol, WorkerOutput,
+    CompiledMode, DecideCx, Decision, Fabric, FaultPlan, LpCore, RoundCx, RunOptions, SyncProtocol,
+    WorkerOutput,
 };
 use parsim_trace::{Probe, TraceKind};
 
@@ -32,6 +35,7 @@ pub struct ThreadedSyncSimulator<V> {
     observe: Observe,
     probe: Probe,
     options: RunOptions,
+    compiled: CompiledMode,
     _values: PhantomData<V>,
 }
 
@@ -43,8 +47,25 @@ impl<V: LogicValue> ThreadedSyncSimulator<V> {
             observe: Observe::Outputs,
             probe: Probe::disabled(),
             options: RunOptions::default(),
+            compiled: CompiledMode::Off,
             _values: PhantomData,
         }
+    }
+
+    /// Switches gate evaluation to compiled bytecode: each worker's gate
+    /// block is lowered once, up front, and the per-round dirty batch runs
+    /// through the dispatch-free executors. Results are bit-identical to
+    /// the interpreted default.
+    pub fn with_compiled(mut self) -> Self {
+        self.compiled = CompiledMode::InMemory;
+        self
+    }
+
+    /// Compiled evaluation through the on-disk artifact store rooted at
+    /// `dir`: a warm cache skips compilation entirely.
+    pub fn with_compiled_cache(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.compiled = CompiledMode::Cached(dir.into());
+        self
     }
 
     /// Selects which nets to record waveforms for.
@@ -92,7 +113,7 @@ impl<V: LogicValue> ThreadedSyncSimulator<V> {
         stimulus: &Stimulus,
         until: VirtualTime,
     ) -> Result<SimOutcome<V>, SimError> {
-        let fabric = Fabric::new(circuit, &self.partition, 1, self.observe);
+        let fabric = self.compiled.apply(Fabric::new(circuit, &self.partition, 1, self.observe));
         fabric.run(stimulus, until, &self.probe, &BarrierProtocol, &self.options)
     }
 }
@@ -109,6 +130,51 @@ impl<V: LogicValue> Simulator<V> for ThreadedSyncSimulator<V> {
         until: VirtualTime,
     ) -> SimOutcome<V> {
         self.try_run(circuit, stimulus, until).unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+/// Routes one freshly scheduled output event: local queue for the
+/// driver's own block, mailbox sends for remote destinations. Shared
+/// verbatim by the interpreted and compiled evaluation paths so they
+/// cannot drift apart.
+#[allow(clippy::too_many_arguments)]
+fn route_event<V: LogicValue>(
+    topo: &LpTopology,
+    me: usize,
+    now: VirtualTime,
+    e: Event<V>,
+    queue: &mut BinaryHeapQueue<V>,
+    stats: &mut SimStats,
+    sent_min: &mut Option<VirtualTime>,
+    cx: &mut RoundCx<'_, '_, Event<V>>,
+) {
+    stats.events_scheduled += 1;
+    let mut to_self = false;
+    for &dst in topo.destinations(e.net) {
+        if dst == me {
+            to_self = true;
+            queue.push(e);
+        } else {
+            stats.messages_sent += 1;
+            if cx.probe.enabled() {
+                let t = cx.probe.now_ns();
+                cx.probe.emit(
+                    t,
+                    now.ticks(),
+                    me as u32,
+                    e.net.index() as u32,
+                    TraceKind::MessageSend,
+                    dst as u64,
+                );
+            }
+            *sent_min = Some(sent_min.map_or(e.time, |m| m.min(e.time)));
+            cx.send_lp(dst, e);
+        }
+    }
+    // A driver whose own block is not among the destinations still
+    // tracks its output value locally.
+    if !to_self {
+        queue.push(e);
     }
 }
 
@@ -204,44 +270,56 @@ impl<V: LogicValue> SyncProtocol<V> for BarrierProtocol {
         }
         cx.charge_events(popped);
 
-        // Phase 2: evaluate in id order and distribute.
+        // Phase 2: evaluate the dirty batch and distribute. The compiled
+        // path runs it through the LP's bytecode (one dispatch per
+        // same-kind run); the interpreted path walks gate by gate. Both
+        // produce identical results: the event queue orders by
+        // (time, net), so within-batch emission order is immaterial.
         let mut sent_min: Option<VirtualTime> = None;
         let dirty = state.core.take_dirty_sorted();
-        for &id in &dirty {
-            state.stats.gate_evaluations += 1;
-            if cx.probe.enabled() {
+        state.stats.gate_evaluations += dirty.len() as u64;
+        if let Some(block) = fabric.compiled_block(me) {
+            if cx.probe.enabled() && !dirty.is_empty() {
                 let t = cx.probe.now_ns();
-                cx.probe.emit(t, now.ticks(), me as u32, id.index() as u32, TraceKind::GateEval, 1);
+                cx.probe.emit(
+                    t,
+                    now.ticks(),
+                    me as u32,
+                    me as u32,
+                    TraceKind::GateEval,
+                    dirty.len() as u64,
+                );
             }
-            if let Some(v) = state.core.evaluate(circuit, id) {
-                let e = Event::new(now + circuit.delay(id), id, v);
-                state.stats.events_scheduled += 1;
-                let mut to_self = false;
-                for &dst in topo.destinations(id) {
-                    if dst == me {
-                        to_self = true;
-                        state.queue.push(e);
-                    } else {
-                        state.stats.messages_sent += 1;
-                        if cx.probe.enabled() {
-                            let t = cx.probe.now_ns();
-                            cx.probe.emit(
-                                t,
-                                now.ticks(),
-                                me as u32,
-                                id.index() as u32,
-                                TraceKind::MessageSend,
-                                dst as u64,
-                            );
-                        }
-                        sent_min = Some(sent_min.map_or(e.time, |m| m.min(e.time)));
-                        cx.send_lp(dst, e);
-                    }
+            let SyncWorker { core, queue, stats, .. } = state;
+            core.evaluate_compiled(block, &dirty, &mut |id, v, delay| {
+                let e = Event::new(now + Delay::new(u64::from(delay)), id, v);
+                route_event(topo, me, now, e, queue, stats, &mut sent_min, cx);
+            });
+        } else {
+            for &id in &dirty {
+                if cx.probe.enabled() {
+                    let t = cx.probe.now_ns();
+                    cx.probe.emit(
+                        t,
+                        now.ticks(),
+                        me as u32,
+                        id.index() as u32,
+                        TraceKind::GateEval,
+                        1,
+                    );
                 }
-                // A driver whose own block is not among the destinations
-                // still tracks its output value locally.
-                if !to_self {
-                    state.queue.push(e);
+                if let Some(v) = state.core.evaluate(circuit, id) {
+                    let e = Event::new(now + circuit.delay(id), id, v);
+                    route_event(
+                        topo,
+                        me,
+                        now,
+                        e,
+                        &mut state.queue,
+                        &mut state.stats,
+                        &mut sent_min,
+                        cx,
+                    );
                 }
             }
         }
@@ -336,5 +414,32 @@ mod tests {
     fn single_worker_degenerates_to_sequential() {
         let c = bench::c17();
         check_equivalent::<Bit>(&c, &Stimulus::random(2, 5), 150, 1);
+    }
+
+    #[test]
+    fn compiled_execution_is_bit_identical() {
+        for seed in 0..2 {
+            let c = generate::random_dag(&generate::RandomDagConfig {
+                gates: 250,
+                seq_fraction: 0.15,
+                delays: DelayModel::Uniform { min: 1, max: 6, seed },
+                seed,
+                ..Default::default()
+            });
+            let stim = Stimulus::random(seed, 10).with_clock(6);
+            let part =
+                FiducciaMattheyses::default().partition(&c, 3, &GateWeights::uniform(c.len()));
+            let until = VirtualTime::new(250);
+            let interpreted = ThreadedSyncSimulator::<Logic4>::new(part.clone())
+                .with_observe(Observe::AllNets)
+                .run(&c, &stim, until);
+            let compiled = ThreadedSyncSimulator::<Logic4>::new(part)
+                .with_compiled()
+                .with_observe(Observe::AllNets)
+                .run(&c, &stim, until);
+            if let Some(d) = compiled.divergence_from(&interpreted) {
+                panic!("compiled sync kernel diverged (seed {seed}): {d}");
+            }
+        }
     }
 }

@@ -90,7 +90,7 @@ pub fn to_perfetto_json(trace: &Trace) -> String {
         escape_json(r.kind.label(), &mut line);
         line.push_str("\",");
         match r.kind {
-            TraceKind::Charge | TraceKind::Idle | TraceKind::BarrierWait => {
+            TraceKind::Charge | TraceKind::Idle | TraceKind::BarrierWait | TraceKind::Compile => {
                 let _ = write!(line, "\"ph\":\"X\",\"dur\":{},", r.arg);
                 push_common(&mut line, r);
                 let _ = write!(line, ",\"args\":{{\"vt\":{}}}}}", r.vt);

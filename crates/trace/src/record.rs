@@ -7,8 +7,9 @@ use std::fmt::{self, Display};
 pub const NO_LP: u32 = u32::MAX;
 
 /// What happened. Every variant is an *instant* except [`TraceKind::Charge`],
-/// [`TraceKind::Idle`] and [`TraceKind::BarrierWait`], which are *spans*
-/// covering `[t, t + arg)` on the record's processor timeline.
+/// [`TraceKind::Idle`], [`TraceKind::BarrierWait`] and
+/// [`TraceKind::Compile`], which are *spans* covering `[t, t + arg)` on the
+/// record's processor timeline.
 ///
 /// The `arg` payload of a [`TraceRecord`] is kind-specific; the meaning is
 /// documented per variant.
@@ -54,12 +55,23 @@ pub enum TraceKind {
     /// An injected fault was recovered by the runtime (reliable delivery,
     /// poison-tolerant locking). `arg` = the recovered worker or mailbox.
     FaultRecover,
+    /// Netlist-to-bytecode compilation (span): the circuit was lowered to
+    /// compiled blocks before the run. `arg` = compile duration in
+    /// timeline units.
+    Compile,
+    /// A compiled-artifact cache hit: compilation was skipped and the
+    /// bytecode loaded from the on-disk store. `arg` = artifact bytes
+    /// loaded.
+    CacheHit,
 }
 
 impl TraceKind {
     /// Returns `true` for span kinds (`[t, t + arg)`), `false` for instants.
     pub fn is_span(self) -> bool {
-        matches!(self, TraceKind::Charge | TraceKind::Idle | TraceKind::BarrierWait)
+        matches!(
+            self,
+            TraceKind::Charge | TraceKind::Idle | TraceKind::BarrierWait | TraceKind::Compile
+        )
     }
 
     /// A short stable label for exports and reports.
@@ -79,11 +91,13 @@ impl TraceKind {
             TraceKind::Idle => "idle",
             TraceKind::FaultInject => "fault_inject",
             TraceKind::FaultRecover => "fault_recover",
+            TraceKind::Compile => "compile",
+            TraceKind::CacheHit => "cache_hit",
         }
     }
 
     /// All kinds, in a stable order (report tables iterate this).
-    pub fn all() -> [TraceKind; 14] {
+    pub fn all() -> [TraceKind; 16] {
         [
             TraceKind::GateEval,
             TraceKind::Enqueue,
@@ -99,6 +113,8 @@ impl TraceKind {
             TraceKind::Idle,
             TraceKind::FaultInject,
             TraceKind::FaultRecover,
+            TraceKind::Compile,
+            TraceKind::CacheHit,
         ]
     }
 }

@@ -12,9 +12,9 @@
 //! performance model that regenerates the paper's Figure 1.
 //!
 //! This crate is a facade: it re-exports the workspace crates under one
-//! name. See [`logic`], [`netlist`], [`event`], [`partition`], [`core`],
-//! [`bitsim`], [`machine`], [`runtime`], [`sync`], [`conservative`],
-//! [`optimistic`], [`trace`] and [`lint`].
+//! name. See [`logic`], [`netlist`], [`compile`], [`event`], [`partition`],
+//! [`core`], [`bitsim`], [`machine`], [`runtime`], [`sync`],
+//! [`conservative`], [`optimistic`], [`trace`] and [`lint`].
 //!
 //! # Quickstart
 //!
@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 
 pub use parsim_bitsim as bitsim;
+pub use parsim_compile as compile;
 pub use parsim_conservative as conservative;
 pub use parsim_core as core;
 pub use parsim_event as event;
@@ -93,7 +94,10 @@ pub mod prelude {
         Partition, PartitionQuality, Partitioner, RandomPartitioner, RoundRobinPartitioner,
         StringPartitioner,
     };
-    pub use parsim_runtime::{Decision, Fabric, FaultPlan, FaultSpec, RunOptions, SyncProtocol};
+    pub use parsim_runtime::{
+        ArtifactStore, CacheOutcome, CompiledBlock, CompiledMode, Decision, Fabric, FaultPlan,
+        FaultSpec, RunOptions, SyncProtocol,
+    };
     pub use parsim_sync::{SyncSimulator, ThreadedSyncSimulator};
     pub use parsim_trace::{
         run_report, to_csv, to_perfetto_json, Metrics, Probe, Trace, TraceKind, TraceRecord,

@@ -1,0 +1,241 @@
+//! The compiled-execution differential suite: every kernel that can run
+//! `parsim-compile` bytecode must commit a history **bit-identical** to
+//! its interpreted self — across value systems, thread counts, and the
+//! artifact cache's cold/warm/corrupt paths.
+//!
+//! The compiler is one subsystem with many backends (event-driven dirty
+//! batches in the threaded kernels, full sweeps in the oblivious and
+//! bit-parallel kernels); this suite is the contract that none of them
+//! drifts from the `evaluate_gate` reference semantics.
+
+use parsim::prelude::*;
+
+/// An interpreted kernel, its compiled twin, and whether the kernel's
+/// evaluation count is deterministic (Time Warp's speculative work varies
+/// with thread timing, so only its *committed* history can be compared).
+type KernelPair<V> = (Box<dyn Simulator<V>>, Box<dyn Simulator<V>>, bool);
+
+/// Interpreted/compiled pairs of every compiled-capable threaded kernel
+/// over `partition`.
+fn kernel_pairs<V: LogicValue>(partition: &Partition) -> Vec<KernelPair<V>> {
+    vec![
+        (
+            Box::new(ThreadedSyncSimulator::new(partition.clone()).with_observe(Observe::AllNets)),
+            Box::new(
+                ThreadedSyncSimulator::new(partition.clone())
+                    .with_compiled()
+                    .with_observe(Observe::AllNets),
+            ),
+            true,
+        ),
+        (
+            Box::new(
+                ThreadedConservativeSimulator::new(partition.clone())
+                    .with_observe(Observe::AllNets),
+            ),
+            Box::new(
+                ThreadedConservativeSimulator::new(partition.clone())
+                    .with_compiled()
+                    .with_observe(Observe::AllNets),
+            ),
+            true,
+        ),
+        (
+            Box::new(
+                ThreadedTimeWarpSimulator::new(partition.clone()).with_observe(Observe::AllNets),
+            ),
+            Box::new(
+                ThreadedTimeWarpSimulator::new(partition.clone())
+                    .with_compiled()
+                    .with_observe(Observe::AllNets),
+            ),
+            false,
+        ),
+    ]
+}
+
+/// Runs every interpreted/compiled pair on `threads` ∈ {1, 2, 4} blocks
+/// and demands bit-identical outcomes (waveforms and final values, via
+/// the shared sequential reference).
+fn cross_check<V: LogicValue>(circuit: &Circuit, stimulus: &Stimulus, until: u64) {
+    let until = VirtualTime::new(until);
+    let reference = SequentialSimulator::<V>::new()
+        .with_observe(Observe::AllNets)
+        .run(circuit, stimulus, until);
+    assert!(reference.stats.events_processed > 0, "vacuous test on {}", circuit.name());
+    for threads in [1usize, 2, 4] {
+        let weights = GateWeights::uniform(circuit.len());
+        let partition = FiducciaMattheyses::default().partition(circuit, threads, &weights);
+        for (interpreted, compiled, deterministic_evals) in kernel_pairs::<V>(&partition) {
+            let a = interpreted.run(circuit, stimulus, until);
+            let b = compiled.run(circuit, stimulus, until);
+            if let Some(d) = a.divergence_from(&reference) {
+                panic!(
+                    "{} diverged on {} ({threads} threads): {d}",
+                    interpreted.name(),
+                    circuit.name()
+                );
+            }
+            if let Some(d) = b.divergence_from(&reference) {
+                panic!(
+                    "compiled {} diverged on {} ({threads} threads): {d}",
+                    compiled.name(),
+                    circuit.name()
+                );
+            }
+            if deterministic_evals {
+                assert_eq!(
+                    a.stats.gate_evaluations,
+                    b.stats.gate_evaluations,
+                    "{}: compiled path must evaluate exactly the interpreted batches",
+                    compiled.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn compiled_matches_interpreted_both_value_systems_multi_delay() {
+    for seed in 0..2 {
+        let c = generate::random_dag(&generate::RandomDagConfig {
+            gates: 260,
+            inputs: 20,
+            seq_fraction: 0.15,
+            delays: DelayModel::Uniform { min: 1, max: 9, seed },
+            seed,
+            ..Default::default()
+        });
+        let stim = Stimulus::random(seed + 2, 11).with_clock(6);
+        cross_check::<Bit>(&c, &stim, 260);
+        cross_check::<Logic4>(&c, &stim, 260);
+    }
+}
+
+#[test]
+fn compiled_matches_interpreted_on_benchmarks() {
+    cross_check::<Logic4>(&bench::c17(), &Stimulus::random(11, 9), 250);
+    cross_check::<Logic4>(&bench::s27ish(), &Stimulus::random(5, 14).with_clock(8), 350);
+}
+
+#[test]
+fn compiled_oblivious_and_bitparallel_agree_with_event_driven() {
+    let c = generate::lfsr(8, DelayModel::Unit);
+    let stim = Stimulus::quiet(1000).with_clock(4);
+    let until = VirtualTime::new(240);
+    let reference =
+        SequentialSimulator::<Bit>::new().with_observe(Observe::AllNets).run(&c, &stim, until);
+    let oblivious = ObliviousSimulator::<Bit>::new()
+        .with_compiled()
+        .with_observe(Observe::AllNets)
+        .run(&c, &stim, until);
+    assert_eq!(oblivious.divergence_from(&reference), None);
+    // The bit-parallel kernel always runs the shared bytecode; lane 0
+    // must agree with the scalar reference.
+    let packed = BitSimulator::<PackedBit>::new().with_observe(Observe::AllNets).run(
+        &c,
+        &PackedStimulus::new(vec![stim.clone(); 4]),
+        until,
+    );
+    assert_eq!(packed.lane_outcome(0).divergence_from(&reference), None);
+}
+
+/// A scratch cache directory, unique per test, cleaned on drop.
+struct CacheDir(std::path::PathBuf);
+
+impl CacheDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("parsimc-it-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        CacheDir(dir)
+    }
+}
+
+impl Drop for CacheDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn trace_kinds(probe: &Probe) -> Vec<TraceKind> {
+    probe.take_trace().records().iter().map(|r| r.kind).collect()
+}
+
+#[test]
+fn warm_cache_skips_compilation_and_stays_bit_identical() {
+    let cache = CacheDir::new("warm");
+    let c = generate::random_dag(&generate::RandomDagConfig {
+        gates: 200,
+        seq_fraction: 0.2,
+        seed: 17,
+        ..Default::default()
+    });
+    let stim = Stimulus::random(3, 9).with_clock(5);
+    let until = VirtualTime::new(200);
+    let weights = GateWeights::uniform(c.len());
+    let partition = FiducciaMattheyses::default().partition(&c, 3, &weights);
+    let sim = |probe: &Probe| {
+        ThreadedSyncSimulator::<Logic4>::new(partition.clone())
+            .with_compiled_cache(&cache.0)
+            .with_observe(Observe::AllNets)
+            .with_probe(probe.clone())
+    };
+
+    // Cold: compiles, populates the store, no cache-hit record.
+    let cold_probe = Probe::enabled();
+    let cold = sim(&cold_probe).run(&c, &stim, until);
+    let kinds = trace_kinds(&cold_probe);
+    assert!(kinds.contains(&TraceKind::Compile), "cold run records the compile span");
+    assert!(!kinds.contains(&TraceKind::CacheHit), "cold run cannot hit the cache");
+    let artifacts: Vec<_> = std::fs::read_dir(&cache.0)
+        .expect("store directory created")
+        .filter_map(Result::ok)
+        .filter(|e| e.path().extension().is_some_and(|x| x == "parsimc"))
+        .collect();
+    assert_eq!(artifacts.len(), 1, "one artifact per (netlist, partition) key");
+
+    // Warm: loads the artifact — compilation skipped, bit-identical.
+    let warm_probe = Probe::enabled();
+    let warm = sim(&warm_probe).run(&c, &stim, until);
+    let kinds = trace_kinds(&warm_probe);
+    assert!(kinds.contains(&TraceKind::CacheHit), "warm run records the cache hit");
+    assert_eq!(warm.divergence_from(&cold), None, "warm run is bit-identical to cold");
+
+    // Corrupt the artifact: the run must heal it (recompile) and still
+    // produce the identical history.
+    let entry = artifacts[0].path();
+    std::fs::write(&entry, b"torn artifact").expect("scribble over the artifact");
+    let healed_probe = Probe::enabled();
+    let healed = sim(&healed_probe).run(&c, &stim, until);
+    let kinds = trace_kinds(&healed_probe);
+    assert!(!kinds.contains(&TraceKind::CacheHit), "corrupt artifact must not count as a hit");
+    assert!(kinds.contains(&TraceKind::Compile), "healing run recompiles");
+    assert_eq!(healed.divergence_from(&cold), None, "healed run is bit-identical");
+
+    // And the heal rewrote a valid artifact: the next run hits again.
+    let again_probe = Probe::enabled();
+    let again = sim(&again_probe).run(&c, &stim, until);
+    assert!(trace_kinds(&again_probe).contains(&TraceKind::CacheHit), "store healed in place");
+    assert_eq!(again.divergence_from(&cold), None);
+}
+
+#[test]
+fn artifact_store_outcomes_cover_cold_warm_corrupt() {
+    let cache = CacheDir::new("outcomes");
+    let store = ArtifactStore::new(&cache.0);
+    let c = bench::c17();
+    let lp_of = vec![0usize; c.len()];
+    let (blocks, outcome) = store.load_or_compile(&c, &lp_of, 1);
+    assert_eq!(outcome, CacheOutcome::MissCompiled);
+    assert_eq!(outcome.label(), "miss");
+    let (warm, outcome) = store.load_or_compile(&c, &lp_of, 1);
+    assert_eq!(outcome, CacheOutcome::Hit);
+    assert!(outcome.is_hit());
+    assert_eq!(warm, blocks);
+    let key = ArtifactStore::cache_key(&c, &lp_of, 1);
+    std::fs::write(store.path_of(key), b"garbage").expect("corrupt the entry");
+    let (healed, outcome) = store.load_or_compile(&c, &lp_of, 1);
+    assert_eq!(outcome, CacheOutcome::RecompiledCorrupt);
+    assert_eq!(outcome.label(), "recompiled_corrupt");
+    assert_eq!(healed, blocks);
+}
