@@ -1,0 +1,167 @@
+//! **E15: Mailbox transport** — lock-free SPSC ring mesh vs the mutexed
+//! baseline, across message rates and post granularities.
+//!
+//! ```sh
+//! PARSIM_BENCH_JSON=results cargo run --release -p parsim-bench --bin exp_mailbox
+//! ```
+//!
+//! The harness replays the fabric's communication pattern without the
+//! simulation around it: every worker posts `rate` messages to every
+//! worker (itself included) per round, crosses a [`RoundBarrier`], and
+//! drains its own inbox — so posts on a channel race the destination's
+//! drain exactly as kernel rounds do. Both transports run behind the
+//! [`Mesh`] trait: [`MailboxMesh`] (one bounded SPSC ring per worker
+//! pair, spill vector on overflow) against [`MutexedMesh`] (one
+//! `Mutex<Vec>` per destination, the pre-ring implementation). Every
+//! worker verifies per-channel FIFO and exactly-once delivery as it
+//! consumes, so a throughput number from a corrupted run is impossible.
+//!
+//! Two sweeps:
+//!
+//! - `rate`: messages per channel per round, from trickle to a burst
+//!   past the default ring capacity. Rates at or above the capacity
+//!   push the ring mesh onto its mutexed spill slow path (the `spilled`
+//!   column counts those messages) — lossless by design, and the regime
+//!   the `ring_spill` trace counter exists to surface.
+//! - `grain`: how many messages each `Mesh::post` call carries. `1`
+//!   models unbatched senders (a lock acquisition per message on the
+//!   mutexed mesh, a couple of plain atomics on the ring); `256` is the
+//!   fabric's `DEFAULT_BATCH_LIMIT`, the granularity an `Outbox`
+//!   produces, which maximally amortizes the mutex. The gap between the
+//!   two columns is exactly the price of lock-based posting.
+
+use std::time::{Duration, Instant};
+
+use parsim_bench::{f2, Table};
+use parsim_runtime::{MailboxMesh, Mesh, MutexedMesh, RoundBarrier, DEFAULT_BATCH_LIMIT};
+
+const WORKERS: usize = 4;
+/// Messages per channel per round, low traffic to ring-overflowing burst.
+const RATES: [usize; 5] = [16, 64, 256, 1024, 4096];
+/// Messages per `post` call: unbatched senders vs `Outbox`-batched.
+const GRAINS: [usize; 2] = [1, DEFAULT_BATCH_LIMIT];
+/// Per-cell message budget; rounds are derived so every rate moves a
+/// comparable volume.
+const TARGET_MSGS: usize = 800_000;
+/// Repetitions per cell; the best wall time is reported, damping
+/// scheduler noise on barrier-dominated low-rate cells.
+const REPS: usize = 3;
+
+/// Payload: sender in the top bits, per-channel sequence below — enough
+/// for the consumer to assert FIFO and exactly-once per channel inline.
+const SEQ_BITS: u32 = 40;
+
+fn rounds_for(rate: usize) -> usize {
+    (TARGET_MSGS / (WORKERS * WORKERS * rate)).clamp(8, 4000)
+}
+
+/// Runs one all-to-all campaign and returns the wall time. Panics (inside
+/// a worker) on any FIFO, loss or duplication violation.
+fn run_mesh<Me: Mesh<u64>>(mesh: &Me, rate: usize, rounds: usize, grain: usize) -> Duration {
+    let workers = mesh.workers();
+    let barrier = RoundBarrier::new(workers);
+    let per_channel = (rate * rounds) as u64;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let (mesh, barrier) = (&*mesh, &barrier);
+            scope.spawn(move || {
+                let mut batch: Vec<u64> = Vec::with_capacity(grain);
+                let mut inbox: Vec<u64> = Vec::new();
+                // Outgoing sequence per destination, expected sequence per
+                // source: the FIFO/exactly-once ledger.
+                let mut out_seq = vec![0u64; workers];
+                let mut expect = vec![0u64; workers];
+                for _ in 0..rounds {
+                    for (dst, seq) in out_seq.iter_mut().enumerate() {
+                        let mut sent = 0;
+                        while sent < rate {
+                            let n = grain.min(rate - sent);
+                            for _ in 0..n {
+                                batch.push(((w as u64) << SEQ_BITS) | *seq);
+                                *seq += 1;
+                            }
+                            mesh.post(w, dst, &mut batch);
+                            sent += n;
+                        }
+                    }
+                    barrier.wait(None).expect("bench barrier");
+                    // Drain after the barrier: everything posted to us
+                    // this round is published, while next-round posts from
+                    // faster peers may already be racing in.
+                    mesh.drain_into(w, &mut inbox);
+                    for msg in inbox.drain(..) {
+                        let src = (msg >> SEQ_BITS) as usize;
+                        let seq = msg & ((1 << SEQ_BITS) - 1);
+                        assert_eq!(seq, expect[src], "channel {src}->{w} broke FIFO");
+                        expect[src] += 1;
+                    }
+                }
+                assert!(
+                    expect.iter().all(|&e| e == per_channel),
+                    "worker {w} lost messages: got {expect:?}, want {per_channel} per channel"
+                );
+            });
+        }
+    });
+    start.elapsed()
+}
+
+fn throughput(msgs: usize, wall: Duration) -> f64 {
+    msgs as f64 / wall.as_secs_f64() / 1e6
+}
+
+fn main() {
+    let mut table = Table::new(&[
+        "mesh",
+        "workers",
+        "grain",
+        "rate",
+        "rounds",
+        "msgs",
+        "wall_ms",
+        "mmsgs_per_s",
+        "spilled",
+    ]);
+    for grain in GRAINS {
+        for rate in RATES {
+            let rounds = rounds_for(rate);
+            let msgs = WORKERS * WORKERS * rate * rounds;
+            let mut ring_wall = Duration::MAX;
+            let mut spilled = 0;
+            for _ in 0..REPS {
+                let ring = MailboxMesh::<u64>::new(WORKERS);
+                ring_wall = ring_wall.min(run_mesh(&ring, rate, rounds, grain));
+                spilled = ring.spill_events();
+            }
+            table.row(&[
+                "spsc-ring".into(),
+                WORKERS.to_string(),
+                grain.to_string(),
+                rate.to_string(),
+                rounds.to_string(),
+                msgs.to_string(),
+                f2(ring_wall.as_secs_f64() * 1e3),
+                f2(throughput(msgs, ring_wall)),
+                spilled.to_string(),
+            ]);
+            let mut mutexed_wall = Duration::MAX;
+            for _ in 0..REPS {
+                let mutexed = MutexedMesh::<u64>::new(WORKERS);
+                mutexed_wall = mutexed_wall.min(run_mesh(&mutexed, rate, rounds, grain));
+            }
+            table.row(&[
+                "mutexed".into(),
+                WORKERS.to_string(),
+                grain.to_string(),
+                rate.to_string(),
+                rounds.to_string(),
+                msgs.to_string(),
+                f2(mutexed_wall.as_secs_f64() * 1e3),
+                f2(throughput(msgs, mutexed_wall)),
+                "0".into(),
+            ]);
+        }
+    }
+    table.finish("exp_mailbox");
+}

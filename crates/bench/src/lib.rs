@@ -20,6 +20,7 @@
 //! | `exp_bitparallel` | E12 | §II bit parallelism: packed 64-lane throughput vs scalar kernels |
 //! | `exp_faults` | E13 | fault-injection campaign: recovery transparency and fail-fast overhead |
 //! | `exp_compile` | E14 | compiled bytecode vs interpreted execution; artifact-cache cold/warm split |
+//! | `exp_mailbox` | E15 | mailbox transport: lock-free SPSC ring mesh vs mutexed slots across message rates |
 //!
 //! Criterion micro-benchmarks live in `benches/`.
 //!

@@ -20,7 +20,8 @@ use crate::DeadlockStrategy;
 ///
 /// One worker per partition block, driven by the shared [`Fabric`]; each
 /// worker owns its LPs' full state and exchanges event/null messages
-/// through the batched mailbox mesh. Worker activations run concurrently
+/// through the lock-free SPSC-ring mailbox mesh (batched by the
+/// `Outbox`). Worker activations run concurrently
 /// between rounds; the fabric's round structure provides the global
 /// quiescence test (termination and, in
 /// [`DeadlockStrategy::DetectAndRecover`] mode, deadlock detection — the
@@ -112,6 +113,10 @@ impl<V: LogicValue> ThreadedConservativeSimulator<V> {
     }
 
     /// Attaches a fault-injection plan for [`try_run`](Self::try_run).
+    /// Batch faults are addressed per channel: a plan names the
+    /// `(sender, receiver)` worker pair and the batch sequence number
+    /// *on that channel* (sequences are per-channel counters, matching
+    /// the mesh's one-SPSC-ring-per-pair transport).
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.options.faults = Some(plan);
         self

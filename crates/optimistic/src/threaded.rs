@@ -125,6 +125,10 @@ impl<V: LogicValue> ThreadedTimeWarpSimulator<V> {
     }
 
     /// Attaches a fault-injection plan for [`try_run`](Self::try_run).
+    /// Batch faults are addressed per channel: a plan names the
+    /// `(sender, receiver)` worker pair and the batch sequence number
+    /// *on that channel* (sequences are per-channel counters, matching
+    /// the mesh's one-SPSC-ring-per-pair transport).
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.options.faults = Some(plan);
         self

@@ -93,6 +93,9 @@ struct RunShared<M, R, T> {
     truncated: AtomicBool,
     progress: Vec<WorkerProgress>,
     injector: Option<Arc<FaultInjector>>,
+    /// Mesh spill count already reported by the coordinator (its private
+    /// high-water mark for per-round `RingSpill` trace deltas).
+    spills_seen: AtomicU64,
     start: Instant,
 }
 
@@ -491,6 +494,7 @@ impl<'c> Fabric<'c> {
             truncated: AtomicBool::new(false),
             progress: (0..self.workers).map(|_| WorkerProgress::new()).collect(),
             injector,
+            spills_seen: AtomicU64::new(0),
             start: Instant::now(),
         };
 
@@ -579,11 +583,14 @@ impl<'c> Fabric<'c> {
             }
         };
         let mut inbox: Vec<P::Msg> = Vec::new();
-        let mut outbox = Outbox::new(&shared.mesh, DEFAULT_BATCH_LIMIT);
+        let mut outbox = Outbox::new(&shared.mesh, p, DEFAULT_BATCH_LIMIT);
         let mut rounds = 0u64;
 
         loop {
             rounds += 1;
+            // Advance the mesh's round stamp before this round's drain, so
+            // every push the drain observes is stamped <= its epoch.
+            shared.mesh.enter_round(rounds);
             if let Some(inj) = &shared.injector {
                 inj.enter_round(rounds);
                 if inj.should_poison(p, rounds) {
@@ -686,6 +693,14 @@ impl<'c> Fabric<'c> {
         V: LogicValue,
         P: SyncProtocol<V>,
     {
+        let spills = shared.mesh.spill_events();
+        // relaxed: only the coordinator touches this high-water mark, and
+        // the counter it shadows is itself statistics-only.
+        let seen = shared.spills_seen.swap(spills, Ordering::Relaxed);
+        if spills > seen && ph.enabled() {
+            let t = ph.now_ns();
+            ph.emit(t, 0, 0, NO_LP, TraceKind::RingSpill, spills - seen);
+        }
         if let Some(inj) = &shared.injector {
             for note in inj.take_notes() {
                 let kind =

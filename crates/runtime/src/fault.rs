@@ -9,8 +9,14 @@
 //! bit-identically.
 //!
 //! The mesh's injection point doubles as a reliable-delivery layer: every
-//! batch posted to a destination carries an implicit per-destination
-//! sequence number. With [`recovery`](FaultPlan::with_recovery) *enabled*,
+//! batch posted carries an implicit per-*channel* (sender × receiver)
+//! sequence number. Channel counters are the lock-free-mesh fix: under
+//! the old mutexed mesh a per-destination counter was implicitly
+//! serialized by the slot lock, but with SPSC rings two senders' posts to
+//! one destination interleave freely, and a shared counter would make
+//! "the seq-th batch" racy — recovery could then suppress the wrong
+//! batch as a duplicate. Per-channel counters stay contiguous per sender
+//! with no cross-sender serialization at all. With [`recovery`](FaultPlan::with_recovery) *enabled*,
 //! an injected drop/delay/duplicate is caught at that point and corrected
 //! before the round barrier (the batch is retained and re-delivered, the
 //! duplicate suppressed) — modelling retransmission on a lossy transport —
@@ -43,29 +49,35 @@ pub enum FaultSpec {
         /// The round to kill it in (1-based).
         round: u64,
     },
-    /// Hold the `seq`-th batch posted to worker `dst` (0-based, counted
-    /// per destination) for `rounds` extra rounds, violating the fabric's
-    /// delivered-by-next-round guarantee.
+    /// Hold the `seq`-th batch posted on channel `src -> dst` (0-based,
+    /// counted per channel) for `rounds` extra rounds, violating the
+    /// fabric's delivered-by-next-round guarantee.
     DelayBatch {
+        /// Sending worker of the delayed batch.
+        src: usize,
         /// Destination worker whose batch is delayed.
         dst: usize,
-        /// Per-destination batch sequence number (0-based).
+        /// Per-channel batch sequence number (0-based).
         seq: u64,
         /// Extra rounds to hold the batch.
         rounds: u64,
     },
-    /// Discard the `seq`-th batch posted to worker `dst`.
+    /// Discard the `seq`-th batch posted on channel `src -> dst`.
     DropBatch {
+        /// Sending worker of the dropped batch.
+        src: usize,
         /// Destination worker whose batch is dropped.
         dst: usize,
-        /// Per-destination batch sequence number (0-based).
+        /// Per-channel batch sequence number (0-based).
         seq: u64,
     },
-    /// Deliver the `seq`-th batch posted to worker `dst` twice.
+    /// Deliver the `seq`-th batch posted on channel `src -> dst` twice.
     DuplicateBatch {
+        /// Sending worker of the duplicated batch.
+        src: usize,
         /// Destination worker whose batch is duplicated.
         dst: usize,
-        /// Per-destination batch sequence number (0-based).
+        /// Per-channel batch sequence number (0-based).
         seq: u64,
     },
     /// Poison worker `worker`'s mailbox lock at the start of round
@@ -121,19 +133,20 @@ impl FaultPlan {
         self.with(FaultSpec::KillWorker { worker, round })
     }
 
-    /// Delays the `seq`-th batch to `dst` by `rounds` rounds.
-    pub fn with_delay(self, dst: usize, seq: u64, rounds: u64) -> Self {
-        self.with(FaultSpec::DelayBatch { dst, seq, rounds })
+    /// Delays the `seq`-th batch on channel `src -> dst` by `rounds`
+    /// rounds.
+    pub fn with_delay(self, src: usize, dst: usize, seq: u64, rounds: u64) -> Self {
+        self.with(FaultSpec::DelayBatch { src, dst, seq, rounds })
     }
 
-    /// Drops the `seq`-th batch to `dst`.
-    pub fn with_drop(self, dst: usize, seq: u64) -> Self {
-        self.with(FaultSpec::DropBatch { dst, seq })
+    /// Drops the `seq`-th batch on channel `src -> dst`.
+    pub fn with_drop(self, src: usize, dst: usize, seq: u64) -> Self {
+        self.with(FaultSpec::DropBatch { src, dst, seq })
     }
 
-    /// Duplicates the `seq`-th batch to `dst`.
-    pub fn with_duplicate(self, dst: usize, seq: u64) -> Self {
-        self.with(FaultSpec::DuplicateBatch { dst, seq })
+    /// Duplicates the `seq`-th batch on channel `src -> dst`.
+    pub fn with_duplicate(self, src: usize, dst: usize, seq: u64) -> Self {
+        self.with(FaultSpec::DuplicateBatch { src, dst, seq })
     }
 
     /// Poisons `worker`'s mailbox lock at round `round`.
@@ -169,13 +182,14 @@ impl FaultPlan {
         let mut rng = SplitMix64::new(seed);
         let mut plan = FaultPlan::new();
         for _ in 0..count {
+            let src = (rng.next() % workers as u64) as usize;
             let dst = (rng.next() % workers as u64) as usize;
             let seq = rng.next() % 4;
             let round = 1 + rng.next() % 8;
             plan = match rng.next() % 4 {
-                0 => plan.with_delay(dst, seq, 1 + rng.next() % 2),
-                1 => plan.with_drop(dst, seq),
-                2 => plan.with_duplicate(dst, seq),
+                0 => plan.with_delay(src, dst, seq, 1 + rng.next() % 2),
+                1 => plan.with_drop(src, dst, seq),
+                2 => plan.with_duplicate(src, dst, seq),
                 _ => plan.with_poison(dst, round),
             };
         }
@@ -237,16 +251,18 @@ pub(crate) struct FaultNote {
     pub target: u64,
 }
 
-/// The shared runtime state of one plan: per-destination batch sequence
+/// The shared runtime state of one plan: per-channel batch sequence
 /// counters, the current round, the note/violation logs.
 #[derive(Debug)]
 pub(crate) struct FaultInjector {
     kills: Vec<(usize, u64)>,
     poisons: Vec<(usize, u64)>,
     stalls: Vec<(usize, u64)>,
-    batch_faults: BTreeMap<(usize, u64), BatchFault>,
+    batch_faults: BTreeMap<(usize, usize, u64), BatchFault>,
     recover: bool,
     round: AtomicU64,
+    workers: usize,
+    /// One counter per (src, dst) channel, indexed `src * workers + dst`.
     seqs: Vec<AtomicU64>,
     notes: Mutex<Vec<FaultNote>>,
     violations: Mutex<Vec<String>>,
@@ -263,14 +279,14 @@ impl FaultInjector {
                 FaultSpec::KillWorker { worker, round } => kills.push((worker, round)),
                 FaultSpec::PoisonLock { worker, round } => poisons.push((worker, round)),
                 FaultSpec::StallWorker { worker, round } => stalls.push((worker, round)),
-                FaultSpec::DelayBatch { dst, seq, rounds } => {
-                    batch_faults.insert((dst, seq), BatchFault::Delay(rounds));
+                FaultSpec::DelayBatch { src, dst, seq, rounds } => {
+                    batch_faults.insert((src, dst, seq), BatchFault::Delay(rounds));
                 }
-                FaultSpec::DropBatch { dst, seq } => {
-                    batch_faults.insert((dst, seq), BatchFault::Drop);
+                FaultSpec::DropBatch { src, dst, seq } => {
+                    batch_faults.insert((src, dst, seq), BatchFault::Drop);
                 }
-                FaultSpec::DuplicateBatch { dst, seq } => {
-                    batch_faults.insert((dst, seq), BatchFault::Duplicate);
+                FaultSpec::DuplicateBatch { src, dst, seq } => {
+                    batch_faults.insert((src, dst, seq), BatchFault::Duplicate);
                 }
             }
         }
@@ -281,7 +297,8 @@ impl FaultInjector {
             batch_faults,
             recover: plan.recover,
             round: AtomicU64::new(0),
-            seqs: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            workers,
+            seqs: (0..workers * workers).map(|_| AtomicU64::new(0)).collect(),
             notes: Mutex::new(Vec::new()),
             violations: Mutex::new(Vec::new()),
         }
@@ -322,16 +339,19 @@ impl FaultInjector {
         self.stalls.iter().any(|&(w, r)| w == worker && r == round)
     }
 
-    /// Claims the next per-destination batch sequence number.
-    pub(crate) fn next_seq(&self, dst: usize) -> u64 {
+    /// Claims the next batch sequence number on channel `src -> dst`.
+    /// Only `src` itself posts on its channels, so the counter stays
+    /// contiguous per sender with no cross-sender serialization.
+    pub(crate) fn next_seq(&self, src: usize, dst: usize) -> u64 {
         // relaxed: unique-ticket counter; only atomicity of the increment
         // matters, no payload is published through it.
-        self.seqs[dst].fetch_add(1, Ordering::Relaxed)
+        self.seqs[src * self.workers + dst].fetch_add(1, Ordering::Relaxed)
     }
 
-    /// The fault scheduled for batch `seq` to `dst`, if any.
-    pub(crate) fn batch_fault(&self, dst: usize, seq: u64) -> Option<BatchFault> {
-        self.batch_faults.get(&(dst, seq)).copied()
+    /// The fault scheduled for batch `seq` on channel `src -> dst`, if
+    /// any.
+    pub(crate) fn batch_fault(&self, src: usize, dst: usize, seq: u64) -> Option<BatchFault> {
+        self.batch_faults.get(&(src, dst, seq)).copied()
     }
 
     /// Logs an injection (for the trace layer).
@@ -376,21 +396,23 @@ mod tests {
         let plan = FaultPlan::new()
             .with_kill(1, 3)
             .with_poison(0, 2)
-            .with_drop(2, 0)
-            .with_delay(0, 1, 2)
-            .with_duplicate(1, 5);
+            .with_drop(3, 2, 0)
+            .with_delay(1, 0, 1, 2)
+            .with_duplicate(0, 1, 5);
         assert_eq!(plan.specs().len(), 5);
         let inj = FaultInjector::new(&plan, 4);
         assert!(inj.should_kill(1, 3));
         assert!(!inj.should_kill(1, 2));
         assert!(inj.should_poison(0, 2));
-        assert_eq!(inj.batch_fault(2, 0), Some(BatchFault::Drop));
-        assert_eq!(inj.batch_fault(0, 1), Some(BatchFault::Delay(2)));
-        assert_eq!(inj.batch_fault(1, 5), Some(BatchFault::Duplicate));
-        assert_eq!(inj.batch_fault(1, 4), None);
-        assert_eq!(inj.next_seq(2), 0);
-        assert_eq!(inj.next_seq(2), 1);
-        assert_eq!(inj.next_seq(0), 0);
+        assert_eq!(inj.batch_fault(3, 2, 0), Some(BatchFault::Drop));
+        assert_eq!(inj.batch_fault(1, 0, 1), Some(BatchFault::Delay(2)));
+        assert_eq!(inj.batch_fault(0, 1, 5), Some(BatchFault::Duplicate));
+        assert_eq!(inj.batch_fault(1, 1, 5), None, "faults are channel-addressed");
+        assert_eq!(inj.batch_fault(0, 1, 4), None);
+        assert_eq!(inj.next_seq(0, 2), 0);
+        assert_eq!(inj.next_seq(0, 2), 1);
+        assert_eq!(inj.next_seq(2, 0), 0, "each channel counts independently");
+        assert_eq!(inj.next_seq(0, 0), 0);
     }
 
     #[test]

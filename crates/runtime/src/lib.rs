@@ -17,8 +17,10 @@
 //! - [`SyncProtocol`] — the plug point: per-worker state, the message
 //!   type, one round of local work, and the coordinator's decision.
 //! - [`MailboxMesh`] / [`Outbox`] — batched inter-worker delivery with
-//!   FIFO-per-channel ordering; one lock acquisition per batch instead of
-//!   per message.
+//!   FIFO-per-channel ordering over one lock-free bounded SPSC ring per
+//!   (sender, receiver) pair; overflow spills losslessly to a mutexed
+//!   side channel ([`MutexedMesh`] keeps the retired lock-based mesh
+//!   alive behind the same [`Mesh`] trait as the E15 benchmark baseline).
 //! - [`LpCore`] — flat struct-of-arrays per-LP gate state (net values,
 //!   sequential gate state, waveforms, dirty marking) shared by every
 //!   discipline's LP state machine.
@@ -42,7 +44,10 @@
 //! delivery faults (drop/delay/duplicate) and lock poisoning to prove all
 //! of it under test.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the SPSC mailbox rings in `spsc.rs` are the one
+// audited exception (an `#[allow]` island, loom-model-checked); everything
+// else in the crate stays safe code.
+#![deny(unsafe_code)]
 
 mod barrier;
 mod fabric;
@@ -51,6 +56,7 @@ mod mailbox;
 mod poison;
 mod pool;
 mod protocol;
+mod spsc;
 mod state;
 pub mod sync;
 
@@ -59,7 +65,8 @@ pub use fabric::{CompiledMode, Fabric, RunOptions};
 // Re-exported so the kernels can consume compiled blocks without a direct
 // `parsim-compile` dependency edge.
 pub use fault::{FaultPlan, FaultSpec};
-pub use mailbox::{MailboxMesh, Outbox, DEFAULT_BATCH_LIMIT};
+pub use mailbox::{MailboxMesh, Mesh, MutexedMesh, Outbox, DEFAULT_BATCH_LIMIT};
+pub use spsc::DEFAULT_RING_CAPACITY;
 pub use parsim_compile::{ArtifactStore, CacheOutcome, CompiledBlock};
 pub use poison::lock_recover;
 pub use pool::{global_pool, run_workers, WorkerPool};

@@ -1,0 +1,373 @@
+//! Bounded single-producer/single-consumer rings: the lock-free transport
+//! under [`MailboxMesh`](crate::mailbox::MailboxMesh).
+//!
+//! One [`SpscRing`] carries one (sender → receiver) channel. The producer
+//! owns `tail`, the consumer owns `head`; both are monotonically
+//! increasing `u64` positions (never wrapped — the slot index is
+//! `pos & mask`, so capacity must be a power of two) on their own cache
+//! lines so the two sides never false-share. A bounded ring can fill; to
+//! keep the no-message-ever-lost guarantee, overflow goes to a mutexed
+//! spill `Vec` — the slow path that makes the fast path safe to bound.
+//!
+//! # Ordering protocol
+//!
+//! - **Publish**: the producer writes the slot, then `tail.store(Release)`.
+//!   The consumer's `tail.load(Acquire)` therefore happens-after the slot
+//!   write for every position below the loaded value. The loaded value is
+//!   the *round cut*: one snapshot per drain, so a drain observes a
+//!   consistent prefix of the channel even while the producer keeps
+//!   pushing.
+//! - **Free**: the consumer takes the slots, then `head.store(Release)`;
+//!   the producer's `head.load(Acquire)` happens-after the takes, so a
+//!   slot is never overwritten while the consumer may still read it.
+//! - **Spill FIFO**: a message enters the ring only while the spill is
+//!   empty. The producer checks `spill_pending` (`Acquire`) once per
+//!   batch; non-zero forces the slow path, which re-checks emptiness
+//!   *under the spill lock*. So once a message spills, every younger
+//!   message also spills until the consumer empties the spill — at any
+//!   instant the spill holds a strictly-younger suffix of the channel.
+//!   The consumer exploits exactly that: when it finds the spill
+//!   non-empty (under the lock), it first pops the ring to a *fresh*
+//!   `tail` snapshot — its original cut may predate the spill, and ring
+//!   entries past it are still older than the spill; the producer cannot
+//!   ring-push in between because the sole producer already observed its
+//!   own spill — then appends the spill and zeroes `spill_pending`
+//!   (`Release`) under the same lock. Ring-order then spill-order is
+//!   exactly send order, preserving per-channel FIFO (model-checked:
+//!   `ring_spill_is_exactly_once_and_fifo_under_race`).
+//! - The only `Relaxed` loads are each side's load of its *own* counter,
+//!   which no other thread writes.
+//!
+//! Both sides' exclusivity is enforced with `busy` flags in debug, test
+//! and loom builds (a mesh-misuse panic, not UB; release builds elide the
+//! check — ownership there rests on the fabric pinning each channel side
+//! to one worker thread), and the whole protocol — FIFO, exactly-once,
+//! wrap-around, spill interleaving — is model-checked in
+//! `tests/loom_models.rs` via the [`crate::sync`] facade.
+
+// The one audited exception to the crate-level `deny(unsafe_code)`: raw
+// slot access inside `UnsafeCell` closures, justified per-site below and
+// exercised under loom in CI.
+#![allow(unsafe_code)]
+
+use std::mem::MaybeUninit;
+
+use crate::poison::lock_recover;
+use crate::sync::cell::UnsafeCell;
+use crate::sync::{AtomicBool, AtomicU64, Mutex, Ordering};
+
+/// Default per-channel ring capacity (slots). Sized so a default
+/// [`Outbox`](crate::mailbox::Outbox) batch
+/// ([`DEFAULT_BATCH_LIMIT`](crate::mailbox::DEFAULT_BATCH_LIMIT) = 256)
+/// fits several times over; bursts beyond it spill, they are not lost.
+/// Memory grows as `workers² × capacity`, which is why this is bounded
+/// rather than sized for the worst burst.
+pub const DEFAULT_RING_CAPACITY: usize = 1024;
+
+/// Pads (and aligns) a value to a cache line so the producer-owned and
+/// consumer-owned counters never share one.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct CachePadded<T>(T);
+
+/// A bounded SPSC ring with a mutexed spill for overflow. See the module
+/// docs for the ordering protocol.
+#[derive(Debug)]
+pub(crate) struct SpscRing<M> {
+    /// Next position the consumer will take. Written only by the consumer.
+    head: CachePadded<AtomicU64>,
+    /// Next position the producer will fill. Written only by the producer.
+    tail: CachePadded<AtomicU64>,
+    /// `capacity - 1`; capacity is a power of two.
+    mask: u64,
+    /// Slot `pos & mask` is initialized exactly when
+    /// `head <= pos < tail` (for the owning side's view of those
+    /// counters): vacancy is tracked by the positions, not by an
+    /// `Option` tag, so a slot move is exactly `size_of::<M>()` bytes.
+    slots: Box<[UnsafeCell<MaybeUninit<M>>]>,
+    /// Overflow that did not fit in the ring, in send order.
+    spill: Mutex<Vec<M>>,
+    /// Number of spilled messages awaiting drain; maintained under the
+    /// spill lock, read lock-free by the producer fast path.
+    spill_pending: AtomicU64,
+    /// Round stamp of the youngest push (diagnostic: a drain at epoch `e`
+    /// must never observe a push stamped `> e`).
+    push_epoch: AtomicU64,
+    /// Runtime single-producer / single-consumer enforcement.
+    producer_busy: AtomicBool,
+    consumer_busy: AtomicBool,
+}
+
+// SAFETY: slot contents are only touched through the publish/free protocol
+// in the module docs — each position is accessed mutably by exactly one
+// side at a time, with the hand-over ordered by the Release/Acquire pair
+// on `tail` (producer→consumer) and `head` (consumer→producer). The
+// remaining fields are atomics and a mutex, which synchronize themselves.
+unsafe impl<M: Send> Send for SpscRing<M> {}
+unsafe impl<M: Send> Sync for SpscRing<M> {}
+
+/// RAII release of a `busy` flag claimed by [`claim`].
+///
+/// The claim is a *misuse detector*, not synchronization the protocol
+/// depends on (channel ownership is pinned to one worker thread per side
+/// by the fabric), so the two RMWs it costs per operation are paid only
+/// in debug, test and loom builds; release builds compile it away.
+struct Claim<'a>(#[allow(dead_code)] &'a AtomicBool);
+
+impl Drop for Claim<'_> {
+    fn drop(&mut self) {
+        #[cfg(any(debug_assertions, loom))]
+        self.0.store(false, Ordering::Release);
+    }
+}
+
+fn claim<'a>(flag: &'a AtomicBool, role: &str) -> Claim<'a> {
+    #[cfg(any(debug_assertions, loom))]
+    assert!(
+        !flag.swap(true, Ordering::Acquire),
+        "two concurrent {role}s on one SPSC ring: MailboxMesh channels are \
+         single-producer single-consumer per (src, dst) pair"
+    );
+    #[cfg(not(any(debug_assertions, loom)))]
+    let _ = role;
+    Claim(flag)
+}
+
+impl<M> SpscRing<M> {
+    /// Creates a ring with `capacity` slots (must be a power of two ≥ 1).
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity.is_power_of_two(), "ring capacity must be a power of two");
+        let slots = (0..capacity).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+        Self {
+            head: CachePadded::default(),
+            tail: CachePadded::default(),
+            mask: capacity as u64 - 1,
+            slots,
+            spill: Mutex::new(Vec::new()),
+            spill_pending: AtomicU64::new(0),
+            push_epoch: AtomicU64::new(0),
+            producer_busy: AtomicBool::new(false),
+            consumer_busy: AtomicBool::new(false),
+        }
+    }
+
+    fn capacity(&self) -> u64 {
+        self.mask + 1
+    }
+
+    /// Writes `msg` at `pos` (producer side).
+    fn slot_write(&self, pos: u64, msg: M) {
+        self.slots[(pos & self.mask) as usize].with_mut(|p| {
+            // SAFETY: `pos` lies in the producer-owned region
+            // `[tail, head + capacity)`: the consumer only touches
+            // positions below the `tail` value it Acquire-loaded, which is
+            // ≤ the current (unpublished) `pos`, so no other reference to
+            // this slot exists. The slot is vacant (its previous occupant
+            // was moved out before `head` passed it), so plain
+            // `MaybeUninit::write` leaks nothing live.
+            unsafe { (*p).write(msg) };
+        });
+    }
+
+    /// Takes the message at `pos` (consumer side), leaving the slot
+    /// logically vacant.
+    fn slot_take(&self, pos: u64) -> M {
+        self.slots[(pos & self.mask) as usize].with_mut(|p| {
+            // SAFETY: `pos` lies in `[head, cut)` where `cut` was
+            // Acquire-loaded from `tail`: the producer's initializing
+            // write happens-before that load, and the producer will not
+            // reuse the slot until it Acquire-observes the consumer's
+            // later Release store of `head`, so this side holds the only
+            // reference and reads an initialized value exactly once.
+            unsafe { (*p).assume_init_read() }
+        })
+    }
+
+    /// Pushes every message of `batch` in order, stamped with `epoch`.
+    /// Messages that do not fit in the ring go to the spill (never lost);
+    /// returns how many spilled. Panics if a second producer is active.
+    ///
+    /// The ring protocol is paid per *chunk*, not per message: one `head`
+    /// load and one `tail` publish cover every slot written in between, so
+    /// a batch of N messages costs O(1) atomics plus N plain slot writes —
+    /// that amortization is what lets the lock-free path beat a
+    /// one-lock-per-batch mutex.
+    pub(crate) fn push_batch(&self, batch: &mut Vec<M>, epoch: u64) -> u64 {
+        let _claim = claim(&self.producer_busy, "producer");
+        self.push_epoch.store(epoch, Ordering::Release);
+        // relaxed: `tail` is written only by this (sole) producer.
+        let mut tail = self.tail.0.load(Ordering::Relaxed);
+        // May this batch use the ring at all? Once anything spills, FIFO
+        // forbids newer messages overtaking it. The lock-free check is
+        // stable when it reads 0 — only this producer makes the spill
+        // non-empty. When it reads non-zero, re-check under the lock: the
+        // consumer may have drained the spill since.
+        let mut can_ring = self.spill_pending.load(Ordering::Acquire) == 0;
+        if !can_ring {
+            let spill = lock_recover(&self.spill);
+            if spill.is_empty() {
+                self.spill_pending.store(0, Ordering::Release);
+                can_ring = true;
+            }
+        }
+        if can_ring {
+            while !batch.is_empty() {
+                let head = self.head.0.load(Ordering::Acquire);
+                let free = self.capacity() - tail.wrapping_sub(head);
+                if free == 0 {
+                    // Full against a fresh `head`: the rest spills.
+                    break;
+                }
+                let n = (free as usize).min(batch.len());
+                for msg in batch.drain(..n) {
+                    self.slot_write(tail, msg);
+                    tail = tail.wrapping_add(1);
+                }
+                // One Release publishes the whole chunk: a racing drain
+                // sees chunk-granular prefixes, never a torn chunk.
+                self.tail.0.store(tail, Ordering::Release);
+            }
+        }
+        let spilled = batch.len() as u64;
+        if spilled > 0 {
+            let mut spill = lock_recover(&self.spill);
+            spill.append(batch);
+            self.spill_pending.store(spill.len() as u64, Ordering::Release);
+        }
+        spilled
+    }
+
+    /// Pops ring slots `[*pos, cut)` into `into`, advancing `*pos`.
+    fn pop_to(&self, into: &mut Vec<M>, pos: &mut u64, cut: u64) {
+        into.reserve(cut.wrapping_sub(*pos) as usize);
+        while *pos != cut {
+            into.push(self.slot_take(*pos));
+            *pos = pos.wrapping_add(1);
+        }
+    }
+
+    /// Appends every message published before the call to `into`, in send
+    /// order: the ring prefix up to one `tail` snapshot (the consistent
+    /// round cut), then — if anything spilled — the remainder of the ring
+    /// and the spill. Panics if a second consumer is active; debug-asserts
+    /// that no observed push is stamped after `epoch`.
+    pub(crate) fn drain_into(&self, into: &mut Vec<M>, epoch: u64) {
+        let _claim = claim(&self.consumer_busy, "consumer");
+        let cut = self.tail.0.load(Ordering::Acquire);
+        debug_assert!(
+            self.push_epoch.load(Ordering::Acquire) <= epoch,
+            "drain at epoch {epoch} observed a push from a later round"
+        );
+        // relaxed: `head` is written only by this (sole) consumer.
+        let start = self.head.0.load(Ordering::Relaxed);
+        let mut pos = start;
+        self.pop_to(into, &mut pos, cut);
+        if self.spill_pending.load(Ordering::Acquire) != 0 {
+            let mut spill = lock_recover(&self.spill);
+            if !spill.is_empty() {
+                // FIFO across the boundary: while the spill is non-empty
+                // every producer push goes to the spill (the fast path
+                // re-checks `spill_pending`, the slow path holds this
+                // lock), so every ring entry — including ones published
+                // *after* our `cut` snapshot — is older than every spilled
+                // message. Pop the ring to a fresh snapshot before taking
+                // the spill; the producer cannot ring-push in between.
+                let fresh = self.tail.0.load(Ordering::Acquire);
+                self.pop_to(into, &mut pos, fresh);
+                into.append(&mut spill);
+            }
+            self.spill_pending.store(0, Ordering::Release);
+        }
+        if pos != start {
+            self.head.0.store(pos, Ordering::Release);
+        }
+    }
+
+    /// Claims the producer side and holds it for the guard's lifetime, as
+    /// an overlapping poster would — deterministic misuse for the
+    /// mesh-misuse-panic test.
+    #[cfg(all(test, not(loom)))]
+    pub(crate) fn hold_producer_for_test(&self) -> impl Drop + '_ {
+        claim(&self.producer_busy, "producer")
+    }
+
+    /// True when nothing is published and nothing is spilled. Exact only
+    /// while the producer is quiescent (e.g. between fabric barriers).
+    pub(crate) fn is_empty(&self) -> bool {
+        self.head.0.load(Ordering::Acquire) == self.tail.0.load(Ordering::Acquire)
+            && self.spill_pending.load(Ordering::Acquire) == 0
+    }
+}
+
+impl<M> Drop for SpscRing<M> {
+    /// Drops undrained in-flight messages: with `MaybeUninit` slots the
+    /// occupied range `[head, tail)` is not dropped by the slot array
+    /// itself. `&mut self` proves both sides are quiescent, so plain
+    /// loads suffice. (The spill is a `Vec` and drops itself.)
+    fn drop(&mut self) {
+        let tail = self.tail.0.load(Ordering::Acquire);
+        let mut pos = self.head.0.load(Ordering::Acquire);
+        while pos != tail {
+            drop(self.slot_take(pos));
+            pos = pos.wrapping_add(1);
+        }
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_around_many_times_with_tiny_capacity() {
+        let ring = SpscRing::new(2);
+        let mut batch = Vec::new();
+        let mut out = Vec::new();
+        for i in 0u64..100 {
+            batch.push(i);
+            ring.push_batch(&mut batch, 0);
+            if i % 2 == 1 {
+                ring.drain_into(&mut out, 0);
+            }
+        }
+        ring.drain_into(&mut out, 0);
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn burst_beyond_capacity_spills_and_preserves_order() {
+        let ring = SpscRing::new(4);
+        let mut batch: Vec<u64> = (0..11).collect();
+        let spilled = ring.push_batch(&mut batch, 0);
+        assert_eq!(spilled, 7, "4 in the ring, 7 in the spill");
+        assert!(!ring.is_empty());
+        // FIFO: nothing may ring-enter past a non-empty spill.
+        let mut batch2: Vec<u64> = vec![11, 12];
+        assert_eq!(ring.push_batch(&mut batch2, 0), 2);
+        let mut out = Vec::new();
+        ring.drain_into(&mut out, 0);
+        assert_eq!(out, (0..13).collect::<Vec<_>>());
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn spill_then_ring_reentry_after_drain_keeps_fifo() {
+        let ring = SpscRing::new(2);
+        let mut b: Vec<u64> = vec![0, 1, 2];
+        ring.push_batch(&mut b, 0);
+        let mut out = Vec::new();
+        ring.drain_into(&mut out, 0);
+        // Spill drained: the fast path is legal again.
+        let mut b2: Vec<u64> = vec![3, 4];
+        assert_eq!(ring.push_batch(&mut b2, 1), 0);
+        ring.drain_into(&mut out, 1);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_capacity() {
+        let _ = SpscRing::<u64>::new(3);
+    }
+}

@@ -19,6 +19,49 @@ pub use std::sync::{
 #[cfg(not(loom))]
 pub use std::thread;
 
+/// Interior-mutability shim matching `loom::cell`'s closure-based API, so
+/// lock-free code (the SPSC mailbox rings) can be model-checked without a
+/// source change. Under std this is a zero-cost wrapper over
+/// `std::cell::UnsafeCell`; under `--cfg loom` every access becomes a
+/// scheduling point.
+#[cfg(not(loom))]
+pub mod cell {
+    /// `loom::cell::UnsafeCell`-compatible cell: the raw pointer is lent to
+    /// a closure instead of handed out to keep. Dereferencing it is on the
+    /// caller (and is the only `unsafe` the runtime crate permits, in
+    /// `spsc.rs`).
+    #[derive(Debug, Default)]
+    pub struct UnsafeCell<T> {
+        v: std::cell::UnsafeCell<T>,
+    }
+
+    impl<T> UnsafeCell<T> {
+        pub fn new(v: T) -> Self {
+            Self { v: std::cell::UnsafeCell::new(v) }
+        }
+
+        /// Lends the closure a shared pointer to the contents.
+        #[inline]
+        pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            f(self.v.get())
+        }
+
+        /// Lends the closure an exclusive pointer to the contents.
+        #[inline]
+        pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            f(self.v.get())
+        }
+
+        pub fn into_inner(self) -> T {
+            self.v.into_inner()
+        }
+
+        pub fn get_mut(&mut self) -> &mut T {
+            self.v.get_mut()
+        }
+    }
+}
+
 #[cfg(loom)]
 pub use loom::sync::{
     atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering},
@@ -27,3 +70,6 @@ pub use loom::sync::{
 
 #[cfg(loom)]
 pub use loom::thread;
+
+#[cfg(loom)]
+pub use loom::cell;

@@ -20,7 +20,8 @@ use parsim_trace::{Probe, TraceKind};
 /// One worker thread per partition block, one LP per worker, driven by the
 /// shared [`Fabric`]. Each round the workers process every local event at
 /// the globally agreed step time, exchange boundary events through the
-/// batched mailbox mesh, and report the earliest pending timestamp (local
+/// lock-free SPSC-ring mailbox mesh (batched by the `Outbox`, one ring
+/// per worker pair), and report the earliest pending timestamp (local
 /// queue head, or the earliest event sent this round — so in-flight
 /// messages are covered); the coordinator's minimum is the next step time.
 /// Logical results are bit-identical to
@@ -91,6 +92,10 @@ impl<V: LogicValue> ThreadedSyncSimulator<V> {
     }
 
     /// Attaches a fault-injection plan for [`try_run`](Self::try_run).
+    /// Batch faults are addressed per channel: a plan names the
+    /// `(sender, receiver)` worker pair and the batch sequence number
+    /// *on that channel* (sequences are per-channel counters, matching
+    /// the mesh's one-SPSC-ring-per-pair transport).
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.options.faults = Some(plan);
         self

@@ -63,6 +63,10 @@ pub enum TraceKind {
     /// bytecode loaded from the on-disk store. `arg` = artifact bytes
     /// loaded.
     CacheHit,
+    /// Messages overflowed a full SPSC mailbox ring into its spill vector
+    /// this round (delivery stays lossless but takes the mutexed slow
+    /// path — a sizing signal, not an error). `arg` = spilled messages.
+    RingSpill,
 }
 
 impl TraceKind {
@@ -93,11 +97,12 @@ impl TraceKind {
             TraceKind::FaultRecover => "fault_recover",
             TraceKind::Compile => "compile",
             TraceKind::CacheHit => "cache_hit",
+            TraceKind::RingSpill => "ring_spill",
         }
     }
 
     /// All kinds, in a stable order (report tables iterate this).
-    pub fn all() -> [TraceKind; 16] {
+    pub fn all() -> [TraceKind; 17] {
         [
             TraceKind::GateEval,
             TraceKind::Enqueue,
@@ -115,6 +120,7 @@ impl TraceKind {
             TraceKind::FaultRecover,
             TraceKind::Compile,
             TraceKind::CacheHit,
+            TraceKind::RingSpill,
         ]
     }
 }

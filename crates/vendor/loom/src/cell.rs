@@ -1,0 +1,73 @@
+//! Model-checked interior mutability: [`UnsafeCell`].
+//!
+//! Mirrors `loom::cell::UnsafeCell`'s closure-based API: instead of
+//! handing out a raw pointer to keep (as `std::cell::UnsafeCell::get`
+//! does), the cell lends the pointer to a closure, bracketed by a
+//! scheduling point so the explorer can interleave the access with every
+//! other synchronization operation.
+//!
+//! Divergence from real loom, matching the crate-level policy: real loom
+//! tracks causality and fails the model when two threads access the cell
+//! without a happens-before edge. This shim serializes all model threads
+//! through the scheduler baton, so overlapping access cannot physically
+//! occur and is not detected; the shim finds *interleaving* bugs (a
+//! consumer observing a slot before the producer's publishing store, lost
+//! or duplicated values), not data-race declarations. Algorithms checked
+//! here must keep their happens-before argument in source comments.
+
+use std::fmt;
+
+use crate::rt;
+
+/// Model-checked counterpart of `loom::cell::UnsafeCell`.
+pub struct UnsafeCell<T> {
+    v: std::cell::UnsafeCell<T>,
+}
+
+// SAFETY: every access runs inside `with`/`with_mut`, which execute while
+// the calling model thread holds the scheduler baton; all accesses are
+// therefore serialized and ordered through the scheduler lock (see
+// `rt.rs`).
+unsafe impl<T: Send> Send for UnsafeCell<T> {}
+unsafe impl<T: Send> Sync for UnsafeCell<T> {}
+
+impl<T> UnsafeCell<T> {
+    /// Creates the cell (usable outside a model; accesses are not).
+    pub fn new(v: T) -> Self {
+        Self { v: std::cell::UnsafeCell::new(v) }
+    }
+
+    /// Lends the closure a shared pointer to the contents, at a scheduling
+    /// point. The pointer must not escape the closure.
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        rt::with_ctx(|exec, me| exec.preemption_point(me));
+        f(self.v.get())
+    }
+
+    /// Lends the closure an exclusive pointer to the contents, at a
+    /// scheduling point. The pointer must not escape the closure.
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        rt::with_ctx(|exec, me| exec.preemption_point(me));
+        f(self.v.get())
+    }
+
+    pub fn into_inner(self) -> T {
+        self.v.into_inner()
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.v.get_mut()
+    }
+}
+
+impl<T: Default> Default for UnsafeCell<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T> fmt::Debug for UnsafeCell<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad("UnsafeCell { .. }")
+    }
+}

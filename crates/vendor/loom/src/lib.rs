@@ -26,6 +26,7 @@
 //!
 //! [loom]: https://docs.rs/loom
 
+pub mod cell;
 mod rt;
 pub mod sync;
 pub mod thread;

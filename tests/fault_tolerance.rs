@@ -68,14 +68,17 @@ fn partition(c: &Circuit) -> Partition {
 }
 
 /// One delivery fault aimed at each worker's first inbound batch, so the
-/// campaign is guaranteed to hit real traffic regardless of how the
-/// partitioner routed the netlist.
+/// campaign is guaranteed to hit real traffic regardless of timing.
+/// Faults are channel-addressed (sender → receiver): round-robin places
+/// the ripple carry chain's gate `i` on worker `i % 4` and gate `i + 1`
+/// on worker `(i + 1) % 4`, so every `w -> (w + 1) % 4` channel carries
+/// the chain's traffic.
 fn delivery_campaign() -> FaultPlan {
     FaultPlan::new()
-        .with_drop(0, 0)
-        .with_delay(1, 0, 2)
-        .with_duplicate(2, 0)
-        .with_drop(3, 0)
+        .with_drop(3, 0, 0)
+        .with_delay(0, 1, 0, 2)
+        .with_duplicate(1, 2, 0)
+        .with_drop(2, 3, 0)
         .with_poison(1, 2)
 }
 
