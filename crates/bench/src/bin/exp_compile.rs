@@ -135,7 +135,7 @@ fn main() {
             assert!(cached.run(c, &stim, until).stats.gate_evaluations > 0);
         });
         let artifacts =
-            std::fs::read_dir(&cache_dir).map(|d| d.filter_map(Result::ok).count()).unwrap_or(0);
+            std::fs::read_dir(&cache_dir).map_or(0, |d| d.filter_map(Result::ok).count());
         assert!(artifacts > 0, "cold pass must populate the artifact store");
         row(&cached.name(), "compiled+cache", "miss", cold_ns, Some(sync_ns));
         let warm_ns = wall_ns(|| {

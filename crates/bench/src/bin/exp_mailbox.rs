@@ -29,11 +29,21 @@
 //!   fabric's `DEFAULT_BATCH_LIMIT`, the granularity an `Outbox`
 //!   produces, which maximally amortizes the mutex. The gap between the
 //!   two columns is exactly the price of lock-based posting.
+//!
+//! Three meshes per cell: `spsc-ring` pins the ring at the old fixed
+//! default capacity (keeping the E15 regression measurable — rates at or
+//! above it live on the spill mutex), `spsc-sized` sizes the ring for the
+//! round burst with [`MailboxMesh::sized_for_burst`] exactly as the
+//! fabric now does from the topology's fan-out, and `mutexed` is the
+//! baseline. The acceptance bar is `spsc-sized ≥ mutexed` at every rate.
 
 use std::time::{Duration, Instant};
 
 use parsim_bench::{f2, Table};
-use parsim_runtime::{MailboxMesh, Mesh, MutexedMesh, RoundBarrier, DEFAULT_BATCH_LIMIT};
+use parsim_runtime::{
+    burst_capacity, MailboxMesh, Mesh, MutexedMesh, RoundBarrier, DEFAULT_BATCH_LIMIT,
+    DEFAULT_RING_CAPACITY,
+};
 
 const WORKERS: usize = 4;
 /// Messages per channel per round, low traffic to ring-overflowing burst.
@@ -117,6 +127,7 @@ fn main() {
         "workers",
         "grain",
         "rate",
+        "capacity",
         "rounds",
         "msgs",
         "wall_ms",
@@ -127,6 +138,22 @@ fn main() {
         for rate in RATES {
             let rounds = rounds_for(rate);
             let msgs = WORKERS * WORKERS * rate * rounds;
+            let mut emit = |mesh: &str, capacity: usize, wall: Duration, spilled: u64| {
+                table.row(&[
+                    mesh.into(),
+                    WORKERS.to_string(),
+                    grain.to_string(),
+                    rate.to_string(),
+                    capacity.to_string(),
+                    rounds.to_string(),
+                    msgs.to_string(),
+                    f2(wall.as_secs_f64() * 1e3),
+                    f2(throughput(msgs, wall)),
+                    spilled.to_string(),
+                ]);
+            };
+            // Fixed default capacity: keeps the pre-fix regression visible
+            // in the ≥-capacity cells (everything rides the spill mutex).
             let mut ring_wall = Duration::MAX;
             let mut spilled = 0;
             for _ in 0..REPS {
@@ -134,33 +161,23 @@ fn main() {
                 ring_wall = ring_wall.min(run_mesh(&ring, rate, rounds, grain));
                 spilled = ring.spill_events();
             }
-            table.row(&[
-                "spsc-ring".into(),
-                WORKERS.to_string(),
-                grain.to_string(),
-                rate.to_string(),
-                rounds.to_string(),
-                msgs.to_string(),
-                f2(ring_wall.as_secs_f64() * 1e3),
-                f2(throughput(msgs, ring_wall)),
-                spilled.to_string(),
-            ]);
+            emit("spsc-ring", DEFAULT_RING_CAPACITY, ring_wall, spilled);
+            // Burst-sized capacity: the fabric's new sizing (fan-out per
+            // channel per round = `rate` in this harness).
+            let mut sized_wall = Duration::MAX;
+            let mut sized_spilled = 0;
+            for _ in 0..REPS {
+                let sized = MailboxMesh::<u64>::sized_for_burst(WORKERS, rate);
+                sized_wall = sized_wall.min(run_mesh(&sized, rate, rounds, grain));
+                sized_spilled = sized.spill_events();
+            }
+            emit("spsc-sized", burst_capacity(rate), sized_wall, sized_spilled);
             let mut mutexed_wall = Duration::MAX;
             for _ in 0..REPS {
                 let mutexed = MutexedMesh::<u64>::new(WORKERS);
                 mutexed_wall = mutexed_wall.min(run_mesh(&mutexed, rate, rounds, grain));
             }
-            table.row(&[
-                "mutexed".into(),
-                WORKERS.to_string(),
-                grain.to_string(),
-                rate.to_string(),
-                rounds.to_string(),
-                msgs.to_string(),
-                f2(mutexed_wall.as_secs_f64() * 1e3),
-                f2(throughput(msgs, mutexed_wall)),
-                "0".into(),
-            ]);
+            emit("mutexed", 0, mutexed_wall, 0);
         }
     }
     table.finish("exp_mailbox");

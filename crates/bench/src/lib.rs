@@ -21,6 +21,7 @@
 //! | `exp_faults` | E13 | fault-injection campaign: recovery transparency and fail-fast overhead |
 //! | `exp_compile` | E14 | compiled bytecode vs interpreted execution; artifact-cache cold/warm split |
 //! | `exp_mailbox` | E15 | mailbox transport: lock-free SPSC ring mesh vs mutexed slots across message rates |
+//! | `exp_server` | E16 | simulation service under load: jobs/sec and p50/p99 latency vs concurrent client count |
 //!
 //! Criterion micro-benchmarks live in `benches/`.
 //!

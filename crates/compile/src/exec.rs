@@ -308,7 +308,9 @@ mod tests {
             // An arbitrary dirty subset, ascending (sources excluded).
             let dirty: Vec<GateId> = c
                 .ids()
-                .filter(|id| !c.kind(*id).is_source() && (id.index() as u64 + seed) % 3 != 0)
+                .filter(|id| {
+                    !c.kind(*id).is_source() && !(id.index() as u64 + seed).is_multiple_of(3)
+                })
                 .collect();
 
             let mut compiled = Vec::new();

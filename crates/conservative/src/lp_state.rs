@@ -138,6 +138,13 @@ impl<V: LogicValue> LpState<V> {
         self.in_clock.values().copied().min().unwrap_or(VirtualTime::INFINITY)
     }
 
+    /// The commit frontier: every timestamp strictly below it is fully
+    /// processed here, and `receive_event` rejects stragglers below it, so
+    /// the minimum over all LPs bounds what a truncated run may claim.
+    pub(crate) fn frontier(&self) -> VirtualTime {
+        self.frontier
+    }
+
     /// Timestamp of the earliest unprocessed local event.
     pub(crate) fn head_time(&self) -> Option<VirtualTime> {
         if self.did_initial {

@@ -186,6 +186,9 @@ struct CmbReport {
     worked: bool,
     done: bool,
     head: Option<VirtualTime>,
+    /// This worker's commit frontier: min over its LPs' frontiers
+    /// (infinite for a worker with no LPs).
+    floor: VirtualTime,
 }
 
 /// Coordinator verdict for the next round.
@@ -346,6 +349,7 @@ impl<V: LogicValue> SyncProtocol<V> for CmbProtocol {
             worked,
             done: state.lps.iter().all(|lp| lp.done(cx.until)),
             head: state.lps.iter().filter_map(LpState::head_time).min(),
+            floor: state.lps.iter().map(LpState::frontier).min().unwrap_or(VirtualTime::INFINITY),
         }
     }
 
@@ -355,6 +359,12 @@ impl<V: LogicValue> SyncProtocol<V> for CmbProtocol {
         reports: &mut [Option<CmbReport>],
         cx: &mut DecideCx<'_>,
     ) -> Decision<CmbVerdict> {
+        // The global commit frontier — no LP will ever process below the
+        // minimum of the per-worker floors (stragglers are rejected), so a
+        // budget-truncated run can safely claim everything before it.
+        if let Some(floor) = reports.iter().flatten().map(|r| r.floor).min() {
+            cx.note_frontier(floor);
+        }
         let sent_any = reports.iter().flatten().any(|r| r.sent);
         let worked_any = reports.iter().flatten().any(|r| r.worked);
         let done = reports.iter().flatten().all(|r| r.done);

@@ -147,7 +147,11 @@ pub struct SimOutcome<V> {
     pub final_values: Vec<V>,
     /// Waveforms of the observed nets.
     pub waveforms: BTreeMap<GateId, Waveform<V>>,
-    /// The time the simulation ran to.
+    /// The virtual time the results are valid through. Equal to the
+    /// requested horizon for a complete run; for a budget-truncated run
+    /// ([`SimStats::truncated`]) it is the last globally *committed* tick,
+    /// and every waveform transition is at or before it — partial results
+    /// never claim unsimulated time.
     pub end_time: VirtualTime,
     /// Execution statistics.
     pub stats: SimStats,

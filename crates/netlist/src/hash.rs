@@ -101,7 +101,6 @@ impl Circuit {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::{bench, CircuitBuilder, Delay};
     use parsim_logic::GateKind;
 

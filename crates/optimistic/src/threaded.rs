@@ -395,6 +395,12 @@ impl<V: LogicValue> SyncProtocol<V> for TwProtocol {
         let done = reports.iter().flatten().all(|r| r.done);
         let sent_any = reports.iter().flatten().any(|r| r.sent);
         let gvt = reports.iter().flatten().filter_map(|r| r.gvt).min();
+        if let Some(g) = gvt {
+            // Nothing below GVT can roll back: it is the commit frontier a
+            // budget-truncated run may claim. The fabric also drops the
+            // speculative waveform tail at/past it on truncation.
+            cx.note_frontier(g);
+        }
         if cx.probe.enabled() {
             let g = gvt.map_or(0, VirtualTime::ticks);
             let t = cx.probe.now_ns();

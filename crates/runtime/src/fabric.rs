@@ -6,7 +6,8 @@ use std::time::{Duration, Instant};
 
 use parsim_compile::{compile_blocks, ArtifactStore, CacheOutcome, CompiledBlock};
 use parsim_core::{
-    LpTopology, Observe, RunBudget, SimError, SimOutcome, SimStats, Stimulus, WorkerDiagnostic,
+    LpTopology, Observe, RunBudget, SimError, SimOutcome, SimStats, Stimulus, Waveform,
+    WorkerDiagnostic,
 };
 use parsim_event::{Event, VirtualTime};
 use parsim_logic::{GateKind, LogicValue};
@@ -91,6 +92,10 @@ struct RunShared<M, R, T> {
     events: AtomicU64,
     /// Set when the budget stopped the run early.
     truncated: AtomicBool,
+    /// Commit frontier noted by the protocol's `decide`
+    /// ([`DecideCx::note_frontier`]); `u64::MAX` = never noted. Clips
+    /// `end_time` and speculative waveform tails on budget truncation.
+    frontier: AtomicU64,
     progress: Vec<WorkerProgress>,
     injector: Option<Arc<FaultInjector>>,
     /// Mesh spill count already reported by the coordinator (its private
@@ -242,6 +247,10 @@ pub struct Fabric<'c> {
     granularity: usize,
     observe: Observe,
     compiled: Option<CompiledPlan>,
+    /// Per-ring mesh capacity, sized from the topology's worst-case
+    /// cross-worker fan-out so a fully active round fits the lock-free
+    /// rings instead of the mutexed spill (the E15 ≥-capacity regression).
+    ring_capacity: usize,
 }
 
 impl<'c> Fabric<'c> {
@@ -267,7 +276,45 @@ impl<'c> Fabric<'c> {
         let workers = partition.blocks();
         let coarse: Vec<usize> = circuit.ids().map(|id| partition.block_of(id)).collect();
         let topo = LpTopology::with_granularity(circuit, &coarse, workers, granularity);
-        Fabric { circuit, topo, workers, granularity, observe, compiled: None }
+        let ring_capacity = Self::fanout_ring_capacity(circuit, &topo, workers, granularity);
+        Fabric { circuit, topo, workers, granularity, observe, compiled: None, ring_capacity }
+    }
+
+    /// Sizes the mailbox rings from the compiled topology: for each
+    /// (src, dst) worker pair, count the nets whose driver lives on `src`
+    /// and whose fanout reaches `dst` — the worst case of one event per
+    /// such net in a single fully active round — and take the busiest
+    /// channel through [`MailboxMesh::burst_capacity`] (2× headroom,
+    /// clamped). Before this, every mesh used the fixed default capacity
+    /// and dense circuits paid the spill mutex on every round.
+    fn fanout_ring_capacity(
+        circuit: &Circuit,
+        topo: &LpTopology,
+        workers: usize,
+        granularity: usize,
+    ) -> usize {
+        let mut per_channel = vec![0usize; workers * workers];
+        for id in circuit.ids() {
+            // Source gates never evaluate at runtime (preloaded events),
+            // so they send no mesh messages.
+            if circuit.kind(id).is_source() {
+                continue;
+            }
+            let src = LpTopology::processor_of(topo.lp_of(id), granularity);
+            // `destinations` is sorted by LP, so destination workers are
+            // non-decreasing: consecutive dedup counts each worker once.
+            let mut last = usize::MAX;
+            for &dst_lp in topo.destinations(id) {
+                let dst = LpTopology::processor_of(dst_lp, granularity);
+                if dst == src || dst == last {
+                    continue;
+                }
+                last = dst;
+                per_channel[src * workers + dst] += 1;
+            }
+        }
+        let burst = per_channel.iter().copied().max().unwrap_or(0);
+        crate::mailbox::burst_capacity(burst)
     }
 
     /// The circuit's per-gate LP assignment, in gate-id order (the shape
@@ -479,8 +526,10 @@ impl<'c> Fabric<'c> {
         let injector =
             options.faults.as_ref().map(|plan| Arc::new(FaultInjector::new(plan, self.workers)));
         let mesh = match &injector {
-            Some(inj) => MailboxMesh::with_faults(self.workers, Arc::clone(inj)),
-            None => MailboxMesh::new(self.workers),
+            Some(inj) => {
+                MailboxMesh::with_faults(self.workers, self.ring_capacity, Arc::clone(inj))
+            }
+            None => MailboxMesh::with_ring_capacity(self.workers, self.ring_capacity),
         };
         let shared: RunShared<P::Msg, P::Report, P::Verdict> = RunShared {
             mesh,
@@ -492,6 +541,7 @@ impl<'c> Fabric<'c> {
             arrivals: (0..self.workers).map(|_| AtomicU64::new(0)).collect(),
             events: AtomicU64::new(0),
             truncated: AtomicBool::new(false),
+            frontier: AtomicU64::new(u64::MAX),
             progress: (0..self.workers).map(|_| WorkerProgress::new()).collect(),
             injector,
             spills_seen: AtomicU64::new(0),
@@ -551,7 +601,38 @@ impl<'c> Fabric<'c> {
         // relaxed: the flag is set strictly before the barrier every worker
         // crossed on its way out; the barrier orders it, not the load.
         stats.truncated = shared.truncated.load(Ordering::Relaxed);
-        Ok(SimOutcome { final_values, waveforms, end_time: until, stats })
+        // A complete run covered the requested horizon. A budget-truncated
+        // run covered only up to the commit frontier the protocol last
+        // noted (everything strictly below it is final): clip `end_time`
+        // to the last committed tick and drop any speculative transitions
+        // at or past the frontier (Time Warp may have run ahead of GVT),
+        // so partial waveforms — including chunks already streamed from
+        // them — never claim unsimulated time. Without a noted frontier,
+        // fall back to the youngest merged transition: per-net coverage
+        // beyond it is unknown, so claim no more than what was observed.
+        let end_time = if stats.truncated {
+            let frontier = match shared.frontier.load(Ordering::Acquire) {
+                u64::MAX => None,
+                f => Some(VirtualTime::new(f)),
+            };
+            let covered = match frontier {
+                Some(f) => VirtualTime::new(f.ticks().saturating_sub(1)),
+                None => waveforms
+                    .values()
+                    .filter_map(|w: &Waveform<V>| w.transitions().last().map(|&(t, _)| t))
+                    .max()
+                    .unwrap_or(VirtualTime::ZERO),
+            };
+            if let Some(f) = frontier {
+                for w in waveforms.values_mut() {
+                    w.truncate_from(f);
+                }
+            }
+            covered.min(until)
+        } else {
+            until
+        };
+        Ok(SimOutcome { final_values, waveforms, end_time, stats })
     }
 
     /// One worker's round loop. Returns `None` when the run failed — the
@@ -719,7 +800,7 @@ impl<'c> Fabric<'c> {
             let mut slots = lock_recover(&shared.reports);
             debug_assert!(slots.iter().all(Option::is_some), "every worker reported");
             let result = catch_unwind(AssertUnwindSafe(|| {
-                let mut cx = DecideCx { until, round, probe: ph };
+                let mut cx = DecideCx { until, round, probe: ph, frontier: &shared.frontier };
                 protocol.decide(self, &mut slots, &mut cx)
             }));
             for slot in slots.iter_mut() {

@@ -65,10 +65,10 @@ pub use fabric::{CompiledMode, Fabric, RunOptions};
 // Re-exported so the kernels can consume compiled blocks without a direct
 // `parsim-compile` dependency edge.
 pub use fault::{FaultPlan, FaultSpec};
-pub use mailbox::{MailboxMesh, Mesh, MutexedMesh, Outbox, DEFAULT_BATCH_LIMIT};
-pub use spsc::DEFAULT_RING_CAPACITY;
+pub use mailbox::{burst_capacity, MailboxMesh, Mesh, MutexedMesh, Outbox, DEFAULT_BATCH_LIMIT};
 pub use parsim_compile::{ArtifactStore, CacheOutcome, CompiledBlock};
 pub use poison::lock_recover;
 pub use pool::{global_pool, run_workers, WorkerPool};
 pub use protocol::{DecideCx, Decision, RoundCx, SyncProtocol, WorkerOutput};
+pub use spsc::{DEFAULT_RING_CAPACITY, MAX_RING_CAPACITY};
 pub use state::{GateStateSoa, LpCore};

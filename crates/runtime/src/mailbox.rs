@@ -45,12 +45,23 @@ use crate::sync::{Arc, AtomicBool, AtomicU64, Mutex, Ordering};
 
 use crate::fault::{BatchFault, FaultInjector};
 use crate::poison::lock_recover;
-use crate::spsc::{SpscRing, DEFAULT_RING_CAPACITY};
+use crate::spsc::{SpscRing, DEFAULT_RING_CAPACITY, MAX_RING_CAPACITY};
 
 /// Default number of messages an [`Outbox`] accumulates per destination
 /// before posting the batch early. Large enough that a typical activation
 /// round flushes exactly once per destination.
 pub const DEFAULT_BATCH_LIMIT: usize = 256;
+
+/// Ring capacity [`MailboxMesh::sized_for_burst`] picks for an expected
+/// per-channel burst: `2 × burst` rounded up to a power of two, clamped to
+/// `[`[`DEFAULT_RING_CAPACITY`]`, `[`MAX_RING_CAPACITY`]`]`.
+pub fn burst_capacity(burst: usize) -> usize {
+    burst
+        .saturating_mul(2)
+        .checked_next_power_of_two()
+        .unwrap_or(MAX_RING_CAPACITY)
+        .clamp(DEFAULT_RING_CAPACITY, MAX_RING_CAPACITY)
+}
 
 /// The transport contract shared by [`MailboxMesh`] (SPSC rings) and
 /// [`MutexedMesh`] (the mutex-per-mailbox baseline): batched posts with
@@ -112,9 +123,23 @@ impl<M> MailboxMesh<M> {
         Self::with_ring_capacity(workers, DEFAULT_RING_CAPACITY)
     }
 
+    /// A mesh whose rings are sized for an expected per-channel burst of
+    /// `burst` messages per round: capacity `2 × burst` rounded up to a
+    /// power of two, clamped to `[`[`DEFAULT_RING_CAPACITY`]`,
+    /// `[`MAX_RING_CAPACITY`](crate::spsc::MAX_RING_CAPACITY)`]`. The 2×
+    /// headroom covers the next round's posts racing the previous round's
+    /// drain. Bursts beyond the clamp still deliver losslessly through the
+    /// spill path. The fabric sizes its mesh this way from the topology's
+    /// cross-worker fan-out (the E15 fix: at rates ≥ the old fixed
+    /// capacity, every round paid the spill mutex and lost to
+    /// [`MutexedMesh`]).
+    pub fn sized_for_burst(workers: usize, burst: usize) -> Self {
+        Self::with_ring_capacity(workers, burst_capacity(burst))
+    }
+
     /// A mesh with an explicit per-ring capacity (power of two ≥ 1).
     /// Small capacities force the spill path — the capacity-edge tests use
-    /// this; the fabric uses the default.
+    /// this; the fabric uses [`MailboxMesh::sized_for_burst`].
     pub fn with_ring_capacity(workers: usize, capacity: usize) -> Self {
         MailboxMesh {
             workers,
@@ -126,15 +151,20 @@ impl<M> MailboxMesh<M> {
     }
 
     /// A mesh with the fault-injection layer attached. With an empty plan
-    /// the layer is inert: delivery is bit-identical to [`MailboxMesh::new`].
-    pub(crate) fn with_faults(workers: usize, injector: Arc<FaultInjector>) -> Self {
+    /// the layer is inert: delivery is bit-identical to a plain mesh of
+    /// the same `capacity`.
+    pub(crate) fn with_faults(
+        workers: usize,
+        capacity: usize,
+        injector: Arc<FaultInjector>,
+    ) -> Self {
         MailboxMesh {
             faults: Some(FaultState {
                 injector,
                 held: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
                 poison_noted: (0..workers).map(|_| AtomicBool::new(false)).collect(),
             }),
-            ..Self::new(workers)
+            ..Self::with_ring_capacity(workers, capacity)
         }
     }
 
@@ -182,10 +212,7 @@ impl<M> MailboxMesh<M> {
 
     /// Acquires worker `w`'s held-batch buffer, recovering (and noting
     /// once) a poisoned guard instead of cascading the panic.
-    fn held<'a>(
-        f: &'a FaultState<M>,
-        w: usize,
-    ) -> crate::sync::MutexGuard<'a, Vec<HeldBatch<M>>> {
+    fn held<'a>(f: &'a FaultState<M>, w: usize) -> crate::sync::MutexGuard<'a, Vec<HeldBatch<M>>> {
         match f.held[w].lock() {
             Ok(guard) => guard,
             Err(poisoned) => {
@@ -554,6 +581,31 @@ mod tests {
     }
 
     #[test]
+    fn burst_sizing_rounds_up_and_clamps() {
+        assert_eq!(burst_capacity(0), DEFAULT_RING_CAPACITY);
+        assert_eq!(burst_capacity(500), DEFAULT_RING_CAPACITY);
+        assert_eq!(burst_capacity(1024), 2048);
+        assert_eq!(burst_capacity(3000), 8192);
+        assert_eq!(burst_capacity(usize::MAX / 2), MAX_RING_CAPACITY);
+    }
+
+    #[test]
+    fn sized_mesh_absorbs_its_design_burst_without_spilling() {
+        // A burst that overflows the default capacity 4× fits a
+        // sized-for-burst mesh entirely on the lock-free fast path.
+        let mesh: MailboxMesh<u32> = MailboxMesh::sized_for_burst(2, 4096);
+        let mut out = Outbox::new(&mesh, 0, usize::MAX >> 1);
+        for i in 0..4096u32 {
+            out.send(1, i);
+        }
+        out.flush();
+        assert_eq!(mesh.spill_events(), 0, "design burst must not touch the spill mutex");
+        let mut got = Vec::new();
+        mesh.drain_into(1, &mut got);
+        assert_eq!(got.len(), 4096);
+    }
+
+    #[test]
     fn burst_beyond_ring_capacity_spills_without_loss() {
         let mesh = MailboxMesh::with_ring_capacity(2, 4);
         let mut outbox = Outbox::new(&mesh, 0, usize::MAX >> 1);
@@ -671,7 +723,8 @@ mod tests {
     fn poisoned_mailbox_recovers_instead_of_cascading() {
         let plan = FaultPlan::new().with_poison(0, 1);
         let inj = Arc::new(FaultInjector::new(&plan, 1));
-        let mesh: MailboxMesh<u32> = MailboxMesh::with_faults(1, Arc::clone(&inj));
+        let mesh: MailboxMesh<u32> =
+            MailboxMesh::with_faults(1, DEFAULT_RING_CAPACITY, Arc::clone(&inj));
         let mut out = Outbox::new(&mesh, 0, 4);
         out.send(0, 1);
         out.flush();
@@ -691,7 +744,8 @@ mod tests {
     fn dropped_batch_records_a_violation_without_recovery() {
         let plan = FaultPlan::new().with_drop(1, 0, 0);
         let inj = Arc::new(FaultInjector::new(&plan, 2));
-        let mesh: MailboxMesh<u32> = MailboxMesh::with_faults(2, Arc::clone(&inj));
+        let mesh: MailboxMesh<u32> =
+            MailboxMesh::with_faults(2, DEFAULT_RING_CAPACITY, Arc::clone(&inj));
         let mut out = Outbox::new(&mesh, 1, 64);
         out.send(0, 7);
         out.flush();
@@ -709,7 +763,8 @@ mod tests {
     fn delayed_batch_is_released_after_its_rounds() {
         let plan = FaultPlan::new().with_delay(0, 0, 0, 2);
         let inj = Arc::new(FaultInjector::new(&plan, 1));
-        let mesh: MailboxMesh<u32> = MailboxMesh::with_faults(1, Arc::clone(&inj));
+        let mesh: MailboxMesh<u32> =
+            MailboxMesh::with_faults(1, DEFAULT_RING_CAPACITY, Arc::clone(&inj));
         inj.enter_round(1);
         let mut out = Outbox::new(&mesh, 0, 64);
         out.send(0, 9);
@@ -733,7 +788,8 @@ mod tests {
             .with_delay(0, 0, 1, 9) // sent round 1, releases round 10
             .with_delay(0, 0, 2, 2); // sent round 1, releases round 3
         let inj = Arc::new(FaultInjector::new(&plan, 1));
-        let mesh: MailboxMesh<u32> = MailboxMesh::with_faults(1, Arc::clone(&inj));
+        let mesh: MailboxMesh<u32> =
+            MailboxMesh::with_faults(1, DEFAULT_RING_CAPACITY, Arc::clone(&inj));
         inj.enter_round(1);
         let mut out = Outbox::new(&mesh, 0, 64);
         for v in [10, 20, 30] {
@@ -755,7 +811,8 @@ mod tests {
     fn duplicate_batch_is_delivered_twice_without_recovery() {
         let plan = FaultPlan::new().with_duplicate(0, 1, 0);
         let inj = Arc::new(FaultInjector::new(&plan, 2));
-        let mesh: MailboxMesh<u32> = MailboxMesh::with_faults(2, Arc::clone(&inj));
+        let mesh: MailboxMesh<u32> =
+            MailboxMesh::with_faults(2, DEFAULT_RING_CAPACITY, Arc::clone(&inj));
         let mut out = Outbox::new(&mesh, 0, 64);
         out.send(1, 5);
         out.send(1, 6);
@@ -774,7 +831,8 @@ mod tests {
             .with_duplicate(0, 0, 2)
             .with_recovery(true);
         let inj = Arc::new(FaultInjector::new(&plan, 1));
-        let mesh: MailboxMesh<u32> = MailboxMesh::with_faults(1, Arc::clone(&inj));
+        let mesh: MailboxMesh<u32> =
+            MailboxMesh::with_faults(1, DEFAULT_RING_CAPACITY, Arc::clone(&inj));
         let mut out = Outbox::new(&mesh, 0, 64);
         for v in [10, 20, 30, 40] {
             out.send(0, v);
@@ -798,7 +856,8 @@ mod tests {
         // consumed seqs and shifted the target.
         let plan = FaultPlan::new().with_drop(1, 0, 1);
         let inj = Arc::new(FaultInjector::new(&plan, 2));
-        let mesh: MailboxMesh<u32> = MailboxMesh::with_faults(2, Arc::clone(&inj));
+        let mesh: MailboxMesh<u32> =
+            MailboxMesh::with_faults(2, DEFAULT_RING_CAPACITY, Arc::clone(&inj));
         let mut a = Outbox::new(&mesh, 0, 64);
         let mut b = Outbox::new(&mesh, 1, 64);
         // Interleave: a, b, a, b — under per-dst counters these would

@@ -161,6 +161,32 @@ pub struct DecideCx<'a> {
     pub round: u64,
     /// Worker 0's trace recorder.
     pub probe: &'a mut ProbeHandle,
+    /// Commit-frontier slot (see [`DecideCx::note_frontier`]); `u64::MAX`
+    /// encodes "never noted".
+    pub(crate) frontier: &'a AtomicU64,
+}
+
+impl DecideCx<'_> {
+    /// Records the global commit frontier as of this round: every event
+    /// with timestamp strictly below `vt` is final and can never change.
+    /// Protocols call this each round with their natural frontier — the
+    /// synchronous kernel's next step time, the conservative kernel's
+    /// minimum LP frontier, Time Warp's GVT.
+    ///
+    /// The fabric consumes the last noted value when a
+    /// [`RunBudget`](parsim_core::RunBudget) truncates the run: the merged
+    /// outcome's `end_time` is clipped to the frontier and any speculative
+    /// waveform transitions at or past it are dropped, so partial results
+    /// (and any chunks already streamed from them) never claim unsimulated
+    /// time. An infinite `vt` is ignored.
+    #[inline]
+    pub fn note_frontier(&mut self, vt: VirtualTime) {
+        if !vt.is_infinite() {
+            // Release pairs with the merge-side Acquire load; in practice
+            // the worker join already orders it.
+            self.frontier.store(vt.ticks(), Ordering::Release);
+        }
+    }
 }
 
 /// One synchronization discipline, pluggable into the fabric.

@@ -64,6 +64,12 @@ use crate::sync::{AtomicBool, AtomicU64, Mutex, Ordering};
 /// rather than sized for the worst burst.
 pub const DEFAULT_RING_CAPACITY: usize = 1024;
 
+/// Upper bound on a burst-sized ring
+/// ([`MailboxMesh::sized_for_burst`](crate::mailbox::MailboxMesh::sized_for_burst)):
+/// memory grows as `workers² × capacity`, so sizing is clamped here and
+/// anything beyond it takes the lossless spill path instead.
+pub const MAX_RING_CAPACITY: usize = 1 << 15;
+
 /// Pads (and aligns) a value to a cache line so the producer-owned and
 /// consumer-owned counters never share one.
 #[repr(align(64))]
@@ -156,6 +162,7 @@ impl<M> SpscRing<M> {
     }
 
     /// Writes `msg` at `pos` (producer side).
+    #[cfg(loom)]
     fn slot_write(&self, pos: u64, msg: M) {
         self.slots[(pos & self.mask) as usize].with_mut(|p| {
             // SAFETY: `pos` lies in the producer-owned region
@@ -167,6 +174,62 @@ impl<M> SpscRing<M> {
             // `MaybeUninit::write` leaks nothing live.
             unsafe { (*p).write(msg) };
         });
+    }
+
+    /// Raw pointer to slot `idx`'s payload, for the bulk copies below.
+    /// Layout-sound via the `repr(transparent)` chain
+    /// `sync::cell::UnsafeCell<T>` → `std::cell::UnsafeCell<T>` →
+    /// `MaybeUninit<M>` → `M`; going through `UnsafeCell::raw_get` keeps
+    /// the write-through-shared-reference aliasing-legal.
+    #[cfg(not(loom))]
+    fn slot_ptr(&self, idx: usize) -> *mut M {
+        let cells = self.slots.as_ptr();
+        // SAFETY: `idx < capacity` at every call site, so `cells.add(idx)`
+        // stays in bounds of the slot array.
+        unsafe {
+            std::cell::UnsafeCell::raw_get(
+                cells.add(idx).cast::<std::cell::UnsafeCell<MaybeUninit<M>>>(),
+            )
+            .cast::<M>()
+        }
+    }
+
+    /// Moves `batch[..n]` into ring positions `[tail, tail + n)`, in order,
+    /// leaving `batch` holding the remaining suffix. Producer side; the
+    /// caller publishes with its own `tail` Release store.
+    ///
+    /// Under loom this is the per-slot closure walk (every access a
+    /// scheduling point); under std it is at most two `memcpy`s (the wrap
+    /// split), which is what keeps the batched fast path at parity with
+    /// the mutexed mesh's single `Vec::append`.
+    #[cfg(loom)]
+    fn slot_write_chunk(&self, mut tail: u64, batch: &mut Vec<M>, n: usize) {
+        for msg in batch.drain(..n) {
+            self.slot_write(tail, msg);
+            tail = tail.wrapping_add(1);
+        }
+    }
+
+    #[cfg(not(loom))]
+    fn slot_write_chunk(&self, tail: u64, batch: &mut Vec<M>, n: usize) {
+        let cap = self.capacity() as usize;
+        let start = (tail & self.mask) as usize;
+        let first = n.min(cap - start);
+        // SAFETY: the caller bounds `n` by the free space against a fresh
+        // Acquire-loaded `head`, so `[tail, tail + n)` lies entirely in
+        // the producer-owned vacant region (same argument as
+        // `slot_write`); `n ≤ capacity` so the two copy ranges are in
+        // bounds and disjoint. The copied prefix of `batch` is then
+        // removed *without dropping* (plain `copy` + `set_len`), so each
+        // message is moved exactly once — no double drop, no leak.
+        unsafe {
+            let src = batch.as_ptr();
+            std::ptr::copy_nonoverlapping(src, self.slot_ptr(start), first);
+            std::ptr::copy_nonoverlapping(src.add(first), self.slot_ptr(0), n - first);
+            let rest = batch.len() - n;
+            std::ptr::copy(src.add(n), batch.as_mut_ptr(), rest);
+            batch.set_len(rest);
+        }
     }
 
     /// Takes the message at `pos` (consumer side), leaving the slot
@@ -201,13 +264,20 @@ impl<M> SpscRing<M> {
         // forbids newer messages overtaking it. The lock-free check is
         // stable when it reads 0 — only this producer makes the spill
         // non-empty. When it reads non-zero, re-check under the lock: the
-        // consumer may have drained the spill since.
+        // consumer may have drained the spill since. A still-pending spill
+        // keeps the guard, so the append below reuses this acquisition —
+        // one lock per posted batch on the slow path, not two (with
+        // unbatched grain-1 posts the second acquisition made the spill
+        // path strictly worse than the mutexed mesh it replaced).
+        let mut spill_guard = None;
         let mut can_ring = self.spill_pending.load(Ordering::Acquire) == 0;
         if !can_ring {
             let spill = lock_recover(&self.spill);
             if spill.is_empty() {
                 self.spill_pending.store(0, Ordering::Release);
                 can_ring = true;
+            } else {
+                spill_guard = Some(spill);
             }
         }
         if can_ring {
@@ -219,10 +289,8 @@ impl<M> SpscRing<M> {
                     break;
                 }
                 let n = (free as usize).min(batch.len());
-                for msg in batch.drain(..n) {
-                    self.slot_write(tail, msg);
-                    tail = tail.wrapping_add(1);
-                }
+                self.slot_write_chunk(tail, batch, n);
+                tail = tail.wrapping_add(n as u64);
                 // One Release publishes the whole chunk: a racing drain
                 // sees chunk-granular prefixes, never a torn chunk.
                 self.tail.0.store(tail, Ordering::Release);
@@ -230,7 +298,7 @@ impl<M> SpscRing<M> {
         }
         let spilled = batch.len() as u64;
         if spilled > 0 {
-            let mut spill = lock_recover(&self.spill);
+            let mut spill = spill_guard.unwrap_or_else(|| lock_recover(&self.spill));
             spill.append(batch);
             self.spill_pending.store(spill.len() as u64, Ordering::Release);
         }
@@ -238,12 +306,42 @@ impl<M> SpscRing<M> {
     }
 
     /// Pops ring slots `[*pos, cut)` into `into`, advancing `*pos`.
+    /// Consumer side; the caller frees the slots with its own `head`
+    /// Release store. Bulk-copied under std (the drain-side twin of
+    /// `slot_write_chunk`), per-slot under loom.
+    #[cfg(loom)]
     fn pop_to(&self, into: &mut Vec<M>, pos: &mut u64, cut: u64) {
         into.reserve(cut.wrapping_sub(*pos) as usize);
         while *pos != cut {
             into.push(self.slot_take(*pos));
             *pos = pos.wrapping_add(1);
         }
+    }
+
+    #[cfg(not(loom))]
+    fn pop_to(&self, into: &mut Vec<M>, pos: &mut u64, cut: u64) {
+        let n = cut.wrapping_sub(*pos) as usize;
+        if n == 0 {
+            return;
+        }
+        into.reserve(n);
+        let cap = self.capacity() as usize;
+        let start = (*pos & self.mask) as usize;
+        let first = n.min(cap - start);
+        // SAFETY: `cut` was Acquire-loaded from `tail`, so every slot in
+        // `[*pos, cut)` is initialized and producer-untouched until this
+        // side's later `head` Release (same argument as `slot_take`);
+        // `n ≤ capacity` keeps both copy ranges in bounds. The copies move
+        // each message exactly once into `into`'s reserved spare capacity,
+        // and `set_len` claims them — the ring slots become logically
+        // vacant, never read again before being overwritten.
+        unsafe {
+            let dst = into.as_mut_ptr().add(into.len());
+            std::ptr::copy_nonoverlapping(self.slot_ptr(start).cast_const(), dst, first);
+            std::ptr::copy_nonoverlapping(self.slot_ptr(0).cast_const(), dst.add(first), n - first);
+            into.set_len(into.len() + n);
+        }
+        *pos = cut;
     }
 
     /// Appends every message published before the call to `into`, in send

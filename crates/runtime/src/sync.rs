@@ -30,7 +30,13 @@ pub mod cell {
     /// a closure instead of handed out to keep. Dereferencing it is on the
     /// caller (and is the only `unsafe` the runtime crate permits, in
     /// `spsc.rs`).
+    ///
+    /// `repr(transparent)` (over the likewise-transparent
+    /// `std::cell::UnsafeCell<T>`) is load-bearing: the SPSC ring's bulk
+    /// slot copies cast `*const UnsafeCell<MaybeUninit<M>>` down to
+    /// `*mut M`, which is layout-sound only through this chain.
     #[derive(Debug, Default)]
+    #[repr(transparent)]
     pub struct UnsafeCell<T> {
         v: std::cell::UnsafeCell<T>,
     }

@@ -1,0 +1,79 @@
+//! `parsim-serve` — run the simulation service from the command line.
+//!
+//! ```text
+//! parsim-serve [ADDR] [--slots N] [--max-in-flight N] [--max-events N] [--cache DIR]
+//! ```
+//!
+//! Defaults: `127.0.0.1:7878`, 2 run slots, 4 in-flight jobs per tenant,
+//! no per-job event ceiling, cache under the system temp directory. The
+//! process serves until killed.
+
+use std::sync::Arc;
+
+use parsim_server::service::{ServiceConfig, SimService};
+use parsim_server::Server;
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_owned();
+    let mut cfg = ServiceConfig::new(std::env::temp_dir().join("parsim-artifacts"));
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--slots" => {
+                cfg.run_slots = take("--slots").parse().unwrap_or_else(|_| {
+                    eprintln!("--slots must be a positive integer");
+                    std::process::exit(2);
+                });
+            }
+            "--max-in-flight" => {
+                cfg.quotas.max_in_flight = take("--max-in-flight").parse().unwrap_or_else(|_| {
+                    eprintln!("--max-in-flight must be a positive integer");
+                    std::process::exit(2);
+                });
+            }
+            "--max-events" => {
+                cfg.quotas.max_events_per_job =
+                    Some(take("--max-events").parse().unwrap_or_else(|_| {
+                        eprintln!("--max-events must be a positive integer");
+                        std::process::exit(2);
+                    }));
+            }
+            "--cache" => cfg.cache_dir = take("--cache").into(),
+            "--help" | "-h" => {
+                println!(
+                    "usage: parsim-serve [ADDR] [--slots N] [--max-in-flight N] \
+                     [--max-events N] [--cache DIR]"
+                );
+                return;
+            }
+            other if !other.starts_with('-') => addr = other.to_owned(),
+            other => {
+                eprintln!("unknown flag `{other}`; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let service = Arc::new(SimService::new(cfg));
+    let server = match Server::bind(addr.as_str(), service) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("parsim-serve listening on {}", server.addr());
+    println!("  POST /jobs     submit a job (NDJSON stream back)");
+    println!("  GET  /metrics  counter snapshot");
+    println!("  GET  /healthz  liveness");
+    // Serve until killed: the accept loop owns all the work.
+    loop {
+        std::thread::park();
+    }
+}

@@ -344,7 +344,12 @@ impl<V: LogicValue> SyncProtocol<V> for BarrierProtocol {
     ) -> Decision<VirtualTime> {
         let next = reports.iter().filter_map(|r| r.flatten()).min();
         match next {
-            Some(t) if t <= cx.until => Decision::Continue(t),
+            Some(t) if t <= cx.until => {
+                // Nothing is pending below the next step time, so every
+                // earlier event is final — the budget-truncation frontier.
+                cx.note_frontier(t);
+                Decision::Continue(t)
+            }
             _ => Decision::Stop,
         }
     }

@@ -52,6 +52,7 @@ mod poison;
 mod probe;
 mod record;
 mod report;
+pub mod stream;
 mod trace;
 
 pub use metrics::{Histogram, Metrics, MetricsSnapshot};
@@ -59,4 +60,5 @@ pub use perfetto::{to_csv, to_perfetto_json};
 pub use probe::{Probe, ProbeHandle, DEFAULT_CAPACITY};
 pub use record::{TraceKind, TraceRecord, NO_LP};
 pub use report::run_report;
+pub use stream::{reassemble, ChunkFrame, ChunkWriter, StreamError, DEFAULT_CHUNK_BYTES};
 pub use trace::Trace;

@@ -367,6 +367,73 @@ fn zero_deadline_stops_after_one_round() {
     assert_eq!(out.stats.barriers, 1, "the round in flight completes, nothing more starts");
 }
 
+/// The partial-result validity contract of a truncated run: `end_time` is
+/// the committed horizon (strictly inside the requested window), every
+/// waveform transition is at or before it, and the partial waveforms are a
+/// prefix of the full run's — so waveform chunks streamed before the
+/// budget tripped stay valid after it.
+fn assert_valid_truncation(partial: &SimOutcome<Logic4>, full: &SimOutcome<Logic4>) {
+    assert!(partial.stats.truncated);
+    assert!(!full.stats.truncated);
+    assert!(
+        partial.end_time < full.end_time,
+        "a truncated run must not claim the full horizon (claimed {})",
+        partial.end_time
+    );
+    for (id, w) in &partial.waveforms {
+        let last = w.transitions().last().expect("waveforms always hold the initial value").0;
+        assert!(
+            last <= partial.end_time,
+            "net {id}: transition at {last} past the committed end_time {}",
+            partial.end_time
+        );
+        let reference = &full.waveforms[id];
+        for &(t, v) in w.transitions() {
+            assert_eq!(
+                v,
+                reference.value_at(t),
+                "net {id} at {t}: truncated waveform diverges from the full run"
+            );
+        }
+    }
+}
+
+#[test]
+fn truncated_results_never_claim_unsimulated_time() {
+    let c = circuit();
+    let stim = stimulus();
+    let until = VirtualTime::new(UNTIL);
+    let p = partition(&c);
+
+    let full = ThreadedSyncSimulator::<Logic4>::new(p.clone())
+        .with_observe(Observe::AllNets)
+        .try_run(&c, &stim, until)
+        .expect("unbudgeted run succeeds");
+
+    let sync = ThreadedSyncSimulator::<Logic4>::new(p.clone())
+        .with_observe(Observe::AllNets)
+        .with_budget(RunBudget::default().with_max_rounds(3))
+        .try_run(&c, &stim, until)
+        .expect("graceful truncation");
+    assert_valid_truncation(&sync, &full);
+
+    let cons = ThreadedConservativeSimulator::<Logic4>::new(p.clone())
+        .with_observe(Observe::AllNets)
+        .with_budget(RunBudget::default().with_max_rounds(3))
+        .try_run(&c, &stim, until)
+        .expect("graceful truncation");
+    assert_valid_truncation(&cons, &full);
+
+    // Time Warp speculates past GVT; truncation must clip the speculative
+    // waveform tail, not stream it.
+    let tw = ThreadedTimeWarpSimulator::<Logic4>::new(p)
+        .with_observe(Observe::AllNets)
+        .with_budget(RunBudget::default().with_max_rounds(4))
+        .try_run(&c, &stim, until)
+        .expect("graceful truncation");
+    assert_valid_truncation(&tw, &full);
+}
+
 #[test]
 fn budgets_compose_with_kernels_other_than_sync() {
     let c = circuit();
